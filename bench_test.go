@@ -1,0 +1,133 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation section, plus kernel microbenchmarks for the substrates.
+// Run with: go test -bench=. -benchmem
+//
+// The experiment benchmarks execute the same harnesses as the cmd tools
+// at reduced scale so a full -bench pass completes in minutes on a
+// laptop; EXPERIMENTS.md records cmd-tool runs at the calibrated scales.
+package repro_test
+
+import (
+	"testing"
+	"time"
+
+	"repro"
+)
+
+func benchOptions() repro.ExperimentOptions {
+	return repro.ExperimentOptions{
+		Scale:           0.02,
+		Events:          4,
+		Epochs:          2,
+		BatchSize:       128,
+		Hidden:          8,
+		Steps:           2,
+		Seed:            7,
+		SamplerOverhead: time.Millisecond,
+	}
+}
+
+// BenchmarkTable1_DatasetGeneration regenerates Table I: synthesizing the
+// CTD-like and Ex3-like datasets and measuring their statistics.
+func BenchmarkTable1_DatasetGeneration(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		rows := repro.RunTable1(o)
+		if len(rows) != 2 {
+			b.Fatal("table 1 incomplete")
+		}
+	}
+}
+
+// benchmarkFigure3 measures one (implementation × process-count) cell of
+// Figure 3's epoch-time comparison.
+func benchmarkFigure3(b *testing.B, procs int) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		rows := repro.RunFigure3(o, []int{procs})
+		if len(rows) != 2 {
+			b.Fatal("figure 3 incomplete")
+		}
+		b.ReportMetric(repro.Figure3Speedups(rows)[procs], "speedup")
+	}
+}
+
+// BenchmarkFigure3_EpochTime_P1 regenerates the P=1 bars of Figure 3.
+func BenchmarkFigure3_EpochTime_P1(b *testing.B) { benchmarkFigure3(b, 1) }
+
+// BenchmarkFigure3_EpochTime_P4 regenerates the P=4 bars of Figure 3.
+func BenchmarkFigure3_EpochTime_P4(b *testing.B) { benchmarkFigure3(b, 4) }
+
+// BenchmarkFigure3_EpochTime_P8 regenerates the P=8 bars of Figure 3.
+func BenchmarkFigure3_EpochTime_P8(b *testing.B) { benchmarkFigure3(b, 8) }
+
+// BenchmarkFigure4_Convergence regenerates Figure 4's three convergence
+// curves (full-graph vs PyG-style ShaDow vs ours) at reduced epochs.
+func BenchmarkFigure4_Convergence(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		res := repro.RunFigure4(o)
+		if len(res.Ours.Points) != o.Epochs {
+			b.Fatal("figure 4 incomplete")
+		}
+		b.ReportMetric(res.Ours.Final().Recall, "recall")
+	}
+}
+
+// BenchmarkAblation_AllReduce regenerates the §III-D all-reduce
+// comparison (per-matrix vs coalesced across process counts).
+func BenchmarkAblation_AllReduce(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		rows := repro.RunAllReduceAblation(o, []int{2, 4, 8}, 5)
+		if len(rows) != 6 {
+			b.Fatal("ablation incomplete")
+		}
+	}
+}
+
+// BenchmarkAblation_BulkK regenerates the §IV-C bulk-batch-count sweep.
+func BenchmarkAblation_BulkK(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		rows := repro.RunBulkKAblation(o, []int{1, 4})
+		if len(rows) != 2 {
+			b.Fatal("ablation incomplete")
+		}
+	}
+}
+
+// BenchmarkAblation_BatchSize regenerates the batch-size generalization
+// sweep.
+func BenchmarkAblation_BatchSize(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		rows := repro.RunBatchSizeAblation(o, []int{64, 256})
+		if len(rows) != 2 {
+			b.Fatal("ablation incomplete")
+		}
+	}
+}
+
+// BenchmarkPipeline_Reconstruct measures full five-stage inference on one
+// event (the production workload of the library).
+func BenchmarkPipeline_Reconstruct(b *testing.B) {
+	spec := repro.Ex3Like(0.03)
+	spec.NumEvents = 2
+	ds := repro.GenerateDataset(spec, 3)
+	p := repro.NewPipeline(repro.DefaultPipelineConfig(spec), 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Reconstruct(ds.Events[i%len(ds.Events)])
+	}
+}
+
+// BenchmarkDetector_GenerateEvent measures the event simulator.
+func BenchmarkDetector_GenerateEvent(b *testing.B) {
+	spec := repro.Ex3Like(0.1)
+	spec.NumEvents = 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		repro.GenerateDataset(spec, uint64(i))
+	}
+}

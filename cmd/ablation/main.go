@@ -1,0 +1,60 @@
+// Command ablation runs the design-choice ablations DESIGN.md calls out:
+// per-matrix vs coalesced all-reduce (§III-D), bulk batch count k
+// (§IV-C), ShaDow fanout/depth, and training batch size.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	exp := flag.String("exp", "allreduce", "experiment: allreduce | bulk | fanout | batchsize")
+	scale := flag.Float64("scale", 0.03, "dataset scale factor")
+	events := flag.Int("events", 4, "event graphs")
+	epochs := flag.Int("epochs", 6, "epochs for quality ablations")
+	seed := flag.Uint64("seed", 7, "seed")
+	flag.Parse()
+
+	o := repro.ExperimentOptions{
+		Scale:           *scale,
+		Events:          *events,
+		Epochs:          *epochs,
+		Hidden:          16,
+		Steps:           3,
+		Seed:            *seed,
+		SamplerOverhead: 2 * time.Millisecond,
+	}
+
+	switch *exp {
+	case "allreduce":
+		fmt.Println("ABLATION §III-D: all-reduce strategy for the IGNN parameter set")
+		for _, r := range repro.RunAllReduceAblation(o, []int{2, 4, 8, 16}, 10) {
+			fmt.Printf("  p=%-3d %-10s collectives=%-5d modeled=%v\n",
+				r.Procs, r.Strategy, r.Collectives, r.ModeledTime)
+		}
+	case "bulk":
+		fmt.Println("ABLATION §IV-C: bulk batch count k vs sampling time")
+		for _, r := range repro.RunBulkKAblation(o, []int{1, 2, 4, 8, 16}) {
+			fmt.Printf("  k=%-3d sampler_calls=%-4d sampling=%-14v training=%v\n",
+				r.K, r.SamplerCalls, r.Sampling.Round(time.Microsecond), r.Training.Round(time.Microsecond))
+		}
+	case "fanout":
+		fmt.Println("ABLATION: ShaDow depth d / fanout s vs quality and cost")
+		for _, r := range repro.RunFanoutAblation(o, [][2]int{{1, 4}, {2, 4}, {3, 6}, {2, 8}, {3, 8}}) {
+			fmt.Printf("  d=%d s=%d  precision=%.4f recall=%.4f epoch=%v\n",
+				r.Depth, r.Fanout, r.Precision, r.Recall, r.EpochTime.Round(time.Millisecond))
+		}
+	case "batchsize":
+		fmt.Println("ABLATION: batch size vs generalization (Keskar et al. argument)")
+		for _, r := range repro.RunBatchSizeAblation(o, []int{32, 64, 128, 256, 512}) {
+			fmt.Printf("  batch=%-4d steps/epoch=%-4d precision=%.4f recall=%.4f f1=%.4f\n",
+				r.BatchSize, r.StepsPerEpoch, r.Precision, r.Recall, r.F1)
+		}
+	default:
+		fmt.Println("unknown -exp; choose allreduce | bulk | fanout | batchsize")
+	}
+}

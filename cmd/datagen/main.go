@@ -1,0 +1,35 @@
+// Command datagen generates a synthetic dataset and writes it to disk
+// for use by trackrecon and trainpipe.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	dataset := flag.String("dataset", "ex3", "dataset family: ex3 or ctd")
+	scale := flag.Float64("scale", 0.05, "scale factor (1 = paper size)")
+	events := flag.Int("events", 20, "number of events")
+	seed := flag.Uint64("seed", 42, "generation seed")
+	out := flag.String("o", "dataset.gob.gz", "output path")
+	flag.Parse()
+
+	var spec repro.DetectorSpec
+	if *dataset == "ctd" {
+		spec = repro.CTDLike(*scale)
+	} else {
+		spec = repro.Ex3Like(*scale)
+	}
+	spec.NumEvents = *events
+	ds := repro.GenerateDataset(spec, *seed)
+	if err := repro.SaveDataset(*out, ds); err != nil {
+		log.Fatal(err)
+	}
+	st := ds.ComputeStats()
+	fmt.Printf("wrote %s: %d %s-like events, avg %.0f hits and %.0f truth edges per event\n",
+		*out, st.Graphs, st.Name, st.AvgVertices, st.AvgTruthEdges)
+}

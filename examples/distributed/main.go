@@ -1,0 +1,37 @@
+// Command distributed demonstrates the paper's distributed-training
+// optimizations: GNN training sharded across simulated GPUs with ShaDow
+// minibatch sampling, comparing the PyG-style baseline (sequential
+// per-batch sampling + per-matrix all-reduce) against the paper's
+// pipeline (matrix-based bulk sampling + coalesced all-reduce).
+package main
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+func main() {
+	o := repro.ExperimentOptions{
+		Scale:  0.03,
+		Events: 6,
+		Hidden: 16,
+		Steps:  3,
+	}
+
+	fmt.Println("=== epoch time across simulated GPU counts (Figure 3 shape) ===")
+	rows := repro.RunFigure3(o, []int{1, 2, 4})
+	for _, r := range rows {
+		fmt.Println(" ", r)
+	}
+	fmt.Println("\nspeedup of ours vs PyG baseline:")
+	for p, s := range repro.Figure3Speedups(rows) {
+		fmt.Printf("  p=%d: %.2fx\n", p, s)
+	}
+
+	fmt.Println("\n=== all-reduce strategies (§III-D) ===")
+	for _, r := range repro.RunAllReduceAblation(o, []int{2, 4, 8}, 10) {
+		fmt.Printf("  p=%-2d %-10s collectives=%-4d modeled=%v\n",
+			r.Procs, r.Strategy, r.Collectives, r.ModeledTime)
+	}
+}

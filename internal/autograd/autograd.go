@@ -1,0 +1,120 @@
+// Package autograd implements reverse-mode automatic differentiation over
+// dense tensors. It replaces the role PyTorch's autograd plays in the
+// paper's pipeline: every training step builds a fresh tape of operations
+// whose Backward pass accumulates gradients into persistent Params.
+//
+// The op set is exactly what the Exa.TrkX pipeline needs: affine layers,
+// activations, column concatenation (Interaction-GNN residuals), row
+// gather/scatter (message passing on edges), layer normalization, and the
+// losses used by the embedding, filter, and GNN stages.
+package autograd
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Param is a persistent trainable parameter. Gradients accumulate into
+// Grad across a Backward pass; optimizers consume and zero them.
+type Param struct {
+	Name  string
+	Value *tensor.Dense
+	Grad  *tensor.Dense
+}
+
+// NewParam allocates a parameter with a zeroed gradient buffer.
+func NewParam(name string, value *tensor.Dense) *Param {
+	return &Param{
+		Name:  name,
+		Value: value,
+		Grad:  tensor.New(value.Rows(), value.Cols()),
+	}
+}
+
+// ZeroGrad clears the accumulated gradient.
+func (p *Param) ZeroGrad() { p.Grad.Zero() }
+
+// Node is a value in the computation graph.
+type Node struct {
+	Value    *tensor.Dense
+	grad     *tensor.Dense
+	needGrad bool
+	back     func() // propagates n.grad into parent grads; nil for leaves
+}
+
+// Grad returns the gradient accumulated at this node during Backward
+// (nil if none flowed here).
+func (n *Node) Grad() *tensor.Dense { return n.grad }
+
+// accum adds g into the node's gradient, allocating lazily.
+func (n *Node) accum(g *tensor.Dense) {
+	if n.grad == nil {
+		n.grad = g.Clone()
+		return
+	}
+	n.grad.AddInPlace(g)
+}
+
+// Tape records operations for one forward pass. Tapes are single-use and
+// not safe for concurrent mutation; each simulated device builds its own.
+type Tape struct {
+	nodes []*Node
+}
+
+// NewTape returns an empty tape.
+func NewTape() *Tape { return &Tape{} }
+
+// NumNodes reports how many nodes the tape recorded (activation count —
+// used by the device-memory model).
+func (t *Tape) NumNodes() int { return len(t.nodes) }
+
+// ActivationElements returns the total number of float64 elements stored
+// across all recorded node values. This is the quantity the paper's
+// memory-skip logic reasons about: every intermediate must stay resident
+// for the backward pass.
+func (t *Tape) ActivationElements() int {
+	total := 0
+	for _, n := range t.nodes {
+		total += n.Value.Size()
+	}
+	return total
+}
+
+func (t *Tape) newNode(v *tensor.Dense, needGrad bool, back func()) *Node {
+	n := &Node{Value: v, needGrad: needGrad, back: back}
+	t.nodes = append(t.nodes, n)
+	return n
+}
+
+// Constant introduces a value that requires no gradient.
+func (t *Tape) Constant(v *tensor.Dense) *Node {
+	return t.newNode(v, false, nil)
+}
+
+// Use binds a persistent Param into this tape; Backward accumulates the
+// parameter's gradient into p.Grad.
+func (t *Tape) Use(p *Param) *Node {
+	var n *Node
+	n = t.newNode(p.Value, true, func() {
+		p.Grad.AddInPlace(n.grad)
+	})
+	return n
+}
+
+// Backward seeds the gradient of loss (which must be 1×1) with 1 and
+// propagates through the tape in reverse recording order.
+func (t *Tape) Backward(loss *Node) {
+	if loss.Value.Rows() != 1 || loss.Value.Cols() != 1 {
+		panic(fmt.Sprintf("autograd: Backward on non-scalar %dx%d", loss.Value.Rows(), loss.Value.Cols()))
+	}
+	seed := tensor.New(1, 1)
+	seed.Set(0, 0, 1)
+	loss.accum(seed)
+	for i := len(t.nodes) - 1; i >= 0; i-- {
+		n := t.nodes[i]
+		if n.grad != nil && n.back != nil {
+			n.back()
+		}
+	}
+}

@@ -1,0 +1,253 @@
+package autograd
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// numGrad computes a central-difference gradient of f with respect to p.
+func numGrad(f func() float64, p *Param, h float64) *tensor.Dense {
+	g := tensor.New(p.Value.Rows(), p.Value.Cols())
+	d := p.Value.Data()
+	for i := range d {
+		orig := d[i]
+		d[i] = orig + h
+		fp := f()
+		d[i] = orig - h
+		fm := f()
+		d[i] = orig
+		g.Data()[i] = (fp - fm) / (2 * h)
+	}
+	return g
+}
+
+// checkGrad runs forward() once for the analytic gradient and compares it
+// against the numerical gradient for every parameter.
+func checkGrad(t *testing.T, name string, params []*Param, forward func() (*Tape, *Node)) {
+	t.Helper()
+	for _, p := range params {
+		p.ZeroGrad()
+	}
+	tape, loss := forward()
+	tape.Backward(loss)
+	f := func() float64 {
+		_, l := forward()
+		return l.Value.At(0, 0)
+	}
+	for _, p := range params {
+		want := numGrad(f, p, 1e-6)
+		if diff := p.Grad.MaxAbsDiff(want); diff > 1e-4 {
+			t.Fatalf("%s: param %s gradient mismatch %v\nanalytic %v\nnumeric %v",
+				name, p.Name, diff, p.Grad, want)
+		}
+	}
+}
+
+func TestMatMulGrad(t *testing.T) {
+	r := rng.New(1)
+	a := NewParam("a", tensor.RandN(r, 3, 4, 1))
+	b := NewParam("b", tensor.RandN(r, 4, 2, 1))
+	checkGrad(t, "matmul", []*Param{a, b}, func() (*Tape, *Node) {
+		tp := NewTape()
+		out := tp.MatMul(tp.Use(a), tp.Use(b))
+		return tp, tp.Mean(tp.Mul(out, out))
+	})
+}
+
+func TestAddBiasGrad(t *testing.T) {
+	r := rng.New(2)
+	w := NewParam("w", tensor.RandN(r, 5, 3, 1))
+	bias := NewParam("b", tensor.RandN(r, 1, 3, 1))
+	checkGrad(t, "addbias", []*Param{w, bias}, func() (*Tape, *Node) {
+		tp := NewTape()
+		out := tp.AddBias(tp.Use(w), tp.Use(bias))
+		return tp, tp.Mean(tp.Mul(out, out))
+	})
+}
+
+func TestConcatColsGrad(t *testing.T) {
+	r := rng.New(3)
+	a := NewParam("a", tensor.RandN(r, 4, 2, 1))
+	b := NewParam("b", tensor.RandN(r, 4, 3, 1))
+	mix := tensor.RandN(r, 5, 1, 1)
+	checkGrad(t, "concat", []*Param{a, b}, func() (*Tape, *Node) {
+		tp := NewTape()
+		cat := tp.ConcatCols(tp.Use(a), tp.Use(b))
+		return tp, tp.Mean(tp.Mul(tp.MatMul(cat, tp.Constant(mix)), tp.MatMul(cat, tp.Constant(mix))))
+	})
+}
+
+func TestGatherScatterGrad(t *testing.T) {
+	r := rng.New(4)
+	x := NewParam("x", tensor.RandN(r, 6, 3, 1))
+	idx := []int{0, 2, 2, 5, 1, 0, 3}
+	checkGrad(t, "gather-scatter", []*Param{x}, func() (*Tape, *Node) {
+		tp := NewTape()
+		g := tp.GatherRows(tp.Use(x), idx)
+		agg := tp.ScatterAddRows(g, []int{0, 1, 1, 2, 0, 3, 3}, 4)
+		return tp, tp.Mean(tp.Mul(agg, agg))
+	})
+}
+
+func TestActivationGrads(t *testing.T) {
+	r := rng.New(5)
+	// Keep values away from the ReLU kink for clean finite differences.
+	base := tensor.RandN(r, 4, 4, 1)
+	for i, v := range base.Data() {
+		if math.Abs(v) < 0.05 {
+			base.Data()[i] = 0.1
+		}
+	}
+	x := NewParam("x", base)
+	acts := map[string]func(*Tape, *Node) *Node{
+		"relu":    func(tp *Tape, n *Node) *Node { return tp.ReLU(n) },
+		"sigmoid": func(tp *Tape, n *Node) *Node { return tp.Sigmoid(n) },
+		"tanh":    func(tp *Tape, n *Node) *Node { return tp.Tanh(n) },
+	}
+	for name, act := range acts {
+		act := act
+		checkGrad(t, name, []*Param{x}, func() (*Tape, *Node) {
+			tp := NewTape()
+			out := act(tp, tp.Use(x))
+			return tp, tp.Mean(tp.Mul(out, out))
+		})
+	}
+}
+
+func TestReductionGrads(t *testing.T) {
+	r := rng.New(6)
+	x := NewParam("x", tensor.RandN(r, 5, 3, 1))
+	checkGrad(t, "rowsums", []*Param{x}, func() (*Tape, *Node) {
+		tp := NewTape()
+		rs := tp.RowSums(tp.Use(x))
+		return tp, tp.Mean(tp.Mul(rs, rs))
+	})
+	checkGrad(t, "sum", []*Param{x}, func() (*Tape, *Node) {
+		tp := NewTape()
+		n := tp.Use(x)
+		return tp, tp.Sum(tp.Mul(n, n))
+	})
+}
+
+func TestLayerNormGrad(t *testing.T) {
+	r := rng.New(7)
+	x := NewParam("x", tensor.RandN(r, 4, 6, 1))
+	gain := NewParam("g", tensor.RandUniform(r, 1, 6, 0.5, 1.5))
+	bias := NewParam("b", tensor.RandN(r, 1, 6, 0.5))
+	checkGrad(t, "layernorm", []*Param{x, gain, bias}, func() (*Tape, *Node) {
+		tp := NewTape()
+		out := tp.LayerNorm(tp.Use(x), tp.Use(gain), tp.Use(bias), 1e-5)
+		return tp, tp.Mean(tp.Mul(out, out))
+	})
+}
+
+func TestBCEWithLogitsGrad(t *testing.T) {
+	r := rng.New(8)
+	x := NewParam("x", tensor.RandN(r, 8, 1, 1))
+	targets := []float64{1, 0, 1, 1, 0, 0, 1, 0}
+	for _, pw := range []float64{1.0, 2.5} {
+		pw := pw
+		checkGrad(t, "bce", []*Param{x}, func() (*Tape, *Node) {
+			tp := NewTape()
+			return tp, tp.BCEWithLogits(tp.Use(x), targets, pw)
+		})
+	}
+}
+
+func TestBCEWithLogitsValue(t *testing.T) {
+	// BCE of logit 0 against any target is ln 2.
+	tp := NewTape()
+	logits := tp.Constant(tensor.New(3, 1))
+	loss := tp.BCEWithLogits(logits, []float64{0, 1, 0}, 1)
+	if math.Abs(loss.Value.At(0, 0)-math.Ln2) > 1e-12 {
+		t.Fatalf("BCE(0) = %v, want ln2", loss.Value.At(0, 0))
+	}
+}
+
+func TestHingePairLossGrad(t *testing.T) {
+	r := rng.New(9)
+	// Squared distances: keep away from the hinge kink at margin².
+	d := tensor.RandUniform(r, 6, 1, 0.1, 2.0)
+	for i, v := range d.Data() {
+		if math.Abs(v-1.0) < 0.05 { // margin=1 → kink at 1
+			d.Data()[i] = 0.5
+		}
+	}
+	x := NewParam("d2", d)
+	labels := []float64{1, 0, 1, 0, 0, 1}
+	checkGrad(t, "hinge", []*Param{x}, func() (*Tape, *Node) {
+		tp := NewTape()
+		return tp, tp.HingePairLoss(tp.Use(x), labels, 1.0)
+	})
+}
+
+func TestMLPCompositeGrad(t *testing.T) {
+	// A 2-layer MLP end-to-end: the composition all higher stages rely on.
+	r := rng.New(10)
+	w1 := NewParam("w1", tensor.XavierInit(r, 4, 8))
+	b1 := NewParam("b1", tensor.New(1, 8))
+	w2 := NewParam("w2", tensor.XavierInit(r, 8, 1))
+	b2 := NewParam("b2", tensor.New(1, 1))
+	x := tensor.RandN(r, 10, 4, 1)
+	targets := make([]float64, 10)
+	for i := range targets {
+		targets[i] = float64(i % 2)
+	}
+	checkGrad(t, "mlp", []*Param{w1, b1, w2, b2}, func() (*Tape, *Node) {
+		tp := NewTape()
+		h := tp.ReLU(tp.AddBias(tp.MatMul(tp.Constant(x), tp.Use(w1)), tp.Use(b1)))
+		out := tp.AddBias(tp.MatMul(h, tp.Use(w2)), tp.Use(b2))
+		return tp, tp.BCEWithLogits(out, targets, 1)
+	})
+}
+
+func TestGradAccumulationAcrossUses(t *testing.T) {
+	// Using a param twice must sum both contributions.
+	r := rng.New(11)
+	p := NewParam("p", tensor.RandN(r, 3, 3, 1))
+	checkGrad(t, "reuse", []*Param{p}, func() (*Tape, *Node) {
+		tp := NewTape()
+		n := tp.Use(p)
+		return tp, tp.Mean(tp.MatMul(n, n))
+	})
+}
+
+func TestBackwardPanicsOnNonScalar(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Backward on matrix did not panic")
+		}
+	}()
+	tp := NewTape()
+	n := tp.Constant(tensor.New(2, 2))
+	tp.Backward(n)
+}
+
+func TestActivationElements(t *testing.T) {
+	tp := NewTape()
+	a := tp.Constant(tensor.New(10, 5)) // 50
+	b := tp.ReLU(a)                     // 50
+	_ = b
+	if got := tp.ActivationElements(); got != 100 {
+		t.Fatalf("ActivationElements = %d, want 100", got)
+	}
+	if tp.NumNodes() != 2 {
+		t.Fatalf("NumNodes = %d, want 2", tp.NumNodes())
+	}
+}
+
+func TestConstantReceivesNoGrad(t *testing.T) {
+	tp := NewTape()
+	c := tp.Constant(tensor.FromRows([][]float64{{1, 2}}))
+	s := tp.Mean(c)
+	tp.Backward(s)
+	// Constant had no need for grad; its upstream node should not have
+	// propagated anything into trainable state (nothing to check except
+	// that no panic occurred and c's value is untouched).
+	if c.Value.At(0, 1) != 2 {
+		t.Fatal("constant mutated during backward")
+	}
+}

@@ -1,0 +1,200 @@
+package comm
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// runRanks executes f concurrently for each rank and waits.
+func runRanks(p int, f func(rank int)) {
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for r := 0; r < p; r++ {
+		go func(r int) {
+			defer wg.Done()
+			f(r)
+		}(r)
+	}
+	wg.Wait()
+}
+
+func TestAllReduceSumCorrect(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 4, 8} {
+		for _, n := range []int{1, 3, 7, 64, 1000} {
+			g := NewGroup(p, NVLink3())
+			r := rng.New(uint64(p*1000 + n))
+			bufs := make([][]float64, p)
+			want := make([]float64, n)
+			for rank := range bufs {
+				bufs[rank] = make([]float64, n)
+				for i := range bufs[rank] {
+					bufs[rank][i] = r.NormFloat64()
+					want[i] += bufs[rank][i]
+				}
+			}
+			runRanks(p, func(rank int) { g.AllReduceSum(rank, bufs[rank]) })
+			for rank := range bufs {
+				for i := range want {
+					if math.Abs(bufs[rank][i]-want[i]) > 1e-9 {
+						t.Fatalf("p=%d n=%d rank %d elem %d: %v != %v",
+							p, n, rank, i, bufs[rank][i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestAllReduceQuick(t *testing.T) {
+	check := func(seed uint64, pRaw, nRaw uint8) bool {
+		p := int(pRaw%6) + 1
+		n := int(nRaw%50) + 1
+		g := NewGroup(p, NVLink3())
+		r := rng.New(seed)
+		bufs := make([][]float64, p)
+		want := make([]float64, n)
+		for rank := range bufs {
+			bufs[rank] = make([]float64, n)
+			for i := range bufs[rank] {
+				bufs[rank][i] = math.Floor(r.Float64() * 10)
+				want[i] += bufs[rank][i]
+			}
+		}
+		runRanks(p, func(rank int) { g.AllReduceSum(rank, bufs[rank]) })
+		for rank := range bufs {
+			for i := range want {
+				if math.Abs(bufs[rank][i]-want[i]) > 1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllReduceRepeatedCalls(t *testing.T) {
+	// The group must be reusable across many sequential collectives.
+	const p = 4
+	g := NewGroup(p, NVLink3())
+	for iter := 0; iter < 20; iter++ {
+		bufs := make([][]float64, p)
+		for rank := range bufs {
+			bufs[rank] = []float64{float64(rank + iter)}
+		}
+		want := 0.0
+		for rank := 0; rank < p; rank++ {
+			want += float64(rank + iter)
+		}
+		runRanks(p, func(rank int) { g.AllReduceSum(rank, bufs[rank]) })
+		for rank := range bufs {
+			if bufs[rank][0] != want {
+				t.Fatalf("iter %d rank %d: %v != %v", iter, rank, bufs[rank][0], want)
+			}
+		}
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	for _, p := range []int{1, 2, 4, 5} {
+		for root := 0; root < p; root++ {
+			g := NewGroup(p, NVLink3())
+			bufs := make([][]float64, p)
+			for rank := range bufs {
+				bufs[rank] = []float64{float64(rank), float64(rank * 2)}
+			}
+			runRanks(p, func(rank int) { g.Broadcast(rank, bufs[rank], root) })
+			for rank := range bufs {
+				if bufs[rank][0] != float64(root) || bufs[rank][1] != float64(root*2) {
+					t.Fatalf("p=%d root=%d rank=%d buf=%v", p, root, rank, bufs[rank])
+				}
+			}
+		}
+	}
+}
+
+func TestModeledTimeCoalescingAdvantage(t *testing.T) {
+	// k separate reductions of n elements must model strictly more time
+	// than one reduction of k·n elements — the §III-D claim.
+	model := NVLink3()
+	const p, k, n = 4, 20, 1000
+	separate := time.Duration(k) * model.RingAllReduceTime(n*8, p)
+	coalesced := model.RingAllReduceTime(k*n*8, p)
+	if coalesced >= separate {
+		t.Fatalf("coalesced %v not faster than %v", coalesced, separate)
+	}
+	// The entire advantage is latency: wire terms are equal up to Duration
+	// rounding of the per-call wire times.
+	latencyGap := time.Duration(k-1) * time.Duration(2*(p-1)) * model.Alpha
+	if diff := separate - coalesced; diff < latencyGap-time.Microsecond || diff > latencyGap+time.Microsecond {
+		t.Fatalf("advantage %v, want ≈ pure latency gap %v", diff, latencyGap)
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	const p = 2
+	g := NewGroup(p, NVLink3())
+	bufs := [][]float64{make([]float64, 10), make([]float64, 10)}
+	runRanks(p, func(rank int) { g.AllReduceSum(rank, bufs[rank]) })
+	if g.Calls() != 1 {
+		t.Fatalf("calls %d, want 1", g.Calls())
+	}
+	if g.BytesMoved() == 0 || g.ModeledTime() == 0 {
+		t.Fatal("stats not accumulated")
+	}
+	g.ResetStats()
+	if g.Calls() != 0 || g.BytesMoved() != 0 || g.ModeledTime() != 0 {
+		t.Fatal("reset did not clear stats")
+	}
+}
+
+func TestRingAllReduceTimeFormula(t *testing.T) {
+	m := CostModel{Alpha: time.Microsecond, BetaBytesPerSecond: 1e9}
+	if m.RingAllReduceTime(1000, 1) != 0 {
+		t.Fatal("P=1 should cost nothing")
+	}
+	got := m.RingAllReduceTime(1e9, 4)
+	// 2·3 hops = 6 µs; wire = 2·1e9·(3/4)/1e9 = 1.5 s.
+	want := 6*time.Microsecond + 1500*time.Millisecond
+	if got != want {
+		t.Fatalf("modeled %v, want %v", got, want)
+	}
+}
+
+func TestBarrier(t *testing.T) {
+	const p = 5
+	b := NewBarrier(p)
+	var phase1 int32
+	var mu sync.Mutex
+	counts := make([]int, 0, p)
+	runRanks(p, func(rank int) {
+		mu.Lock()
+		phase1++
+		mu.Unlock()
+		b.Wait()
+		// After the barrier all p increments must be visible.
+		mu.Lock()
+		counts = append(counts, int(phase1))
+		mu.Unlock()
+	})
+	for _, c := range counts {
+		if c != p {
+			t.Fatalf("rank saw %d arrivals after barrier, want %d", c, p)
+		}
+	}
+}
+
+func TestBarrierReusable(t *testing.T) {
+	const p = 3
+	b := NewBarrier(p)
+	for round := 0; round < 10; round++ {
+		runRanks(p, func(rank int) { b.Wait() })
+	}
+}

@@ -1,0 +1,507 @@
+// Package core implements the paper's contribution: minibatch training of
+// the Exa.TrkX Interaction GNN with ShaDow subgraph sampling, accelerated
+// by matrix-based bulk sampling and a coalesced all-reduce, next to the
+// two baselines it is measured against — full-graph training (the
+// original Exa.TrkX behaviour, which skips graphs exceeding device
+// memory) and sequential per-batch ShaDow sampling (the PyG baseline).
+//
+// Timing model. Simulated ranks execute their per-step work serially so
+// each rank's wall time is measured without host-core contention; the
+// epoch phases then charge the maximum across ranks (the bulk-synchronous
+// cost of a perfectly data-parallel step). Gradient synchronization
+// really executes (ring all-reduce over channels), but its reported phase
+// time is the α–β model of NVLink 3.0, since channel hops on a laptop do
+// not resemble GPU interconnect latency. Sampler invocations can charge a
+// fixed per-call launch overhead (SamplerOverhead) standing in for the
+// kernel-launch and dataloader orchestration costs that make batch-by-
+// batch GPU sampling expensive; bulk sampling pays it once per k batches.
+package core
+
+import (
+	"time"
+
+	"repro/internal/autograd"
+	"repro/internal/comm"
+	"repro/internal/ddp"
+	"repro/internal/gpumem"
+	"repro/internal/ignn"
+	"repro/internal/metrics"
+	"repro/internal/nn"
+	"repro/internal/pipeline"
+	"repro/internal/rng"
+	"repro/internal/sampling"
+	"repro/internal/tensor"
+)
+
+// SamplerKind selects the ShaDow implementation.
+type SamplerKind int
+
+const (
+	// SamplerStandard is Algorithm 2 run per batch — the PyG baseline.
+	SamplerStandard SamplerKind = iota
+	// SamplerMatrixBulk is the paper's matrix-based bulk sampler.
+	SamplerMatrixBulk
+)
+
+// String names the sampler for reports.
+func (s SamplerKind) String() string {
+	if s == SamplerMatrixBulk {
+		return "matrix-bulk"
+	}
+	return "standard"
+}
+
+// Config collects trainer hyperparameters. The paper's settings are batch
+// size 256, hidden 64, 30 epochs, ShaDow depth 3 fanout 6, 8 GNN layers.
+type Config struct {
+	GNN       ignn.Config
+	Epochs    int
+	BatchSize int // global batch size, split across Procs ranks
+	Shadow    sampling.Config
+	LR        float64
+	PosWeight float64
+	Threshold float64 // evaluation threshold on edge scores
+
+	// Schedule optionally overrides the learning rate per epoch; nil
+	// keeps LR constant. ClipNorm > 0 clips the global gradient norm
+	// before each optimizer step.
+	Schedule nn.LRScheduler
+	ClipNorm float64
+
+	Procs   int
+	Sync    ddp.SyncStrategy
+	Sampler SamplerKind
+	Device  gpumem.Device
+	BulkK   int // bulk batches per sampler call; 0 = derive from memory
+
+	// SamplerOverhead is the simulated fixed cost per sampler invocation
+	// (kernel launch / dataloader orchestration). Charged to the sampling
+	// phase: once per batch for the standard sampler, once per bulk call
+	// for the matrix sampler.
+	SamplerOverhead time.Duration
+
+	// ComputeSpeedup models the dense-compute throughput of the simulated
+	// device relative to this host: charged training time is measured
+	// time divided by this factor (0 or 1 = no scaling). Sampling is a
+	// sparse, host-side workload and is never scaled. EXPERIMENTS.md
+	// documents the calibration; tests run unscaled.
+	ComputeSpeedup float64
+
+	Seed uint64
+}
+
+// scaleCompute converts a measured dense-compute duration into charged
+// device time under ComputeSpeedup.
+func (c Config) scaleCompute(d time.Duration) time.Duration {
+	if c.ComputeSpeedup > 1 {
+		return time.Duration(float64(d) / c.ComputeSpeedup)
+	}
+	return d
+}
+
+// DefaultConfig mirrors the paper's hyperparameters at reduced width.
+func DefaultConfig(gnn ignn.Config) Config {
+	return Config{
+		GNN:       gnn,
+		Epochs:    30,
+		BatchSize: 256,
+		Shadow:    sampling.DefaultConfig(),
+		LR:        1e-3,
+		PosWeight: 1.0,
+		Threshold: 0.5,
+		Procs:     1,
+		Sync:      ddp.PerMatrix,
+		Sampler:   SamplerStandard,
+		Device:    gpumem.A100(),
+		Seed:      1,
+	}
+}
+
+// PyGBaselineConfig configures the paper's baseline: sequential per-batch
+// ShaDow sampling and per-matrix all-reduce.
+func PyGBaselineConfig(gnn ignn.Config, procs int) Config {
+	cfg := DefaultConfig(gnn)
+	cfg.Procs = procs
+	cfg.Sampler = SamplerStandard
+	cfg.Sync = ddp.PerMatrix
+	return cfg
+}
+
+// OursConfig configures the paper's optimized pipeline: matrix-based bulk
+// sampling with memory-derived k and coalesced all-reduce.
+func OursConfig(gnn ignn.Config, procs int) Config {
+	cfg := DefaultConfig(gnn)
+	cfg.Procs = procs
+	cfg.Sampler = SamplerMatrixBulk
+	cfg.Sync = ddp.Coalesced
+	return cfg
+}
+
+// Trainer trains Interaction GNN replicas under DDP.
+type Trainer struct {
+	Cfg Config
+
+	replicas []*ignn.Model
+	params   [][]*autograd.Param
+	opts     []nn.Optimizer
+	group    *comm.Group
+	syncers  []*ddp.GradSyncer
+	gen      *rng.Rand
+
+	edgeIndexes map[*pipeline.EventGraph]*sampling.EdgeIndex
+	bulkK       map[*pipeline.EventGraph]int // memory-derived k, cached across epochs
+}
+
+// NewTrainer builds P identically initialized replicas.
+func NewTrainer(cfg Config) *Trainer {
+	if cfg.Procs < 1 {
+		cfg.Procs = 1
+	}
+	t := &Trainer{
+		Cfg:         cfg,
+		group:       comm.NewGroup(cfg.Procs, comm.NVLink3()),
+		gen:         rng.New(cfg.Seed),
+		edgeIndexes: make(map[*pipeline.EventGraph]*sampling.EdgeIndex),
+		bulkK:       make(map[*pipeline.EventGraph]int),
+	}
+	for rank := 0; rank < cfg.Procs; rank++ {
+		m := ignn.New(cfg.GNN, rng.New(cfg.Seed+1000)) // same seed → identical replicas
+		t.replicas = append(t.replicas, m)
+		t.params = append(t.params, m.Params())
+		t.opts = append(t.opts, nn.NewAdam(cfg.LR))
+		t.syncers = append(t.syncers, ddp.NewGradSyncer(t.group, rank, cfg.Sync, m.Params()))
+	}
+	return t
+}
+
+// Model returns replica 0 (all replicas stay synchronized).
+func (t *Trainer) Model() *ignn.Model { return t.replicas[0] }
+
+// CommGroup exposes the communication group for stats inspection.
+func (t *Trainer) CommGroup() *comm.Group { return t.group }
+
+func (t *Trainer) edgeIndex(eg *pipeline.EventGraph) *sampling.EdgeIndex {
+	if idx, ok := t.edgeIndexes[eg]; ok {
+		return idx
+	}
+	idx := sampling.NewEdgeIndex(eg.G)
+	t.edgeIndexes[eg] = idx
+	return idx
+}
+
+// EpochStats reports one epoch of training.
+type EpochStats struct {
+	Timer   *metrics.PhaseTimer
+	Loss    float64 // mean step loss
+	Steps   int     // optimizer steps taken
+	Skipped int     // graphs skipped by the memory model (full-graph mode)
+	BulkK   int     // bulk batch count used (matrix sampler)
+}
+
+// TrainEpochFullGraph performs the original Exa.TrkX pass: one optimizer
+// step per event graph, skipping graphs whose activation footprint
+// exceeds device memory.
+func (t *Trainer) TrainEpochFullGraph(graphs []*pipeline.EventGraph) EpochStats {
+	stats := EpochStats{Timer: metrics.NewPhaseTimer()}
+	model, params, opt := t.replicas[0], t.params[0], t.opts[0]
+	lossSum := 0.0
+	for _, eg := range graphs {
+		est := ignn.EstimateActivationElements(t.Cfg.GNN, eg.NumVertices(), eg.NumEdges())
+		if !t.Cfg.Device.FitsActivations(est) {
+			stats.Skipped++
+			continue
+		}
+		if eg.NumEdges() == 0 {
+			continue
+		}
+		start := time.Now()
+		tape := autograd.NewTape()
+		logits := model.Forward(tape, eg.G.Src, eg.G.Dst, eg.X, eg.Y)
+		loss := tape.BCEWithLogits(logits, eg.Label, t.Cfg.PosWeight)
+		tape.Backward(loss)
+		opt.Step(params)
+		stats.Timer.AddDuration(metrics.PhaseTraining, t.Cfg.scaleCompute(time.Since(start)))
+		lossSum += loss.Value.At(0, 0)
+		stats.Steps++
+	}
+	if stats.Steps > 0 {
+		stats.Loss = lossSum / float64(stats.Steps)
+	}
+	// Keep other replicas in sync for Evaluate/Model consumers.
+	for rank := 1; rank < t.Cfg.Procs; rank++ {
+		nn.CopyParamValues(t.params[rank], params)
+	}
+	return stats
+}
+
+// chooseBulkK derives the number of batches to sample per bulk call from
+// aggregate device memory and a probe subgraph's activation footprint.
+func (t *Trainer) chooseBulkK(probe *sampling.Subgraph, shardsPerBatch, remaining int) int {
+	if t.Cfg.BulkK > 0 {
+		if t.Cfg.BulkK < remaining {
+			return t.Cfg.BulkK
+		}
+		return remaining
+	}
+	perShard := ignn.EstimateActivationElements(t.Cfg.GNN, probe.NumVertices(), probe.NumEdges())
+	perBatch := perShard * shardsPerBatch
+	return gpumem.BulkBatchCount(t.Cfg.Device, t.Cfg.Procs, perBatch, remaining)
+}
+
+// TrainEpochMinibatch performs the paper's minibatch pass over every
+// event graph: vertices are shuffled into global batches of BatchSize,
+// each batch is sharded across Procs ranks, shards are ShaDow-sampled
+// (sequentially per batch for the standard sampler; k batches at a time
+// for the matrix bulk sampler), and ranks train shard subgraphs under
+// DDP with gradient all-reduce.
+func (t *Trainer) TrainEpochMinibatch(graphs []*pipeline.EventGraph) EpochStats {
+	stats := EpochStats{Timer: metrics.NewPhaseTimer()}
+	lossSum := 0.0
+	for _, eg := range graphs {
+		if eg.NumVertices() == 0 || eg.NumEdges() == 0 {
+			continue
+		}
+		eidx := t.edgeIndex(eg)
+		perm := t.gen.Perm(eg.NumVertices())
+		var batches [][]int
+		for lo := 0; lo < len(perm); lo += t.Cfg.BatchSize {
+			hi := lo + t.Cfg.BatchSize
+			if hi > len(perm) {
+				hi = len(perm)
+			}
+			batches = append(batches, perm[lo:hi])
+		}
+		switch t.Cfg.Sampler {
+		case SamplerMatrixBulk:
+			lossSum += t.runBulkBatches(eg, eidx, batches, &stats)
+		default:
+			lossSum += t.runStandardBatches(eg, eidx, batches, &stats)
+		}
+	}
+	if stats.Steps > 0 {
+		stats.Loss = lossSum / float64(stats.Steps)
+	}
+	return stats
+}
+
+// shardBatch splits a global batch's roots across ranks.
+func shardBatch(batch []int, p int) [][]int {
+	shards := make([][]int, p)
+	for rank := 0; rank < p; rank++ {
+		lo, hi := ddp.ShardRange(len(batch), p, rank)
+		shards[rank] = batch[lo:hi]
+	}
+	return shards
+}
+
+// runStandardBatches is the PyG baseline: every batch triggers its own
+// sampler invocation on every rank, sequentially batch after batch.
+func (t *Trainer) runStandardBatches(eg *pipeline.EventGraph, eidx *sampling.EdgeIndex, batches [][]int, stats *EpochStats) float64 {
+	p := t.Cfg.Procs
+	lossSum := 0.0
+	for _, batch := range batches {
+		shards := shardBatch(batch, p)
+		subs := make([]*sampling.Subgraph, p)
+		// Ranks sample concurrently in real DDP; each rank pays its own
+		// sampler-invocation overhead, so the step cost is the max across
+		// ranks: (slowest shard sampling) + one overhead.
+		var worst time.Duration
+		for rank := 0; rank < p; rank++ {
+			start := time.Now()
+			if len(shards[rank]) > 0 {
+				subs[rank] = sampling.StandardShaDow(eg.G, eidx, shards[rank], t.Cfg.Shadow, t.gen.Split())
+			}
+			if d := time.Since(start); d > worst {
+				worst = d
+			}
+		}
+		stats.Timer.AddDuration(metrics.PhaseSampling, worst+t.Cfg.SamplerOverhead)
+		lossSum += t.trainStepDDP(eg, subs, stats)
+		stats.Steps++
+	}
+	return lossSum
+}
+
+// runBulkBatches is the paper's approach: sample k batches (× P shards)
+// in one bulk matrix invocation, then train the k steps.
+func (t *Trainer) runBulkBatches(eg *pipeline.EventGraph, eidx *sampling.EdgeIndex, batches [][]int, stats *EpochStats) float64 {
+	p := t.Cfg.Procs
+	lossSum := 0.0
+	i := 0
+	for i < len(batches) {
+		remaining := len(batches) - i
+		// Derive k once per event graph (a probe shard sizes the memory
+		// footprint); the choice is cached across epochs.
+		chosenK, ok := t.bulkK[eg]
+		if !ok {
+			probeStart := time.Now()
+			probeShards := shardBatch(batches[i], p)
+			probe := sampling.MatrixShaDow(eg.G, eidx, probeShards[0], t.Cfg.Shadow, t.gen.Split())
+			stats.Timer.AddDuration(metrics.PhaseSampling, time.Since(probeStart)/time.Duration(p))
+			chosenK = t.chooseBulkK(probe, p, len(batches))
+			t.bulkK[eg] = chosenK
+		}
+		stats.BulkK = chosenK
+		k := chosenK
+		if k > remaining {
+			k = remaining
+		}
+		// One bulk invocation sampling k×P shard subgraphs.
+		var flat [][]int
+		for _, batch := range batches[i : i+k] {
+			flat = append(flat, shardBatch(batch, p)...)
+		}
+		start := time.Now()
+		subs := sampling.BulkMatrixShaDow(eg.G, eidx, flat, t.Cfg.Shadow, t.gen.Split())
+		elapsed := time.Since(start)
+		// The bulk sampler is itself a distributed matrix computation: its
+		// stacked work divides across the P devices, so the simulated
+		// wall cost is elapsed/P plus a single launch overhead.
+		stats.Timer.AddDuration(metrics.PhaseSampling, elapsed/time.Duration(p)+t.Cfg.SamplerOverhead)
+		for b := 0; b < k; b++ {
+			lossSum += t.trainStepDDP(eg, subs[b*p:(b+1)*p], stats)
+			stats.Steps++
+		}
+		i += k
+	}
+	return lossSum
+}
+
+// trainStepDDP executes one DDP step: each rank forwards/backwards its
+// shard subgraph (measured serially, charged as the max), gradients are
+// synchronized with the configured all-reduce (really executed; charged
+// at the α–β modeled cost), and every rank applies the identical
+// optimizer update.
+func (t *Trainer) trainStepDDP(eg *pipeline.EventGraph, subs []*sampling.Subgraph, stats *EpochStats) float64 {
+	p := t.Cfg.Procs
+	var worst time.Duration
+	lossSum, lossCount := 0.0, 0
+	for rank := 0; rank < p; rank++ {
+		start := time.Now()
+		nn.ZeroGrads(t.params[rank])
+		sub := subs[rank]
+		if sub != nil && sub.NumEdges() > 0 {
+			x := tensor.GatherRows(eg.X, sub.Vertices)
+			y := tensor.GatherRows(eg.Y, sub.EdgeIDs)
+			labels := make([]float64, len(sub.EdgeIDs))
+			for i, id := range sub.EdgeIDs {
+				labels[i] = eg.Label[id]
+			}
+			tape := autograd.NewTape()
+			logits := t.replicas[rank].Forward(tape, sub.Src, sub.Dst, x, y)
+			loss := tape.BCEWithLogits(logits, labels, t.Cfg.PosWeight)
+			tape.Backward(loss)
+			lossSum += loss.Value.At(0, 0)
+			lossCount++
+		}
+		if d := time.Since(start); d > worst {
+			worst = d
+		}
+	}
+	stats.Timer.AddDuration(metrics.PhaseTraining, t.Cfg.scaleCompute(worst))
+
+	// Gradient synchronization: really run the collective, charge the
+	// modeled interconnect time.
+	before := t.group.ModeledTime()
+	ddp.RunRanks(p, func(rank int) {
+		t.syncers[rank].Sync(t.params[rank])
+	})
+	stats.Timer.AddDuration(metrics.PhaseAllReduce, t.group.ModeledTime()-before)
+
+	var optWorst time.Duration
+	for rank := 0; rank < p; rank++ {
+		start := time.Now()
+		if t.Cfg.ClipNorm > 0 {
+			nn.ClipGradNorm(t.params[rank], t.Cfg.ClipNorm)
+		}
+		t.opts[rank].Step(t.params[rank])
+		if d := time.Since(start); d > optWorst {
+			optWorst = d
+		}
+	}
+	stats.Timer.AddDuration(metrics.PhaseTraining, t.Cfg.scaleCompute(optWorst))
+	if lossCount == 0 {
+		return 0
+	}
+	return lossSum / float64(lossCount)
+}
+
+// SyncGradientsOnce runs one gradient synchronization across all ranks —
+// used by the all-reduce ablation to measure collective costs in
+// isolation from sampling and compute.
+func (t *Trainer) SyncGradientsOnce() {
+	ddp.RunRanks(t.Cfg.Procs, func(rank int) {
+		t.syncers[rank].Sync(t.params[rank])
+	})
+}
+
+// Evaluate scores every edge of the given graphs with replica 0 and
+// accumulates precision/recall counts at the configured threshold —
+// "the number of correctly classified edges across validation set
+// particle graphs" (Figure 4's metric).
+func (t *Trainer) Evaluate(graphs []*pipeline.EventGraph) metrics.BinaryCounts {
+	var counts metrics.BinaryCounts
+	for _, eg := range graphs {
+		if eg.NumEdges() == 0 {
+			continue
+		}
+		scores := t.Model().EdgeScores(eg.G.Src, eg.G.Dst, eg.X, eg.Y)
+		for k, s := range scores {
+			counts.Add(s >= t.Cfg.Threshold, eg.Label[k] > 0.5)
+		}
+	}
+	return counts
+}
+
+// Mode selects full-graph or minibatch training for convergence runs.
+type Mode int
+
+const (
+	// FullGraph is the original Exa.TrkX behaviour.
+	FullGraph Mode = iota
+	// Minibatch is the paper's ShaDow-sampled training.
+	Minibatch
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == FullGraph {
+		return "full-graph"
+	}
+	return "minibatch"
+}
+
+// applySchedule sets the per-epoch learning rate on every rank's
+// optimizer when a schedule is configured.
+func (t *Trainer) applySchedule(epoch int) {
+	if t.Cfg.Schedule == nil {
+		return
+	}
+	lr := t.Cfg.Schedule.LR(epoch)
+	for _, opt := range t.opts {
+		nn.SetLR(opt, lr)
+	}
+}
+
+// RunConvergence trains for Cfg.Epochs epochs, evaluating precision and
+// recall on val after each epoch — one curve of Figure 4.
+func (t *Trainer) RunConvergence(mode Mode, train, val []*pipeline.EventGraph) *metrics.History {
+	h := &metrics.History{}
+	for epoch := 0; epoch < t.Cfg.Epochs; epoch++ {
+		t.applySchedule(epoch)
+		var stats EpochStats
+		if mode == FullGraph {
+			stats = t.TrainEpochFullGraph(train)
+		} else {
+			stats = t.TrainEpochMinibatch(train)
+		}
+		counts := t.Evaluate(val)
+		h.Append(metrics.ConvergencePoint{
+			Epoch:     epoch,
+			Loss:      stats.Loss,
+			Precision: counts.Precision(),
+			Recall:    counts.Recall(),
+		})
+	}
+	return h
+}

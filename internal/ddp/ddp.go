@@ -1,0 +1,109 @@
+// Package ddp implements distributed data parallelism over simulated
+// devices: P rank goroutines each hold a model replica and a shard of the
+// batch; after local backward passes, gradients are synchronized with an
+// all-reduce and averaged, so every replica takes the identical optimizer
+// step (§II-C of the paper).
+//
+// Two synchronization strategies are provided, matching the paper's
+// §III-D comparison: PerMatrix runs one all-reduce per parameter matrix
+// (the baseline, paying ring latency once per matrix); Coalesced stacks
+// every gradient into one buffer and reduces once.
+package ddp
+
+import (
+	"sync"
+
+	"repro/internal/autograd"
+	"repro/internal/comm"
+	"repro/internal/nn"
+)
+
+// SyncStrategy selects how gradients cross the wire.
+type SyncStrategy int
+
+const (
+	// PerMatrix all-reduces each parameter gradient separately.
+	PerMatrix SyncStrategy = iota
+	// Coalesced flattens all gradients into one buffer and all-reduces
+	// once — the paper's optimization.
+	Coalesced
+)
+
+// String names the strategy for reports.
+func (s SyncStrategy) String() string {
+	if s == Coalesced {
+		return "coalesced"
+	}
+	return "per-matrix"
+}
+
+// GradSyncer synchronizes one rank's gradients across a group. Each rank
+// owns its own GradSyncer (the scratch buffer is per-rank state).
+type GradSyncer struct {
+	Group    *comm.Group
+	Rank     int
+	Strategy SyncStrategy
+
+	buf []float64
+}
+
+// NewGradSyncer creates a syncer for a rank, sizing the coalescing
+// buffer for the given parameter set.
+func NewGradSyncer(group *comm.Group, rank int, strategy SyncStrategy, params []*autograd.Param) *GradSyncer {
+	s := &GradSyncer{Group: group, Rank: rank, Strategy: strategy}
+	if strategy == Coalesced {
+		s.buf = make([]float64, nn.GradElements(params))
+	}
+	return s
+}
+
+// Sync all-reduces the parameter gradients and divides by the group size,
+// leaving every replica with the mean gradient. Must be called
+// concurrently by all ranks.
+func (s *GradSyncer) Sync(params []*autograd.Param) {
+	switch s.Strategy {
+	case Coalesced:
+		nn.FlattenGrads(params, s.buf)
+		s.Group.AllReduceSum(s.Rank, s.buf)
+		nn.UnflattenGrads(params, s.buf)
+	default:
+		for _, p := range params {
+			s.Group.AllReduceSum(s.Rank, p.Grad.Data())
+		}
+	}
+	nn.ScaleGrads(params, 1/float64(s.Group.P))
+}
+
+// RunRanks executes body concurrently for ranks 0..p-1 and waits for all
+// of them — the harness every DDP experiment uses.
+func RunRanks(p int, body func(rank int)) {
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for r := 0; r < p; r++ {
+		go func(r int) {
+			defer wg.Done()
+			body(r)
+		}(r)
+	}
+	wg.Wait()
+}
+
+// ShardRange splits n items across p ranks, returning rank's [lo, hi).
+// Remainder items go to the lowest ranks, so shards differ by at most 1.
+func ShardRange(n, p, rank int) (lo, hi int) {
+	base := n / p
+	rem := n % p
+	lo = rank*base + min(rank, rem)
+	size := base
+	if rank < rem {
+		size++
+	}
+	return lo, lo + size
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

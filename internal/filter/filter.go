@@ -1,0 +1,122 @@
+// Package filter implements stage 3 of the Exa.TrkX pipeline: a cheap
+// edge-classifier MLP that prunes the radius graph before the memory-
+// intensive GNN stage ("Shrink Graph to GPU size" in Figure 1 of the
+// paper). Edges scored below the threshold are removed.
+package filter
+
+import (
+	"math"
+
+	"repro/internal/autograd"
+	"repro/internal/nn"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// Config controls the filter model and training.
+type Config struct {
+	NodeFeatures int
+	EdgeFeatures int
+	Hidden       int
+	HiddenLayers int
+	LR           float64
+	Epochs       int
+	PosWeight    float64 // reweighting for the rare positive class
+	Threshold    float64 // keep edges with sigmoid(logit) ≥ Threshold
+}
+
+// DefaultConfig returns a laptop-scale configuration.
+func DefaultConfig(nodeFeatures, edgeFeatures, mlpLayers int) Config {
+	return Config{
+		NodeFeatures: nodeFeatures,
+		EdgeFeatures: edgeFeatures,
+		Hidden:       32,
+		HiddenLayers: mlpLayers,
+		LR:           1e-3,
+		Epochs:       12,
+		PosWeight:    2.0,
+		Threshold:    0.1, // permissive: stage 3 favors recall, the GNN decides
+	}
+}
+
+// EdgeFilter is the trained stage-3 model.
+type EdgeFilter struct {
+	cfg Config
+	mlp *nn.MLP
+}
+
+// New creates an untrained filter.
+func New(cfg Config, r *rng.Rand) *EdgeFilter {
+	hidden := make([]int, cfg.HiddenLayers)
+	for i := range hidden {
+		hidden[i] = cfg.Hidden
+	}
+	return &EdgeFilter{
+		cfg: cfg,
+		mlp: nn.NewMLP(r, "filter", nn.MLPConfig{
+			In:         2*cfg.NodeFeatures + cfg.EdgeFeatures,
+			Hidden:     hidden,
+			Out:        1,
+			Activation: nn.ReLU,
+		}),
+	}
+}
+
+// Params exposes the trainable parameters.
+func (f *EdgeFilter) Params() []*autograd.Param { return f.mlp.Params() }
+
+// Threshold returns the keep threshold on the sigmoid score.
+func (f *EdgeFilter) Threshold() float64 { return f.cfg.Threshold }
+
+// forward builds the logits node for edges (src, dst).
+func (f *EdgeFilter) forward(t *autograd.Tape, nodeFeat, edgeFeat *tensor.Dense, src, dst []int) *autograd.Node {
+	nodes := t.Constant(nodeFeat)
+	in := t.ConcatCols(
+		t.GatherRows(nodes, src),
+		t.GatherRows(nodes, dst),
+		t.Constant(edgeFeat),
+	)
+	return f.mlp.Forward(t, in)
+}
+
+// Scores returns the sigmoid score per edge.
+func (f *EdgeFilter) Scores(nodeFeat, edgeFeat *tensor.Dense, src, dst []int) []float64 {
+	t := autograd.NewTape()
+	logits := f.forward(t, nodeFeat, edgeFeat, src, dst)
+	scores := make([]float64, len(src))
+	for i := range scores {
+		scores[i] = sigmoid(logits.Value.At(i, 0))
+	}
+	return scores
+}
+
+// Keep returns the boolean keep mask at the configured threshold.
+func (f *EdgeFilter) Keep(nodeFeat, edgeFeat *tensor.Dense, src, dst []int) []bool {
+	scores := f.Scores(nodeFeat, edgeFeat, src, dst)
+	keep := make([]bool, len(scores))
+	for i, s := range scores {
+		keep[i] = s >= f.cfg.Threshold
+	}
+	return keep
+}
+
+// TrainStep runs one optimization step on one graph's edges.
+func (f *EdgeFilter) TrainStep(nodeFeat, edgeFeat *tensor.Dense, src, dst []int, labels []float64, opt nn.Optimizer) float64 {
+	if len(src) == 0 {
+		return 0
+	}
+	t := autograd.NewTape()
+	logits := f.forward(t, nodeFeat, edgeFeat, src, dst)
+	loss := t.BCEWithLogits(logits, labels, f.cfg.PosWeight)
+	t.Backward(loss)
+	opt.Step(f.mlp.Params())
+	return loss.Value.At(0, 0)
+}
+
+func sigmoid(x float64) float64 {
+	if x >= 0 {
+		return 1 / (1 + math.Exp(-x))
+	}
+	e := math.Exp(x)
+	return e / (1 + e)
+}

@@ -1,0 +1,215 @@
+// Package graph provides the graph representation and algorithms the
+// pipeline needs: CSR adjacency built from edge lists, union-find
+// connected components (the paper's final track-building stage), induced
+// subgraphs, and block-diagonal composition of sampled subgraphs.
+package graph
+
+import (
+	"fmt"
+
+	"repro/internal/sparse"
+)
+
+// Graph is an undirected graph stored both as an edge list (the GNN
+// consumes edges in COO order: Src[k] → Dst[k]) and as a symmetric CSR
+// adjacency for traversal and sampling.
+type Graph struct {
+	N   int   // number of vertices
+	Src []int // edge source endpoints, one per (undirected) edge
+	Dst []int // edge destination endpoints
+
+	adj *sparse.CSR // symmetric adjacency, built lazily
+}
+
+// New creates a graph with n vertices and the given undirected edge list.
+func New(n int, src, dst []int) *Graph {
+	if len(src) != len(dst) {
+		panic("graph: src/dst length mismatch")
+	}
+	for k := range src {
+		if src[k] < 0 || src[k] >= n || dst[k] < 0 || dst[k] >= n {
+			panic(fmt.Sprintf("graph: edge (%d,%d) outside %d vertices", src[k], dst[k], n))
+		}
+	}
+	return &Graph{N: n, Src: src, Dst: dst}
+}
+
+// NumEdges returns the number of stored (undirected) edges.
+func (g *Graph) NumEdges() int { return len(g.Src) }
+
+// Adjacency returns the symmetric CSR adjacency matrix, building and
+// caching it on first use.
+func (g *Graph) Adjacency() *sparse.CSR {
+	if g.adj == nil {
+		g.adj = sparse.FromEdges(g.N, g.Src, g.Dst, true)
+	}
+	return g.adj
+}
+
+// Degrees returns the degree of every vertex (counting each undirected
+// edge once per endpoint, self-loops once).
+func (g *Graph) Degrees() []int {
+	deg := make([]int, g.N)
+	for k := range g.Src {
+		deg[g.Src[k]]++
+		if g.Dst[k] != g.Src[k] {
+			deg[g.Dst[k]]++
+		}
+	}
+	return deg
+}
+
+// UnionFind is a disjoint-set forest with union by rank and path
+// compression.
+type UnionFind struct {
+	parent []int
+	rank   []int
+}
+
+// NewUnionFind creates n singleton sets.
+func NewUnionFind(n int) *UnionFind {
+	u := &UnionFind{parent: make([]int, n), rank: make([]int, n)}
+	for i := range u.parent {
+		u.parent[i] = i
+	}
+	return u
+}
+
+// Find returns the representative of x's set.
+func (u *UnionFind) Find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]] // path halving
+		x = u.parent[x]
+	}
+	return x
+}
+
+// Union merges the sets of a and b; returns true if they were distinct.
+func (u *UnionFind) Union(a, b int) bool {
+	ra, rb := u.Find(a), u.Find(b)
+	if ra == rb {
+		return false
+	}
+	if u.rank[ra] < u.rank[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	if u.rank[ra] == u.rank[rb] {
+		u.rank[ra]++
+	}
+	return true
+}
+
+// ConnectedComponents labels every vertex with a component id in
+// [0, #components) using union-find over the edge list. Ids are assigned
+// in order of first appearance by vertex index.
+func (g *Graph) ConnectedComponents() (labels []int, count int) {
+	u := NewUnionFind(g.N)
+	for k := range g.Src {
+		u.Union(g.Src[k], g.Dst[k])
+	}
+	labels = make([]int, g.N)
+	idOf := make(map[int]int, g.N)
+	for v := 0; v < g.N; v++ {
+		root := u.Find(v)
+		id, ok := idOf[root]
+		if !ok {
+			id = len(idOf)
+			idOf[root] = id
+		}
+		labels[v] = id
+	}
+	return labels, len(idOf)
+}
+
+// ComponentsBFS computes component labels by breadth-first search — an
+// independent oracle used by property tests against union-find.
+func (g *Graph) ComponentsBFS() (labels []int, count int) {
+	adj := g.Adjacency()
+	labels = make([]int, g.N)
+	for i := range labels {
+		labels[i] = -1
+	}
+	var queue []int
+	for start := 0; start < g.N; start++ {
+		if labels[start] != -1 {
+			continue
+		}
+		labels[start] = count
+		queue = append(queue[:0], start)
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			cols, _ := adj.Row(v)
+			for _, w := range cols {
+				if labels[w] == -1 {
+					labels[w] = count
+					queue = append(queue, w)
+				}
+			}
+		}
+		count++
+	}
+	return labels, count
+}
+
+// ComponentMembers groups vertices by component label.
+func ComponentMembers(labels []int, count int) [][]int {
+	members := make([][]int, count)
+	for v, c := range labels {
+		members[c] = append(members[c], v)
+	}
+	return members
+}
+
+// InducedSubgraph returns the subgraph on the given vertices (relabeled
+// 0..len(vertices)-1 in input order) and keeps only edges with both
+// endpoints inside.
+func (g *Graph) InducedSubgraph(vertices []int) *Graph {
+	pos := make(map[int]int, len(vertices))
+	for i, v := range vertices {
+		pos[v] = i
+	}
+	var src, dst []int
+	for k := range g.Src {
+		a, okA := pos[g.Src[k]]
+		b, okB := pos[g.Dst[k]]
+		if okA && okB {
+			src = append(src, a)
+			dst = append(dst, b)
+		}
+	}
+	return New(len(vertices), src, dst)
+}
+
+// BlockDiag composes disjoint graphs into one graph whose vertex ids are
+// offset block by block. Offsets[i] is the id shift applied to graph i.
+func BlockDiag(gs ...*Graph) (merged *Graph, offsets []int) {
+	n := 0
+	offsets = make([]int, len(gs))
+	var src, dst []int
+	for i, g := range gs {
+		offsets[i] = n
+		for k := range g.Src {
+			src = append(src, g.Src[k]+n)
+			dst = append(dst, g.Dst[k]+n)
+		}
+		n += g.N
+	}
+	return New(n, src, dst), offsets
+}
+
+// FilterEdges returns a new graph keeping edge k iff keep[k].
+func (g *Graph) FilterEdges(keep []bool) *Graph {
+	if len(keep) != len(g.Src) {
+		panic("graph: FilterEdges mask length mismatch")
+	}
+	var src, dst []int
+	for k := range g.Src {
+		if keep[k] {
+			src = append(src, g.Src[k])
+			dst = append(dst, g.Dst[k])
+		}
+	}
+	return New(g.N, src, dst)
+}

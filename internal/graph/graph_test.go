@@ -1,0 +1,181 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func randomGraph(r *rng.Rand, n, m int) *Graph {
+	src := make([]int, m)
+	dst := make([]int, m)
+	for k := 0; k < m; k++ {
+		src[k] = r.Intn(n)
+		dst[k] = r.Intn(n)
+	}
+	return New(n, src, dst)
+}
+
+func TestUnionFindBasics(t *testing.T) {
+	u := NewUnionFind(5)
+	if !u.Union(0, 1) {
+		t.Fatal("first union should merge")
+	}
+	if u.Union(1, 0) {
+		t.Fatal("repeat union should not merge")
+	}
+	u.Union(2, 3)
+	if u.Find(0) != u.Find(1) || u.Find(2) != u.Find(3) {
+		t.Fatal("merged elements have different roots")
+	}
+	if u.Find(0) == u.Find(2) || u.Find(4) == u.Find(0) {
+		t.Fatal("separate sets share a root")
+	}
+}
+
+func TestConnectedComponentsPath(t *testing.T) {
+	// Two paths: 0-1-2 and 3-4; vertex 5 isolated.
+	g := New(6, []int{0, 1, 3}, []int{1, 2, 4})
+	labels, count := g.ConnectedComponents()
+	if count != 3 {
+		t.Fatalf("count %d, want 3", count)
+	}
+	if labels[0] != labels[1] || labels[1] != labels[2] {
+		t.Fatal("path 0-1-2 split")
+	}
+	if labels[3] != labels[4] || labels[3] == labels[0] {
+		t.Fatal("path 3-4 wrong")
+	}
+	if labels[5] == labels[0] || labels[5] == labels[3] {
+		t.Fatal("isolated vertex merged")
+	}
+}
+
+func TestUnionFindMatchesBFS(t *testing.T) {
+	check := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := r.Intn(40) + 1
+		m := r.Intn(80)
+		g := randomGraph(r, n, m)
+		ufLabels, ufCount := g.ConnectedComponents()
+		bfsLabels, bfsCount := g.ComponentsBFS()
+		if ufCount != bfsCount {
+			return false
+		}
+		// Labels must induce the same partition (they may be permuted).
+		mapping := make(map[int]int)
+		for v := range ufLabels {
+			if mapped, ok := mapping[ufLabels[v]]; ok {
+				if mapped != bfsLabels[v] {
+					return false
+				}
+			} else {
+				mapping[ufLabels[v]] = bfsLabels[v]
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestComponentMembers(t *testing.T) {
+	g := New(5, []int{0, 2}, []int{1, 3})
+	labels, count := g.ConnectedComponents()
+	members := ComponentMembers(labels, count)
+	total := 0
+	for _, ms := range members {
+		total += len(ms)
+	}
+	if total != 5 {
+		t.Fatalf("members cover %d of 5 vertices", total)
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	// Triangle 0-1-2 plus pendant 3.
+	g := New(4, []int{0, 1, 2, 2}, []int{1, 2, 0, 3})
+	sub := g.InducedSubgraph([]int{2, 0, 1})
+	if sub.N != 3 || sub.NumEdges() != 3 {
+		t.Fatalf("induced triangle has %d vertices, %d edges", sub.N, sub.NumEdges())
+	}
+	sub2 := g.InducedSubgraph([]int{0, 3})
+	if sub2.NumEdges() != 0 {
+		t.Fatal("non-adjacent pair should induce no edges")
+	}
+}
+
+func TestBlockDiag(t *testing.T) {
+	a := New(2, []int{0}, []int{1})
+	b := New(3, []int{0, 1}, []int{1, 2})
+	merged, offsets := BlockDiag(a, b)
+	if merged.N != 5 || merged.NumEdges() != 3 {
+		t.Fatalf("merged has %d vertices, %d edges", merged.N, merged.NumEdges())
+	}
+	if offsets[0] != 0 || offsets[1] != 2 {
+		t.Fatalf("offsets %v", offsets)
+	}
+	_, count := merged.ConnectedComponents()
+	if count != 2 {
+		t.Fatalf("block diag of two connected graphs has %d components, want 2", count)
+	}
+}
+
+func TestBlockDiagPreservesComponentCount(t *testing.T) {
+	check := func(seed uint64) bool {
+		r := rng.New(seed)
+		var gs []*Graph
+		wantTotal := 0
+		for i := 0; i < int(seed%4)+1; i++ {
+			g := randomGraph(r, r.Intn(15)+1, r.Intn(20))
+			_, c := g.ConnectedComponents()
+			wantTotal += c
+			gs = append(gs, g)
+		}
+		merged, _ := BlockDiag(gs...)
+		_, got := merged.ConnectedComponents()
+		return got == wantTotal
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFilterEdges(t *testing.T) {
+	g := New(4, []int{0, 1, 2}, []int{1, 2, 3})
+	f := g.FilterEdges([]bool{true, false, true})
+	if f.NumEdges() != 2 || f.Src[0] != 0 || f.Src[1] != 2 {
+		t.Fatalf("filtered edges wrong: %v -> %v", f.Src, f.Dst)
+	}
+	_, count := f.ConnectedComponents()
+	if count != 2 { // {0,1}, {2,3}
+		t.Fatalf("filtered component count %d, want 2", count)
+	}
+}
+
+func TestDegrees(t *testing.T) {
+	g := New(3, []int{0, 0, 1}, []int{1, 2, 1}) // self-loop at 1
+	deg := g.Degrees()
+	if deg[0] != 2 || deg[1] != 2 || deg[2] != 1 {
+		t.Fatalf("degrees %v", deg)
+	}
+}
+
+func TestAdjacencySymmetric(t *testing.T) {
+	g := New(4, []int{0, 1}, []int{1, 3})
+	adj := g.Adjacency()
+	if adj.At(0, 1) != 1 || adj.At(1, 0) != 1 || adj.At(3, 1) != 1 {
+		t.Fatal("adjacency not symmetric")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range edge did not panic")
+		}
+	}()
+	New(2, []int{0}, []int{5})
+}

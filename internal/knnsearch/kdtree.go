@@ -1,0 +1,137 @@
+// Package knnsearch implements fixed-radius nearest-neighbor search in the
+// learned embedding space — stage 2 of the Exa.TrkX pipeline, which the
+// paper's stack delegates to FAISS/FRNN on GPU. A k-d tree over the
+// embedding rows answers radius queries; BuildRadiusGraph assembles the
+// event graph the downstream filter and GNN stages consume.
+package knnsearch
+
+import (
+	"sort"
+
+	"repro/internal/tensor"
+)
+
+// KDTree is a static k-d tree over the rows of a dense matrix.
+type KDTree struct {
+	pts  *tensor.Dense
+	dim  int
+	root *node
+}
+
+type node struct {
+	point       int // row index into pts
+	axis        int
+	left, right *node
+}
+
+// Build constructs a balanced k-d tree over all rows of pts.
+func Build(pts *tensor.Dense) *KDTree {
+	t := &KDTree{pts: pts, dim: pts.Cols()}
+	idx := make([]int, pts.Rows())
+	for i := range idx {
+		idx[i] = i
+	}
+	t.root = t.build(idx, 0)
+	return t
+}
+
+func (t *KDTree) build(idx []int, depth int) *node {
+	if len(idx) == 0 {
+		return nil
+	}
+	axis := depth % t.dim
+	sort.Slice(idx, func(a, b int) bool {
+		return t.pts.At(idx[a], axis) < t.pts.At(idx[b], axis)
+	})
+	mid := len(idx) / 2
+	n := &node{point: idx[mid], axis: axis}
+	// Copy halves: sort.Slice above reorders idx in place, and the
+	// recursive calls re-sort disjoint sub-slices, so views are safe.
+	n.left = t.build(idx[:mid], depth+1)
+	n.right = t.build(idx[mid+1:], depth+1)
+	return n
+}
+
+// RadiusNeighbors returns indices of all points within Euclidean distance
+// radius of query (a slice of length dim), excluding exclude (pass -1 to
+// keep all). Results are sorted ascending.
+func (t *KDTree) RadiusNeighbors(query []float64, radius float64, exclude int) []int {
+	if len(query) != t.dim {
+		panic("knnsearch: query dimension mismatch")
+	}
+	var out []int
+	r2 := radius * radius
+	t.search(t.root, query, r2, exclude, &out)
+	sort.Ints(out)
+	return out
+}
+
+func (t *KDTree) search(n *node, q []float64, r2 float64, exclude int, out *[]int) {
+	if n == nil {
+		return
+	}
+	row := t.pts.Row(n.point)
+	d2 := 0.0
+	for j, qv := range q {
+		d := row[j] - qv
+		d2 += d * d
+		if d2 > r2 {
+			break
+		}
+	}
+	if d2 <= r2 && n.point != exclude {
+		*out = append(*out, n.point)
+	}
+	delta := q[n.axis] - row[n.axis]
+	near, far := n.left, n.right
+	if delta > 0 {
+		near, far = far, near
+	}
+	t.search(near, q, r2, exclude, out)
+	if delta*delta <= r2 {
+		t.search(far, q, r2, exclude, out)
+	}
+}
+
+// BruteRadiusNeighbors is the O(n·d) oracle used for testing.
+func BruteRadiusNeighbors(pts *tensor.Dense, query []float64, radius float64, exclude int) []int {
+	var out []int
+	r2 := radius * radius
+	for i := 0; i < pts.Rows(); i++ {
+		if i == exclude {
+			continue
+		}
+		row := pts.Row(i)
+		d2 := 0.0
+		for j, qv := range query {
+			d := row[j] - qv
+			d2 += d * d
+		}
+		if d2 <= r2 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// BuildRadiusGraph connects every pair of embedding rows within radius,
+// each undirected pair emitted once (src < dst). maxDegree (if > 0) caps
+// the neighbors considered per query vertex, mirroring the k-cap used by
+// the production FRNN stage to bound graph size.
+func BuildRadiusGraph(embeddings *tensor.Dense, radius float64, maxDegree int) (src, dst []int) {
+	t := Build(embeddings)
+	n := embeddings.Rows()
+	for i := 0; i < n; i++ {
+		nbrs := t.RadiusNeighbors(embeddings.Row(i), radius, i)
+		if maxDegree > 0 && len(nbrs) > maxDegree {
+			nbrs = nbrs[:maxDegree]
+		}
+		for _, j := range nbrs {
+			if i < j {
+				src = append(src, i)
+				dst = append(dst, j)
+			}
+		}
+	}
+	return src, dst
+}

@@ -1,0 +1,123 @@
+package knnsearch
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+func TestRadiusNeighborsMatchesBrute(t *testing.T) {
+	check := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := r.Intn(80) + 2
+		dim := r.Intn(6) + 1
+		pts := tensor.RandN(r, n, dim, 1)
+		tree := Build(pts)
+		for trial := 0; trial < 5; trial++ {
+			q := pts.Row(r.Intn(n))
+			radius := 0.2 + r.Float64()
+			got := tree.RadiusNeighbors(q, radius, -1)
+			want := BruteRadiusNeighbors(pts, q, radius, -1)
+			if len(got) != len(want) {
+				return false
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRadiusNeighborsExclude(t *testing.T) {
+	pts := tensor.FromRows([][]float64{{0, 0}, {0.1, 0}, {5, 5}})
+	tree := Build(pts)
+	nbrs := tree.RadiusNeighbors(pts.Row(0), 1.0, 0)
+	if len(nbrs) != 1 || nbrs[0] != 1 {
+		t.Fatalf("neighbors %v, want [1]", nbrs)
+	}
+	with := tree.RadiusNeighbors(pts.Row(0), 1.0, -1)
+	if len(with) != 2 {
+		t.Fatalf("without exclusion got %v", with)
+	}
+}
+
+func TestRadiusZeroFindsExactDuplicates(t *testing.T) {
+	pts := tensor.FromRows([][]float64{{1, 1}, {1, 1}, {2, 2}})
+	tree := Build(pts)
+	nbrs := tree.RadiusNeighbors([]float64{1, 1}, 0, -1)
+	if len(nbrs) != 2 {
+		t.Fatalf("exact match count %d, want 2", len(nbrs))
+	}
+}
+
+func TestBuildRadiusGraphPairsUniqueAndOrdered(t *testing.T) {
+	r := rng.New(3)
+	pts := tensor.RandN(r, 60, 3, 1)
+	src, dst := BuildRadiusGraph(pts, 0.8, 0)
+	seen := map[[2]int]bool{}
+	for k := range src {
+		if src[k] >= dst[k] {
+			t.Fatalf("edge %d not src<dst: (%d,%d)", k, src[k], dst[k])
+		}
+		key := [2]int{src[k], dst[k]}
+		if seen[key] {
+			t.Fatalf("duplicate edge %v", key)
+		}
+		seen[key] = true
+	}
+}
+
+func TestBuildRadiusGraphMatchesBrute(t *testing.T) {
+	r := rng.New(4)
+	pts := tensor.RandN(r, 40, 2, 1)
+	radius := 0.5
+	src, dst := BuildRadiusGraph(pts, radius, 0)
+	got := map[[2]int]bool{}
+	for k := range src {
+		got[[2]int{src[k], dst[k]}] = true
+	}
+	count := 0
+	for i := 0; i < 40; i++ {
+		for _, j := range BruteRadiusNeighbors(pts, pts.Row(i), radius, i) {
+			if i < j {
+				count++
+				if !got[[2]int{i, j}] {
+					t.Fatalf("missing edge (%d,%d)", i, j)
+				}
+			}
+		}
+	}
+	if count != len(src) {
+		t.Fatalf("edge count %d, brute force %d", len(src), count)
+	}
+}
+
+func TestBuildRadiusGraphMaxDegree(t *testing.T) {
+	// A dense cluster: cap should bound per-vertex emitted neighbors.
+	r := rng.New(5)
+	pts := tensor.RandN(r, 50, 2, 0.01)
+	srcUncapped, _ := BuildRadiusGraph(pts, 1.0, 0)
+	srcCapped, _ := BuildRadiusGraph(pts, 1.0, 5)
+	if len(srcCapped) >= len(srcUncapped) {
+		t.Fatalf("degree cap did not reduce edges: %d vs %d", len(srcCapped), len(srcUncapped))
+	}
+}
+
+func TestEmptyAndSinglePoint(t *testing.T) {
+	tree := Build(tensor.New(0, 3))
+	if nbrs := tree.RadiusNeighbors([]float64{0, 0, 0}, 1, -1); len(nbrs) != 0 {
+		t.Fatal("empty tree returned neighbors")
+	}
+	one := Build(tensor.FromRows([][]float64{{1, 2, 3}}))
+	if nbrs := one.RadiusNeighbors([]float64{1, 2, 3}, 0.1, -1); len(nbrs) != 1 {
+		t.Fatal("single-point tree missed self")
+	}
+}

@@ -1,0 +1,105 @@
+package nn
+
+import (
+	"compress/gzip"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/autograd"
+	"repro/internal/tensor"
+)
+
+// checkpointVersion guards the on-disk format.
+const checkpointVersion = 1
+
+// checkpointRecord is the serialized form of one parameter.
+type checkpointRecord struct {
+	Name       string
+	Rows, Cols int
+	Data       []float64
+}
+
+type checkpointFile struct {
+	Version int
+	Params  []checkpointRecord
+}
+
+// SaveParams writes parameter values to w (gob). Gradients and optimizer
+// state are not persisted — checkpoints capture the model, not the
+// training run.
+func SaveParams(w io.Writer, params []*autograd.Param) error {
+	file := checkpointFile{Version: checkpointVersion}
+	for _, p := range params {
+		file.Params = append(file.Params, checkpointRecord{
+			Name: p.Name,
+			Rows: p.Value.Rows(),
+			Cols: p.Value.Cols(),
+			Data: p.Value.Data(),
+		})
+	}
+	if err := gob.NewEncoder(w).Encode(&file); err != nil {
+		return fmt.Errorf("nn: encode checkpoint: %w", err)
+	}
+	return nil
+}
+
+// LoadParams restores parameter values from r into params, matching by
+// position and validating names and shapes.
+func LoadParams(r io.Reader, params []*autograd.Param) error {
+	var file checkpointFile
+	if err := gob.NewDecoder(r).Decode(&file); err != nil {
+		return fmt.Errorf("nn: decode checkpoint: %w", err)
+	}
+	if file.Version != checkpointVersion {
+		return fmt.Errorf("nn: checkpoint version %d, want %d", file.Version, checkpointVersion)
+	}
+	if len(file.Params) != len(params) {
+		return fmt.Errorf("nn: checkpoint has %d params, model has %d", len(file.Params), len(params))
+	}
+	for i, rec := range file.Params {
+		p := params[i]
+		if rec.Name != p.Name {
+			return fmt.Errorf("nn: checkpoint param %d is %q, model expects %q", i, rec.Name, p.Name)
+		}
+		if rec.Rows != p.Value.Rows() || rec.Cols != p.Value.Cols() {
+			return fmt.Errorf("nn: checkpoint param %q is %dx%d, model expects %dx%d",
+				rec.Name, rec.Rows, rec.Cols, p.Value.Rows(), p.Value.Cols())
+		}
+		p.Value.CopyFrom(tensor.FromSlice(rec.Rows, rec.Cols, rec.Data))
+	}
+	return nil
+}
+
+// SaveParamsFile writes a gzip-compressed checkpoint to path.
+func SaveParamsFile(path string, params []*autograd.Param) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("nn: create checkpoint: %w", err)
+	}
+	defer f.Close()
+	zw := gzip.NewWriter(f)
+	if err := SaveParams(zw, params); err != nil {
+		return err
+	}
+	if err := zw.Close(); err != nil {
+		return fmt.Errorf("nn: close checkpoint gzip: %w", err)
+	}
+	return f.Close()
+}
+
+// LoadParamsFile restores a checkpoint written by SaveParamsFile.
+func LoadParamsFile(path string, params []*autograd.Param) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("nn: open checkpoint: %w", err)
+	}
+	defer f.Close()
+	zr, err := gzip.NewReader(f)
+	if err != nil {
+		return fmt.Errorf("nn: checkpoint gzip: %w", err)
+	}
+	defer zr.Close()
+	return LoadParams(zr, params)
+}

@@ -1,0 +1,153 @@
+package nn
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/autograd"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	r := rng.New(1)
+	m := NewMLP(r, "m", MLPConfig{In: 3, Hidden: []int{8}, Out: 2, Activation: ReLU, LayerNorm: true})
+	params := m.Params()
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, params); err != nil {
+		t.Fatal(err)
+	}
+	// Restore into a differently initialized twin.
+	m2 := NewMLP(rng.New(99), "m", MLPConfig{In: 3, Hidden: []int{8}, Out: 2, Activation: ReLU, LayerNorm: true})
+	if err := LoadParams(&buf, m2.Params()); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range m2.Params() {
+		if p.Value.MaxAbsDiff(params[i].Value) != 0 {
+			t.Fatalf("param %d differs after restore", i)
+		}
+	}
+}
+
+func TestCheckpointFileRoundTrip(t *testing.T) {
+	r := rng.New(2)
+	m := NewMLP(r, "m", MLPConfig{In: 2, Hidden: []int{4}, Out: 1, Activation: Tanh})
+	path := filepath.Join(t.TempDir(), "model.ckpt.gz")
+	if err := SaveParamsFile(path, m.Params()); err != nil {
+		t.Fatal(err)
+	}
+	m2 := NewMLP(rng.New(3), "m", MLPConfig{In: 2, Hidden: []int{4}, Out: 1, Activation: Tanh})
+	if err := LoadParamsFile(path, m2.Params()); err != nil {
+		t.Fatal(err)
+	}
+	if m2.Params()[0].Value.MaxAbsDiff(m.Params()[0].Value) != 0 {
+		t.Fatal("file round trip lost values")
+	}
+}
+
+func TestCheckpointValidation(t *testing.T) {
+	r := rng.New(4)
+	m := NewMLP(r, "m", MLPConfig{In: 2, Hidden: []int{4}, Out: 1, Activation: ReLU})
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, m.Params()); err != nil {
+		t.Fatal(err)
+	}
+	// Wrong shape.
+	other := NewMLP(r, "m", MLPConfig{In: 3, Hidden: []int{4}, Out: 1, Activation: ReLU})
+	if err := LoadParams(bytes.NewReader(buf.Bytes()), other.Params()); err == nil {
+		t.Fatal("shape mismatch not detected")
+	}
+	// Wrong name.
+	renamed := NewMLP(r, "other", MLPConfig{In: 2, Hidden: []int{4}, Out: 1, Activation: ReLU})
+	if err := LoadParams(bytes.NewReader(buf.Bytes()), renamed.Params()); err == nil {
+		t.Fatal("name mismatch not detected")
+	}
+	// Wrong count.
+	short := []*autograd.Param{m.Params()[0]}
+	if err := LoadParams(bytes.NewReader(buf.Bytes()), short); err == nil {
+		t.Fatal("count mismatch not detected")
+	}
+}
+
+func TestStepLRSchedule(t *testing.T) {
+	s := StepLR{Base: 1.0, StepSize: 2, Gamma: 0.1}
+	want := []float64{1, 1, 0.1, 0.1, 0.01}
+	for epoch, w := range want {
+		if got := s.LR(epoch); math.Abs(got-w) > 1e-12 {
+			t.Fatalf("epoch %d lr %v, want %v", epoch, got, w)
+		}
+	}
+}
+
+func TestCosineLRSchedule(t *testing.T) {
+	s := CosineLR{Base: 1.0, Min: 0.1, Total: 5}
+	if got := s.LR(0); math.Abs(got-1.0) > 1e-12 {
+		t.Fatalf("first epoch lr %v", got)
+	}
+	if got := s.LR(4); math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("last epoch lr %v", got)
+	}
+	if got := s.LR(100); got != 0.1 {
+		t.Fatalf("beyond total lr %v", got)
+	}
+	// Monotone decreasing.
+	prev := s.LR(0)
+	for e := 1; e < 5; e++ {
+		cur := s.LR(e)
+		if cur >= prev {
+			t.Fatalf("cosine not decreasing at %d", e)
+		}
+		prev = cur
+	}
+}
+
+func TestWarmupLR(t *testing.T) {
+	s := WarmupLR{Warmup: 4, Inner: ConstantLR{Base: 1.0}}
+	if got := s.LR(0); math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("warmup epoch 0 lr %v", got)
+	}
+	if got := s.LR(3); math.Abs(got-1.0) > 1e-12 {
+		t.Fatalf("warmup epoch 3 lr %v", got)
+	}
+	if got := s.LR(10); got != 1.0 {
+		t.Fatalf("post-warmup lr %v", got)
+	}
+}
+
+func TestSetLR(t *testing.T) {
+	sgd := NewSGD(0.1)
+	SetLR(sgd, 0.5)
+	if sgd.LR != 0.5 {
+		t.Fatal("SetLR failed for SGD")
+	}
+	adam := NewAdam(0.01)
+	SetLR(adam, 0.002)
+	if adam.LR != 0.002 {
+		t.Fatal("SetLR failed for Adam")
+	}
+}
+
+func TestClipGradNorm(t *testing.T) {
+	p := autograd.NewParam("p", tensor.New(1, 2))
+	p.Grad.Set(0, 0, 3)
+	p.Grad.Set(0, 1, 4) // norm 5
+	norm := ClipGradNorm([]*autograd.Param{p}, 1.0)
+	if math.Abs(norm-5) > 1e-12 {
+		t.Fatalf("pre-clip norm %v", norm)
+	}
+	if after := p.Grad.Norm2(); math.Abs(after-1.0) > 1e-9 {
+		t.Fatalf("post-clip norm %v", after)
+	}
+	// No-op below the bound or with maxNorm<=0.
+	before := p.Grad.Clone()
+	ClipGradNorm([]*autograd.Param{p}, 10)
+	if p.Grad.MaxAbsDiff(before) != 0 {
+		t.Fatal("clip modified in-bound gradient")
+	}
+	ClipGradNorm([]*autograd.Param{p}, 0)
+	if p.Grad.MaxAbsDiff(before) != 0 {
+		t.Fatal("maxNorm=0 should be a no-op")
+	}
+}

@@ -1,0 +1,151 @@
+// Package nn provides the neural-network building blocks of the pipeline:
+// linear layers, multi-layer perceptrons with optional layer norm (the MLP
+// block used throughout Exa.TrkX/acorn), optimizers, and parameter
+// utilities used by distributed data parallelism (gradient flattening for
+// the coalesced all-reduce, replica cloning, and averaging).
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/autograd"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// Activation selects the nonlinearity used between MLP layers.
+type Activation int
+
+const (
+	// ReLU is max(0,x) — the default in the acorn MLP blocks.
+	ReLU Activation = iota
+	// Tanh is the hyperbolic tangent.
+	Tanh
+	// Sigmoid is the logistic function.
+	Sigmoid
+	// None applies no nonlinearity.
+	None
+)
+
+func (a Activation) apply(t *autograd.Tape, x *autograd.Node) *autograd.Node {
+	switch a {
+	case ReLU:
+		return t.ReLU(x)
+	case Tanh:
+		return t.Tanh(x)
+	case Sigmoid:
+		return t.Sigmoid(x)
+	case None:
+		return x
+	default:
+		panic(fmt.Sprintf("nn: unknown activation %d", a))
+	}
+}
+
+// Module is anything exposing trainable parameters.
+type Module interface {
+	Params() []*autograd.Param
+}
+
+// Linear is a fully connected layer y = xW + b.
+type Linear struct {
+	W, B *autograd.Param
+}
+
+// NewLinear creates a Xavier-initialized linear layer.
+func NewLinear(r *rng.Rand, name string, in, out int) *Linear {
+	return &Linear{
+		W: autograd.NewParam(name+".W", tensor.XavierInit(r, in, out)),
+		B: autograd.NewParam(name+".b", tensor.New(1, out)),
+	}
+}
+
+// Forward applies the layer on the tape.
+func (l *Linear) Forward(t *autograd.Tape, x *autograd.Node) *autograd.Node {
+	return t.AddBias(t.MatMul(x, t.Use(l.W)), t.Use(l.B))
+}
+
+// Params returns the layer's parameters.
+func (l *Linear) Params() []*autograd.Param { return []*autograd.Param{l.W, l.B} }
+
+// In returns the input width.
+func (l *Linear) In() int { return l.W.Value.Rows() }
+
+// Out returns the output width.
+func (l *Linear) Out() int { return l.W.Value.Cols() }
+
+// MLPConfig describes an MLP block.
+type MLPConfig struct {
+	In         int   // input feature width
+	Hidden     []int // hidden layer widths (one entry per hidden layer)
+	Out        int   // output width
+	Activation Activation
+	LayerNorm  bool // layer norm after each hidden activation (acorn style)
+}
+
+// layerNormParams holds the gain/bias pair for one LayerNorm.
+type layerNormParams struct {
+	Gain, Bias *autograd.Param
+}
+
+// MLP is a multi-layer perceptron: Linear (+Act (+LayerNorm)) per hidden
+// layer, then a final Linear with no activation.
+type MLP struct {
+	cfg    MLPConfig
+	layers []*Linear
+	norms  []*layerNormParams
+}
+
+// NewMLP builds an MLP from cfg with deterministic initialization from r.
+func NewMLP(r *rng.Rand, name string, cfg MLPConfig) *MLP {
+	if cfg.In <= 0 || cfg.Out <= 0 {
+		panic(fmt.Sprintf("nn: MLP %q needs positive In/Out, got %d/%d", name, cfg.In, cfg.Out))
+	}
+	m := &MLP{cfg: cfg}
+	prev := cfg.In
+	for i, h := range cfg.Hidden {
+		m.layers = append(m.layers, NewLinear(r, fmt.Sprintf("%s.l%d", name, i), prev, h))
+		if cfg.LayerNorm {
+			gain := tensor.New(1, h)
+			gain.Fill(1)
+			m.norms = append(m.norms, &layerNormParams{
+				Gain: autograd.NewParam(fmt.Sprintf("%s.ln%d.g", name, i), gain),
+				Bias: autograd.NewParam(fmt.Sprintf("%s.ln%d.b", name, i), tensor.New(1, h)),
+			})
+		}
+		prev = h
+	}
+	m.layers = append(m.layers, NewLinear(r, fmt.Sprintf("%s.out", name), prev, cfg.Out))
+	return m
+}
+
+// Forward runs the MLP on the tape.
+func (m *MLP) Forward(t *autograd.Tape, x *autograd.Node) *autograd.Node {
+	h := x
+	for i := 0; i < len(m.layers)-1; i++ {
+		h = m.cfg.Activation.apply(t, m.layers[i].Forward(t, h))
+		if m.cfg.LayerNorm {
+			ln := m.norms[i]
+			h = t.LayerNorm(h, t.Use(ln.Gain), t.Use(ln.Bias), 1e-5)
+		}
+	}
+	return m.layers[len(m.layers)-1].Forward(t, h)
+}
+
+// Params returns all trainable parameters in a stable order.
+func (m *MLP) Params() []*autograd.Param {
+	var ps []*autograd.Param
+	for _, l := range m.layers {
+		ps = append(ps, l.Params()...)
+	}
+	for _, n := range m.norms {
+		ps = append(ps, n.Gain, n.Bias)
+	}
+	return ps
+}
+
+// Config returns the configuration the MLP was built with.
+func (m *MLP) Config() MLPConfig { return m.cfg }
+
+// NumLayers returns the count of linear layers (hidden + output).
+func (m *MLP) NumLayers() int { return len(m.layers) }

@@ -1,0 +1,98 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/autograd"
+)
+
+// LRScheduler adjusts an optimizer's learning rate across epochs. The
+// acorn training configs use step decay; cosine and warmup schedules are
+// provided for the ablation harness.
+type LRScheduler interface {
+	// LR returns the learning rate for the given zero-based epoch.
+	LR(epoch int) float64
+}
+
+// ConstantLR keeps the base rate.
+type ConstantLR struct{ Base float64 }
+
+// LR implements LRScheduler.
+func (s ConstantLR) LR(int) float64 { return s.Base }
+
+// StepLR multiplies the rate by Gamma every StepSize epochs.
+type StepLR struct {
+	Base     float64
+	StepSize int
+	Gamma    float64
+}
+
+// LR implements LRScheduler.
+func (s StepLR) LR(epoch int) float64 {
+	if s.StepSize <= 0 {
+		return s.Base
+	}
+	return s.Base * math.Pow(s.Gamma, float64(epoch/s.StepSize))
+}
+
+// CosineLR anneals from Base to Min over Total epochs.
+type CosineLR struct {
+	Base, Min float64
+	Total     int
+}
+
+// LR implements LRScheduler.
+func (s CosineLR) LR(epoch int) float64 {
+	if s.Total <= 1 {
+		return s.Base
+	}
+	if epoch >= s.Total {
+		return s.Min
+	}
+	frac := float64(epoch) / float64(s.Total-1)
+	return s.Min + (s.Base-s.Min)*(1+math.Cos(math.Pi*frac))/2
+}
+
+// WarmupLR linearly ramps from 0 to the inner schedule's rate over Warmup
+// epochs, then follows the inner schedule.
+type WarmupLR struct {
+	Warmup int
+	Inner  LRScheduler
+}
+
+// LR implements LRScheduler.
+func (s WarmupLR) LR(epoch int) float64 {
+	base := s.Inner.LR(epoch)
+	if s.Warmup <= 0 || epoch >= s.Warmup {
+		return base
+	}
+	return base * float64(epoch+1) / float64(s.Warmup)
+}
+
+// SetLR updates the learning rate of a supported optimizer.
+func SetLR(opt Optimizer, lr float64) {
+	switch o := opt.(type) {
+	case *SGD:
+		o.LR = lr
+	case *Adam:
+		o.LR = lr
+	}
+}
+
+// ClipGradNorm scales gradients down so their global L2 norm does not
+// exceed maxNorm; returns the pre-clip norm. A no-op for maxNorm <= 0.
+func ClipGradNorm(params []*autograd.Param, maxNorm float64) float64 {
+	total := 0.0
+	for _, p := range params {
+		n := p.Grad.Norm2()
+		total += n * n
+	}
+	norm := math.Sqrt(total)
+	if maxNorm > 0 && norm > maxNorm {
+		scale := maxNorm / (norm + 1e-12)
+		for _, p := range params {
+			p.Grad.ScaleInPlace(scale)
+		}
+	}
+	return norm
+}

@@ -1,0 +1,68 @@
+// Package parallel provides shared-memory loop parallelism helpers used by
+// the dense and sparse kernels. It deliberately stays tiny: a parallel-for
+// with grain control and a fan-out/fan-in helper, built only on goroutines
+// and sync.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// MaxWorkers returns the degree of parallelism kernels should use.
+func MaxWorkers() int {
+	return runtime.GOMAXPROCS(0)
+}
+
+// For splits [0, n) into contiguous chunks of at least grain iterations and
+// runs body(lo, hi) on each chunk, possibly concurrently. If the work is
+// small (a single chunk) it runs inline to avoid goroutine overhead.
+// body must be safe to call concurrently on disjoint ranges.
+func For(n, grain int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	workers := MaxWorkers()
+	chunks := (n + grain - 1) / grain
+	if chunks > workers {
+		chunks = workers
+	}
+	if chunks <= 1 {
+		body(0, n)
+		return
+	}
+	chunkSize := (n + chunks - 1) / chunks
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunkSize {
+		hi := lo + chunkSize
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// Do runs each task concurrently and waits for all of them.
+func Do(tasks ...func()) {
+	if len(tasks) == 1 {
+		tasks[0]()
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(tasks))
+	for _, t := range tasks {
+		go func(t func()) {
+			defer wg.Done()
+			t()
+		}(t)
+	}
+	wg.Wait()
+}

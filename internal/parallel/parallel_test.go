@@ -1,0 +1,74 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestForCoversAllIndicesOnce(t *testing.T) {
+	check := func(nRaw uint16, grainRaw uint8) bool {
+		n := int(nRaw % 5000)
+		grain := int(grainRaw%200) + 1
+		marks := make([]int32, n)
+		For(n, grain, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&marks[i], 1)
+			}
+		})
+		for _, m := range marks {
+			if m != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForZeroAndNegative(t *testing.T) {
+	called := false
+	For(0, 1, func(lo, hi int) { called = true })
+	For(-5, 1, func(lo, hi int) { called = true })
+	if called {
+		t.Fatal("body called for non-positive n")
+	}
+}
+
+func TestForSumMatchesSerial(t *testing.T) {
+	const n = 100000
+	var sum int64
+	For(n, 128, func(lo, hi int) {
+		var local int64
+		for i := lo; i < hi; i++ {
+			local += int64(i)
+		}
+		atomic.AddInt64(&sum, local)
+	})
+	want := int64(n) * int64(n-1) / 2
+	if sum != want {
+		t.Fatalf("parallel sum %d != %d", sum, want)
+	}
+}
+
+func TestDoRunsAllTasks(t *testing.T) {
+	var count int32
+	Do(
+		func() { atomic.AddInt32(&count, 1) },
+		func() { atomic.AddInt32(&count, 1) },
+		func() { atomic.AddInt32(&count, 1) },
+	)
+	if count != 3 {
+		t.Fatalf("Do ran %d of 3 tasks", count)
+	}
+}
+
+func TestDoSingleTaskInline(t *testing.T) {
+	ran := false
+	Do(func() { ran = true })
+	if !ran {
+		t.Fatal("single task not run")
+	}
+}

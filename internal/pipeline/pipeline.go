@@ -1,0 +1,294 @@
+// Package pipeline assembles the five-stage Exa.TrkX track-reconstruction
+// pipeline (Figure 1 of the paper): (1) embed hits with an MLP, (2) build
+// a fixed-radius nearest-neighbor graph in embedding space, (3) shrink the
+// graph with an edge-filter MLP, (4) classify the surviving edges with an
+// Interaction GNN, and (5) extract track candidates as connected
+// components of the surviving true edges.
+package pipeline
+
+import (
+	"fmt"
+
+	"repro/internal/autograd"
+	"repro/internal/detector"
+	"repro/internal/embed"
+	"repro/internal/filter"
+	"repro/internal/graph"
+	"repro/internal/ignn"
+	"repro/internal/knnsearch"
+	"repro/internal/metrics"
+	"repro/internal/nn"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// Config collects all pipeline hyperparameters.
+type Config struct {
+	Spec detector.Spec
+
+	Embed  embed.Config
+	Filter filter.Config
+	GNN    ignn.Config
+
+	Radius    float64 // fixed-radius graph construction distance
+	MaxDegree int     // per-vertex neighbor cap during construction
+
+	GNNThreshold float64 // edge score needed to survive stage 4
+	MinTrackHits int     // track candidates below this are dropped
+}
+
+// DefaultConfig returns a laptop-scale configuration tuned for the
+// synthetic datasets. The structural hyperparameters follow the paper
+// (8-layer GNN, hidden 64) scaled down via the hidden/steps fields which
+// experiments override as needed.
+func DefaultConfig(spec detector.Spec) Config {
+	return Config{
+		Spec:   spec,
+		Embed:  embed.DefaultConfig(spec),
+		Filter: filter.DefaultConfig(spec.VertexFeatures, spec.EdgeFeatures, spec.MLPLayers),
+		GNN: ignn.Config{
+			NodeFeatures: spec.VertexFeatures,
+			EdgeFeatures: spec.EdgeFeatures,
+			Hidden:       32,
+			Steps:        4,
+		},
+		Radius:       0.35,
+		MaxDegree:    12,
+		GNNThreshold: 0.5,
+		MinTrackHits: 3,
+	}
+}
+
+// Pipeline holds the three trained models.
+type Pipeline struct {
+	Cfg      Config
+	Embedder *embed.Embedder
+	Filter   *filter.EdgeFilter
+	GNN      *ignn.Model
+}
+
+// New creates an untrained pipeline with deterministic initialization.
+func New(cfg Config, seed uint64) *Pipeline {
+	r := rng.New(seed)
+	return &Pipeline{
+		Cfg:      cfg,
+		Embedder: embed.New(cfg.Embed, r.Split()),
+		Filter:   filter.New(cfg.Filter, r.Split()),
+		GNN:      ignn.New(cfg.GNN, r.Split()),
+	}
+}
+
+// EventGraph is the constructed, filtered graph for one event — the input
+// the GNN stage trains and evaluates on.
+type EventGraph struct {
+	Event *detector.Event
+	G     *graph.Graph  // filtered event graph (stage 1–3 output)
+	X     *tensor.Dense // node features (n × nodeFeatures)
+	Y     *tensor.Dense // edge features (m × edgeFeatures)
+	Label []float64     // per-edge truth label
+}
+
+// NumVertices returns the vertex count.
+func (eg *EventGraph) NumVertices() int { return eg.G.N }
+
+// NumEdges returns the edge count.
+func (eg *EventGraph) NumEdges() int { return eg.G.NumEdges() }
+
+// BuildGraph runs stages 1–3 on an event: embed, radius graph, filter.
+// The returned EventGraph carries edge truth labels for training stage 4.
+func (p *Pipeline) BuildGraph(ev *detector.Event) *EventGraph {
+	// Stage 1: embedding; stage 2: fixed-radius neighbors in that space.
+	embedded := p.Embedder.Embed(ev.Features)
+	src, dst := knnsearch.BuildRadiusGraph(embedded, p.Cfg.Radius, p.Cfg.MaxDegree)
+
+	// Stage 3: filter MLP prunes implausible edges.
+	edgeFeat := detector.EdgeFeatures(p.Cfg.Spec, ev, src, dst)
+	keep := p.Filter.Keep(ev.Features, edgeFeat, src, dst)
+	var fsrc, fdst []int
+	for k := range src {
+		if keep[k] {
+			fsrc = append(fsrc, src[k])
+			fdst = append(fdst, dst[k])
+		}
+	}
+	return p.assembleGraph(ev, fsrc, fdst)
+}
+
+// BuildTruthLevelGraph constructs the event graph from truth edges plus
+// the given number of random fake edges per true edge — a shortcut used
+// by GNN-stage experiments (Figures 3 and 4) to decouple GNN training
+// quality from upstream stage tuning, while preserving realistic
+// vertex/edge ratios.
+func (p *Pipeline) BuildTruthLevelGraph(ev *detector.Event, fakeRatio float64, seed uint64) *EventGraph {
+	r := rng.New(seed)
+	src := append([]int(nil), ev.TruthSrc...)
+	dst := append([]int(nil), ev.TruthDst...)
+	n := ev.NumHits()
+	nFake := int(float64(len(src)) * fakeRatio)
+	for i := 0; i < nFake; i++ {
+		a, b := r.Intn(n), r.Intn(n)
+		if a == b || ev.IsTruthEdge(a, b) {
+			continue
+		}
+		src = append(src, a)
+		dst = append(dst, b)
+	}
+	return p.assembleGraph(ev, src, dst)
+}
+
+func (p *Pipeline) assembleGraph(ev *detector.Event, src, dst []int) *EventGraph {
+	labels := make([]float64, len(src))
+	for k := range src {
+		if ev.IsTruthEdge(src[k], dst[k]) {
+			labels[k] = 1
+		}
+	}
+	return &EventGraph{
+		Event: ev,
+		G:     graph.New(ev.NumHits(), src, dst),
+		X:     ev.Features,
+		Y:     detector.EdgeFeatures(p.Cfg.Spec, ev, src, dst),
+		Label: labels,
+	}
+}
+
+// GraphQuality reports stage 1–3 output quality: the fraction of truth
+// edges present in the constructed graph (edgewise efficiency) and the
+// fraction of constructed edges that are true (purity).
+func (eg *EventGraph) GraphQuality() (efficiency, purity float64) {
+	trueKept := 0.0
+	for _, l := range eg.Label {
+		trueKept += l
+	}
+	if len(eg.Event.TruthSrc) > 0 {
+		efficiency = trueKept / float64(len(eg.Event.TruthSrc))
+	}
+	if len(eg.Label) > 0 {
+		purity = trueKept / float64(len(eg.Label))
+	}
+	return efficiency, purity
+}
+
+// Result is the output of full-pipeline inference on one event.
+type Result struct {
+	Tracks     [][]int // hit-index sets, one per candidate
+	EdgeCounts metrics.BinaryCounts
+	Match      metrics.TrackMatch
+}
+
+// Reconstruct runs all five stages on an event and scores the output
+// against truth.
+func (p *Pipeline) Reconstruct(ev *detector.Event) *Result {
+	eg := p.BuildGraph(ev)
+	return p.reconstructOn(eg)
+}
+
+// ReconstructOn runs stages 4–5 on a pre-built event graph.
+func (p *Pipeline) ReconstructOn(eg *EventGraph) *Result { return p.reconstructOn(eg) }
+
+func (p *Pipeline) reconstructOn(eg *EventGraph) *Result {
+	res := &Result{}
+	keep := make([]bool, eg.NumEdges())
+	if eg.NumEdges() > 0 {
+		scores := p.GNN.EdgeScores(eg.G.Src, eg.G.Dst, eg.X, eg.Y)
+		for k, s := range scores {
+			keep[k] = s >= p.Cfg.GNNThreshold
+			res.EdgeCounts.Add(keep[k], eg.Label[k] > 0.5)
+		}
+	}
+	// Stage 5: connected components of surviving edges are the candidates.
+	final := eg.G.FilterEdges(keep)
+	labels, count := final.ConnectedComponents()
+	comps := graph.ComponentMembers(labels, count)
+	for _, c := range comps {
+		if len(c) >= p.Cfg.MinTrackHits {
+			res.Tracks = append(res.Tracks, c)
+		}
+	}
+	hitParticle := make([]int, eg.Event.NumHits())
+	for i, h := range eg.Event.Hits {
+		hitParticle[i] = h.Particle
+	}
+	res.Match = metrics.MatchTracks(res.Tracks, hitParticle, eg.Event.TrackHits(p.Cfg.MinTrackHits), p.Cfg.MinTrackHits)
+	return res
+}
+
+// allParams collects every trainable parameter of the three learned
+// stages in a stable order.
+func (p *Pipeline) allParams() []*autograd.Param {
+	var ps []*autograd.Param
+	ps = append(ps, p.Embedder.Params()...)
+	ps = append(ps, p.Filter.Params()...)
+	ps = append(ps, p.GNN.Params()...)
+	return ps
+}
+
+// SaveModels writes the trained weights of all three learned stages to a
+// single gzip-compressed checkpoint file.
+func (p *Pipeline) SaveModels(path string) error {
+	return nn.SaveParamsFile(path, p.allParams())
+}
+
+// LoadModels restores weights written by SaveModels into a pipeline built
+// with the same Config and seed layout.
+func (p *Pipeline) LoadModels(path string) error {
+	return nn.LoadParamsFile(path, p.allParams())
+}
+
+// TrainGNN trains the stage-4 Interaction GNN full-graph on pre-built
+// event graphs with Adam, returning the final-epoch mean loss. For the
+// paper's minibatch/DDP training use core.NewTrainer instead; this is the
+// simple path for examples and stage-wise pipeline fitting.
+func (p *Pipeline) TrainGNN(graphs []*EventGraph, epochs int, lr, posWeight float64) float64 {
+	opt := nn.NewAdam(lr)
+	last := 0.0
+	for epoch := 0; epoch < epochs; epoch++ {
+		sum, n := 0.0, 0
+		for _, eg := range graphs {
+			if eg.NumEdges() == 0 {
+				continue
+			}
+			tape := autograd.NewTape()
+			logits := p.GNN.Forward(tape, eg.G.Src, eg.G.Dst, eg.X, eg.Y)
+			loss := tape.BCEWithLogits(logits, eg.Label, posWeight)
+			tape.Backward(loss)
+			opt.Step(p.GNN.Params())
+			sum += loss.Value.At(0, 0)
+			n++
+		}
+		if n > 0 {
+			last = sum / float64(n)
+		}
+	}
+	return last
+}
+
+// TrainStages13 trains the embedding and filter stages on the training
+// events. The filter trains on radius graphs built from the trained
+// embedder's output, mirroring the staged Exa.TrkX training procedure.
+func (p *Pipeline) TrainStages13(train []*detector.Event, seed uint64) error {
+	if len(train) == 0 {
+		return fmt.Errorf("pipeline: no training events")
+	}
+	p.Embedder.Train(train, seed)
+
+	opt := nn.NewAdam(p.Cfg.Filter.LR)
+	for epoch := 0; epoch < p.Cfg.Filter.Epochs; epoch++ {
+		for _, ev := range train {
+			embedded := p.Embedder.Embed(ev.Features)
+			src, dst := knnsearch.BuildRadiusGraph(embedded, p.Cfg.Radius, p.Cfg.MaxDegree)
+			if len(src) == 0 {
+				continue
+			}
+			edgeFeat := detector.EdgeFeatures(p.Cfg.Spec, ev, src, dst)
+			labels := make([]float64, len(src))
+			for k := range src {
+				if ev.IsTruthEdge(src[k], dst[k]) {
+					labels[k] = 1
+				}
+			}
+			p.Filter.TrainStep(ev.Features, edgeFeat, src, dst, labels, opt)
+		}
+	}
+	return nil
+}

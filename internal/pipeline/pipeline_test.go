@@ -1,0 +1,180 @@
+package pipeline
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/autograd"
+	"repro/internal/detector"
+	"repro/internal/nn"
+)
+
+func smallDataset(t *testing.T, events int) (*detector.Dataset, Config) {
+	t.Helper()
+	spec := detector.Ex3Like(0.04)
+	spec.NumEvents = events
+	ds := detector.Generate(spec, 21)
+	cfg := DefaultConfig(spec)
+	cfg.GNN.Hidden = 16
+	cfg.GNN.Steps = 2
+	return ds, cfg
+}
+
+func TestBuildTruthLevelGraph(t *testing.T) {
+	ds, cfg := smallDataset(t, 1)
+	p := New(cfg, 1)
+	eg := p.BuildTruthLevelGraph(ds.Events[0], 1.5, 7)
+	if eg.NumVertices() != ds.Events[0].NumHits() {
+		t.Fatalf("graph has %d vertices for %d hits", eg.NumVertices(), ds.Events[0].NumHits())
+	}
+	if eg.NumEdges() <= len(ds.Events[0].TruthSrc) {
+		t.Fatal("no fake edges were added")
+	}
+	eff, purity := eg.GraphQuality()
+	if eff != 1.0 {
+		t.Fatalf("truth-level graph efficiency %v, want 1", eff)
+	}
+	if purity <= 0.2 || purity >= 1.0 {
+		t.Fatalf("purity %v outside (0.2, 1)", purity)
+	}
+	if eg.Y.Rows() != eg.NumEdges() || len(eg.Label) != eg.NumEdges() {
+		t.Fatal("edge feature/label sizes inconsistent")
+	}
+}
+
+func TestStages13ImproveGraphQuality(t *testing.T) {
+	ds, cfg := smallDataset(t, 3)
+	cfg.Filter.Epochs = 6
+	p := New(cfg, 2)
+	train, _, _ := ds.Split(0.7, 0.15)
+
+	if err := p.TrainStages13(train, 3); err != nil {
+		t.Fatal(err)
+	}
+	eg := p.BuildGraph(ds.Events[len(ds.Events)-1]) // held-out event
+	eff, purity := eg.GraphQuality()
+	if eff < 0.5 {
+		t.Fatalf("trained stage 1-3 edge efficiency %v too low", eff)
+	}
+	if purity < 0.1 {
+		t.Fatalf("trained stage 1-3 purity %v too low", purity)
+	}
+	t.Logf("stage 1-3: efficiency=%.3f purity=%.3f edges=%d", eff, purity, eg.NumEdges())
+}
+
+func TestReconstructAfterGNNTraining(t *testing.T) {
+	ds, cfg := smallDataset(t, 2)
+	p := New(cfg, 4)
+	// Train the GNN stage on truth-level graphs (decoupled from stages
+	// 1-3) with a short full-graph loop.
+	opt := nn.NewAdam(3e-3)
+	var egs []*EventGraph
+	for i, ev := range ds.Events {
+		egs = append(egs, p.BuildTruthLevelGraph(ev, 1.5, uint64(100+i)))
+	}
+	for epoch := 0; epoch < 30; epoch++ {
+		for _, eg := range egs {
+			tp := autograd.NewTape()
+			logits := p.GNN.Forward(tp, eg.G.Src, eg.G.Dst, eg.X, eg.Y)
+			loss := tp.BCEWithLogits(logits, eg.Label, 1)
+			tp.Backward(loss)
+			opt.Step(p.GNN.Params())
+		}
+	}
+	res := p.ReconstructOn(egs[0])
+	if res.EdgeCounts.Precision() < 0.7 || res.EdgeCounts.Recall() < 0.7 {
+		t.Fatalf("edge precision %.3f recall %.3f too low after training",
+			res.EdgeCounts.Precision(), res.EdgeCounts.Recall())
+	}
+	if res.Match.Efficiency() < 0.3 {
+		t.Fatalf("track efficiency %.3f too low", res.Match.Efficiency())
+	}
+	t.Logf("reconstruct: edgeP=%.3f edgeR=%.3f trackEff=%.3f fakeRate=%.3f tracks=%d",
+		res.EdgeCounts.Precision(), res.EdgeCounts.Recall(),
+		res.Match.Efficiency(), res.Match.FakeRate(), len(res.Tracks))
+}
+
+func TestReconstructUntrainedDoesNotPanic(t *testing.T) {
+	ds, cfg := smallDataset(t, 1)
+	p := New(cfg, 5)
+	res := p.Reconstruct(ds.Events[0])
+	if res == nil {
+		t.Fatal("nil result")
+	}
+}
+
+func TestTrainStages13EmptyInput(t *testing.T) {
+	_, cfg := smallDataset(t, 1)
+	p := New(cfg, 6)
+	if err := p.TrainStages13(nil, 1); err == nil {
+		t.Fatal("expected error on empty training set")
+	}
+}
+
+func TestDefaultConfigFollowsSpec(t *testing.T) {
+	spec := detector.CTDLike(0.001)
+	cfg := DefaultConfig(spec)
+	if cfg.GNN.NodeFeatures != 14 || cfg.GNN.EdgeFeatures != 8 {
+		t.Fatalf("GNN feature widths %d/%d", cfg.GNN.NodeFeatures, cfg.GNN.EdgeFeatures)
+	}
+	if cfg.Filter.HiddenLayers != 3 {
+		t.Fatalf("filter layers %d, want Table I's 3", cfg.Filter.HiddenLayers)
+	}
+}
+
+func TestSaveLoadModels(t *testing.T) {
+	ds, cfg := smallDataset(t, 1)
+	p := New(cfg, 7)
+	// Light training so weights differ from initialization.
+	eg := p.BuildTruthLevelGraph(ds.Events[0], 1.0, 3)
+	p.TrainGNN([]*EventGraph{eg}, 2, 1e-3, 1)
+
+	path := filepath.Join(t.TempDir(), "pipeline.ckpt.gz")
+	if err := p.SaveModels(path); err != nil {
+		t.Fatal(err)
+	}
+	// A same-config, different-seed pipeline scores differently until the
+	// checkpoint is loaded; after loading, scores match exactly.
+	q := New(cfg, 999)
+	want := p.GNN.EdgeScores(eg.G.Src, eg.G.Dst, eg.X, eg.Y)
+	before := q.GNN.EdgeScores(eg.G.Src, eg.G.Dst, eg.X, eg.Y)
+	same := true
+	for i := range want {
+		if want[i] != before[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds should score differently before load")
+	}
+	if err := q.LoadModels(path); err != nil {
+		t.Fatal(err)
+	}
+	got := q.GNN.EdgeScores(eg.G.Src, eg.G.Dst, eg.X, eg.Y)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("edge %d score %v != %v after load", i, got[i], want[i])
+		}
+	}
+	// Embedding stage restored too.
+	if q.Embedder.Embed(eg.X).MaxAbsDiff(p.Embedder.Embed(eg.X)) != 0 {
+		t.Fatal("embedder weights not restored")
+	}
+}
+
+func TestLoadModelsWrongConfigFails(t *testing.T) {
+	ds, cfg := smallDataset(t, 1)
+	_ = ds
+	p := New(cfg, 7)
+	path := filepath.Join(t.TempDir(), "pipeline.ckpt.gz")
+	if err := p.SaveModels(path); err != nil {
+		t.Fatal(err)
+	}
+	bigger := cfg
+	bigger.GNN.Hidden = cfg.GNN.Hidden * 2
+	q := New(bigger, 7)
+	if err := q.LoadModels(path); err == nil {
+		t.Fatal("loading into mismatched architecture should fail")
+	}
+}

@@ -1,0 +1,185 @@
+package sampling
+
+import (
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// This file implements the other two sampler families the paper's §II-B
+// categorizes — node-wise (GraphSAGE-style) and layer-wise (LADIES-style)
+// sampling — so the ShaDow subgraph approach can be compared against them
+// in ablations. Matrix-based bulk sampling was originally introduced for
+// exactly these two families (Tripathy et al., MLSys'24); the paper's
+// contribution is extending it to ShaDow.
+//
+// Both samplers return a LayeredSample: per-hop vertex frontiers plus the
+// edges connecting consecutive hops, which is the structure an L-layer
+// GNN consumes when trained with neighborhood sampling (in contrast to
+// ShaDow's induced block-diagonal subgraph consumed by a full-depth GNN).
+
+// LayeredSample is the output of node-wise or layer-wise sampling: hop 0
+// holds the batch vertices; hop l holds the vertices needed at distance
+// l. Edges[l] connects Layers[l+1] sources to Layers[l] destinations in
+// original vertex ids.
+type LayeredSample struct {
+	Layers [][]int
+	Edges  [][2][]int // Edges[l] = (srcs in Layers[l+1], dsts in Layers[l])
+}
+
+// NumVertices returns the total vertex count across hops (with
+// duplicates across hops counted once per hop, as GNN implementations
+// materialize them).
+func (s *LayeredSample) NumVertices() int {
+	n := 0
+	for _, l := range s.Layers {
+		n += len(l)
+	}
+	return n
+}
+
+// NodeWiseSample implements GraphSAGE-style node-wise sampling: each
+// vertex of the current frontier independently samples up to fanout of
+// its neighbors per hop, for depth hops.
+func NodeWiseSample(g *graph.Graph, batch []int, depth, fanout int, r *rng.Rand) *LayeredSample {
+	validate(g, batch, Config{Depth: depth, Fanout: fanout})
+	adj := g.Adjacency()
+	out := &LayeredSample{Layers: [][]int{append([]int(nil), batch...)}}
+	frontier := batch
+	for hop := 0; hop < depth; hop++ {
+		var nextSet []int
+		seen := make(map[int]bool)
+		var srcs, dsts []int
+		for _, v := range frontier {
+			cols, _ := adj.Row(v)
+			var picks []int
+			if len(cols) <= fanout {
+				picks = cols
+			} else {
+				sel := r.SampleWithoutReplacement(len(cols), fanout)
+				picks = make([]int, len(sel))
+				for i, p := range sel {
+					picks[i] = cols[p]
+				}
+			}
+			for _, u := range picks {
+				srcs = append(srcs, u)
+				dsts = append(dsts, v)
+				if !seen[u] {
+					seen[u] = true
+					nextSet = append(nextSet, u)
+				}
+			}
+		}
+		out.Layers = append(out.Layers, nextSet)
+		out.Edges = append(out.Edges, [2][]int{srcs, dsts})
+		frontier = nextSet
+		if len(frontier) == 0 {
+			break
+		}
+	}
+	return out
+}
+
+// LayerWiseSample implements LADIES-style layer-wise sampling: at each
+// hop a fixed budget of vertices is drawn for the whole layer, with
+// probability proportional to each candidate's connectivity into the
+// current frontier, and only edges between the sampled layer and the
+// frontier are kept.
+func LayerWiseSample(g *graph.Graph, batch []int, depth, layerBudget int, r *rng.Rand) *LayeredSample {
+	validate(g, batch, Config{Depth: depth, Fanout: layerBudget})
+	adj := g.Adjacency()
+	out := &LayeredSample{Layers: [][]int{append([]int(nil), batch...)}}
+	frontier := batch
+	for hop := 0; hop < depth; hop++ {
+		// Candidate weights: number of frontier neighbors (∝ column sums
+		// of the frontier-restricted adjacency, the LADIES importance).
+		weight := make(map[int]int)
+		for _, v := range frontier {
+			cols, _ := adj.Row(v)
+			for _, u := range cols {
+				weight[u]++
+			}
+		}
+		if len(weight) == 0 {
+			break
+		}
+		candidates := make([]int, 0, len(weight))
+		for u := range weight {
+			candidates = append(candidates, u)
+		}
+		// Deterministic order before weighted sampling.
+		insertionSortInts(candidates)
+		layer := weightedSampleWithoutReplacement(candidates, weight, layerBudget, r)
+
+		inLayer := make(map[int]bool, len(layer))
+		for _, u := range layer {
+			inLayer[u] = true
+		}
+		var srcs, dsts []int
+		for _, v := range frontier {
+			cols, _ := adj.Row(v)
+			for _, u := range cols {
+				if inLayer[u] {
+					srcs = append(srcs, u)
+					dsts = append(dsts, v)
+				}
+			}
+		}
+		out.Layers = append(out.Layers, layer)
+		out.Edges = append(out.Edges, [2][]int{srcs, dsts})
+		frontier = layer
+	}
+	return out
+}
+
+// weightedSampleWithoutReplacement draws up to k items with probability
+// proportional to weight, without replacement (Efraimidis–Spirakis keys).
+func weightedSampleWithoutReplacement(items []int, weight map[int]int, k int, r *rng.Rand) []int {
+	if k >= len(items) {
+		return append([]int(nil), items...)
+	}
+	type keyed struct {
+		item int
+		key  float64
+	}
+	ks := make([]keyed, len(items))
+	for i, it := range items {
+		// key = U^(1/w); larger keys win.
+		u := r.Float64()
+		for u == 0 {
+			u = r.Float64()
+		}
+		ks[i] = keyed{it, pow(u, 1.0/float64(weight[it]))}
+	}
+	// Partial selection of the k largest keys.
+	for i := 0; i < k; i++ {
+		best := i
+		for j := i + 1; j < len(ks); j++ {
+			if ks[j].key > ks[best].key {
+				best = j
+			}
+		}
+		ks[i], ks[best] = ks[best], ks[i]
+	}
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		out[i] = ks[i].item
+	}
+	return out
+}
+
+func insertionSortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		v := a[i]
+		j := i - 1
+		for j >= 0 && a[j] > v {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = v
+	}
+}
+
+func pow(base, exp float64) float64 { return math.Pow(base, exp) }

@@ -1,0 +1,143 @@
+package sampling
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+func TestNodeWiseSampleStructure(t *testing.T) {
+	r := rng.New(1)
+	g := testGraph(r, 50, 80)
+	batch := []int{0, 10, 20}
+	s := NodeWiseSample(g, batch, 2, 3, r)
+	if len(s.Layers) < 2 || len(s.Layers) > 3 {
+		t.Fatalf("layers %d", len(s.Layers))
+	}
+	if len(s.Layers[0]) != len(batch) {
+		t.Fatalf("hop 0 has %d vertices, want batch size %d", len(s.Layers[0]), len(batch))
+	}
+	adj := g.Adjacency()
+	for hop, e := range s.Edges {
+		srcs, dsts := e[0], e[1]
+		if len(srcs) != len(dsts) {
+			t.Fatalf("hop %d unbalanced edges", hop)
+		}
+		// Every sampled edge must exist in the graph and per-vertex fanout
+		// must be bounded.
+		perVertex := map[int]int{}
+		for k := range srcs {
+			if adj.At(dsts[k], srcs[k]) == 0 {
+				t.Fatalf("hop %d sampled non-edge (%d,%d)", hop, srcs[k], dsts[k])
+			}
+			perVertex[dsts[k]]++
+		}
+		for v, c := range perVertex {
+			if c > 3 {
+				t.Fatalf("hop %d vertex %d has fanout %d > 3", hop, v, c)
+			}
+		}
+	}
+}
+
+func TestNodeWiseFanoutKeepsAllSmallNeighborhoods(t *testing.T) {
+	// Path graph: interior vertices have 2 neighbors < fanout 5.
+	g := graph.New(5, []int{0, 1, 2, 3}, []int{1, 2, 3, 4})
+	r := rng.New(2)
+	s := NodeWiseSample(g, []int{2}, 1, 5, r)
+	if len(s.Layers[1]) != 2 {
+		t.Fatalf("hop 1 has %d vertices, want both neighbors", len(s.Layers[1]))
+	}
+}
+
+func TestLayerWiseSampleBudget(t *testing.T) {
+	r := rng.New(3)
+	g := testGraph(r, 60, 120)
+	batch := []int{1, 2, 3, 4}
+	const budget = 5
+	s := LayerWiseSample(g, batch, 3, budget, r)
+	for hop := 1; hop < len(s.Layers); hop++ {
+		if len(s.Layers[hop]) > budget {
+			t.Fatalf("hop %d has %d vertices > budget %d", hop, len(s.Layers[hop]), budget)
+		}
+	}
+}
+
+func TestLayerWiseEdgesConnectAdjacentLayers(t *testing.T) {
+	r := rng.New(4)
+	g := testGraph(r, 40, 70)
+	s := LayerWiseSample(g, []int{0, 5}, 2, 6, r)
+	adj := g.Adjacency()
+	for hop, e := range s.Edges {
+		inLayer := map[int]bool{}
+		for _, u := range s.Layers[hop+1] {
+			inLayer[u] = true
+		}
+		inPrev := map[int]bool{}
+		for _, v := range s.Layers[hop] {
+			inPrev[v] = true
+		}
+		for k := range e[0] {
+			if !inLayer[e[0][k]] || !inPrev[e[1][k]] {
+				t.Fatalf("hop %d edge endpoints outside layers", hop)
+			}
+			if adj.At(e[1][k], e[0][k]) == 0 {
+				t.Fatalf("hop %d edge not in graph", hop)
+			}
+		}
+	}
+}
+
+func TestLayerWiseDistinctVertices(t *testing.T) {
+	r := rng.New(5)
+	g := testGraph(r, 40, 80)
+	s := LayerWiseSample(g, []int{0}, 3, 4, r)
+	for hop, layer := range s.Layers {
+		seen := map[int]bool{}
+		for _, v := range layer {
+			if seen[v] {
+				t.Fatalf("hop %d repeats vertex %d", hop, v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestWeightedSampleWithoutReplacement(t *testing.T) {
+	r := rng.New(6)
+	items := []int{1, 2, 3, 4, 5}
+	weights := map[int]int{1: 1, 2: 1, 3: 1, 4: 100, 5: 100}
+	// Heavily weighted items must dominate selections of size 2.
+	heavy := 0
+	const trials = 300
+	for i := 0; i < trials; i++ {
+		sel := weightedSampleWithoutReplacement(items, weights, 2, r)
+		if len(sel) != 2 {
+			t.Fatalf("selected %d items", len(sel))
+		}
+		if sel[0] == sel[1] {
+			t.Fatal("duplicate selection")
+		}
+		for _, s := range sel {
+			if s == 4 || s == 5 {
+				heavy++
+			}
+		}
+	}
+	if frac := float64(heavy) / float64(2*trials); frac < 0.8 {
+		t.Fatalf("heavy items selected only %.2f of the time", frac)
+	}
+	// k ≥ n returns everything.
+	all := weightedSampleWithoutReplacement(items, weights, 10, r)
+	if len(all) != 5 {
+		t.Fatalf("k>n returned %d items", len(all))
+	}
+}
+
+func TestNumVerticesLayered(t *testing.T) {
+	s := &LayeredSample{Layers: [][]int{{1, 2}, {3}, {4, 5, 6}}}
+	if s.NumVertices() != 6 {
+		t.Fatalf("NumVertices %d", s.NumVertices())
+	}
+}

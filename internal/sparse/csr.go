@@ -1,0 +1,233 @@
+// Package sparse implements the sparse matrix kernels that matrix-based
+// bulk sampling (Figure 2 of the paper) is built from: COO/CSR storage,
+// SpGEMM and SpMM products, row/column selection matrices, per-row
+// nonzero sampling, and vertical stacking of selection matrices across
+// minibatches.
+package sparse
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/parallel"
+)
+
+// CSR is a compressed-sparse-row matrix. RowPtr has length rows+1;
+// ColIdx/Vals have length Nnz(). Within each row, column indices are
+// strictly increasing.
+type CSR struct {
+	RowsN, ColsN int
+	RowPtr       []int
+	ColIdx       []int
+	Vals         []float64
+}
+
+// NewCSR returns an empty rows×cols CSR matrix.
+func NewCSR(rows, cols int) *CSR {
+	return &CSR{RowsN: rows, ColsN: cols, RowPtr: make([]int, rows+1)}
+}
+
+// Rows returns the row count.
+func (m *CSR) Rows() int { return m.RowsN }
+
+// Cols returns the column count.
+func (m *CSR) Cols() int { return m.ColsN }
+
+// Nnz returns the number of stored nonzeros.
+func (m *CSR) Nnz() int { return len(m.ColIdx) }
+
+// RowNnz returns the number of nonzeros in row i.
+func (m *CSR) RowNnz(i int) int { return m.RowPtr[i+1] - m.RowPtr[i] }
+
+// Row returns the column indices and values of row i (views, not copies).
+func (m *CSR) Row(i int) (cols []int, vals []float64) {
+	lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+	return m.ColIdx[lo:hi], m.Vals[lo:hi]
+}
+
+// At returns element (i, j) using binary search within the row.
+func (m *CSR) At(i, j int) float64 {
+	cols, vals := m.Row(i)
+	k := sort.SearchInts(cols, j)
+	if k < len(cols) && cols[k] == j {
+		return vals[k]
+	}
+	return 0
+}
+
+// Clone returns a deep copy.
+func (m *CSR) Clone() *CSR {
+	return &CSR{
+		RowsN:  m.RowsN,
+		ColsN:  m.ColsN,
+		RowPtr: append([]int(nil), m.RowPtr...),
+		ColIdx: append([]int(nil), m.ColIdx...),
+		Vals:   append([]float64(nil), m.Vals...),
+	}
+}
+
+// Transpose returns mᵀ in CSR form.
+func (m *CSR) Transpose() *CSR {
+	out := &CSR{
+		RowsN:  m.ColsN,
+		ColsN:  m.RowsN,
+		RowPtr: make([]int, m.ColsN+1),
+		ColIdx: make([]int, m.Nnz()),
+		Vals:   make([]float64, m.Nnz()),
+	}
+	// Count entries per output row (input column).
+	for _, c := range m.ColIdx {
+		out.RowPtr[c+1]++
+	}
+	for i := 0; i < m.ColsN; i++ {
+		out.RowPtr[i+1] += out.RowPtr[i]
+	}
+	next := append([]int(nil), out.RowPtr[:m.ColsN]...)
+	for i := 0; i < m.RowsN; i++ {
+		cols, vals := m.Row(i)
+		for k, c := range cols {
+			pos := next[c]
+			out.ColIdx[pos] = i
+			out.Vals[pos] = vals[k]
+			next[c]++
+		}
+	}
+	return out
+}
+
+// VStack stacks matrices vertically; all must share the column count.
+// This is how per-minibatch Q (and F) matrices are combined for bulk
+// sampling (equation 1 of the paper).
+func VStack(ms ...*CSR) *CSR {
+	if len(ms) == 0 {
+		return NewCSR(0, 0)
+	}
+	cols := ms[0].ColsN
+	rows, nnz := 0, 0
+	for _, m := range ms {
+		if m.ColsN != cols {
+			panic(fmt.Sprintf("sparse: VStack col mismatch %d vs %d", m.ColsN, cols))
+		}
+		rows += m.RowsN
+		nnz += m.Nnz()
+	}
+	out := &CSR{
+		RowsN:  rows,
+		ColsN:  cols,
+		RowPtr: make([]int, 0, rows+1),
+		ColIdx: make([]int, 0, nnz),
+		Vals:   make([]float64, 0, nnz),
+	}
+	out.RowPtr = append(out.RowPtr, 0)
+	offset := 0
+	for _, m := range ms {
+		for i := 1; i <= m.RowsN; i++ {
+			out.RowPtr = append(out.RowPtr, offset+m.RowPtr[i])
+		}
+		out.ColIdx = append(out.ColIdx, m.ColIdx...)
+		out.Vals = append(out.Vals, m.Vals...)
+		offset += m.Nnz()
+	}
+	return out
+}
+
+// BlockDiag assembles matrices along the diagonal: the result has
+// sum(rows)×sum(cols) shape with each input occupying its own block.
+// ShaDow's sampled adjacency "with b disjoint components" is exactly this.
+func BlockDiag(ms ...*CSR) *CSR {
+	rows, cols, nnz := 0, 0, 0
+	for _, m := range ms {
+		rows += m.RowsN
+		cols += m.ColsN
+		nnz += m.Nnz()
+	}
+	out := &CSR{
+		RowsN:  rows,
+		ColsN:  cols,
+		RowPtr: make([]int, 0, rows+1),
+		ColIdx: make([]int, 0, nnz),
+		Vals:   make([]float64, 0, nnz),
+	}
+	out.RowPtr = append(out.RowPtr, 0)
+	rowOff, colOff, nnzOff := 0, 0, 0
+	for _, m := range ms {
+		for i := 1; i <= m.RowsN; i++ {
+			out.RowPtr = append(out.RowPtr, nnzOff+m.RowPtr[i])
+		}
+		for _, c := range m.ColIdx {
+			out.ColIdx = append(out.ColIdx, c+colOff)
+		}
+		out.Vals = append(out.Vals, m.Vals...)
+		rowOff += m.RowsN
+		colOff += m.ColsN
+		nnzOff += m.Nnz()
+	}
+	_ = rowOff
+	return out
+}
+
+// Equal reports exact structural and numeric equality.
+func (m *CSR) Equal(o *CSR) bool {
+	if m.RowsN != o.RowsN || m.ColsN != o.ColsN || m.Nnz() != o.Nnz() {
+		return false
+	}
+	for i := range m.RowPtr {
+		if m.RowPtr[i] != o.RowPtr[i] {
+			return false
+		}
+	}
+	for i := range m.ColIdx {
+		if m.ColIdx[i] != o.ColIdx[i] || m.Vals[i] != o.Vals[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// checkValid panics if the CSR invariants are violated (used in tests).
+func (m *CSR) checkValid() {
+	if len(m.RowPtr) != m.RowsN+1 {
+		panic("sparse: RowPtr length")
+	}
+	if m.RowPtr[0] != 0 || m.RowPtr[m.RowsN] != len(m.ColIdx) {
+		panic("sparse: RowPtr endpoints")
+	}
+	for i := 0; i < m.RowsN; i++ {
+		if m.RowPtr[i] > m.RowPtr[i+1] {
+			panic("sparse: RowPtr not monotone")
+		}
+		cols, _ := m.Row(i)
+		for k := 1; k < len(cols); k++ {
+			if cols[k-1] >= cols[k] {
+				panic("sparse: row columns not strictly increasing")
+			}
+		}
+		for _, c := range cols {
+			if c < 0 || c >= m.ColsN {
+				panic("sparse: column out of range")
+			}
+		}
+	}
+}
+
+// parallelRowGrain is the minimum rows per chunk in parallel kernels.
+const parallelRowGrain = 64
+
+// assembleRows builds a CSR from per-row (cols, vals) slices.
+func assembleRows(rows, cols int, rowCols [][]int, rowVals [][]float64) *CSR {
+	out := &CSR{RowsN: rows, ColsN: cols, RowPtr: make([]int, rows+1)}
+	nnz := 0
+	for i, rc := range rowCols {
+		nnz += len(rc)
+		out.RowPtr[i+1] = nnz
+	}
+	out.ColIdx = make([]int, nnz)
+	out.Vals = make([]float64, nnz)
+	parallel.For(rows, parallelRowGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			copy(out.ColIdx[out.RowPtr[i]:out.RowPtr[i+1]], rowCols[i])
+			copy(out.Vals[out.RowPtr[i]:out.RowPtr[i+1]], rowVals[i])
+		}
+	})
+	return out
+}

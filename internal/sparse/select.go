@@ -1,0 +1,172 @@
+package sparse
+
+import (
+	"fmt"
+
+	"repro/internal/parallel"
+	"repro/internal/rng"
+)
+
+// RowSelection builds the k×n selection matrix with a single unit nonzero
+// per row at column idx[i]. Multiplying RowSelection(idx, n) × A extracts
+// rows idx of A — the Q matrices of matrix-based sampling are exactly
+// these.
+func RowSelection(idx []int, n int) *CSR {
+	out := &CSR{
+		RowsN:  len(idx),
+		ColsN:  n,
+		RowPtr: make([]int, len(idx)+1),
+		ColIdx: make([]int, len(idx)),
+		Vals:   make([]float64, len(idx)),
+	}
+	for i, j := range idx {
+		if j < 0 || j >= n {
+			panic(fmt.Sprintf("sparse: selection index %d outside [0,%d)", j, n))
+		}
+		out.RowPtr[i+1] = i + 1
+		out.ColIdx[i] = j
+		out.Vals[i] = 1
+	}
+	return out
+}
+
+// GatherRows returns the matrix whose i-th row is m's row idx[i]. This is
+// the specialized Q·A product for a row-selection matrix Q with one unit
+// nonzero per row — the structure the sampling Q matrices always have —
+// and avoids the general SpGEMM accumulator. Equivalence with
+// SpGEMM(RowSelection(idx, n), A) is covered by tests.
+func GatherRows(m *CSR, idx []int) *CSR {
+	out := &CSR{RowsN: len(idx), ColsN: m.ColsN, RowPtr: make([]int, len(idx)+1)}
+	nnz := 0
+	for i, r := range idx {
+		nnz += m.RowNnz(r)
+		out.RowPtr[i+1] = nnz
+	}
+	out.ColIdx = make([]int, nnz)
+	out.Vals = make([]float64, nnz)
+	parallel.For(len(idx), 256, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			cols, vals := m.Row(idx[i])
+			copy(out.ColIdx[out.RowPtr[i]:out.RowPtr[i+1]], cols)
+			copy(out.Vals[out.RowPtr[i]:out.RowPtr[i+1]], vals)
+		}
+	})
+	return out
+}
+
+// ExtractSubmatrix returns A[idx, idx] computed with the paper's
+// row-and-column-selection SpGEMM formulation: R·A·Rᵀ where R is the
+// RowSelection matrix of idx. Output row/column i corresponds to vertex
+// idx[i].
+func ExtractSubmatrix(a *CSR, idx []int) *CSR {
+	r := RowSelection(idx, a.RowsN)
+	return SpGEMM(SpGEMM(r, a), r.Transpose())
+}
+
+// ExtractSubmatrixDirect computes the same A[idx, idx] with a direct
+// hash-based relabeling, used as the independent oracle for testing the
+// SpGEMM formulation and as the fast path in the standard (non-bulk)
+// ShaDow sampler.
+func ExtractSubmatrixDirect(a *CSR, idx []int) *CSR {
+	pos := make(map[int]int, len(idx))
+	for i, v := range idx {
+		pos[v] = i
+	}
+	rowCols := make([][]int, len(idx))
+	rowVals := make([][]float64, len(idx))
+	for i, v := range idx {
+		cols, vals := a.Row(v)
+		var rc []int
+		var rv []float64
+		for k, c := range cols {
+			if j, ok := pos[c]; ok {
+				rc = append(rc, j)
+				rv = append(rv, vals[k])
+			}
+		}
+		// Row is traversed in increasing source-column order, but target
+		// labels follow idx order, so sort by target column.
+		insertionSortPairs(rc, rv)
+		rowCols[i], rowVals[i] = rc, rv
+	}
+	return assembleRows(len(idx), len(idx), rowCols, rowVals)
+}
+
+func insertionSortPairs(cols []int, vals []float64) {
+	for i := 1; i < len(cols); i++ {
+		c, v := cols[i], vals[i]
+		j := i - 1
+		for j >= 0 && cols[j] > c {
+			cols[j+1], vals[j+1] = cols[j], vals[j]
+			j--
+		}
+		cols[j+1], vals[j+1] = c, v
+	}
+}
+
+// SampleRowsResult is the output of SampleRows: for each input row, the
+// sampled column indices.
+type SampleRowsResult struct {
+	Samples [][]int
+}
+
+// SampleRows draws up to s distinct nonzero column indices uniformly from
+// each row of m. Rows with ≤ s nonzeros return all of them. A split of
+// the provided generator seeds each parallel chunk so results are
+// deterministic for a given (matrix, s, seed) regardless of scheduling.
+//
+// This implements the "divide each row by its sum to get a uniform
+// distribution and sample s neighbors" step of matrix-based ShaDow: for
+// boolean adjacency rows, normalizing and sampling s times without
+// replacement is exactly uniform sampling of s distinct neighbors.
+func SampleRows(m *CSR, s int, r *rng.Rand) *SampleRowsResult {
+	out := &SampleRowsResult{Samples: make([][]int, m.RowsN)}
+	// One split generator per contiguous chunk: deterministic for a fixed
+	// row count regardless of goroutine scheduling.
+	workers := parallel.MaxWorkers()
+	chunk := (m.RowsN + workers - 1) / workers
+	if chunk < 1 {
+		chunk = 1
+	}
+	var tasks []func()
+	for lo := 0; lo < m.RowsN; lo += chunk {
+		lo, hi, g := lo, lo+chunk, r.Split()
+		if hi > m.RowsN {
+			hi = m.RowsN
+		}
+		tasks = append(tasks, func() {
+			for i := lo; i < hi; i++ {
+				cols, _ := m.Row(i)
+				if len(cols) <= s {
+					out.Samples[i] = append([]int(nil), cols...)
+					continue
+				}
+				picks := g.SampleWithoutReplacement(len(cols), s)
+				sel := make([]int, len(picks))
+				for k, p := range picks {
+					sel[k] = cols[p]
+				}
+				out.Samples[i] = sel
+			}
+		})
+	}
+	parallel.Do(tasks...)
+	return out
+}
+
+// IndicatorFromSets builds a rows×n CSR matrix with unit entries at the
+// given column sets (one set per row) — the F frontier/visited matrix of
+// matrix-based sampling.
+func IndicatorFromSets(sets [][]int, n int) *CSR {
+	coo := NewCOO(len(sets), n)
+	for i, set := range sets {
+		for _, c := range set {
+			coo.Add(i, c, 1)
+		}
+	}
+	csr := coo.ToCSR()
+	for i := range csr.Vals {
+		csr.Vals[i] = 1
+	}
+	return csr
+}

@@ -1,0 +1,106 @@
+package sparse
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/parallel"
+	"repro/internal/tensor"
+)
+
+// SpGEMM computes the sparse-sparse product a×b using Gustavson's
+// row-by-row algorithm with a sparse accumulator, parallelized over the
+// rows of a. This is the kernel matrix-based bulk sampling leans on for
+// the Qd·A neighborhood expansion and the row/column-selection extraction
+// step (Figure 2).
+func SpGEMM(a, b *CSR) *CSR {
+	if a.ColsN != b.RowsN {
+		panic(fmt.Sprintf("sparse: SpGEMM inner dims %d vs %d", a.ColsN, b.RowsN))
+	}
+	rowCols := make([][]int, a.RowsN)
+	rowVals := make([][]float64, a.RowsN)
+	parallel.For(a.RowsN, 16, func(lo, hi int) {
+		// Per-worker sparse accumulator: dense value array + touched list.
+		acc := make([]float64, b.ColsN)
+		touched := make([]int, 0, 256)
+		seen := make([]bool, b.ColsN)
+		for i := lo; i < hi; i++ {
+			aCols, aVals := a.Row(i)
+			for k, ac := range aCols {
+				av := aVals[k]
+				bCols, bVals := b.Row(ac)
+				for t, bc := range bCols {
+					if !seen[bc] {
+						seen[bc] = true
+						touched = append(touched, bc)
+					}
+					acc[bc] += av * bVals[t]
+				}
+			}
+			sort.Ints(touched)
+			cols := make([]int, 0, len(touched))
+			vals := make([]float64, 0, len(touched))
+			for _, c := range touched {
+				if acc[c] != 0 {
+					cols = append(cols, c)
+					vals = append(vals, acc[c])
+				}
+				acc[c] = 0
+				seen[c] = false
+			}
+			touched = touched[:0]
+			rowCols[i], rowVals[i] = cols, vals
+		}
+	})
+	return assembleRows(a.RowsN, b.ColsN, rowCols, rowVals)
+}
+
+// SpMM computes the sparse×dense product a×x into a new dense matrix.
+func SpMM(a *CSR, x *tensor.Dense) *tensor.Dense {
+	if a.ColsN != x.Rows() {
+		panic(fmt.Sprintf("sparse: SpMM inner dims %d vs %d", a.ColsN, x.Rows()))
+	}
+	out := tensor.New(a.RowsN, x.Cols())
+	c := x.Cols()
+	parallel.For(a.RowsN, 32, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			oRow := out.Row(i)
+			cols, vals := a.Row(i)
+			for k, col := range cols {
+				v := vals[k]
+				xRow := x.Row(col)
+				for j := 0; j < c; j++ {
+					oRow[j] += v * xRow[j]
+				}
+			}
+		}
+	})
+	return out
+}
+
+// ToDense materializes the matrix (for tests and small examples only).
+func (m *CSR) ToDense() *tensor.Dense {
+	out := tensor.New(m.RowsN, m.ColsN)
+	for i := 0; i < m.RowsN; i++ {
+		cols, vals := m.Row(i)
+		row := out.Row(i)
+		for k, c := range cols {
+			row[c] = vals[k]
+		}
+	}
+	return out
+}
+
+// FromDense converts a dense matrix to CSR, dropping exact zeros.
+func FromDense(d *tensor.Dense) *CSR {
+	coo := NewCOO(d.Rows(), d.Cols())
+	for i := 0; i < d.Rows(); i++ {
+		row := d.Row(i)
+		for j, v := range row {
+			if v != 0 {
+				coo.Add(i, j, v)
+			}
+		}
+	}
+	return coo.ToCSR()
+}

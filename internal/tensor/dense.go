@@ -1,0 +1,152 @@
+// Package tensor implements dense row-major float64 matrices and the
+// parallel CPU kernels (blocked GEMM, elementwise ops, gather/scatter)
+// that stand in for the GPU kernels used by the paper's PyTorch stack.
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dense is a dense row-major matrix of float64.
+type Dense struct {
+	rows, cols int
+	data       []float64
+}
+
+// New returns a zeroed rows×cols matrix.
+func New(rows, cols int) *Dense {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: negative dimensions %dx%d", rows, cols))
+	}
+	return &Dense{rows: rows, cols: cols, data: make([]float64, rows*cols)}
+}
+
+// FromSlice wraps data (length rows*cols, row-major) without copying.
+func FromSlice(rows, cols int, data []float64) *Dense {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("tensor: data length %d != %d*%d", len(data), rows, cols))
+	}
+	return &Dense{rows: rows, cols: cols, data: data}
+}
+
+// FromRows builds a matrix from a slice of equal-length rows (copying).
+func FromRows(rows [][]float64) *Dense {
+	if len(rows) == 0 {
+		return New(0, 0)
+	}
+	c := len(rows[0])
+	m := New(len(rows), c)
+	for i, r := range rows {
+		if len(r) != c {
+			panic("tensor: ragged rows")
+		}
+		copy(m.data[i*c:(i+1)*c], r)
+	}
+	return m
+}
+
+// Rows returns the number of rows.
+func (m *Dense) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Dense) Cols() int { return m.cols }
+
+// Size returns rows*cols.
+func (m *Dense) Size() int { return len(m.data) }
+
+// Data returns the underlying row-major backing slice (not a copy).
+func (m *Dense) Data() []float64 { return m.data }
+
+// At returns element (i, j).
+func (m *Dense) At(i, j int) float64 { return m.data[i*m.cols+j] }
+
+// Set assigns element (i, j).
+func (m *Dense) Set(i, j int, v float64) { m.data[i*m.cols+j] = v }
+
+// Row returns row i as a slice aliasing the matrix storage.
+func (m *Dense) Row(i int) []float64 { return m.data[i*m.cols : (i+1)*m.cols] }
+
+// Clone returns a deep copy.
+func (m *Dense) Clone() *Dense {
+	c := New(m.rows, m.cols)
+	copy(c.data, m.data)
+	return c
+}
+
+// CopyFrom copies src into m. Shapes must match.
+func (m *Dense) CopyFrom(src *Dense) {
+	if m.rows != src.rows || m.cols != src.cols {
+		panic(fmt.Sprintf("tensor: CopyFrom shape mismatch %dx%d vs %dx%d", m.rows, m.cols, src.rows, src.cols))
+	}
+	copy(m.data, src.data)
+}
+
+// Zero sets all elements to 0.
+func (m *Dense) Zero() {
+	for i := range m.data {
+		m.data[i] = 0
+	}
+}
+
+// Fill sets all elements to v.
+func (m *Dense) Fill(v float64) {
+	for i := range m.data {
+		m.data[i] = v
+	}
+}
+
+// SameShape reports whether m and o have identical dimensions.
+func (m *Dense) SameShape(o *Dense) bool { return m.rows == o.rows && m.cols == o.cols }
+
+// Reshape returns a view of the same data with new dimensions.
+// rows*cols must equal the current size.
+func (m *Dense) Reshape(rows, cols int) *Dense {
+	if rows*cols != len(m.data) {
+		panic(fmt.Sprintf("tensor: cannot reshape %dx%d to %dx%d", m.rows, m.cols, rows, cols))
+	}
+	return &Dense{rows: rows, cols: cols, data: m.data}
+}
+
+// SliceRows returns a view of rows [lo, hi) sharing storage with m.
+func (m *Dense) SliceRows(lo, hi int) *Dense {
+	if lo < 0 || hi < lo || hi > m.rows {
+		panic(fmt.Sprintf("tensor: SliceRows [%d,%d) of %d rows", lo, hi, m.rows))
+	}
+	return &Dense{rows: hi - lo, cols: m.cols, data: m.data[lo*m.cols : hi*m.cols]}
+}
+
+// MaxAbsDiff returns max |m[i]-o[i]|; shapes must match.
+func (m *Dense) MaxAbsDiff(o *Dense) float64 {
+	if !m.SameShape(o) {
+		panic("tensor: MaxAbsDiff shape mismatch")
+	}
+	worst := 0.0
+	for i := range m.data {
+		if d := math.Abs(m.data[i] - o.data[i]); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// EqualApprox reports whether all elements differ by at most tol.
+func (m *Dense) EqualApprox(o *Dense, tol float64) bool {
+	return m.SameShape(o) && m.MaxAbsDiff(o) <= tol
+}
+
+// String renders small matrices for debugging.
+func (m *Dense) String() string {
+	if m.rows*m.cols > 400 {
+		return fmt.Sprintf("Dense{%dx%d}", m.rows, m.cols)
+	}
+	s := fmt.Sprintf("Dense{%dx%d}[\n", m.rows, m.cols)
+	for i := 0; i < m.rows; i++ {
+		s += " "
+		for j := 0; j < m.cols; j++ {
+			s += fmt.Sprintf(" %8.4f", m.At(i, j))
+		}
+		s += "\n"
+	}
+	return s + "]"
+}

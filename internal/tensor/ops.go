@@ -1,0 +1,363 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/parallel"
+)
+
+// matmulGrain is the minimum number of output rows per parallel chunk.
+const matmulGrain = 8
+
+// MatMul returns a×b. Panics on an inner-dimension mismatch.
+func MatMul(a, b *Dense) *Dense {
+	out := New(a.rows, b.cols)
+	MatMulInto(out, a, b)
+	return out
+}
+
+// MatMulInto computes out = a×b. out must be preallocated with shape
+// a.rows × b.cols and must not alias a or b.
+//
+// The kernel uses i-k-j loop order so the innermost loop streams
+// contiguously over rows of b and out, and parallelizes across row blocks.
+func MatMulInto(out, a, b *Dense) {
+	if a.cols != b.rows {
+		panic(fmt.Sprintf("tensor: MatMul inner dims %d vs %d", a.cols, b.rows))
+	}
+	if out.rows != a.rows || out.cols != b.cols {
+		panic("tensor: MatMulInto output shape mismatch")
+	}
+	n, k := b.cols, a.cols
+	parallel.For(a.rows, matmulGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			oRow := out.data[i*n : (i+1)*n]
+			for j := range oRow {
+				oRow[j] = 0
+			}
+			aRow := a.data[i*k : (i+1)*k]
+			for p := 0; p < k; p++ {
+				av := aRow[p]
+				if av == 0 {
+					continue
+				}
+				bRow := b.data[p*n : (p+1)*n]
+				for j, bv := range bRow {
+					oRow[j] += av * bv
+				}
+			}
+		}
+	})
+}
+
+// MatMulT returns a×bᵀ, used by backprop (dA = G×Bᵀ) without forming Bᵀ.
+func MatMulT(a, b *Dense) *Dense {
+	if a.cols != b.cols {
+		panic(fmt.Sprintf("tensor: MatMulT inner dims %d vs %d", a.cols, b.cols))
+	}
+	out := New(a.rows, b.rows)
+	k := a.cols
+	parallel.For(a.rows, matmulGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			aRow := a.data[i*k : (i+1)*k]
+			oRow := out.data[i*b.rows : (i+1)*b.rows]
+			for j := 0; j < b.rows; j++ {
+				bRow := b.data[j*k : (j+1)*k]
+				sum := 0.0
+				for p, av := range aRow {
+					sum += av * bRow[p]
+				}
+				oRow[j] = sum
+			}
+		}
+	})
+	return out
+}
+
+// TMatMul returns aᵀ×b, used by backprop (dB = Aᵀ×G) without forming Aᵀ.
+func TMatMul(a, b *Dense) *Dense {
+	if a.rows != b.rows {
+		panic(fmt.Sprintf("tensor: TMatMul inner dims %d vs %d", a.rows, b.rows))
+	}
+	out := New(a.cols, b.cols)
+	// Parallelize over output rows (columns of a) to avoid write races.
+	parallel.For(a.cols, 1, func(lo, hi int) {
+		for p := 0; p < a.rows; p++ {
+			aRow := a.data[p*a.cols : (p+1)*a.cols]
+			bRow := b.data[p*b.cols : (p+1)*b.cols]
+			for i := lo; i < hi; i++ {
+				av := aRow[i]
+				if av == 0 {
+					continue
+				}
+				oRow := out.data[i*b.cols : (i+1)*b.cols]
+				for j, bv := range bRow {
+					oRow[j] += av * bv
+				}
+			}
+		}
+	})
+	return out
+}
+
+// Transpose returns mᵀ as a new matrix.
+func (m *Dense) Transpose() *Dense {
+	out := New(m.cols, m.rows)
+	for i := 0; i < m.rows; i++ {
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		for j, v := range row {
+			out.data[j*m.rows+i] = v
+		}
+	}
+	return out
+}
+
+// Add returns a+b elementwise.
+func Add(a, b *Dense) *Dense {
+	checkSame("Add", a, b)
+	out := a.Clone()
+	out.AddInPlace(b)
+	return out
+}
+
+// AddInPlace computes m += o.
+func (m *Dense) AddInPlace(o *Dense) {
+	checkSame("AddInPlace", m, o)
+	for i, v := range o.data {
+		m.data[i] += v
+	}
+}
+
+// Sub returns a-b elementwise.
+func Sub(a, b *Dense) *Dense {
+	checkSame("Sub", a, b)
+	out := New(a.rows, a.cols)
+	for i := range out.data {
+		out.data[i] = a.data[i] - b.data[i]
+	}
+	return out
+}
+
+// Mul returns the elementwise (Hadamard) product a*b.
+func Mul(a, b *Dense) *Dense {
+	checkSame("Mul", a, b)
+	out := New(a.rows, a.cols)
+	for i := range out.data {
+		out.data[i] = a.data[i] * b.data[i]
+	}
+	return out
+}
+
+// Scale returns s*m.
+func Scale(s float64, m *Dense) *Dense {
+	out := New(m.rows, m.cols)
+	for i, v := range m.data {
+		out.data[i] = s * v
+	}
+	return out
+}
+
+// ScaleInPlace computes m *= s.
+func (m *Dense) ScaleInPlace(s float64) {
+	for i := range m.data {
+		m.data[i] *= s
+	}
+}
+
+// AXPY computes m += s*o.
+func (m *Dense) AXPY(s float64, o *Dense) {
+	checkSame("AXPY", m, o)
+	for i, v := range o.data {
+		m.data[i] += s * v
+	}
+}
+
+// AddBias returns m with the 1×cols row vector b added to every row.
+func AddBias(m, b *Dense) *Dense {
+	if b.rows != 1 || b.cols != m.cols {
+		panic(fmt.Sprintf("tensor: AddBias bias %dx%d vs matrix cols %d", b.rows, b.cols, m.cols))
+	}
+	out := New(m.rows, m.cols)
+	parallel.For(m.rows, 64, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := m.data[i*m.cols : (i+1)*m.cols]
+			oRow := out.data[i*m.cols : (i+1)*m.cols]
+			for j, v := range row {
+				oRow[j] = v + b.data[j]
+			}
+		}
+	})
+	return out
+}
+
+// ColSums returns a 1×cols matrix with the sum of each column.
+func (m *Dense) ColSums() *Dense {
+	out := New(1, m.cols)
+	for i := 0; i < m.rows; i++ {
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		for j, v := range row {
+			out.data[j] += v
+		}
+	}
+	return out
+}
+
+// RowSums returns a rows×1 matrix with the sum of each row.
+func (m *Dense) RowSums() *Dense {
+	out := New(m.rows, 1)
+	for i := 0; i < m.rows; i++ {
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		s := 0.0
+		for _, v := range row {
+			s += v
+		}
+		out.data[i] = s
+	}
+	return out
+}
+
+// Sum returns the sum of all elements.
+func (m *Dense) Sum() float64 {
+	s := 0.0
+	for _, v := range m.data {
+		s += v
+	}
+	return s
+}
+
+// Mean returns the mean of all elements (0 for an empty matrix).
+func (m *Dense) Mean() float64 {
+	if len(m.data) == 0 {
+		return 0
+	}
+	return m.Sum() / float64(len(m.data))
+}
+
+// Norm2 returns the Frobenius norm.
+func (m *Dense) Norm2() float64 {
+	s := 0.0
+	for _, v := range m.data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// Apply returns f applied elementwise.
+func Apply(m *Dense, f func(float64) float64) *Dense {
+	out := New(m.rows, m.cols)
+	for i, v := range m.data {
+		out.data[i] = f(v)
+	}
+	return out
+}
+
+// ConcatCols concatenates matrices horizontally. All inputs must have the
+// same row count.
+func ConcatCols(ms ...*Dense) *Dense {
+	if len(ms) == 0 {
+		return New(0, 0)
+	}
+	rows := ms[0].rows
+	totalCols := 0
+	for _, m := range ms {
+		if m.rows != rows {
+			panic(fmt.Sprintf("tensor: ConcatCols row mismatch %d vs %d", m.rows, rows))
+		}
+		totalCols += m.cols
+	}
+	out := New(rows, totalCols)
+	parallel.For(rows, 64, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			off := i * totalCols
+			for _, m := range ms {
+				copy(out.data[off:off+m.cols], m.data[i*m.cols:(i+1)*m.cols])
+				off += m.cols
+			}
+		}
+	})
+	return out
+}
+
+// ConcatRows concatenates matrices vertically. All inputs must have the
+// same column count.
+func ConcatRows(ms ...*Dense) *Dense {
+	if len(ms) == 0 {
+		return New(0, 0)
+	}
+	cols := ms[0].cols
+	totalRows := 0
+	for _, m := range ms {
+		if m.cols != cols {
+			panic(fmt.Sprintf("tensor: ConcatRows col mismatch %d vs %d", m.cols, cols))
+		}
+		totalRows += m.rows
+	}
+	out := New(totalRows, cols)
+	off := 0
+	for _, m := range ms {
+		copy(out.data[off:off+len(m.data)], m.data)
+		off += len(m.data)
+	}
+	return out
+}
+
+// SplitCols splits m into len(widths) matrices with the given column
+// widths (which must sum to m.cols), undoing ConcatCols.
+func SplitCols(m *Dense, widths ...int) []*Dense {
+	total := 0
+	for _, w := range widths {
+		total += w
+	}
+	if total != m.cols {
+		panic(fmt.Sprintf("tensor: SplitCols widths sum %d != cols %d", total, m.cols))
+	}
+	outs := make([]*Dense, len(widths))
+	for i, w := range widths {
+		outs[i] = New(m.rows, w)
+	}
+	for r := 0; r < m.rows; r++ {
+		off := r * m.cols
+		for i, w := range widths {
+			copy(outs[i].data[r*w:(r+1)*w], m.data[off:off+w])
+			off += w
+		}
+	}
+	return outs
+}
+
+// GatherRows returns the matrix whose i-th row is m's row idx[i].
+func GatherRows(m *Dense, idx []int) *Dense {
+	out := New(len(idx), m.cols)
+	parallel.For(len(idx), 256, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			copy(out.data[i*m.cols:(i+1)*m.cols], m.Row(idx[i]))
+		}
+	})
+	return out
+}
+
+// ScatterAddRows adds row i of src into row idx[i] of dst.
+// Rows of dst may be targeted by multiple sources; execution is serial per
+// destination row so no synchronization is required.
+func ScatterAddRows(dst, src *Dense, idx []int) {
+	if src.cols != dst.cols {
+		panic("tensor: ScatterAddRows col mismatch")
+	}
+	if len(idx) != src.rows {
+		panic("tensor: ScatterAddRows index length mismatch")
+	}
+	for i, target := range idx {
+		dRow := dst.data[target*dst.cols : (target+1)*dst.cols]
+		sRow := src.data[i*src.cols : (i+1)*src.cols]
+		for j, v := range sRow {
+			dRow[j] += v
+		}
+	}
+}
+
+func checkSame(op string, a, b *Dense) {
+	if !a.SameShape(b) {
+		panic(fmt.Sprintf("tensor: %s shape mismatch %dx%d vs %dx%d", op, a.rows, a.cols, b.rows, b.cols))
+	}
+}

@@ -1,0 +1,278 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func naiveMatMul(a, b *Dense) *Dense {
+	out := New(a.Rows(), b.Cols())
+	for i := 0; i < a.Rows(); i++ {
+		for j := 0; j < b.Cols(); j++ {
+			s := 0.0
+			for p := 0; p < a.Cols(); p++ {
+				s += a.At(i, p) * b.At(p, j)
+			}
+			out.Set(i, j, s)
+		}
+	}
+	return out
+}
+
+func randomMat(r *rng.Rand, rows, cols int) *Dense {
+	return RandN(r, rows, cols, 1)
+}
+
+func TestMatMulMatchesNaive(t *testing.T) {
+	r := rng.New(1)
+	for trial := 0; trial < 30; trial++ {
+		m, k, n := r.Intn(20)+1, r.Intn(20)+1, r.Intn(20)+1
+		a, b := randomMat(r, m, k), randomMat(r, k, n)
+		got, want := MatMul(a, b), naiveMatMul(a, b)
+		if !got.EqualApprox(want, 1e-12) {
+			t.Fatalf("MatMul mismatch at %dx%dx%d: diff %v", m, k, n, got.MaxAbsDiff(want))
+		}
+	}
+}
+
+func TestMatMulIdentity(t *testing.T) {
+	r := rng.New(2)
+	a := randomMat(r, 7, 7)
+	id := New(7, 7)
+	for i := 0; i < 7; i++ {
+		id.Set(i, i, 1)
+	}
+	if !MatMul(a, id).EqualApprox(a, 1e-14) || !MatMul(id, a).EqualApprox(a, 1e-14) {
+		t.Fatal("identity multiplication altered matrix")
+	}
+}
+
+func TestMatMulAssociativity(t *testing.T) {
+	r := rng.New(3)
+	a, b, c := randomMat(r, 5, 6), randomMat(r, 6, 4), randomMat(r, 4, 3)
+	left := MatMul(MatMul(a, b), c)
+	right := MatMul(a, MatMul(b, c))
+	if !left.EqualApprox(right, 1e-10) {
+		t.Fatalf("(AB)C != A(BC): diff %v", left.MaxAbsDiff(right))
+	}
+}
+
+func TestMatMulTAndTMatMul(t *testing.T) {
+	r := rng.New(4)
+	for trial := 0; trial < 20; trial++ {
+		m, k, n := r.Intn(15)+1, r.Intn(15)+1, r.Intn(15)+1
+		a, b := randomMat(r, m, k), randomMat(r, n, k)
+		if got, want := MatMulT(a, b), MatMul(a, b.Transpose()); !got.EqualApprox(want, 1e-12) {
+			t.Fatalf("MatMulT mismatch: %v", got.MaxAbsDiff(want))
+		}
+		c := randomMat(r, k, n)
+		a2 := randomMat(r, k, m)
+		if got, want := TMatMul(a2, c), MatMul(a2.Transpose(), c); !got.EqualApprox(want, 1e-12) {
+			t.Fatalf("TMatMul mismatch: %v", got.MaxAbsDiff(want))
+		}
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	check := func(seed uint64, rRaw, cRaw uint8) bool {
+		rows, cols := int(rRaw%20)+1, int(cRaw%20)+1
+		m := randomMat(rng.New(seed), rows, cols)
+		return m.Transpose().Transpose().EqualApprox(m, 0)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddSubInverse(t *testing.T) {
+	r := rng.New(5)
+	a, b := randomMat(r, 9, 4), randomMat(r, 9, 4)
+	if !Sub(Add(a, b), b).EqualApprox(a, 1e-14) {
+		t.Fatal("(a+b)-b != a")
+	}
+}
+
+func TestMulCommutes(t *testing.T) {
+	r := rng.New(6)
+	a, b := randomMat(r, 6, 6), randomMat(r, 6, 6)
+	if !Mul(a, b).EqualApprox(Mul(b, a), 0) {
+		t.Fatal("Hadamard product not commutative")
+	}
+}
+
+func TestScaleLinearity(t *testing.T) {
+	r := rng.New(7)
+	a := randomMat(r, 5, 5)
+	if !Scale(2, a).EqualApprox(Add(a, a), 1e-14) {
+		t.Fatal("2a != a+a")
+	}
+}
+
+func TestAddBias(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{10, 20}})
+	got := AddBias(m, b)
+	want := FromRows([][]float64{{11, 22}, {13, 24}})
+	if !got.EqualApprox(want, 0) {
+		t.Fatalf("AddBias got %v", got)
+	}
+}
+
+func TestColRowSums(t *testing.T) {
+	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	if cs := m.ColSums(); !cs.EqualApprox(FromRows([][]float64{{5, 7, 9}}), 0) {
+		t.Fatalf("ColSums got %v", cs)
+	}
+	if rs := m.RowSums(); !rs.EqualApprox(FromRows([][]float64{{6}, {15}}), 0) {
+		t.Fatalf("RowSums got %v", rs)
+	}
+	if m.Sum() != 21 {
+		t.Fatalf("Sum got %v", m.Sum())
+	}
+	if m.Mean() != 3.5 {
+		t.Fatalf("Mean got %v", m.Mean())
+	}
+}
+
+func TestConcatSplitColsRoundTrip(t *testing.T) {
+	r := rng.New(8)
+	a, b, c := randomMat(r, 7, 3), randomMat(r, 7, 1), randomMat(r, 7, 5)
+	cat := ConcatCols(a, b, c)
+	if cat.Rows() != 7 || cat.Cols() != 9 {
+		t.Fatalf("ConcatCols shape %dx%d", cat.Rows(), cat.Cols())
+	}
+	parts := SplitCols(cat, 3, 1, 5)
+	if !parts[0].EqualApprox(a, 0) || !parts[1].EqualApprox(b, 0) || !parts[2].EqualApprox(c, 0) {
+		t.Fatal("SplitCols did not invert ConcatCols")
+	}
+}
+
+func TestConcatRows(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}})
+	b := FromRows([][]float64{{3, 4}, {5, 6}})
+	got := ConcatRows(a, b)
+	want := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if !got.EqualApprox(want, 0) {
+		t.Fatalf("ConcatRows got %v", got)
+	}
+}
+
+func TestGatherScatterAdjoint(t *testing.T) {
+	// <Gather(x, idx), y> == <x, ScatterAdd(y, idx)> — the adjoint identity
+	// that autograd relies on.
+	r := rng.New(9)
+	for trial := 0; trial < 20; trial++ {
+		n, m, c := r.Intn(20)+2, r.Intn(30)+1, r.Intn(5)+1
+		x := randomMat(r, n, c)
+		y := randomMat(r, m, c)
+		idx := make([]int, m)
+		for i := range idx {
+			idx[i] = r.Intn(n)
+		}
+		g := GatherRows(x, idx)
+		lhs := Mul(g, y).Sum()
+		sc := New(n, c)
+		ScatterAddRows(sc, y, idx)
+		rhs := Mul(x, sc).Sum()
+		if math.Abs(lhs-rhs) > 1e-10 {
+			t.Fatalf("adjoint identity violated: %v vs %v", lhs, rhs)
+		}
+	}
+}
+
+func TestGatherRowsValues(t *testing.T) {
+	m := FromRows([][]float64{{0, 0}, {1, 1}, {2, 2}})
+	g := GatherRows(m, []int{2, 0, 2})
+	want := FromRows([][]float64{{2, 2}, {0, 0}, {2, 2}})
+	if !g.EqualApprox(want, 0) {
+		t.Fatalf("GatherRows got %v", g)
+	}
+}
+
+func TestScatterAddAccumulates(t *testing.T) {
+	dst := New(2, 1)
+	src := FromRows([][]float64{{1}, {2}, {4}})
+	ScatterAddRows(dst, src, []int{0, 0, 1})
+	want := FromRows([][]float64{{3}, {4}})
+	if !dst.EqualApprox(want, 0) {
+		t.Fatalf("ScatterAddRows got %v", dst)
+	}
+}
+
+func TestSliceRowsAliases(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	v := m.SliceRows(1, 3)
+	v.Set(0, 0, 99)
+	if m.At(1, 0) != 99 {
+		t.Fatal("SliceRows does not alias parent storage")
+	}
+}
+
+func TestReshapePreservesData(t *testing.T) {
+	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	r := m.Reshape(3, 2)
+	want := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if !r.EqualApprox(want, 0) {
+		t.Fatalf("Reshape got %v", r)
+	}
+}
+
+func TestShapeMismatchPanics(t *testing.T) {
+	cases := []func(){
+		func() { MatMul(New(2, 3), New(2, 3)) },
+		func() { Add(New(2, 3), New(3, 2)) },
+		func() { AddBias(New(2, 3), New(1, 2)) },
+		func() { ConcatCols(New(2, 3), New(3, 3)) },
+		func() { FromSlice(2, 2, []float64{1}) },
+		func() { New(2, 2).Reshape(3, 3) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestXavierHeInitScale(t *testing.T) {
+	r := rng.New(10)
+	w := XavierInit(r, 100, 100)
+	limit := math.Sqrt(6.0 / 200.0)
+	for _, v := range w.Data() {
+		if v < -limit || v > limit {
+			t.Fatalf("Xavier value %v outside ±%v", v, limit)
+		}
+	}
+	h := HeInit(r, 200, 50)
+	variance := 0.0
+	for _, v := range h.Data() {
+		variance += v * v
+	}
+	variance /= float64(h.Size())
+	if math.Abs(variance-2.0/200.0) > 0.002 {
+		t.Fatalf("He variance %v too far from %v", variance, 2.0/200.0)
+	}
+}
+
+func TestNorm2(t *testing.T) {
+	m := FromRows([][]float64{{3, 4}})
+	if math.Abs(m.Norm2()-5) > 1e-14 {
+		t.Fatalf("Norm2 got %v", m.Norm2())
+	}
+}
+
+func TestAXPY(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}})
+	b := FromRows([][]float64{{10, 10}})
+	a.AXPY(0.5, b)
+	if !a.EqualApprox(FromRows([][]float64{{6, 7}}), 1e-15) {
+		t.Fatalf("AXPY got %v", a)
+	}
+}

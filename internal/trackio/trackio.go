@@ -1,0 +1,106 @@
+// Package trackio serializes generated datasets so the cmd tools can
+// share events between generation, training, and benchmarking runs.
+// The format is Go's gob encoding of a versioned envelope.
+package trackio
+
+import (
+	"compress/gzip"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/detector"
+	"repro/internal/tensor"
+)
+
+// formatVersion guards against reading incompatible files.
+const formatVersion = 1
+
+// envelope is the on-disk representation. Dense matrices are flattened
+// because tensor.Dense has unexported fields.
+type envelope struct {
+	Version int
+	Spec    detector.Spec
+	Events  []eventRecord
+}
+
+type eventRecord struct {
+	Hits               []detector.Hit
+	FeatRows, FeatCols int
+	FeatData           []float64
+	TruthSrc, TruthDst []int
+	Particles          int
+}
+
+// Save writes the dataset to path, gzip-compressed.
+func Save(path string, ds *detector.Dataset) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trackio: create: %w", err)
+	}
+	defer f.Close()
+	zw := gzip.NewWriter(f)
+	if err := encode(zw, ds); err != nil {
+		return err
+	}
+	if err := zw.Close(); err != nil {
+		return fmt.Errorf("trackio: gzip close: %w", err)
+	}
+	return f.Close()
+}
+
+// Load reads a dataset previously written by Save.
+func Load(path string) (*detector.Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("trackio: open: %w", err)
+	}
+	defer f.Close()
+	zr, err := gzip.NewReader(f)
+	if err != nil {
+		return nil, fmt.Errorf("trackio: gzip: %w", err)
+	}
+	defer zr.Close()
+	return decode(zr)
+}
+
+func encode(w io.Writer, ds *detector.Dataset) error {
+	env := envelope{Version: formatVersion, Spec: ds.Spec}
+	for _, ev := range ds.Events {
+		env.Events = append(env.Events, eventRecord{
+			Hits:      ev.Hits,
+			FeatRows:  ev.Features.Rows(),
+			FeatCols:  ev.Features.Cols(),
+			FeatData:  ev.Features.Data(),
+			TruthSrc:  ev.TruthSrc,
+			TruthDst:  ev.TruthDst,
+			Particles: ev.Particles,
+		})
+	}
+	if err := gob.NewEncoder(w).Encode(&env); err != nil {
+		return fmt.Errorf("trackio: encode: %w", err)
+	}
+	return nil
+}
+
+func decode(r io.Reader) (*detector.Dataset, error) {
+	var env envelope
+	if err := gob.NewDecoder(r).Decode(&env); err != nil {
+		return nil, fmt.Errorf("trackio: decode: %w", err)
+	}
+	if env.Version != formatVersion {
+		return nil, fmt.Errorf("trackio: format version %d, want %d", env.Version, formatVersion)
+	}
+	ds := &detector.Dataset{Spec: env.Spec}
+	for _, rec := range env.Events {
+		ds.Events = append(ds.Events, &detector.Event{
+			Hits:      rec.Hits,
+			Features:  tensor.FromSlice(rec.FeatRows, rec.FeatCols, rec.FeatData),
+			TruthSrc:  rec.TruthSrc,
+			TruthDst:  rec.TruthDst,
+			Particles: rec.Particles,
+		})
+	}
+	return ds, nil
+}

@@ -1,0 +1,62 @@
+package trackio
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/detector"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	spec := detector.Ex3Like(0.03)
+	spec.NumEvents = 3
+	ds := detector.Generate(spec, 42)
+	path := filepath.Join(t.TempDir(), "ds.gob.gz")
+	if err := Save(path, ds); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Spec.Name != ds.Spec.Name || len(got.Events) != len(ds.Events) {
+		t.Fatalf("spec or event count mismatch: %v events", len(got.Events))
+	}
+	for i := range ds.Events {
+		a, b := ds.Events[i], got.Events[i]
+		if a.NumHits() != b.NumHits() {
+			t.Fatalf("event %d hits differ", i)
+		}
+		if a.Features.MaxAbsDiff(b.Features) != 0 {
+			t.Fatalf("event %d features differ", i)
+		}
+		if len(a.TruthSrc) != len(b.TruthSrc) {
+			t.Fatalf("event %d truth edges differ", i)
+		}
+		for k := range a.TruthSrc {
+			if a.TruthSrc[k] != b.TruthSrc[k] || a.TruthDst[k] != b.TruthDst[k] {
+				t.Fatalf("event %d truth edge %d differs", i, k)
+			}
+		}
+		if a.Particles != b.Particles {
+			t.Fatalf("event %d particle count differs", i)
+		}
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "absent.gob.gz")); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}
+
+func TestLoadGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "garbage")
+	if err := os.WriteFile(path, []byte("not a gzip"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Fatal("expected error for garbage file")
+	}
+}

@@ -1,0 +1,215 @@
+// Package repro is the public API of this reproduction of "Scaling Graph
+// Neural Networks for Particle Track Reconstruction" (Tripathy et al.,
+// IPPS 2025, arXiv:2504.04670).
+//
+// The library provides, built entirely on the Go standard library:
+//
+//   - A synthetic barrel-detector event generator standing in for the
+//     paper's CTD and Ex3 datasets (GenerateDataset with CTDLike/Ex3Like).
+//   - The five-stage Exa.TrkX pipeline: metric-learning embedding MLP,
+//     fixed-radius graph construction, edge-filter MLP, Interaction GNN
+//     edge classification, and connected-component track building
+//     (NewPipeline).
+//   - The paper's contribution: minibatch GNN training with ShaDow
+//     subgraph sampling, matrix-based bulk sampling, and a coalesced
+//     all-reduce for distributed data parallelism over simulated devices
+//     (NewTrainer with PyGBaselineConfig/OursConfig).
+//   - Experiment harnesses regenerating every table and figure of the
+//     paper's evaluation (RunTable1, RunFigure3, RunFigure4, and the
+//     Run*Ablation functions).
+//
+// Quickstart:
+//
+//	spec := repro.Ex3Like(0.05)
+//	spec.NumEvents = 10
+//	ds := repro.GenerateDataset(spec, 42)
+//	cfg := repro.DefaultPipelineConfig(spec)
+//	p := repro.NewPipeline(cfg, 1)
+//	train, _, test := ds.Split(0.8, 0.1)
+//	p.TrainStages13(train, 2)
+//	res := p.Reconstruct(test[0])
+//	fmt.Println("track efficiency:", res.Match.Efficiency())
+//
+// See the examples/ directory for runnable programs.
+package repro
+
+import (
+	"repro/internal/core"
+	"repro/internal/detector"
+	"repro/internal/experiments"
+	"repro/internal/ignn"
+	"repro/internal/metrics"
+	"repro/internal/pipeline"
+	"repro/internal/rng"
+	"repro/internal/sampling"
+	"repro/internal/trackio"
+)
+
+func rngNew(seed uint64) *rng.Rand { return rng.New(seed) }
+
+// Dataset types and generation.
+type (
+	// DetectorSpec describes a synthetic dataset family (layers, field,
+	// kinematics, feature widths).
+	DetectorSpec = detector.Spec
+	// Dataset is a generated set of collision events.
+	Dataset = detector.Dataset
+	// Event is one collision event with hits, features, and truth.
+	Event = detector.Event
+	// Hit is one recorded detector measurement.
+	Hit = detector.Hit
+	// DatasetStats summarizes a dataset for Table I.
+	DatasetStats = detector.Stats
+)
+
+// CTDLike returns the CTD-like dataset spec (Table I: 14 vertex features,
+// 8 edge features, 3 MLP layers). scale=1 targets paper-sized events.
+func CTDLike(scale float64) DetectorSpec { return detector.CTDLike(scale) }
+
+// Ex3Like returns the Ex3-like dataset spec (Table I: 6 vertex features,
+// 2 edge features, 2 MLP layers).
+func Ex3Like(scale float64) DetectorSpec { return detector.Ex3Like(scale) }
+
+// GenerateDataset simulates spec.NumEvents collision events from seed.
+func GenerateDataset(spec DetectorSpec, seed uint64) *Dataset {
+	return detector.Generate(spec, seed)
+}
+
+// SaveDataset writes a dataset to disk (gzip-compressed gob).
+func SaveDataset(path string, ds *Dataset) error { return trackio.Save(path, ds) }
+
+// LoadDataset reads a dataset written by SaveDataset.
+func LoadDataset(path string) (*Dataset, error) { return trackio.Load(path) }
+
+// Pipeline types.
+type (
+	// Pipeline is the five-stage Exa.TrkX reconstruction pipeline.
+	Pipeline = pipeline.Pipeline
+	// PipelineConfig collects pipeline hyperparameters.
+	PipelineConfig = pipeline.Config
+	// EventGraph is a constructed event graph, the GNN stage's input.
+	EventGraph = pipeline.EventGraph
+	// Result is full-pipeline inference output with metrics.
+	Result = pipeline.Result
+	// GNNConfig describes the Interaction GNN.
+	GNNConfig = ignn.Config
+	// InteractionGNN is the paper's GNN model (Algorithm 1).
+	InteractionGNN = ignn.Model
+)
+
+// DefaultPipelineConfig returns a laptop-scale pipeline configuration for
+// a dataset spec.
+func DefaultPipelineConfig(spec DetectorSpec) PipelineConfig {
+	return pipeline.DefaultConfig(spec)
+}
+
+// NewPipeline creates an untrained pipeline with deterministic
+// initialization.
+func NewPipeline(cfg PipelineConfig, seed uint64) *Pipeline { return pipeline.New(cfg, seed) }
+
+// NewInteractionGNN builds a standalone Interaction GNN.
+func NewInteractionGNN(cfg GNNConfig, seed uint64) *InteractionGNN {
+	return ignn.New(cfg, rngNew(seed))
+}
+
+// Training types (the paper's contribution).
+type (
+	// TrainerConfig configures GNN-stage training.
+	TrainerConfig = core.Config
+	// Trainer trains Interaction GNN replicas under simulated DDP.
+	Trainer = core.Trainer
+	// EpochStats reports one epoch (loss, phase times, skips, bulk k).
+	EpochStats = core.EpochStats
+	// ShadowConfig holds ShaDow sampling hyperparameters.
+	ShadowConfig = sampling.Config
+	// TrainingHistory is a per-epoch convergence record.
+	TrainingHistory = metrics.History
+	// BinaryCounts is a confusion-count summary with precision/recall.
+	BinaryCounts = metrics.BinaryCounts
+	// TrackMatch is the double-majority track matching summary.
+	TrackMatch = metrics.TrackMatch
+)
+
+// Training modes and sampler kinds.
+const (
+	// FullGraph trains on whole event graphs (original Exa.TrkX).
+	FullGraph = core.FullGraph
+	// Minibatch trains on ShaDow-sampled vertex batches (the paper).
+	Minibatch = core.Minibatch
+	// SamplerStandard is the sequential Algorithm 2 sampler (PyG baseline).
+	SamplerStandard = core.SamplerStandard
+	// SamplerMatrixBulk is the paper's matrix-based bulk sampler.
+	SamplerMatrixBulk = core.SamplerMatrixBulk
+)
+
+// DefaultTrainerConfig mirrors the paper's training hyperparameters.
+func DefaultTrainerConfig(gnn GNNConfig) TrainerConfig { return core.DefaultConfig(gnn) }
+
+// PyGBaselineConfig configures the paper's baseline (standard sampler,
+// per-matrix all-reduce) for the given simulated device count.
+func PyGBaselineConfig(gnn GNNConfig, procs int) TrainerConfig {
+	return core.PyGBaselineConfig(gnn, procs)
+}
+
+// OursConfig configures the paper's optimized pipeline (matrix bulk
+// sampler, coalesced all-reduce).
+func OursConfig(gnn GNNConfig, procs int) TrainerConfig { return core.OursConfig(gnn, procs) }
+
+// NewTrainer builds a trainer with identically initialized replicas.
+func NewTrainer(cfg TrainerConfig) *Trainer { return core.NewTrainer(cfg) }
+
+// Experiment harnesses (Table I, Figures 3 and 4, ablations).
+type (
+	// ExperimentOptions configures an experiment run; zero values pick
+	// laptop-scale defaults.
+	ExperimentOptions = experiments.Options
+	// Table1Row is one dataset row of Table I.
+	Table1Row = experiments.Table1Row
+	// EpochTimeRow is one stacked bar of Figure 3.
+	EpochTimeRow = experiments.EpochTimeRow
+	// ConvergenceResult holds the three curves of Figure 4.
+	ConvergenceResult = experiments.ConvergenceResult
+	// AllReduceRow is one point of the all-reduce ablation.
+	AllReduceRow = experiments.AllReduceRow
+	// BulkKRow is one point of the bulk batch count ablation.
+	BulkKRow = experiments.BulkKRow
+	// FanoutRow is one point of the ShaDow hyperparameter ablation.
+	FanoutRow = experiments.FanoutRow
+	// BatchSizeRow is one point of the batch-size ablation.
+	BatchSizeRow = experiments.BatchSizeRow
+)
+
+// RunTable1 regenerates Table I at the configured scale.
+func RunTable1(o ExperimentOptions) []Table1Row { return experiments.RunTable1(o) }
+
+// RunFigure3 regenerates Figure 3 (epoch time across process counts).
+func RunFigure3(o ExperimentOptions, procs []int) []EpochTimeRow {
+	return experiments.RunFigure3(o, procs)
+}
+
+// Figure3Speedups pairs Figure 3 rows into per-P speedups of Ours vs PyG.
+func Figure3Speedups(rows []EpochTimeRow) map[int]float64 { return experiments.Speedups(rows) }
+
+// RunFigure4 regenerates Figure 4 (convergence of full-graph vs ShaDow
+// minibatch training).
+func RunFigure4(o ExperimentOptions) *ConvergenceResult { return experiments.RunFigure4(o) }
+
+// RunAllReduceAblation measures per-matrix vs coalesced all-reduce cost.
+func RunAllReduceAblation(o ExperimentOptions, procs []int, steps int) []AllReduceRow {
+	return experiments.RunAllReduceAblation(o, procs, steps)
+}
+
+// RunBulkKAblation sweeps the bulk batch count.
+func RunBulkKAblation(o ExperimentOptions, ks []int) []BulkKRow {
+	return experiments.RunBulkKAblation(o, ks)
+}
+
+// RunFanoutAblation sweeps ShaDow (depth, fanout).
+func RunFanoutAblation(o ExperimentOptions, pairs [][2]int) []FanoutRow {
+	return experiments.RunFanoutAblation(o, pairs)
+}
+
+// RunBatchSizeAblation sweeps the training batch size.
+func RunBatchSizeAblation(o ExperimentOptions, sizes []int) []BatchSizeRow {
+	return experiments.RunBatchSizeAblation(o, sizes)
+}
