@@ -1,0 +1,356 @@
+// Command bench runs the repository's benchmark suite programmatically —
+// the experiment regenerations of bench_test.go plus the sparse/dense
+// kernel microbenchmarks — and emits a BENCH_*.json perf-trajectory
+// record (ns/op, B/op, allocs/op per benchmark). PERF.md documents the
+// schema and protocol.
+//
+// Usage:
+//
+//	go run ./cmd/bench -out BENCH_1.json [-baseline BENCH_baseline.json] [-quick]
+//
+// With -baseline, the named prior record is embedded and per-benchmark
+// improvement percentages are computed against it.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/gpumem"
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/sampling"
+	"repro/internal/sparse"
+	"repro/internal/tensor"
+	"repro/internal/workspace"
+)
+
+// BenchResult is one benchmark's measurement.
+type BenchResult struct {
+	Name        string             `json:"name"`
+	Iterations  int                `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Improvement compares a benchmark against its baseline (positive = better).
+type Improvement struct {
+	Name          string  `json:"name"`
+	NsPercent     float64 `json:"ns_per_op_pct"`
+	BytesPercent  float64 `json:"bytes_per_op_pct"`
+	AllocsPercent float64 `json:"allocs_per_op_pct"`
+}
+
+// Record is the BENCH_*.json schema (see PERF.md).
+type Record struct {
+	SchemaVersion int           `json:"schema_version"`
+	Date          string        `json:"date"`
+	GoVersion     string        `json:"go_version"`
+	GOOS          string        `json:"goos"`
+	GOARCH        string        `json:"goarch"`
+	MaxProcs      int           `json:"maxprocs"`
+	Protocol      string        `json:"protocol"`
+	Benchmarks    []BenchResult `json:"benchmarks"`
+	Workspace     struct {
+		Gets       int64 `json:"gets"`
+		Puts       int64 `json:"puts"`
+		Misses     int64 `json:"misses"`
+		InUseBytes int64 `json:"in_use_bytes"`
+	} `json:"workspace"`
+	WorkspaceFitsA100 bool          `json:"workspace_fits_a100_reserve"`
+	Baseline          *Record       `json:"baseline,omitempty"`
+	Improvements      []Improvement `json:"improvements,omitempty"`
+}
+
+func benchOptions() repro.ExperimentOptions {
+	return repro.ExperimentOptions{
+		Scale:           0.02,
+		Events:          4,
+		Epochs:          2,
+		BatchSize:       128,
+		Hidden:          8,
+		Steps:           2,
+		Seed:            7,
+		SamplerOverhead: time.Millisecond,
+	}
+}
+
+// benchCSR mirrors the fixture of internal/sparse/bench_test.go.
+func benchCSR(n, nnzPerRow int, seed uint64) *sparse.CSR {
+	r := rng.New(seed)
+	coo := sparse.NewCOO(n, n)
+	for i := 0; i < n; i++ {
+		for k := 0; k < nnzPerRow; k++ {
+			coo.Add(i, r.Intn(n), 1+r.Float64())
+		}
+	}
+	return coo.ToCSR()
+}
+
+func benchMat(rows, cols int, seed uint64) *tensor.Dense {
+	r := rng.New(seed)
+	m := tensor.New(rows, cols)
+	d := m.Data()
+	for i := range d {
+		d[i] = r.Float64()*2 - 1
+	}
+	return m
+}
+
+type namedBench struct {
+	name string
+	fn   func(b *testing.B)
+}
+
+func suite(quick bool) []namedBench {
+	o := benchOptions()
+	benches := []namedBench{
+		{"BenchmarkPipeline_Reconstruct", func(b *testing.B) {
+			spec := repro.Ex3Like(0.03)
+			spec.NumEvents = 2
+			ds := repro.GenerateDataset(spec, 3)
+			p := repro.NewPipeline(repro.DefaultPipelineConfig(spec), 5)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.Reconstruct(ds.Events[i%len(ds.Events)])
+			}
+		}},
+		{"BenchmarkSpGEMM", func(b *testing.B) {
+			a := benchCSR(2000, 8, 1)
+			c := benchCSR(2000, 8, 2)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sparse.SpGEMM(a, c)
+			}
+		}},
+		{"BenchmarkSpMM", func(b *testing.B) {
+			a := benchCSR(2000, 8, 1)
+			x := benchMat(2000, 32, 3)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sparse.SpMM(a, x)
+			}
+		}},
+		{"BenchmarkGatherRowsCSR", func(b *testing.B) {
+			a := benchCSR(2000, 8, 1)
+			r := rng.New(4)
+			idx := make([]int, 1024)
+			for i := range idx {
+				idx[i] = r.Intn(2000)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sparse.GatherRows(a, idx)
+			}
+		}},
+		{"BenchmarkMatMul", func(b *testing.B) {
+			a := benchMat(4096, 64, 1)
+			w := benchMat(64, 64, 2)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tensor.MatMul(a, w)
+			}
+		}},
+		{"BenchmarkMatMulInto", func(b *testing.B) {
+			a := benchMat(4096, 64, 1)
+			w := benchMat(64, 64, 2)
+			out := tensor.New(4096, 64)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tensor.MatMulInto(out, a, w)
+			}
+		}},
+		{"BenchmarkMatMulT", func(b *testing.B) {
+			g := benchMat(4096, 64, 1)
+			w := benchMat(64, 64, 2)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tensor.MatMulT(g, w)
+			}
+		}},
+		{"BenchmarkTMatMul", func(b *testing.B) {
+			a := benchMat(4096, 64, 1)
+			g := benchMat(4096, 64, 2)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tensor.TMatMul(a, g)
+			}
+		}},
+		{"BenchmarkGatherRows", func(b *testing.B) {
+			x := benchMat(4096, 64, 1)
+			r := rng.New(3)
+			idx := make([]int, 8192)
+			for i := range idx {
+				idx[i] = r.Intn(4096)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tensor.GatherRows(x, idx)
+			}
+		}},
+		{"BenchmarkAddBias", func(b *testing.B) {
+			x := benchMat(4096, 64, 1)
+			bias := benchMat(1, 64, 2)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tensor.AddBias(x, bias)
+			}
+		}},
+		{"BenchmarkBulkMatrixShaDow256x4", func(b *testing.B) {
+			g, eidx := samplingFixture(2000)
+			r := rng.New(2)
+			var batches [][]int
+			for j := 0; j < 4; j++ {
+				batches = append(batches, r.SampleWithoutReplacement(2000, 256))
+			}
+			cfg := sampling.DefaultConfig()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sampling.BulkMatrixShaDow(g, eidx, batches, cfg, r.Split())
+			}
+		}},
+	}
+	if !quick {
+		benches = append(benches,
+			namedBench{"BenchmarkFigure3_EpochTime_P1", func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					rows := repro.RunFigure3(o, []int{1})
+					b.ReportMetric(repro.Figure3Speedups(rows)[1], "speedup")
+				}
+			}},
+			namedBench{"BenchmarkFigure3_EpochTime_P4", func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					rows := repro.RunFigure3(o, []int{4})
+					b.ReportMetric(repro.Figure3Speedups(rows)[4], "speedup")
+				}
+			}},
+		)
+	}
+	return benches
+}
+
+// samplingFixture mirrors internal/sampling/bench_test.go's benchGraph.
+func samplingFixture(n int) (*graph.Graph, *sampling.EdgeIndex) {
+	r := rng.New(1)
+	var src, dst []int
+	for i := 1; i < n; i++ {
+		src = append(src, i-1)
+		dst = append(dst, i)
+	}
+	for k := 0; k < 3*n; k++ {
+		a, b := r.Intn(n), r.Intn(n)
+		if a != b {
+			src = append(src, a)
+			dst = append(dst, b)
+		}
+	}
+	g := graph.New(n, src, dst)
+	g.Adjacency()
+	return g, sampling.NewEdgeIndex(g)
+}
+
+func pct(baseline, current float64) float64 {
+	if baseline == 0 {
+		return 0
+	}
+	return 100 * (baseline - current) / baseline
+}
+
+func main() {
+	out := flag.String("out", "BENCH_1.json", "output JSON path")
+	baselinePath := flag.String("baseline", "", "optional prior BENCH_*.json to diff against")
+	quick := flag.Bool("quick", false, "skip the multi-second experiment benchmarks")
+	flag.Parse()
+
+	// Validate the baseline before spending a minute on benchmarks.
+	var base *Record
+	if *baselinePath != "" {
+		raw, err := os.ReadFile(*baselinePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: read baseline: %v\n", err)
+			os.Exit(1)
+		}
+		base = &Record{}
+		if err := json.Unmarshal(raw, base); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: parse baseline: %v\n", err)
+			os.Exit(1)
+		}
+		base.Baseline = nil // never nest more than one level
+	}
+
+	rec := &Record{
+		SchemaVersion: 1,
+		Date:          time.Now().UTC().Format(time.RFC3339),
+		GoVersion:     runtime.Version(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		MaxProcs:      runtime.GOMAXPROCS(0),
+		Protocol:      "testing.Benchmark per entry (default 1s benchtime), fixtures identical to bench_test.go and the kernel bench files; see PERF.md",
+	}
+
+	for _, nb := range suite(*quick) {
+		fmt.Fprintf(os.Stderr, "running %s...\n", nb.name)
+		r := testing.Benchmark(nb.fn)
+		res := BenchResult{
+			Name:        nb.name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+		if len(r.Extra) > 0 {
+			res.Metrics = map[string]float64{}
+			for k, v := range r.Extra {
+				res.Metrics[k] = v
+			}
+		}
+		rec.Benchmarks = append(rec.Benchmarks, res)
+	}
+
+	ws := workspace.ReadStats()
+	rec.Workspace.Gets = ws.Gets
+	rec.Workspace.Puts = ws.Puts
+	rec.Workspace.Misses = ws.Misses
+	rec.Workspace.InUseBytes = ws.InUseBytes
+	rec.WorkspaceFitsA100 = gpumem.A100().WorkspaceUsage().Fits
+
+	if base != nil {
+		rec.Baseline = base
+		byName := map[string]BenchResult{}
+		for _, b := range base.Benchmarks {
+			byName[b.Name] = b
+		}
+		for _, c := range rec.Benchmarks {
+			b, ok := byName[c.Name]
+			if !ok {
+				continue
+			}
+			rec.Improvements = append(rec.Improvements, Improvement{
+				Name:          c.Name,
+				NsPercent:     pct(b.NsPerOp, c.NsPerOp),
+				BytesPercent:  pct(float64(b.BytesPerOp), float64(c.BytesPerOp)),
+				AllocsPercent: pct(float64(b.AllocsPerOp), float64(c.AllocsPerOp)),
+			})
+		}
+	}
+
+	blob, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: marshal: %v\n", err)
+		os.Exit(1)
+	}
+	blob = append(blob, '\n')
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: write %s: %v\n", *out, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(rec.Benchmarks))
+}

@@ -3,8 +3,6 @@ package autograd
 import (
 	"fmt"
 	"math"
-
-	"repro/internal/tensor"
 )
 
 // BCEWithLogits computes the mean binary cross-entropy between logits
@@ -30,14 +28,14 @@ func (t *Tape) BCEWithLogits(logits *Node, targets []float64, posWeight float64)
 		l := math.Max(zi, 0) - zi*y + math.Log1p(math.Exp(-math.Abs(zi)))
 		total += w * l
 	}
-	v := tensor.New(1, 1)
+	v := t.alloc(1, 1)
 	v.Set(0, 0, total/float64(m))
 	var out *Node
 	out = t.newNode(v, logits.needGrad, func() {
 		if !logits.needGrad {
 			return
 		}
-		g := tensor.New(m, 1)
+		g := t.alloc(m, 1)
 		gd := g.Data()
 		scale := out.grad.At(0, 0) / float64(m)
 		for i, y := range targets {
@@ -47,7 +45,7 @@ func (t *Tape) BCEWithLogits(logits *Node, targets []float64, posWeight float64)
 			}
 			gd[i] = scale * w * (sigmoid(z[i]) - y)
 		}
-		logits.accum(g)
+		logits.accumOwned(g)
 	})
 	if !logits.needGrad {
 		out.back = nil
@@ -77,14 +75,14 @@ func (t *Tape) HingePairLoss(d2 *Node, labels []float64, margin float64) *Node {
 			total += m2 - d[i]
 		}
 	}
-	v := tensor.New(1, 1)
+	v := t.alloc(1, 1)
 	v.Set(0, 0, total/float64(m))
 	var out *Node
 	out = t.newNode(v, d2.needGrad, func() {
 		if !d2.needGrad {
 			return
 		}
-		g := tensor.New(m, 1)
+		g := t.alloc(m, 1)
 		gd := g.Data()
 		scale := out.grad.At(0, 0) / float64(m)
 		for i, y := range labels {
@@ -94,7 +92,7 @@ func (t *Tape) HingePairLoss(d2 *Node, labels []float64, margin float64) *Node {
 				gd[i] = -scale
 			}
 		}
-		d2.accum(g)
+		d2.accumOwned(g)
 	})
 	if !d2.needGrad {
 		out.back = nil

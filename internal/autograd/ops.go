@@ -9,15 +9,20 @@ import (
 
 // MatMul returns a×b.
 func (t *Tape) MatMul(a, b *Node) *Node {
-	v := tensor.MatMul(a.Value, b.Value)
+	v := t.alloc(a.Value.Rows(), b.Value.Cols())
+	tensor.MatMulInto(v, a.Value, b.Value)
 	need := a.needGrad || b.needGrad
 	var out *Node
 	out = t.newNode(v, need, func() {
 		if a.needGrad {
-			a.accum(tensor.MatMulT(out.grad, b.Value))
+			g := t.alloc(a.Value.Rows(), a.Value.Cols())
+			tensor.MatMulTInto(g, out.grad, b.Value)
+			a.accumOwned(g)
 		}
 		if b.needGrad {
-			b.accum(tensor.TMatMul(a.Value, out.grad))
+			g := t.alloc(b.Value.Rows(), b.Value.Cols())
+			tensor.TMatMulInto(g, a.Value, out.grad)
+			b.accumOwned(g)
 		}
 	})
 	if !need {
@@ -28,7 +33,8 @@ func (t *Tape) MatMul(a, b *Node) *Node {
 
 // Add returns a+b (same shape).
 func (t *Tape) Add(a, b *Node) *Node {
-	v := tensor.Add(a.Value, b.Value)
+	v := t.alloc(a.Value.Rows(), a.Value.Cols())
+	tensor.AddInto(v, a.Value, b.Value)
 	need := a.needGrad || b.needGrad
 	var out *Node
 	out = t.newNode(v, need, func() {
@@ -47,7 +53,8 @@ func (t *Tape) Add(a, b *Node) *Node {
 
 // AddBias adds the 1×c row vector bias to every row of a.
 func (t *Tape) AddBias(a, bias *Node) *Node {
-	v := tensor.AddBias(a.Value, bias.Value)
+	v := t.alloc(a.Value.Rows(), a.Value.Cols())
+	tensor.AddBiasInto(v, a.Value, bias.Value)
 	need := a.needGrad || bias.needGrad
 	var out *Node
 	out = t.newNode(v, need, func() {
@@ -55,7 +62,9 @@ func (t *Tape) AddBias(a, bias *Node) *Node {
 			a.accum(out.grad)
 		}
 		if bias.needGrad {
-			bias.accum(out.grad.ColSums())
+			g := t.alloc(1, a.Value.Cols())
+			out.grad.ColSumsInto(g)
+			bias.accumOwned(g)
 		}
 	})
 	if !need {
@@ -66,11 +75,14 @@ func (t *Tape) AddBias(a, bias *Node) *Node {
 
 // Scale returns s*a.
 func (t *Tape) Scale(s float64, a *Node) *Node {
-	v := tensor.Scale(s, a.Value)
+	v := t.alloc(a.Value.Rows(), a.Value.Cols())
+	tensor.ScaleInto(v, s, a.Value)
 	var out *Node
 	out = t.newNode(v, a.needGrad, func() {
 		if a.needGrad {
-			a.accum(tensor.Scale(s, out.grad))
+			g := t.alloc(a.Value.Rows(), a.Value.Cols())
+			tensor.ScaleInto(g, s, out.grad)
+			a.accumOwned(g)
 		}
 	})
 	if !a.needGrad {
@@ -86,15 +98,20 @@ func (t *Tape) Sub(a, b *Node) *Node {
 
 // Mul returns the elementwise product a*b.
 func (t *Tape) Mul(a, b *Node) *Node {
-	v := tensor.Mul(a.Value, b.Value)
+	v := t.alloc(a.Value.Rows(), a.Value.Cols())
+	tensor.MulInto(v, a.Value, b.Value)
 	need := a.needGrad || b.needGrad
 	var out *Node
 	out = t.newNode(v, need, func() {
 		if a.needGrad {
-			a.accum(tensor.Mul(out.grad, b.Value))
+			g := t.alloc(a.Value.Rows(), a.Value.Cols())
+			tensor.MulInto(g, out.grad, b.Value)
+			a.accumOwned(g)
 		}
 		if b.needGrad {
-			b.accum(tensor.Mul(out.grad, a.Value))
+			g := t.alloc(b.Value.Rows(), b.Value.Cols())
+			tensor.MulInto(g, out.grad, a.Value)
+			b.accumOwned(g)
 		}
 	})
 	if !need {
@@ -106,21 +123,29 @@ func (t *Tape) Mul(a, b *Node) *Node {
 // ConcatCols concatenates nodes horizontally; gradients split back.
 func (t *Tape) ConcatCols(parts ...*Node) *Node {
 	vals := make([]*tensor.Dense, len(parts))
-	widths := make([]int, len(parts))
 	need := false
+	rows, totalCols := 0, 0
 	for i, p := range parts {
 		vals[i] = p.Value
-		widths[i] = p.Value.Cols()
+		if i == 0 {
+			rows = p.Value.Rows()
+		}
+		totalCols += p.Value.Cols()
 		need = need || p.needGrad
 	}
-	v := tensor.ConcatCols(vals...)
+	v := t.alloc(rows, totalCols)
+	tensor.ConcatColsInto(v, vals...)
 	var out *Node
 	out = t.newNode(v, need, func() {
-		grads := tensor.SplitCols(out.grad, widths...)
-		for i, p := range parts {
+		off := 0
+		for _, p := range parts {
+			w := p.Value.Cols()
 			if p.needGrad {
-				p.accum(grads[i])
+				g := t.alloc(rows, w)
+				tensor.ExtractColsInto(g, out.grad, off)
+				p.accumOwned(g)
 			}
+			off += w
 		}
 	})
 	if !need {
@@ -132,13 +157,14 @@ func (t *Tape) ConcatCols(parts ...*Node) *Node {
 // GatherRows selects rows of x at idx: out[i] = x[idx[i]].
 // Backward scatter-adds the incoming gradient into x's rows.
 func (t *Tape) GatherRows(x *Node, idx []int) *Node {
-	v := tensor.GatherRows(x.Value, idx)
+	v := t.alloc(len(idx), x.Value.Cols())
+	tensor.GatherRowsInto(v, x.Value, idx)
 	var out *Node
 	out = t.newNode(v, x.needGrad, func() {
 		if x.needGrad {
-			g := tensor.New(x.Value.Rows(), x.Value.Cols())
+			g := t.alloc(x.Value.Rows(), x.Value.Cols())
 			tensor.ScatterAddRows(g, out.grad, idx)
-			x.accum(g)
+			x.accumOwned(g)
 		}
 	})
 	if !x.needGrad {
@@ -151,12 +177,14 @@ func (t *Tape) GatherRows(x *Node, idx []int) *Node {
 // out[idx[i]] += x[i]. This is the AGG step of message passing.
 // Backward gathers the incoming gradient back to each source row.
 func (t *Tape) ScatterAddRows(x *Node, idx []int, outRows int) *Node {
-	v := tensor.New(outRows, x.Value.Cols())
+	v := t.alloc(outRows, x.Value.Cols())
 	tensor.ScatterAddRows(v, x.Value, idx)
 	var out *Node
 	out = t.newNode(v, x.needGrad, func() {
 		if x.needGrad {
-			x.accum(tensor.GatherRows(out.grad, idx))
+			g := t.alloc(len(idx), x.Value.Cols())
+			tensor.GatherRowsInto(g, out.grad, idx)
+			x.accumOwned(g)
 		}
 	})
 	if !x.needGrad {
@@ -167,7 +195,8 @@ func (t *Tape) ScatterAddRows(x *Node, idx []int, outRows int) *Node {
 
 // ReLU applies max(0, x) elementwise.
 func (t *Tape) ReLU(a *Node) *Node {
-	v := tensor.Apply(a.Value, func(x float64) float64 {
+	v := t.alloc(a.Value.Rows(), a.Value.Cols())
+	tensor.ApplyInto(v, a.Value, func(x float64) float64 {
 		if x > 0 {
 			return x
 		}
@@ -176,14 +205,14 @@ func (t *Tape) ReLU(a *Node) *Node {
 	var out *Node
 	out = t.newNode(v, a.needGrad, func() {
 		if a.needGrad {
-			g := tensor.New(v.Rows(), v.Cols())
+			g := t.alloc(v.Rows(), v.Cols())
 			av, gd, og := a.Value.Data(), g.Data(), out.grad.Data()
 			for i := range gd {
 				if av[i] > 0 {
 					gd[i] = og[i]
 				}
 			}
-			a.accum(g)
+			a.accumOwned(g)
 		}
 	})
 	if !a.needGrad {
@@ -194,16 +223,17 @@ func (t *Tape) ReLU(a *Node) *Node {
 
 // Sigmoid applies the logistic function elementwise.
 func (t *Tape) Sigmoid(a *Node) *Node {
-	v := tensor.Apply(a.Value, sigmoid)
+	v := t.alloc(a.Value.Rows(), a.Value.Cols())
+	tensor.ApplyInto(v, a.Value, sigmoid)
 	var out *Node
 	out = t.newNode(v, a.needGrad, func() {
 		if a.needGrad {
-			g := tensor.New(v.Rows(), v.Cols())
+			g := t.alloc(v.Rows(), v.Cols())
 			vd, gd, og := v.Data(), g.Data(), out.grad.Data()
 			for i := range gd {
 				gd[i] = og[i] * vd[i] * (1 - vd[i])
 			}
-			a.accum(g)
+			a.accumOwned(g)
 		}
 	})
 	if !a.needGrad {
@@ -214,16 +244,17 @@ func (t *Tape) Sigmoid(a *Node) *Node {
 
 // Tanh applies tanh elementwise.
 func (t *Tape) Tanh(a *Node) *Node {
-	v := tensor.Apply(a.Value, math.Tanh)
+	v := t.alloc(a.Value.Rows(), a.Value.Cols())
+	tensor.ApplyInto(v, a.Value, math.Tanh)
 	var out *Node
 	out = t.newNode(v, a.needGrad, func() {
 		if a.needGrad {
-			g := tensor.New(v.Rows(), v.Cols())
+			g := t.alloc(v.Rows(), v.Cols())
 			vd, gd, og := v.Data(), g.Data(), out.grad.Data()
 			for i := range gd {
 				gd[i] = og[i] * (1 - vd[i]*vd[i])
 			}
-			a.accum(g)
+			a.accumOwned(g)
 		}
 	})
 	if !a.needGrad {
@@ -234,11 +265,12 @@ func (t *Tape) Tanh(a *Node) *Node {
 
 // RowSums reduces each row to its sum, producing an n×1 node.
 func (t *Tape) RowSums(a *Node) *Node {
-	v := a.Value.RowSums()
+	v := t.alloc(a.Value.Rows(), 1)
+	a.Value.RowSumsInto(v)
 	var out *Node
 	out = t.newNode(v, a.needGrad, func() {
 		if a.needGrad {
-			g := tensor.New(a.Value.Rows(), a.Value.Cols())
+			g := t.alloc(a.Value.Rows(), a.Value.Cols())
 			og := out.grad.Data()
 			for i := 0; i < g.Rows(); i++ {
 				row := g.Row(i)
@@ -246,7 +278,7 @@ func (t *Tape) RowSums(a *Node) *Node {
 					row[j] = og[i]
 				}
 			}
-			a.accum(g)
+			a.accumOwned(g)
 		}
 	})
 	if !a.needGrad {
@@ -258,14 +290,14 @@ func (t *Tape) RowSums(a *Node) *Node {
 // Mean reduces all elements to their mean as a 1×1 node.
 func (t *Tape) Mean(a *Node) *Node {
 	n := float64(a.Value.Size())
-	v := tensor.New(1, 1)
+	v := t.alloc(1, 1)
 	v.Set(0, 0, a.Value.Mean())
 	var out *Node
 	out = t.newNode(v, a.needGrad, func() {
 		if a.needGrad {
-			g := tensor.New(a.Value.Rows(), a.Value.Cols())
+			g := t.alloc(a.Value.Rows(), a.Value.Cols())
 			g.Fill(out.grad.At(0, 0) / n)
-			a.accum(g)
+			a.accumOwned(g)
 		}
 	})
 	if !a.needGrad {
@@ -276,14 +308,14 @@ func (t *Tape) Mean(a *Node) *Node {
 
 // Sum reduces all elements to their sum as a 1×1 node.
 func (t *Tape) Sum(a *Node) *Node {
-	v := tensor.New(1, 1)
+	v := t.alloc(1, 1)
 	v.Set(0, 0, a.Value.Sum())
 	var out *Node
 	out = t.newNode(v, a.needGrad, func() {
 		if a.needGrad {
-			g := tensor.New(a.Value.Rows(), a.Value.Cols())
+			g := t.alloc(a.Value.Rows(), a.Value.Cols())
 			g.Fill(out.grad.At(0, 0))
-			a.accum(g)
+			a.accumOwned(g)
 		}
 	})
 	if !a.needGrad {
@@ -300,9 +332,9 @@ func (t *Tape) LayerNorm(a, gain, bias *Node, eps float64) *Node {
 	if gain.Value.Rows() != 1 || gain.Value.Cols() != cols || bias.Value.Rows() != 1 || bias.Value.Cols() != cols {
 		panic(fmt.Sprintf("autograd: LayerNorm gain/bias must be 1x%d", cols))
 	}
-	norm := tensor.New(rows, cols) // xhat
-	v := tensor.New(rows, cols)
-	invStd := make([]float64, rows)
+	norm := t.alloc(rows, cols) // xhat
+	v := t.alloc(rows, cols)
+	invStd := t.allocF64(rows)
 	cf := float64(cols)
 	gd, bd := gain.Value.Data(), bias.Value.Data()
 	for i := 0; i < rows; i++ {
@@ -331,7 +363,7 @@ func (t *Tape) LayerNorm(a, gain, bias *Node, eps float64) *Node {
 	out = t.newNode(v, need, func() {
 		og := out.grad
 		if gain.needGrad {
-			g := tensor.New(1, cols)
+			g := t.alloc(1, cols)
 			ggd := g.Data()
 			for i := 0; i < rows; i++ {
 				oRow, nRow := og.Row(i), norm.Row(i)
@@ -339,13 +371,15 @@ func (t *Tape) LayerNorm(a, gain, bias *Node, eps float64) *Node {
 					ggd[j] += oRow[j] * nRow[j]
 				}
 			}
-			gain.accum(g)
+			gain.accumOwned(g)
 		}
 		if bias.needGrad {
-			bias.accum(og.ColSums())
+			g := t.alloc(1, cols)
+			og.ColSumsInto(g)
+			bias.accumOwned(g)
 		}
 		if a.needGrad {
-			g := tensor.New(rows, cols)
+			g := t.alloc(rows, cols)
 			for i := 0; i < rows; i++ {
 				oRow, nRow, gRow := og.Row(i), norm.Row(i), g.Row(i)
 				// dxhat = og * gain
@@ -361,7 +395,7 @@ func (t *Tape) LayerNorm(a, gain, bias *Node, eps float64) *Node {
 					gRow[j] = is * (gRow[j] - sumD/cf - nRow[j]*sumDN/cf)
 				}
 			}
-			a.accum(g)
+			a.accumOwned(g)
 		}
 	})
 	if !need {

@@ -31,6 +31,7 @@ import (
 	"repro/internal/rng"
 	"repro/internal/sampling"
 	"repro/internal/tensor"
+	"repro/internal/workspace"
 )
 
 // SamplerKind selects the ShaDow implementation.
@@ -148,6 +149,13 @@ type Trainer struct {
 	syncers  []*ddp.GradSyncer
 	gen      *rng.Rand
 
+	// Per-rank workspace arenas and reusable tapes: every step's
+	// activations, gradients, and gathered features are borrowed from the
+	// warm pools and returned after the backward pass, so steady-state
+	// training allocates no per-step buffer memory.
+	arenas []*workspace.Arena
+	tapes  []*autograd.Tape
+
 	edgeIndexes map[*pipeline.EventGraph]*sampling.EdgeIndex
 	bulkK       map[*pipeline.EventGraph]int // memory-derived k, cached across epochs
 }
@@ -170,6 +178,9 @@ func NewTrainer(cfg Config) *Trainer {
 		t.params = append(t.params, m.Params())
 		t.opts = append(t.opts, nn.NewAdam(cfg.LR))
 		t.syncers = append(t.syncers, ddp.NewGradSyncer(t.group, rank, cfg.Sync, m.Params()))
+		arena := workspace.NewArena()
+		t.arenas = append(t.arenas, arena)
+		t.tapes = append(t.tapes, autograd.NewTapeArena(arena))
 	}
 	return t
 }
@@ -215,13 +226,15 @@ func (t *Trainer) TrainEpochFullGraph(graphs []*pipeline.EventGraph) EpochStats 
 			continue
 		}
 		start := time.Now()
-		tape := autograd.NewTape()
+		tape := t.tapes[0]
+		tape.Reset()
 		logits := model.Forward(tape, eg.G.Src, eg.G.Dst, eg.X, eg.Y)
 		loss := tape.BCEWithLogits(logits, eg.Label, t.Cfg.PosWeight)
 		tape.Backward(loss)
 		opt.Step(params)
 		stats.Timer.AddDuration(metrics.PhaseTraining, t.Cfg.scaleCompute(time.Since(start)))
 		lossSum += loss.Value.At(0, 0)
+		t.arenas[0].Reset()
 		stats.Steps++
 	}
 	if stats.Steps > 0 {
@@ -381,18 +394,26 @@ func (t *Trainer) trainStepDDP(eg *pipeline.EventGraph, subs []*sampling.Subgrap
 		nn.ZeroGrads(t.params[rank])
 		sub := subs[rank]
 		if sub != nil && sub.NumEdges() > 0 {
-			x := tensor.GatherRows(eg.X, sub.Vertices)
-			y := tensor.GatherRows(eg.Y, sub.EdgeIDs)
-			labels := make([]float64, len(sub.EdgeIDs))
+			arena := t.arenas[rank]
+			x := tensor.NewFrom(arena, len(sub.Vertices), eg.X.Cols())
+			tensor.GatherRowsInto(x, eg.X, sub.Vertices)
+			y := tensor.NewFrom(arena, len(sub.EdgeIDs), eg.Y.Cols())
+			tensor.GatherRowsInto(y, eg.Y, sub.EdgeIDs)
+			labels := arena.F64(len(sub.EdgeIDs))
 			for i, id := range sub.EdgeIDs {
 				labels[i] = eg.Label[id]
 			}
-			tape := autograd.NewTape()
+			tape := t.tapes[rank]
+			tape.Reset()
 			logits := t.replicas[rank].Forward(tape, sub.Src, sub.Dst, x, y)
 			loss := tape.BCEWithLogits(logits, labels, t.Cfg.PosWeight)
 			tape.Backward(loss)
 			lossSum += loss.Value.At(0, 0)
 			lossCount++
+			// Gradients have been accumulated into the persistent Params;
+			// the step's activations, gradients, and gathers can go back
+			// to the pools before sync and the optimizer run.
+			arena.Reset()
 		}
 		if d := time.Since(start); d > worst {
 			worst = d
@@ -445,7 +466,7 @@ func (t *Trainer) Evaluate(graphs []*pipeline.EventGraph) metrics.BinaryCounts {
 		if eg.NumEdges() == 0 {
 			continue
 		}
-		scores := t.Model().EdgeScores(eg.G.Src, eg.G.Dst, eg.X, eg.Y)
+		scores := t.Model().EdgeScoresWith(t.arenas[0], eg.G.Src, eg.G.Dst, eg.X, eg.Y)
 		for k, s := range scores {
 			counts.Add(s >= t.Cfg.Threshold, eg.Label[k] > 0.5)
 		}

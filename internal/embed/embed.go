@@ -10,6 +10,7 @@ import (
 	"repro/internal/nn"
 	"repro/internal/rng"
 	"repro/internal/tensor"
+	"repro/internal/workspace"
 )
 
 // Config controls the embedding model and its training.
@@ -66,7 +67,14 @@ func (e *Embedder) Params() []*autograd.Param { return e.mlp.Params() }
 
 // Embed maps an event's hit features into the embedding space.
 func (e *Embedder) Embed(features *tensor.Dense) *tensor.Dense {
-	t := autograd.NewTape()
+	return e.EmbedWith(nil, features)
+}
+
+// EmbedWith is Embed with the forward pass allocating from the arena's
+// workspace pools. The returned matrix is arena-owned: it is valid only
+// until the caller resets the arena. A nil arena falls back to the heap.
+func (e *Embedder) EmbedWith(arena *workspace.Arena, features *tensor.Dense) *tensor.Dense {
+	t := autograd.NewTapeArena(arena)
 	return e.mlp.Forward(t, t.Constant(features)).Value
 }
 
@@ -105,7 +113,9 @@ func (e *Embedder) TrainStep(ev *detector.Event, opt nn.Optimizer, r *rng.Rand) 
 	if len(pb.a) == 0 {
 		return 0
 	}
-	t := autograd.NewTape()
+	arena := workspace.NewArena()
+	defer arena.Reset()
+	t := autograd.NewTapeArena(arena)
 	emb := e.mlp.Forward(t, t.Constant(ev.Features))
 	ea := t.GatherRows(emb, pb.a)
 	eb := t.GatherRows(emb, pb.b)

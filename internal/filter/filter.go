@@ -11,6 +11,7 @@ import (
 	"repro/internal/nn"
 	"repro/internal/rng"
 	"repro/internal/tensor"
+	"repro/internal/workspace"
 )
 
 // Config controls the filter model and training.
@@ -81,7 +82,18 @@ func (f *EdgeFilter) forward(t *autograd.Tape, nodeFeat, edgeFeat *tensor.Dense,
 
 // Scores returns the sigmoid score per edge.
 func (f *EdgeFilter) Scores(nodeFeat, edgeFeat *tensor.Dense, src, dst []int) []float64 {
-	t := autograd.NewTape()
+	return f.ScoresWith(nil, nodeFeat, edgeFeat, src, dst)
+}
+
+// ScoresWith is Scores with forward-pass activations borrowed from the
+// arena's workspace pools (released before returning). A nil arena
+// falls back to the heap.
+func (f *EdgeFilter) ScoresWith(arena *workspace.Arena, nodeFeat, edgeFeat *tensor.Dense, src, dst []int) []float64 {
+	if arena != nil {
+		mark := arena.Checkpoint()
+		defer arena.ResetTo(mark)
+	}
+	t := autograd.NewTapeArena(arena)
 	logits := f.forward(t, nodeFeat, edgeFeat, src, dst)
 	scores := make([]float64, len(src))
 	for i := range scores {
@@ -92,7 +104,12 @@ func (f *EdgeFilter) Scores(nodeFeat, edgeFeat *tensor.Dense, src, dst []int) []
 
 // Keep returns the boolean keep mask at the configured threshold.
 func (f *EdgeFilter) Keep(nodeFeat, edgeFeat *tensor.Dense, src, dst []int) []bool {
-	scores := f.Scores(nodeFeat, edgeFeat, src, dst)
+	return f.KeepWith(nil, nodeFeat, edgeFeat, src, dst)
+}
+
+// KeepWith is Keep with workspace-pooled forward activations.
+func (f *EdgeFilter) KeepWith(arena *workspace.Arena, nodeFeat, edgeFeat *tensor.Dense, src, dst []int) []bool {
+	scores := f.ScoresWith(arena, nodeFeat, edgeFeat, src, dst)
 	keep := make([]bool, len(scores))
 	for i, s := range scores {
 		keep[i] = s >= f.cfg.Threshold
@@ -105,7 +122,9 @@ func (f *EdgeFilter) TrainStep(nodeFeat, edgeFeat *tensor.Dense, src, dst []int,
 	if len(src) == 0 {
 		return 0
 	}
-	t := autograd.NewTape()
+	arena := workspace.NewArena()
+	defer arena.Reset()
+	t := autograd.NewTapeArena(arena)
 	logits := f.forward(t, nodeFeat, edgeFeat, src, dst)
 	loss := t.BCEWithLogits(logits, labels, f.cfg.PosWeight)
 	t.Backward(loss)

@@ -14,6 +14,7 @@ import (
 	"repro/internal/nn"
 	"repro/internal/rng"
 	"repro/internal/tensor"
+	"repro/internal/workspace"
 )
 
 // Config describes the model.
@@ -125,7 +126,20 @@ func (m *Model) Forward(t *autograd.Tape, src, dst []int, x, y *tensor.Dense) *a
 
 // EdgeScores runs inference and returns the per-edge sigmoid scores.
 func (m *Model) EdgeScores(src, dst []int, x, y *tensor.Dense) []float64 {
-	t := autograd.NewTape()
+	return m.EdgeScoresWith(nil, src, dst, x, y)
+}
+
+// EdgeScoresWith is EdgeScores with the forward pass's activations
+// borrowed from the arena's workspace pools; everything taken is
+// returned before the call completes, so steady-state inference reuses
+// one warm buffer set instead of allocating per event. A nil arena falls
+// back to heap allocation.
+func (m *Model) EdgeScoresWith(arena *workspace.Arena, src, dst []int, x, y *tensor.Dense) []float64 {
+	if arena != nil {
+		mark := arena.Checkpoint()
+		defer arena.ResetTo(mark)
+	}
+	t := autograd.NewTapeArena(arena)
 	logits := m.Forward(t, src, dst, x, y)
 	out := make([]float64, len(src))
 	for i := range out {

@@ -6,9 +6,12 @@
 package knnsearch
 
 import (
+	"cmp"
+	"slices"
 	"sort"
 
 	"repro/internal/tensor"
+	"repro/internal/workspace"
 )
 
 // KDTree is a static k-d tree over the rows of a dense matrix.
@@ -40,12 +43,12 @@ func (t *KDTree) build(idx []int, depth int) *node {
 		return nil
 	}
 	axis := depth % t.dim
-	sort.Slice(idx, func(a, b int) bool {
-		return t.pts.At(idx[a], axis) < t.pts.At(idx[b], axis)
+	slices.SortFunc(idx, func(a, b int) int {
+		return cmp.Compare(t.pts.At(a, axis), t.pts.At(b, axis))
 	})
 	mid := len(idx) / 2
 	n := &node{point: idx[mid], axis: axis}
-	// Copy halves: sort.Slice above reorders idx in place, and the
+	// Copy halves: the sort above reorders idx in place, and the
 	// recursive calls re-sort disjoint sub-slices, so views are safe.
 	n.left = t.build(idx[:mid], depth+1)
 	n.right = t.build(idx[mid+1:], depth+1)
@@ -118,14 +121,25 @@ func BruteRadiusNeighbors(pts *tensor.Dense, query []float64, radius float64, ex
 // each undirected pair emitted once (src < dst). maxDegree (if > 0) caps
 // the neighbors considered per query vertex, mirroring the k-cap used by
 // the production FRNN stage to bound graph size.
+//
+// One pooled buffer is reused across all n radius queries, and capped
+// queries use an O(len) partial selection of the maxDegree smallest
+// indices instead of sorting the full candidate list — the output is
+// identical to sorting ascending and truncating.
 func BuildRadiusGraph(embeddings *tensor.Dense, radius float64, maxDegree int) (src, dst []int) {
 	t := Build(embeddings)
 	n := embeddings.Rows()
+	r2 := radius * radius
+	base := workspace.GetInt(n)
+	defer workspace.PutInt(base)
 	for i := 0; i < n; i++ {
-		nbrs := t.RadiusNeighbors(embeddings.Row(i), radius, i)
+		nbrs := base[:0]
+		t.search(t.root, embeddings.Row(i), r2, i, &nbrs)
 		if maxDegree > 0 && len(nbrs) > maxDegree {
+			selectSmallest(nbrs, maxDegree)
 			nbrs = nbrs[:maxDegree]
 		}
+		slices.Sort(nbrs)
 		for _, j := range nbrs {
 			if i < j {
 				src = append(src, i)
@@ -134,4 +148,45 @@ func BuildRadiusGraph(embeddings *tensor.Dense, radius float64, maxDegree int) (
 		}
 	}
 	return src, dst
+}
+
+// selectSmallest partially partitions s (quickselect) so its first k
+// elements are the k smallest, in arbitrary order.
+func selectSmallest(s []int, k int) {
+	lo, hi := 0, len(s)-1
+	for lo < hi {
+		// Median-of-three pivot guards against adversarial orderings.
+		mid := (lo + hi) / 2
+		if s[mid] < s[lo] {
+			s[mid], s[lo] = s[lo], s[mid]
+		}
+		if s[hi] < s[lo] {
+			s[hi], s[lo] = s[lo], s[hi]
+		}
+		if s[hi] < s[mid] {
+			s[hi], s[mid] = s[mid], s[hi]
+		}
+		pivot := s[mid]
+		i, j := lo, hi
+		for i <= j {
+			for s[i] < pivot {
+				i++
+			}
+			for s[j] > pivot {
+				j--
+			}
+			if i <= j {
+				s[i], s[j] = s[j], s[i]
+				i++
+				j--
+			}
+		}
+		if k-1 <= j {
+			hi = j
+		} else if k-1 >= i {
+			lo = i
+		} else {
+			return
+		}
+	}
 }

@@ -1,6 +1,7 @@
 package knnsearch
 
 import (
+	"slices"
 	"testing"
 	"testing/quick"
 
@@ -119,5 +120,61 @@ func TestEmptyAndSinglePoint(t *testing.T) {
 	one := Build(tensor.FromRows([][]float64{{1, 2, 3}}))
 	if nbrs := one.RadiusNeighbors([]float64{1, 2, 3}, 0.1, -1); len(nbrs) != 1 {
 		t.Fatal("single-point tree missed self")
+	}
+}
+
+// TestBuildRadiusGraphMatchesSortTruncate pins the maxDegree semantics:
+// the partial-selection fast path must emit exactly the maxDegree
+// smallest neighbor indices in ascending order — identical to sorting
+// the full candidate list and truncating.
+func TestBuildRadiusGraphMatchesSortTruncate(t *testing.T) {
+	r := rng.New(11)
+	pts := tensor.RandN(r, 300, 3, 1)
+	for _, maxDeg := range []int{0, 1, 3, 12, 1000} {
+		src, dst := BuildRadiusGraph(pts, 0.8, maxDeg)
+		tree := Build(pts)
+		var wantSrc, wantDst []int
+		for i := 0; i < pts.Rows(); i++ {
+			nbrs := tree.RadiusNeighbors(pts.Row(i), 0.8, i) // sorted ascending
+			if maxDeg > 0 && len(nbrs) > maxDeg {
+				nbrs = nbrs[:maxDeg]
+			}
+			for _, j := range nbrs {
+				if i < j {
+					wantSrc = append(wantSrc, i)
+					wantDst = append(wantDst, j)
+				}
+			}
+		}
+		if len(src) != len(wantSrc) {
+			t.Fatalf("maxDeg=%d: %d edges, want %d", maxDeg, len(src), len(wantSrc))
+		}
+		for k := range src {
+			if src[k] != wantSrc[k] || dst[k] != wantDst[k] {
+				t.Fatalf("maxDeg=%d: edge %d = (%d,%d), want (%d,%d)", maxDeg, k, src[k], dst[k], wantSrc[k], wantDst[k])
+			}
+		}
+	}
+}
+
+func TestSelectSmallest(t *testing.T) {
+	r := rng.New(12)
+	for trial := 0; trial < 200; trial++ {
+		n := r.Intn(40) + 1
+		k := r.Intn(n) + 1
+		s := make([]int, n)
+		for i := range s {
+			s[i] = r.Intn(1000)
+		}
+		want := append([]int(nil), s...)
+		slices.Sort(want)
+		selectSmallest(s, k)
+		got := append([]int(nil), s[:k]...)
+		slices.Sort(got)
+		for i := 0; i < k; i++ {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: k=%d smallest mismatch: got %v want %v", trial, k, got, want[:k])
+			}
+		}
 	}
 }

@@ -19,6 +19,20 @@ func MaxWorkers() int {
 // small (a single chunk) it runs inline to avoid goroutine overhead.
 // body must be safe to call concurrently on disjoint ranges.
 func For(n, grain int, body func(lo, hi int)) {
+	ForWith(n, grain, body, func(b func(lo, hi int), lo, hi int) { b(lo, hi) })
+}
+
+// ForWith is For with an explicit context value instead of closure
+// captures. Pass a capture-free func literal reading everything it needs
+// from ctx: such literals compile to static functions, so the
+// single-chunk (serial) path performs no heap allocation at all — a
+// closure passed to For always escapes because of the goroutine fan-out
+// path, costing one allocation per call even for tiny inputs. The hot
+// kernels (GEMM, SpGEMM, SpMM, gathers) use this to honour their
+// zero-allocation warm-path contract. For is a thin wrapper over this
+// (with the caller's closure as the context), so the chunking policy —
+// worker cap, grain floor — lives in exactly one place.
+func ForWith[T any](n, grain int, ctx T, body func(ctx T, lo, hi int)) {
 	if n <= 0 {
 		return
 	}
@@ -31,10 +45,13 @@ func For(n, grain int, body func(lo, hi int)) {
 		chunks = workers
 	}
 	if chunks <= 1 {
-		body(0, n)
+		body(ctx, 0, n)
 		return
 	}
 	chunkSize := (n + chunks - 1) / chunks
+	if chunkSize < grain {
+		chunkSize = grain
+	}
 	var wg sync.WaitGroup
 	for lo := 0; lo < n; lo += chunkSize {
 		hi := lo + chunkSize
@@ -44,7 +61,7 @@ func For(n, grain int, body func(lo, hi int)) {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			body(lo, hi)
+			body(ctx, lo, hi)
 		}(lo, hi)
 	}
 	wg.Wait()

@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"sync"
 	"sync/atomic"
 	"testing"
 	"testing/quick"
@@ -70,5 +71,76 @@ func TestDoSingleTaskInline(t *testing.T) {
 	Do(func() { ran = true })
 	if !ran {
 		t.Fatal("single task not run")
+	}
+}
+
+func TestForRespectsGrainFloor(t *testing.T) {
+	// n=9, grain=4 used to split into 3 chunks of 3 — below the grain
+	// floor — once the chunk count was capped at the worker count.
+	for _, c := range []struct{ n, grain int }{{9, 4}, {100, 33}, {1000, 64}, {7, 7}} {
+		var chunkLens []int
+		var mu sync.Mutex
+		For(c.n, c.grain, func(lo, hi int) {
+			mu.Lock()
+			chunkLens = append(chunkLens, hi-lo)
+			mu.Unlock()
+		})
+		total := 0
+		for _, l := range chunkLens {
+			total += l
+		}
+		if total != c.n {
+			t.Fatalf("n=%d grain=%d: chunks cover %d", c.n, c.grain, total)
+		}
+		below := 0
+		for _, l := range chunkLens {
+			if l < c.grain {
+				below++
+			}
+		}
+		if below > 1 {
+			t.Fatalf("n=%d grain=%d: %d chunks below grain floor (lens %v)", c.n, c.grain, below, chunkLens)
+		}
+	}
+}
+
+func TestForWithCoversAllIndicesOnce(t *testing.T) {
+	check := func(nRaw uint16, grainRaw uint8) bool {
+		n := int(nRaw % 5000)
+		grain := int(grainRaw%200) + 1
+		marks := make([]int32, n)
+		ForWith(n, grain, marks, func(marks []int32, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&marks[i], 1)
+			}
+		})
+		for _, m := range marks {
+			if m != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForWithSerialPathZeroAllocs(t *testing.T) {
+	type ctx struct {
+		dst []float64
+		s   float64
+	}
+	c := ctx{dst: make([]float64, 32), s: 2}
+	allocs := testing.AllocsPerRun(100, func() {
+		// 32 iterations at grain 64 → single chunk, runs inline.
+		ForWith(len(c.dst), 64, c, func(c ctx, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				c.dst[i] = c.s
+			}
+		})
+	})
+	if allocs != 0 {
+		t.Fatalf("serial ForWith allocated %.1f per run, want 0", allocs)
 	}
 }

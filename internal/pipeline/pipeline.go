@@ -20,6 +20,7 @@ import (
 	"repro/internal/nn"
 	"repro/internal/rng"
 	"repro/internal/tensor"
+	"repro/internal/workspace"
 )
 
 // Config collects all pipeline hyperparameters.
@@ -96,14 +97,19 @@ func (eg *EventGraph) NumEdges() int { return eg.G.NumEdges() }
 
 // BuildGraph runs stages 1–3 on an event: embed, radius graph, filter.
 // The returned EventGraph carries edge truth labels for training stage 4.
+// All intermediate activations live in one workspace arena released
+// before returning, so repeated graph building recycles warm buffers.
 func (p *Pipeline) BuildGraph(ev *detector.Event) *EventGraph {
+	arena := workspace.NewArena()
+	defer arena.Reset()
+
 	// Stage 1: embedding; stage 2: fixed-radius neighbors in that space.
-	embedded := p.Embedder.Embed(ev.Features)
+	embedded := p.Embedder.EmbedWith(arena, ev.Features)
 	src, dst := knnsearch.BuildRadiusGraph(embedded, p.Cfg.Radius, p.Cfg.MaxDegree)
 
 	// Stage 3: filter MLP prunes implausible edges.
 	edgeFeat := detector.EdgeFeatures(p.Cfg.Spec, ev, src, dst)
-	keep := p.Filter.Keep(ev.Features, edgeFeat, src, dst)
+	keep := p.Filter.KeepWith(arena, ev.Features, edgeFeat, src, dst)
 	var fsrc, fdst []int
 	for k := range src {
 		if keep[k] {
@@ -190,7 +196,9 @@ func (p *Pipeline) reconstructOn(eg *EventGraph) *Result {
 	res := &Result{}
 	keep := make([]bool, eg.NumEdges())
 	if eg.NumEdges() > 0 {
-		scores := p.GNN.EdgeScores(eg.G.Src, eg.G.Dst, eg.X, eg.Y)
+		arena := workspace.NewArena()
+		defer arena.Reset()
+		scores := p.GNN.EdgeScoresWith(arena, eg.G.Src, eg.G.Dst, eg.X, eg.Y)
 		for k, s := range scores {
 			keep[k] = s >= p.Cfg.GNNThreshold
 			res.EdgeCounts.Add(keep[k], eg.Label[k] > 0.5)
@@ -241,6 +249,9 @@ func (p *Pipeline) LoadModels(path string) error {
 // simple path for examples and stage-wise pipeline fitting.
 func (p *Pipeline) TrainGNN(graphs []*EventGraph, epochs int, lr, posWeight float64) float64 {
 	opt := nn.NewAdam(lr)
+	arena := workspace.NewArena()
+	defer arena.Reset()
+	tape := autograd.NewTapeArena(arena)
 	last := 0.0
 	for epoch := 0; epoch < epochs; epoch++ {
 		sum, n := 0.0, 0
@@ -248,13 +259,14 @@ func (p *Pipeline) TrainGNN(graphs []*EventGraph, epochs int, lr, posWeight floa
 			if eg.NumEdges() == 0 {
 				continue
 			}
-			tape := autograd.NewTape()
+			tape.Reset()
 			logits := p.GNN.Forward(tape, eg.G.Src, eg.G.Dst, eg.X, eg.Y)
 			loss := tape.BCEWithLogits(logits, eg.Label, posWeight)
 			tape.Backward(loss)
 			opt.Step(p.GNN.Params())
 			sum += loss.Value.At(0, 0)
 			n++
+			arena.Reset()
 		}
 		if n > 0 {
 			last = sum / float64(n)

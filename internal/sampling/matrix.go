@@ -52,12 +52,17 @@ func BulkMatrixShaDow(g *graph.Graph, eidx *EdgeIndex, batches [][]int, cfg Conf
 		rootOf[i] = i
 	}
 
+	// One Q·A product matrix is reused across all walk depths (and, via
+	// the workspace pools, across bulk invocations): each depth's stacked
+	// expansion overwrites the same storage instead of allocating anew.
+	qa := new(sparse.CSR)
+	defer qa.Release()
 	for depth := 0; depth < cfg.Depth && len(cursorVertex) > 0; depth++ {
 		// Stacked neighborhood expansion: Q_l·A for all walkers of all k
 		// batches at once. Q_l is a row-selection matrix (one unit nonzero
 		// per row), so the product reduces to a bulk CSR row gather — the
 		// same specialization a GPU SpGEMM exploits for selection matrices.
-		p := sparse.GatherRows(adj, cursorVertex)
+		p := sparse.GatherRowsInto(qa, adj, cursorVertex)
 		sampled := sparse.SampleRows(p, cfg.Fanout, r)
 
 		var nextVertex []int

@@ -123,6 +123,7 @@ func walkOneRoot(adj *sparse.CSR, root int, cfg Config, r *rng.Rand) []int {
 // graph's edge list.
 func assembleComponents(g *graph.Graph, eidx *EdgeIndex, visitedSets [][]int) *Subgraph {
 	sub := &Subgraph{Components: len(visitedSets)}
+	adj := g.Adjacency()
 	for _, visited := range visitedSets {
 		offset := len(sub.Vertices)
 		sub.Roots = append(sub.Roots, offset) // root is first in its set
@@ -135,7 +136,6 @@ func assembleComponents(g *graph.Graph, eidx *EdgeIndex, visitedSets [][]int) *S
 		// For each visited vertex, scan its adjacency and keep edges whose
 		// other endpoint is also visited, emitting each undirected edge
 		// once with its original orientation.
-		adj := g.Adjacency()
 		for _, v := range visited {
 			cols, _ := adj.Row(v)
 			for _, w := range cols {

@@ -1,0 +1,143 @@
+package sparse
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// Warm-path allocation budgets. Sizes stay below the parallel grain so
+// the kernels run inline (no goroutine fan-out) and the measured allocs
+// are the kernels' own. With warmed workspace pools and reused outputs,
+// the sparse kernels must not touch the heap at all.
+
+func TestSpGEMMIntoZeroAllocsWarm(t *testing.T) {
+	r := rng.New(1)
+	a := randomCSR(r, 12, 12, 0.4)
+	b := randomCSR(r, 12, 12, 0.4)
+	out := new(CSR)
+	SpGEMMInto(out, a, b) // warm pools and output storage
+	allocs := testing.AllocsPerRun(100, func() {
+		SpGEMMInto(out, a, b)
+	})
+	if allocs != 0 {
+		t.Fatalf("warm SpGEMMInto allocated %.1f per run, want 0", allocs)
+	}
+}
+
+func TestSpMMIntoZeroAllocsWarm(t *testing.T) {
+	r := rng.New(2)
+	a := randomCSR(r, 16, 16, 0.4)
+	x := tensor.RandN(r, 16, 4, 1)
+	out := tensor.New(16, 4)
+	SpMMInto(out, a, x)
+	allocs := testing.AllocsPerRun(100, func() {
+		SpMMInto(out, a, x)
+	})
+	if allocs != 0 {
+		t.Fatalf("warm SpMMInto allocated %.1f per run, want 0", allocs)
+	}
+}
+
+func TestGatherRowsIntoZeroAllocsWarm(t *testing.T) {
+	r := rng.New(3)
+	a := randomCSR(r, 30, 30, 0.3)
+	idx := []int{4, 2, 29, 2, 17, 0}
+	out := new(CSR)
+	GatherRowsInto(out, a, idx)
+	allocs := testing.AllocsPerRun(100, func() {
+		GatherRowsInto(out, a, idx)
+	})
+	if allocs != 0 {
+		t.Fatalf("warm GatherRowsInto allocated %.1f per run, want 0", allocs)
+	}
+}
+
+// Parity: the pooled/in-place variants must be bit-identical to the
+// allocating references, and SpGEMM must match the dense oracle.
+
+func TestSpGEMMIntoMatchesSpGEMMReference(t *testing.T) {
+	r := rng.New(4)
+	out := new(CSR)
+	for trial := 0; trial < 40; trial++ {
+		m, k, n := r.Intn(30)+1, r.Intn(30)+1, r.Intn(30)+1
+		a := randomCSR(r, m, k, 0.3)
+		b := randomCSR(r, k, n, 0.3)
+		ref := SpGEMM(a, b)
+		SpGEMMInto(out, a, b) // reused output across trials
+		out.checkValid()
+		if !ref.Equal(out) {
+			t.Fatalf("trial %d: SpGEMMInto differs from SpGEMM", trial)
+		}
+	}
+}
+
+func TestSpGEMMMatchesDenseOracleRandomized(t *testing.T) {
+	r := rng.New(5)
+	for trial := 0; trial < 30; trial++ {
+		m, k, n := r.Intn(20)+1, r.Intn(20)+1, r.Intn(20)+1
+		a := randomCSR(r, m, k, 0.35)
+		b := randomCSR(r, k, n, 0.35)
+		got := SpGEMM(a, b).ToDense()
+		want := tensor.MatMul(a.ToDense(), b.ToDense())
+		if got.MaxAbsDiff(want) > 1e-12 {
+			t.Fatalf("trial %d: SpGEMM deviates from dense oracle by %v", trial, got.MaxAbsDiff(want))
+		}
+	}
+}
+
+func TestSpMMIntoMatchesSpMMReference(t *testing.T) {
+	r := rng.New(6)
+	for trial := 0; trial < 30; trial++ {
+		m, k, n := r.Intn(25)+1, r.Intn(25)+1, r.Intn(6)+1
+		a := randomCSR(r, m, k, 0.3)
+		x := tensor.RandN(r, k, n, 1)
+		ref := SpMM(a, x)
+		out := tensor.New(m, n)
+		out.Fill(999) // ensure Into fully overwrites
+		SpMMInto(out, a, x)
+		if ref.MaxAbsDiff(out) != 0 {
+			t.Fatalf("trial %d: SpMMInto not bit-identical to SpMM", trial)
+		}
+	}
+}
+
+func TestGatherRowsIntoMatchesReference(t *testing.T) {
+	r := rng.New(7)
+	out := new(CSR)
+	for trial := 0; trial < 30; trial++ {
+		n := r.Intn(30) + 2
+		a := randomCSR(r, n, n, 0.3)
+		idx := make([]int, r.Intn(2*n)+1)
+		for i := range idx {
+			idx[i] = r.Intn(n)
+		}
+		ref := GatherRows(a, idx)
+		GatherRowsInto(out, a, idx)
+		if !ref.Equal(out) {
+			t.Fatalf("trial %d: GatherRowsInto differs from GatherRows", trial)
+		}
+	}
+}
+
+func TestCSRReleaseRecycles(t *testing.T) {
+	r := rng.New(8)
+	a := randomCSR(r, 10, 10, 0.4)
+	b := randomCSR(r, 10, 10, 0.4)
+	out := new(CSR)
+	SpGEMMInto(out, a, b)
+	want := SpGEMM(a, b)
+	if !want.Equal(out) {
+		t.Fatal("precondition failed")
+	}
+	out.Release()
+	if out.Nnz() != 0 || out.RowsN != 0 {
+		t.Fatal("Release left state behind")
+	}
+	// The released storage must be safely reusable.
+	SpGEMMInto(out, a, b)
+	if !want.Equal(out) {
+		t.Fatal("CSR reuse after Release corrupted result")
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"sort"
 
 	"repro/internal/parallel"
+	"repro/internal/workspace"
 )
 
 // CSR is a compressed-sparse-row matrix. RowPtr has length rows+1;
@@ -149,7 +150,7 @@ func BlockDiag(ms ...*CSR) *CSR {
 		Vals:   make([]float64, 0, nnz),
 	}
 	out.RowPtr = append(out.RowPtr, 0)
-	rowOff, colOff, nnzOff := 0, 0, 0
+	colOff, nnzOff := 0, 0
 	for _, m := range ms {
 		for i := 1; i <= m.RowsN; i++ {
 			out.RowPtr = append(out.RowPtr, nnzOff+m.RowPtr[i])
@@ -158,12 +159,22 @@ func BlockDiag(ms ...*CSR) *CSR {
 			out.ColIdx = append(out.ColIdx, c+colOff)
 		}
 		out.Vals = append(out.Vals, m.Vals...)
-		rowOff += m.RowsN
 		colOff += m.ColsN
 		nnzOff += m.Nnz()
 	}
-	_ = rowOff
 	return out
+}
+
+// Release returns the matrix's storage to the workspace pools and leaves
+// m empty. Only call it on matrices whose storage the caller exclusively
+// owns (e.g. scratch CSRs filled by SpGEMMInto/GatherRowsInto); rows
+// returned by Row alias that storage and must no longer be in use.
+func (m *CSR) Release() {
+	workspace.PutInt(m.RowPtr)
+	workspace.PutInt(m.ColIdx)
+	workspace.PutF64(m.Vals)
+	m.RowPtr, m.ColIdx, m.Vals = nil, nil, nil
+	m.RowsN, m.ColsN = 0, 0
 }
 
 // Equal reports exact structural and numeric equality.

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/parallel"
 	"repro/internal/rng"
+	"repro/internal/workspace"
 )
 
 // RowSelection builds the k×n selection matrix with a single unit nonzero
@@ -36,17 +37,36 @@ func RowSelection(idx []int, n int) *CSR {
 // and avoids the general SpGEMM accumulator. Equivalence with
 // SpGEMM(RowSelection(idx, n), A) is covered by tests.
 func GatherRows(m *CSR, idx []int) *CSR {
-	out := &CSR{RowsN: len(idx), ColsN: m.ColsN, RowPtr: make([]int, len(idx)+1)}
+	return GatherRowsInto(new(CSR), m, idx)
+}
+
+// GatherRowsInto is GatherRows writing into out, reusing out's storage
+// when large enough and growing it through the workspace pools otherwise
+// — this is how the bulk sampler reuses one Q·A product matrix across
+// all k stacked minibatches and all walk depths. out must not alias m.
+// Returns out.
+func GatherRowsInto(out *CSR, m *CSR, idx []int) *CSR {
+	if out == m {
+		panic("sparse: GatherRowsInto output aliases input")
+	}
+	out.RowsN, out.ColsN = len(idx), m.ColsN
+	out.RowPtr = workspace.GrowInt(out.RowPtr, len(idx)+1)
+	out.RowPtr[0] = 0
 	nnz := 0
 	for i, r := range idx {
 		nnz += m.RowNnz(r)
 		out.RowPtr[i+1] = nnz
 	}
-	out.ColIdx = make([]int, nnz)
-	out.Vals = make([]float64, nnz)
-	parallel.For(len(idx), 256, func(lo, hi int) {
+	out.ColIdx = workspace.GrowInt(out.ColIdx, nnz)
+	out.Vals = workspace.GrowF64(out.Vals, nnz)
+	type gatherCtx struct {
+		out, m *CSR
+		idx    []int
+	}
+	parallel.ForWith(len(idx), 256, gatherCtx{out, m, idx}, func(c gatherCtx, lo, hi int) {
+		out, m := c.out, c.m
 		for i := lo; i < hi; i++ {
-			cols, vals := m.Row(idx[i])
+			cols, vals := m.Row(c.idx[i])
 			copy(out.ColIdx[out.RowPtr[i]:out.RowPtr[i+1]], cols)
 			copy(out.Vals[out.RowPtr[i]:out.RowPtr[i+1]], vals)
 		}

@@ -2,29 +2,98 @@ package sparse
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/parallel"
 	"repro/internal/tensor"
+	"repro/internal/workspace"
 )
 
-// SpGEMM computes the sparse-sparse product a×b using Gustavson's
-// row-by-row algorithm with a sparse accumulator, parallelized over the
-// rows of a. This is the kernel matrix-based bulk sampling leans on for
-// the Qd·A neighborhood expansion and the row/column-selection extraction
-// step (Figure 2).
+// spgemmGrain is the minimum rows per parallel chunk in SpGEMM passes.
+const spgemmGrain = 16
+
+// SpGEMM computes the sparse-sparse product a×b into a freshly allocated
+// CSR. See SpGEMMInto for the algorithm.
 func SpGEMM(a, b *CSR) *CSR {
+	return SpGEMMInto(new(CSR), a, b)
+}
+
+// SpGEMMInto computes out = a×b with a two-pass (symbolic + numeric)
+// Gustavson algorithm, parallelized over the rows of a. This is the
+// kernel matrix-based bulk sampling leans on for the Qd·A neighborhood
+// expansion and the row/column-selection extraction step (Figure 2).
+//
+// The symbolic pass counts the distinct columns of every output row and
+// builds RowPtr with a prefix sum; the numeric pass then writes ColIdx
+// and Vals directly into their final positions — no per-row slices are
+// allocated and rows are ordered with a single in-place sort of each
+// row's touched-column list. out's existing storage is reused when large
+// enough and grown through the workspace pools otherwise, so steady-state
+// calls on warmed pools perform no heap allocation.
+//
+// Entries whose products cancel to exactly zero are stored explicitly
+// (standard two-pass CSR behaviour: the symbolic pass fixes the sparsity
+// pattern before values are known). Boolean and selection operands — all
+// the sampler ever multiplies — never cancel.
+//
+// out must not alias a or b. Returns out.
+func SpGEMMInto(out *CSR, a, b *CSR) *CSR {
 	if a.ColsN != b.RowsN {
 		panic(fmt.Sprintf("sparse: SpGEMM inner dims %d vs %d", a.ColsN, b.RowsN))
 	}
-	rowCols := make([][]int, a.RowsN)
-	rowVals := make([][]float64, a.RowsN)
-	parallel.For(a.RowsN, 16, func(lo, hi int) {
-		// Per-worker sparse accumulator: dense value array + touched list.
-		acc := make([]float64, b.ColsN)
-		touched := make([]int, 0, 256)
-		seen := make([]bool, b.ColsN)
+	if out == a || out == b {
+		panic("sparse: SpGEMMInto output aliases an input")
+	}
+	rows, cols := a.RowsN, b.ColsN
+	out.RowsN, out.ColsN = rows, cols
+	out.RowPtr = workspace.GrowInt(out.RowPtr, rows+1)
+
+	// Pass 1 (symbolic): out.RowPtr[i+1] ← number of distinct columns in
+	// output row i.
+	parallel.ForWith(rows, spgemmGrain, spgemmCtx{out, a, b, cols}, func(c spgemmCtx, lo, hi int) {
+		out, a, b := c.out, c.a, c.b
+		seen := workspace.GetBool(c.cols)
+		touched := workspace.GetInt(c.cols)
 		for i := lo; i < hi; i++ {
+			cnt := 0
+			aCols, _ := a.Row(i)
+			for _, ac := range aCols {
+				bCols, _ := b.Row(ac)
+				for _, bc := range bCols {
+					if !seen[bc] {
+						seen[bc] = true
+						touched[cnt] = bc
+						cnt++
+					}
+				}
+			}
+			out.RowPtr[i+1] = cnt
+			for _, c := range touched[:cnt] {
+				seen[c] = false
+			}
+		}
+		workspace.PutBool(seen)
+		workspace.PutInt(touched)
+	})
+
+	// Prefix sum turns per-row counts into row offsets.
+	out.RowPtr[0] = 0
+	for i := 0; i < rows; i++ {
+		out.RowPtr[i+1] += out.RowPtr[i]
+	}
+	nnz := out.RowPtr[rows]
+	out.ColIdx = workspace.GrowInt(out.ColIdx, nnz)
+	out.Vals = workspace.GrowF64(out.Vals, nnz)
+
+	// Pass 2 (numeric): accumulate each row in a dense scratch accumulator
+	// and write the sorted columns and values straight into the output.
+	parallel.ForWith(rows, spgemmGrain, spgemmCtx{out, a, b, cols}, func(c spgemmCtx, lo, hi int) {
+		out, a, b := c.out, c.a, c.b
+		acc := workspace.GetF64(c.cols)
+		seen := workspace.GetBool(c.cols)
+		touched := workspace.GetInt(c.cols)
+		for i := lo; i < hi; i++ {
+			cnt := 0
 			aCols, aVals := a.Row(i)
 			for k, ac := range aCols {
 				av := aVals[k]
@@ -32,39 +101,66 @@ func SpGEMM(a, b *CSR) *CSR {
 				for t, bc := range bCols {
 					if !seen[bc] {
 						seen[bc] = true
-						touched = append(touched, bc)
+						touched[cnt] = bc
+						cnt++
 					}
 					acc[bc] += av * bVals[t]
 				}
 			}
-			sort.Ints(touched)
-			cols := make([]int, 0, len(touched))
-			vals := make([]float64, 0, len(touched))
-			for _, c := range touched {
-				if acc[c] != 0 {
-					cols = append(cols, c)
-					vals = append(vals, acc[c])
-				}
+			row := touched[:cnt]
+			slices.Sort(row)
+			base := out.RowPtr[i]
+			for k, c := range row {
+				out.ColIdx[base+k] = c
+				out.Vals[base+k] = acc[c]
 				acc[c] = 0
 				seen[c] = false
 			}
-			touched = touched[:0]
-			rowCols[i], rowVals[i] = cols, vals
 		}
+		workspace.PutF64(acc)
+		workspace.PutBool(seen)
+		workspace.PutInt(touched)
 	})
-	return assembleRows(a.RowsN, b.ColsN, rowCols, rowVals)
+	return out
+}
+
+// spgemmCtx carries SpGEMM operands into capture-free parallel bodies
+// (see parallel.ForWith).
+type spgemmCtx struct {
+	out, a, b *CSR
+	cols      int
 }
 
 // SpMM computes the sparse×dense product a×x into a new dense matrix.
 func SpMM(a *CSR, x *tensor.Dense) *tensor.Dense {
+	out := tensor.New(a.RowsN, x.Cols())
+	SpMMInto(out, a, x)
+	return out
+}
+
+// SpMMInto computes out = a×x. out must be preallocated with shape
+// a.RowsN × x.Cols() and must not alias x. Steady-state calls perform no
+// heap allocation.
+func SpMMInto(out *tensor.Dense, a *CSR, x *tensor.Dense) *tensor.Dense {
 	if a.ColsN != x.Rows() {
 		panic(fmt.Sprintf("sparse: SpMM inner dims %d vs %d", a.ColsN, x.Rows()))
 	}
-	out := tensor.New(a.RowsN, x.Cols())
-	c := x.Cols()
-	parallel.For(a.RowsN, 32, func(lo, hi int) {
+	if out.Rows() != a.RowsN || out.Cols() != x.Cols() {
+		panic("sparse: SpMMInto output shape mismatch")
+	}
+	type spmmCtx struct {
+		out *tensor.Dense
+		a   *CSR
+		x   *tensor.Dense
+	}
+	parallel.ForWith(a.RowsN, 32, spmmCtx{out, a, x}, func(cx spmmCtx, lo, hi int) {
+		out, a, x := cx.out, cx.a, cx.x
+		c := x.Cols()
 		for i := lo; i < hi; i++ {
 			oRow := out.Row(i)
+			for j := range oRow {
+				oRow[j] = 0
+			}
 			cols, vals := a.Row(i)
 			for k, col := range cols {
 				v := vals[k]

@@ -1,0 +1,82 @@
+package tensor
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func benchMat(rows, cols int, seed uint64) *Dense {
+	r := rng.New(seed)
+	m := New(rows, cols)
+	for i := range m.data {
+		m.data[i] = r.Float64()*2 - 1
+	}
+	return m
+}
+
+// BenchmarkMatMul measures the value-returning dense GEMM at GNN-layer
+// shape (tall-skinny × small square).
+func BenchmarkMatMul(b *testing.B) {
+	a := benchMat(4096, 64, 1)
+	w := benchMat(64, 64, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMul(a, w)
+	}
+}
+
+// BenchmarkMatMulInto measures the preallocated GEMM (steady-state path).
+func BenchmarkMatMulInto(b *testing.B) {
+	a := benchMat(4096, 64, 1)
+	w := benchMat(64, 64, 2)
+	out := New(4096, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulInto(out, a, w)
+	}
+}
+
+// BenchmarkMatMulT measures the a×bᵀ backprop kernel.
+func BenchmarkMatMulT(b *testing.B) {
+	g := benchMat(4096, 64, 1)
+	w := benchMat(64, 64, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulT(g, w)
+	}
+}
+
+// BenchmarkTMatMul measures the aᵀ×b backprop kernel.
+func BenchmarkTMatMul(b *testing.B) {
+	a := benchMat(4096, 64, 1)
+	g := benchMat(4096, 64, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		TMatMul(a, g)
+	}
+}
+
+// BenchmarkGatherRows measures the edge-endpoint feature gather.
+func BenchmarkGatherRows(b *testing.B) {
+	x := benchMat(4096, 64, 1)
+	r := rng.New(3)
+	idx := make([]int, 8192)
+	for i := range idx {
+		idx[i] = r.Intn(4096)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		GatherRows(x, idx)
+	}
+}
+
+// BenchmarkAddBias measures the broadcast bias add.
+func BenchmarkAddBias(b *testing.B) {
+	x := benchMat(4096, 64, 1)
+	bias := benchMat(1, 64, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		AddBias(x, bias)
+	}
+}

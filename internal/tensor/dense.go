@@ -6,6 +6,8 @@ package tensor
 import (
 	"fmt"
 	"math"
+
+	"repro/internal/workspace"
 )
 
 // Dense is a dense row-major matrix of float64.
@@ -20,6 +22,21 @@ func New(rows, cols int) *Dense {
 		panic(fmt.Sprintf("tensor: negative dimensions %dx%d", rows, cols))
 	}
 	return &Dense{rows: rows, cols: cols, data: make([]float64, rows*cols)}
+}
+
+// NewFrom returns a zeroed rows×cols matrix whose backing storage is
+// borrowed from the arena's workspace pools. The matrix is valid until
+// the arena is reset past the allocation point; a nil arena falls back
+// to New. This is how autograd tapes and trainer steps recycle
+// activation and gradient buffers instead of allocating per step.
+func NewFrom(a *workspace.Arena, rows, cols int) *Dense {
+	if a == nil {
+		return New(rows, cols)
+	}
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: negative dimensions %dx%d", rows, cols))
+	}
+	return &Dense{rows: rows, cols: cols, data: a.F64(rows * cols)}
 }
 
 // FromSlice wraps data (length rows*cols, row-major) without copying.

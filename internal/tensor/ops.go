@@ -18,10 +18,13 @@ func MatMul(a, b *Dense) *Dense {
 }
 
 // MatMulInto computes out = a×b. out must be preallocated with shape
-// a.rows × b.cols and must not alias a or b.
+// a.rows × b.cols and must not alias a or b. Steady-state calls perform
+// no heap allocation.
 //
 // The kernel uses i-k-j loop order so the innermost loop streams
-// contiguously over rows of b and out, and parallelizes across row blocks.
+// contiguously over rows of b and out, parallelizes across row blocks,
+// and unrolls the k dimension 4× so each pass over the output row does
+// four fused accumulations per store.
 func MatMulInto(out, a, b *Dense) {
 	if a.cols != b.rows {
 		panic(fmt.Sprintf("tensor: MatMul inner dims %d vs %d", a.cols, b.rows))
@@ -29,15 +32,30 @@ func MatMulInto(out, a, b *Dense) {
 	if out.rows != a.rows || out.cols != b.cols {
 		panic("tensor: MatMulInto output shape mismatch")
 	}
-	n, k := b.cols, a.cols
-	parallel.For(a.rows, matmulGrain, func(lo, hi int) {
+	parallel.ForWith(a.rows, matmulGrain, matCtx{out, a, b}, func(c matCtx, lo, hi int) {
+		out, a, b := c.out, c.a, c.b
+		n, k := b.cols, a.cols
 		for i := lo; i < hi; i++ {
 			oRow := out.data[i*n : (i+1)*n]
 			for j := range oRow {
 				oRow[j] = 0
 			}
 			aRow := a.data[i*k : (i+1)*k]
-			for p := 0; p < k; p++ {
+			p := 0
+			for ; p+4 <= k; p += 4 {
+				a0, a1, a2, a3 := aRow[p], aRow[p+1], aRow[p+2], aRow[p+3]
+				if a0 == 0 && a1 == 0 && a2 == 0 && a3 == 0 {
+					continue
+				}
+				b0 := b.data[p*n : (p+1)*n]
+				b1 := b.data[(p+1)*n : (p+2)*n]
+				b2 := b.data[(p+2)*n : (p+3)*n]
+				b3 := b.data[(p+3)*n : (p+4)*n]
+				for j, bv := range b0 {
+					oRow[j] += a0*bv + a1*b1[j] + a2*b2[j] + a3*b3[j]
+				}
+			}
+			for ; p < k; p++ {
 				av := aRow[p]
 				if av == 0 {
 					continue
@@ -51,38 +69,81 @@ func MatMulInto(out, a, b *Dense) {
 	})
 }
 
+// matCtx carries kernel operands into capture-free parallel bodies (see
+// parallel.ForWith).
+type matCtx struct {
+	out, a, b *Dense
+}
+
 // MatMulT returns a×bᵀ, used by backprop (dA = G×Bᵀ) without forming Bᵀ.
 func MatMulT(a, b *Dense) *Dense {
+	out := New(a.rows, b.rows)
+	MatMulTInto(out, a, b)
+	return out
+}
+
+// MatMulTInto computes out = a×bᵀ without forming bᵀ. out must have
+// shape a.rows × b.rows and must not alias a or b. The dot-product inner
+// loop runs four independent accumulators for instruction-level
+// parallelism.
+func MatMulTInto(out, a, b *Dense) {
 	if a.cols != b.cols {
 		panic(fmt.Sprintf("tensor: MatMulT inner dims %d vs %d", a.cols, b.cols))
 	}
-	out := New(a.rows, b.rows)
-	k := a.cols
-	parallel.For(a.rows, matmulGrain, func(lo, hi int) {
+	if out.rows != a.rows || out.cols != b.rows {
+		panic("tensor: MatMulTInto output shape mismatch")
+	}
+	parallel.ForWith(a.rows, matmulGrain, matCtx{out, a, b}, func(c matCtx, lo, hi int) {
+		out, a, b := c.out, c.a, c.b
+		k := a.cols
 		for i := lo; i < hi; i++ {
 			aRow := a.data[i*k : (i+1)*k]
 			oRow := out.data[i*b.rows : (i+1)*b.rows]
 			for j := 0; j < b.rows; j++ {
 				bRow := b.data[j*k : (j+1)*k]
-				sum := 0.0
-				for p, av := range aRow {
-					sum += av * bRow[p]
+				var s0, s1, s2, s3 float64
+				p := 0
+				for ; p+4 <= k; p += 4 {
+					s0 += aRow[p] * bRow[p]
+					s1 += aRow[p+1] * bRow[p+1]
+					s2 += aRow[p+2] * bRow[p+2]
+					s3 += aRow[p+3] * bRow[p+3]
+				}
+				sum := s0 + s1 + s2 + s3
+				for ; p < k; p++ {
+					sum += aRow[p] * bRow[p]
 				}
 				oRow[j] = sum
 			}
 		}
 	})
-	return out
 }
 
 // TMatMul returns aᵀ×b, used by backprop (dB = Aᵀ×G) without forming Aᵀ.
 func TMatMul(a, b *Dense) *Dense {
+	out := New(a.cols, b.cols)
+	TMatMulInto(out, a, b)
+	return out
+}
+
+// TMatMulInto computes out = aᵀ×b without forming aᵀ. out must have
+// shape a.cols × b.cols and must not alias a or b.
+func TMatMulInto(out, a, b *Dense) {
 	if a.rows != b.rows {
 		panic(fmt.Sprintf("tensor: TMatMul inner dims %d vs %d", a.rows, b.rows))
 	}
-	out := New(a.cols, b.cols)
+	if out.rows != a.cols || out.cols != b.cols {
+		panic("tensor: TMatMulInto output shape mismatch")
+	}
 	// Parallelize over output rows (columns of a) to avoid write races.
-	parallel.For(a.cols, 1, func(lo, hi int) {
+	parallel.ForWith(a.cols, 1, matCtx{out, a, b}, func(c matCtx, lo, hi int) {
+		out, a, b := c.out, c.a, c.b
+		for i := lo; i < hi; i++ {
+			oRow := out.data[i*b.cols : (i+1)*b.cols]
+			for j := range oRow {
+				oRow[j] = 0
+			}
+		}
 		for p := 0; p < a.rows; p++ {
 			aRow := a.data[p*a.cols : (p+1)*a.cols]
 			bRow := b.data[p*b.cols : (p+1)*b.cols]
@@ -98,7 +159,6 @@ func TMatMul(a, b *Dense) *Dense {
 			}
 		}
 	})
-	return out
 }
 
 // Transpose returns mᵀ as a new matrix.
@@ -115,10 +175,18 @@ func (m *Dense) Transpose() *Dense {
 
 // Add returns a+b elementwise.
 func Add(a, b *Dense) *Dense {
-	checkSame("Add", a, b)
-	out := a.Clone()
-	out.AddInPlace(b)
+	out := New(a.rows, a.cols)
+	AddInto(out, a, b)
 	return out
+}
+
+// AddInto computes out = a+b elementwise. out may alias a or b.
+func AddInto(out, a, b *Dense) {
+	checkSame("Add", a, b)
+	checkSame("AddInto", out, a)
+	for i := range out.data {
+		out.data[i] = a.data[i] + b.data[i]
+	}
 }
 
 // AddInPlace computes m += o.
@@ -131,31 +199,49 @@ func (m *Dense) AddInPlace(o *Dense) {
 
 // Sub returns a-b elementwise.
 func Sub(a, b *Dense) *Dense {
-	checkSame("Sub", a, b)
 	out := New(a.rows, a.cols)
+	SubInto(out, a, b)
+	return out
+}
+
+// SubInto computes out = a-b elementwise. out may alias a or b.
+func SubInto(out, a, b *Dense) {
+	checkSame("Sub", a, b)
+	checkSame("SubInto", out, a)
 	for i := range out.data {
 		out.data[i] = a.data[i] - b.data[i]
 	}
-	return out
 }
 
 // Mul returns the elementwise (Hadamard) product a*b.
 func Mul(a, b *Dense) *Dense {
-	checkSame("Mul", a, b)
 	out := New(a.rows, a.cols)
+	MulInto(out, a, b)
+	return out
+}
+
+// MulInto computes out = a*b elementwise. out may alias a or b.
+func MulInto(out, a, b *Dense) {
+	checkSame("Mul", a, b)
+	checkSame("MulInto", out, a)
 	for i := range out.data {
 		out.data[i] = a.data[i] * b.data[i]
 	}
-	return out
 }
 
 // Scale returns s*m.
 func Scale(s float64, m *Dense) *Dense {
 	out := New(m.rows, m.cols)
+	ScaleInto(out, s, m)
+	return out
+}
+
+// ScaleInto computes out = s*m elementwise. out may alias m.
+func ScaleInto(out *Dense, s float64, m *Dense) {
+	checkSame("ScaleInto", out, m)
 	for i, v := range m.data {
 		out.data[i] = s * v
 	}
-	return out
 }
 
 // ScaleInPlace computes m *= s.
@@ -175,11 +261,20 @@ func (m *Dense) AXPY(s float64, o *Dense) {
 
 // AddBias returns m with the 1×cols row vector b added to every row.
 func AddBias(m, b *Dense) *Dense {
+	out := New(m.rows, m.cols)
+	AddBiasInto(out, m, b)
+	return out
+}
+
+// AddBiasInto computes out = m with the 1×cols row vector b added to
+// every row. out may alias m.
+func AddBiasInto(out, m, b *Dense) {
 	if b.rows != 1 || b.cols != m.cols {
 		panic(fmt.Sprintf("tensor: AddBias bias %dx%d vs matrix cols %d", b.rows, b.cols, m.cols))
 	}
-	out := New(m.rows, m.cols)
-	parallel.For(m.rows, 64, func(lo, hi int) {
+	checkSame("AddBiasInto", out, m)
+	parallel.ForWith(m.rows, 64, matCtx{out, m, b}, func(c matCtx, lo, hi int) {
+		out, m, b := c.out, c.a, c.b
 		for i := lo; i < hi; i++ {
 			row := m.data[i*m.cols : (i+1)*m.cols]
 			oRow := out.data[i*m.cols : (i+1)*m.cols]
@@ -188,24 +283,43 @@ func AddBias(m, b *Dense) *Dense {
 			}
 		}
 	})
-	return out
 }
 
 // ColSums returns a 1×cols matrix with the sum of each column.
 func (m *Dense) ColSums() *Dense {
 	out := New(1, m.cols)
+	m.ColSumsInto(out)
+	return out
+}
+
+// ColSumsInto computes the per-column sums into the 1×cols matrix out.
+func (m *Dense) ColSumsInto(out *Dense) {
+	if out.rows != 1 || out.cols != m.cols {
+		panic("tensor: ColSumsInto output shape mismatch")
+	}
+	for j := range out.data {
+		out.data[j] = 0
+	}
 	for i := 0; i < m.rows; i++ {
 		row := m.data[i*m.cols : (i+1)*m.cols]
 		for j, v := range row {
 			out.data[j] += v
 		}
 	}
-	return out
 }
 
 // RowSums returns a rows×1 matrix with the sum of each row.
 func (m *Dense) RowSums() *Dense {
 	out := New(m.rows, 1)
+	m.RowSumsInto(out)
+	return out
+}
+
+// RowSumsInto computes the per-row sums into the rows×1 matrix out.
+func (m *Dense) RowSumsInto(out *Dense) {
+	if out.rows != m.rows || out.cols != 1 {
+		panic("tensor: RowSumsInto output shape mismatch")
+	}
 	for i := 0; i < m.rows; i++ {
 		row := m.data[i*m.cols : (i+1)*m.cols]
 		s := 0.0
@@ -214,7 +328,6 @@ func (m *Dense) RowSums() *Dense {
 		}
 		out.data[i] = s
 	}
-	return out
 }
 
 // Sum returns the sum of all elements.
@@ -246,27 +359,48 @@ func (m *Dense) Norm2() float64 {
 // Apply returns f applied elementwise.
 func Apply(m *Dense, f func(float64) float64) *Dense {
 	out := New(m.rows, m.cols)
+	ApplyInto(out, m, f)
+	return out
+}
+
+// ApplyInto computes out = f applied elementwise to m. out may alias m.
+func ApplyInto(out, m *Dense, f func(float64) float64) {
+	checkSame("ApplyInto", out, m)
 	for i, v := range m.data {
 		out.data[i] = f(v)
 	}
-	return out
 }
 
 // ConcatCols concatenates matrices horizontally. All inputs must have the
 // same row count.
 func ConcatCols(ms ...*Dense) *Dense {
+	rows, totalCols := concatColsShape(ms)
+	out := New(rows, totalCols)
+	ConcatColsInto(out, ms...)
+	return out
+}
+
+func concatColsShape(ms []*Dense) (rows, totalCols int) {
 	if len(ms) == 0 {
-		return New(0, 0)
+		return 0, 0
 	}
-	rows := ms[0].rows
-	totalCols := 0
+	rows = ms[0].rows
 	for _, m := range ms {
 		if m.rows != rows {
 			panic(fmt.Sprintf("tensor: ConcatCols row mismatch %d vs %d", m.rows, rows))
 		}
 		totalCols += m.cols
 	}
-	out := New(rows, totalCols)
+	return rows, totalCols
+}
+
+// ConcatColsInto concatenates matrices horizontally into out, which must
+// have the combined shape and must not alias any input.
+func ConcatColsInto(out *Dense, ms ...*Dense) {
+	rows, totalCols := concatColsShape(ms)
+	if out.rows != rows || out.cols != totalCols {
+		panic("tensor: ConcatColsInto output shape mismatch")
+	}
 	parallel.For(rows, 64, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			off := i * totalCols
@@ -276,7 +410,19 @@ func ConcatCols(ms ...*Dense) *Dense {
 			}
 		}
 	})
-	return out
+}
+
+// ExtractColsInto copies the colOff..colOff+dst.cols column band of src
+// into dst (the inverse of one ConcatCols segment, used by its backward
+// pass without materializing every split).
+func ExtractColsInto(dst, src *Dense, colOff int) {
+	if dst.rows != src.rows || colOff < 0 || colOff+dst.cols > src.cols {
+		panic(fmt.Sprintf("tensor: ExtractColsInto band [%d,%d) of %d cols, rows %d vs %d",
+			colOff, colOff+dst.cols, src.cols, dst.rows, src.rows))
+	}
+	for i := 0; i < dst.rows; i++ {
+		copy(dst.data[i*dst.cols:(i+1)*dst.cols], src.data[i*src.cols+colOff:i*src.cols+colOff+dst.cols])
+	}
 }
 
 // ConcatRows concatenates matrices vertically. All inputs must have the
@@ -329,12 +475,25 @@ func SplitCols(m *Dense, widths ...int) []*Dense {
 // GatherRows returns the matrix whose i-th row is m's row idx[i].
 func GatherRows(m *Dense, idx []int) *Dense {
 	out := New(len(idx), m.cols)
-	parallel.For(len(idx), 256, func(lo, hi int) {
+	GatherRowsInto(out, m, idx)
+	return out
+}
+
+// GatherRowsInto computes out[i] = m[idx[i]]. out must have shape
+// len(idx) × m.cols and must not alias m.
+func GatherRowsInto(out, m *Dense, idx []int) {
+	if out.rows != len(idx) || out.cols != m.cols {
+		panic("tensor: GatherRowsInto output shape mismatch")
+	}
+	type gatherCtx struct {
+		out, m *Dense
+		idx    []int
+	}
+	parallel.ForWith(len(idx), 256, gatherCtx{out, m, idx}, func(c gatherCtx, lo, hi int) {
 		for i := lo; i < hi; i++ {
-			copy(out.data[i*m.cols:(i+1)*m.cols], m.Row(idx[i]))
+			copy(c.out.data[i*c.m.cols:(i+1)*c.m.cols], c.m.Row(c.idx[i]))
 		}
 	})
-	return out
 }
 
 // ScatterAddRows adds row i of src into row idx[i] of dst.

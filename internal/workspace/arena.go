@@ -1,0 +1,77 @@
+package workspace
+
+// Arena hands out pooled scratch slices and releases them in groups: a
+// trainer keeps one arena per rank, takes a checkpoint before each step,
+// and resets to it afterwards, returning every slice the step's forward,
+// backward, and optimizer phases borrowed. Allocation through an arena is
+// O(1) amortized and steady-state allocation-free once the underlying
+// pools are warm.
+//
+// An Arena is NOT goroutine-safe: each goroutine (trainer rank) must own
+// its own. The backing pools are shared and goroutine-safe.
+type Arena struct {
+	f64s  [][]float64
+	ints  [][]int
+	bools [][]bool
+}
+
+// Mark is a checkpoint in an arena's allocation history.
+type Mark struct {
+	f64s, ints, bools int
+}
+
+// NewArena returns an empty arena.
+func NewArena() *Arena { return &Arena{} }
+
+// F64 returns a zeroed []float64 of length n owned by the arena.
+func (a *Arena) F64(n int) []float64 {
+	s := GetF64(n)
+	a.f64s = append(a.f64s, s)
+	return s
+}
+
+// Int returns a zeroed []int of length n owned by the arena.
+func (a *Arena) Int(n int) []int {
+	s := GetInt(n)
+	a.ints = append(a.ints, s)
+	return s
+}
+
+// Bool returns a zeroed []bool of length n owned by the arena.
+func (a *Arena) Bool(n int) []bool {
+	s := GetBool(n)
+	a.bools = append(a.bools, s)
+	return s
+}
+
+// Checkpoint records the current allocation state. A later ResetTo
+// releases only what was allocated after this point.
+func (a *Arena) Checkpoint() Mark {
+	return Mark{f64s: len(a.f64s), ints: len(a.ints), bools: len(a.bools)}
+}
+
+// ResetTo releases every slice allocated after the mark back to the
+// pools. The caller must not use those slices afterwards.
+func (a *Arena) ResetTo(m Mark) {
+	for i := m.f64s; i < len(a.f64s); i++ {
+		PutF64(a.f64s[i])
+		a.f64s[i] = nil
+	}
+	a.f64s = a.f64s[:m.f64s]
+	for i := m.ints; i < len(a.ints); i++ {
+		PutInt(a.ints[i])
+		a.ints[i] = nil
+	}
+	a.ints = a.ints[:m.ints]
+	for i := m.bools; i < len(a.bools); i++ {
+		PutBool(a.bools[i])
+		a.bools[i] = nil
+	}
+	a.bools = a.bools[:m.bools]
+}
+
+// Reset releases everything the arena holds back to the pools.
+func (a *Arena) Reset() { a.ResetTo(Mark{}) }
+
+// Live reports how many slices the arena currently holds.
+func (a *Arena) Live() int { return len(a.f64s) + len(a.ints) + len(a.bools) }
