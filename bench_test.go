@@ -8,10 +8,12 @@
 package repro_test
 
 import (
+	"context"
 	"testing"
 	"time"
 
 	"repro"
+	"repro/recon"
 )
 
 func benchOptions() repro.ExperimentOptions {
@@ -51,6 +53,47 @@ func benchmarkFigure3(b *testing.B, procs int) {
 		b.ReportMetric(repro.Figure3Speedups(rows)[procs], "speedup")
 	}
 }
+
+// engineBenchFixture mirrors cmd/bench's engine fixture: a 32-event
+// batch and an untrained reconstructor.
+func engineBenchFixture(b *testing.B) (*recon.Reconstructor, []*repro.Event) {
+	b.Helper()
+	spec := repro.Ex3Like(0.03)
+	spec.NumEvents = 32
+	ds := repro.GenerateDataset(spec, 3)
+	r, err := recon.New(spec, recon.WithSeed(5))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return r, ds.Events
+}
+
+// benchmarkEngineBatch measures ReconstructBatch throughput at a worker
+// count; compare against workers=1 (or the serial loop in cmd/bench)
+// for the multi-worker speedup tracked in BENCH_*.json.
+func benchmarkEngineBatch(b *testing.B, workers int) {
+	r, events := engineBenchFixture(b)
+	eng, err := recon.NewEngine(r, recon.WithWorkers(workers))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.ReconstructBatch(ctx, events); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if b.Elapsed() > 0 {
+		b.ReportMetric(float64(b.N*len(events))/b.Elapsed().Seconds(), "events/s")
+	}
+}
+
+// BenchmarkEngine_ReconstructBatch_W1 runs the engine single-worker.
+func BenchmarkEngine_ReconstructBatch_W1(b *testing.B) { benchmarkEngineBatch(b, 1) }
+
+// BenchmarkEngine_ReconstructBatch_W4 runs the engine with 4 workers.
+func BenchmarkEngine_ReconstructBatch_W4(b *testing.B) { benchmarkEngineBatch(b, 4) }
 
 // BenchmarkFigure3_EpochTime_P1 regenerates the P=1 bars of Figure 3.
 func BenchmarkFigure3_EpochTime_P1(b *testing.B) { benchmarkFigure3(b, 1) }

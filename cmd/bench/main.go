@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -29,6 +30,7 @@ import (
 	"repro/internal/sparse"
 	"repro/internal/tensor"
 	"repro/internal/workspace"
+	"repro/recon"
 )
 
 // BenchResult is one benchmark's measurement.
@@ -122,6 +124,49 @@ func suite(quick bool) []namedBench {
 			for i := 0; i < b.N; i++ {
 				p.Reconstruct(ds.Events[i%len(ds.Events)])
 			}
+		}},
+		{"BenchmarkEngine_ReconstructSerial", func(b *testing.B) {
+			r, events := engineFixture(b)
+			ctx := context.Background()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, ev := range events {
+					if _, err := r.Reconstruct(ctx, ev); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			reportEventsPerSec(b, len(events))
+		}},
+		{"BenchmarkEngine_ReconstructBatch_W1", func(b *testing.B) {
+			r, events := engineFixture(b)
+			eng, err := recon.NewEngine(r, recon.WithWorkers(1))
+			if err != nil {
+				b.Fatal(err)
+			}
+			ctx := context.Background()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.ReconstructBatch(ctx, events); err != nil {
+					b.Fatal(err)
+				}
+			}
+			reportEventsPerSec(b, len(events))
+		}},
+		{"BenchmarkEngine_ReconstructBatch_W4", func(b *testing.B) {
+			r, events := engineFixture(b)
+			eng, err := recon.NewEngine(r, recon.WithWorkers(4))
+			if err != nil {
+				b.Fatal(err)
+			}
+			ctx := context.Background()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.ReconstructBatch(ctx, events); err != nil {
+					b.Fatal(err)
+				}
+			}
+			reportEventsPerSec(b, len(events))
 		}},
 		{"BenchmarkSpGEMM", func(b *testing.B) {
 			a := benchCSR(2000, 8, 1)
@@ -237,6 +282,28 @@ func suite(quick bool) []namedBench {
 	return benches
 }
 
+// engineFixture builds the 32-event batch and untrained reconstructor
+// shared by the engine benchmarks — identical fixtures so the serial,
+// 1-worker, and 4-worker entries measure the same work.
+func engineFixture(b *testing.B) (*recon.Reconstructor, []*repro.Event) {
+	spec := repro.Ex3Like(0.03)
+	spec.NumEvents = 32
+	ds := repro.GenerateDataset(spec, 3)
+	r, err := recon.New(spec, recon.WithSeed(5))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return r, ds.Events
+}
+
+// reportEventsPerSec attaches reconstruction throughput to an engine
+// benchmark whose inner loop processes n events per iteration.
+func reportEventsPerSec(b *testing.B, n int) {
+	if b.Elapsed() > 0 {
+		b.ReportMetric(float64(b.N*n)/b.Elapsed().Seconds(), "events/s")
+	}
+}
+
 // samplingFixture mirrors internal/sampling/bench_test.go's benchGraph.
 func samplingFixture(n int) (*graph.Graph, *sampling.EdgeIndex) {
 	r := rng.New(1)
@@ -255,6 +322,30 @@ func samplingFixture(n int) (*graph.Graph, *sampling.EdgeIndex) {
 	g := graph.New(n, src, dst)
 	g.Adjacency()
 	return g, sampling.NewEdgeIndex(g)
+}
+
+// attachEngineSpeedup records the 4-worker engine's throughput gain
+// over the serial loop on the W4 entry. The measured speedup scales
+// with available cores: worker-pool parallelism cannot beat serial on
+// a single-CPU host, so `cores` is recorded alongside it.
+func attachEngineSpeedup(rec *Record) {
+	var serial, w4 *BenchResult
+	for i := range rec.Benchmarks {
+		switch rec.Benchmarks[i].Name {
+		case "BenchmarkEngine_ReconstructSerial":
+			serial = &rec.Benchmarks[i]
+		case "BenchmarkEngine_ReconstructBatch_W4":
+			w4 = &rec.Benchmarks[i]
+		}
+	}
+	if serial == nil || w4 == nil || w4.NsPerOp == 0 {
+		return
+	}
+	if w4.Metrics == nil {
+		w4.Metrics = map[string]float64{}
+	}
+	w4.Metrics["speedup_vs_serial"] = serial.NsPerOp / w4.NsPerOp
+	w4.Metrics["cores"] = float64(runtime.NumCPU())
 }
 
 func pct(baseline, current float64) float64 {
@@ -314,6 +405,8 @@ func main() {
 		}
 		rec.Benchmarks = append(rec.Benchmarks, res)
 	}
+
+	attachEngineSpeedup(rec)
 
 	ws := workspace.ReadStats()
 	rec.Workspace.Gets = ws.Gets

@@ -1,5 +1,6 @@
 // Command datagen generates a synthetic dataset and writes it to disk
-// for use by trackrecon and trainpipe.
+// for use by trackrecon and trainpipe. The same spec flags (-dataset,
+// -scale) configure cmd/serve, which must match the checkpoint it loads.
 package main
 
 import (

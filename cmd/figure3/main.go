@@ -6,8 +6,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 	"time"
@@ -56,11 +59,18 @@ func main() {
 		Seed:            *seed,
 		SamplerOverhead: *overhead,
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	fmt.Printf("FIGURE 3: epoch time, dataset=%s scale=%v procs=%v\n", *dataset, *scale, procs)
 	fmt.Println("(times are simulated-device epoch costs; see EXPERIMENTS.md for the timing model)")
-	rows := repro.RunFigure3(o, procs)
+	rows, err := repro.Figure3(ctx, o, procs)
 	for _, r := range rows {
 		fmt.Println(" ", r)
+	}
+	if err != nil {
+		fmt.Println("interrupted:", err)
+		return
 	}
 	fmt.Println("\nspeedup (PyG / Ours):")
 	for _, p := range procs {

@@ -6,8 +6,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"log"
+	"os"
+	"os/signal"
 
 	"repro"
 )
@@ -22,7 +26,10 @@ func main() {
 	seed := flag.Uint64("seed", 7, "seed")
 	flag.Parse()
 
-	res := repro.RunFigure4(repro.ExperimentOptions{
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	res, err := repro.Figure4(ctx, repro.ExperimentOptions{
 		Dataset:   "ex3",
 		Scale:     *scale,
 		Events:    *events,
@@ -32,6 +39,9 @@ func main() {
 		BatchSize: *batch,
 		Seed:      *seed,
 	})
+	if err != nil {
+		log.Fatalf("interrupted: %v", err)
+	}
 	fmt.Printf("FIGURE 4: convergence on Ex3 (full-graph skipped %d graphs/epoch for memory)\n\n", res.Skipped)
 	fmt.Printf("%5s | %-21s | %-21s | %-21s\n", "", "full-graph", "ShaDow (PyG impl)", "ShaDow (ours)")
 	fmt.Printf("%5s | %10s %10s | %10s %10s | %10s %10s\n",

@@ -1,0 +1,85 @@
+// Command serve runs the track-reconstruction HTTP front-end: a
+// recon.Engine behind a JSON API, loading an optional checkpoint and
+// serving concurrent requests.
+//
+// Endpoints:
+//
+//	POST /v1/reconstruct  {"events":[...]} and/or {"synthetic":{"count":1,"seed":7}}
+//	GET  /healthz         liveness probe
+//	GET  /statz           p50/p90/p99 latency + throughput counters
+//
+// Example smoke run (truth-level graphs make an untrained model produce
+// meaningful tracks, since true edges dominate the constructed graph):
+//
+//	serve -addr :8080 -truth-graphs 1.0 -threshold 0
+//	curl -X POST localhost:8080/v1/reconstruct -d '{"synthetic":{"count":1,"seed":7}}'
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro"
+	"repro/recon"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	dataset := flag.String("dataset", "ex3", "dataset family the models were built for: ex3 or ctd")
+	scale := flag.Float64("scale", 0.05, "detector spec scale factor")
+	checkpoint := flag.String("checkpoint", "", "checkpoint path (from trackrecon -save or SaveCheckpoint); empty = untrained models")
+	workers := flag.Int("workers", 4, "engine worker-pool size")
+	queue := flag.Int("queue", 8, "in-flight events admitted beyond the workers")
+	hidden := flag.Int("hidden", 16, "GNN hidden width (must match the checkpoint)")
+	steps := flag.Int("steps", 3, "GNN message-passing layers (must match the checkpoint)")
+	threshold := flag.Float64("threshold", 0.5, "stage-4 edge decision threshold")
+	truthGraphs := flag.Float64("truth-graphs", -1, "build truth-level graphs with this fake ratio instead of the learned stages 1-3 (<0 = off)")
+	seed := flag.Uint64("seed", 1, "model initialization seed (must match the checkpoint)")
+	flag.Parse()
+
+	var spec repro.DetectorSpec
+	if *dataset == "ctd" {
+		spec = repro.CTDLike(*scale)
+	} else {
+		spec = repro.Ex3Like(*scale)
+	}
+
+	opts := []recon.Option{
+		recon.WithGNN(*hidden, *steps),
+		recon.WithThreshold(*threshold),
+		recon.WithSeed(*seed),
+	}
+	if *truthGraphs >= 0 {
+		opts = append(opts, recon.WithTruthLevelGraphs(*truthGraphs))
+	}
+	r, err := recon.New(spec, opts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *checkpoint != "" {
+		if err := r.LoadCheckpoint(*checkpoint); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("loaded checkpoint %s", *checkpoint)
+	}
+
+	eng, err := recon.NewEngine(r, recon.WithWorkers(*workers), recon.WithQueueDepth(*queue))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	log.Printf("serving %s-like reconstruction on %s (workers=%d queue=%d threshold=%v)",
+		spec.Name, *addr, *workers, *queue, *threshold)
+	if err := recon.NewServer(eng).Serve(ctx, *addr); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -4,8 +4,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"log"
+	"os"
+	"os/signal"
 
 	"repro"
 )
@@ -16,11 +20,17 @@ func main() {
 	seed := flag.Uint64("seed", 7, "generation seed")
 	flag.Parse()
 
-	rows := repro.RunTable1(repro.ExperimentOptions{
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	rows, err := repro.Table1(ctx, repro.ExperimentOptions{
 		Scale:  *scale,
 		Events: *events,
 		Seed:   *seed,
 	})
+	if err != nil {
+		log.Fatalf("interrupted: %v", err)
+	}
 	fmt.Println("TABLE I: Datasets used in our experiments (measured @ scale", *scale, "| paper @ scale 1)")
 	fmt.Printf("%-5s %7s %14s %14s %10s %9s %9s | %14s %14s\n",
 		"Name", "Graphs", "AvgVertices", "AvgEdges", "MLPLayers", "VtxFeats", "EdgFeats",

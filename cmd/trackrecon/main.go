@@ -1,14 +1,19 @@
 // Command trackrecon trains the full pipeline on a generated dataset and
-// reconstructs tracks on its held-out events, reporting edge and track
-// metrics per event — the end-user workflow of the library.
+// reconstructs tracks on its held-out events concurrently, reporting
+// edge and track metrics per event — the end-user workflow of the
+// library. With -save it writes a checkpoint cmd/serve can load.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 
 	"repro"
+	"repro/recon"
 )
 
 func main() {
@@ -16,8 +21,13 @@ func main() {
 	hidden := flag.Int("hidden", 16, "GNN hidden width")
 	steps := flag.Int("steps", 3, "GNN message-passing layers")
 	gnnEpochs := flag.Int("gnn-epochs", 20, "GNN training epochs")
+	workers := flag.Int("workers", 4, "engine workers for held-out reconstruction")
+	save := flag.String("save", "", "write the trained checkpoint here (load with cmd/serve -checkpoint)")
 	seed := flag.Uint64("seed", 9, "seed")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	var ds *repro.Dataset
 	var err error
@@ -35,27 +45,38 @@ func main() {
 	fmt.Printf("dataset %s: %d train / %d val / %d test events\n",
 		ds.Spec.Name, len(train), len(val), len(test))
 
-	cfg := repro.DefaultPipelineConfig(ds.Spec)
-	cfg.GNN.Hidden = *hidden
-	cfg.GNN.Steps = *steps
-	p := repro.NewPipeline(cfg, *seed)
-
-	fmt.Println("training stages 1-3 (embedding, graph construction, filter)...")
-	if err := p.TrainStages13(train, *seed+1); err != nil {
+	r, err := recon.New(ds.Spec,
+		recon.WithGNN(*hidden, *steps),
+		recon.WithGNNTraining(*gnnEpochs, 3e-3, 2.0),
+		recon.WithSeed(*seed),
+	)
+	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("training stage 4 (interaction GNN)...")
-	var graphs []*repro.EventGraph
-	for _, ev := range train {
-		graphs = append(graphs, p.BuildGraph(ev))
+
+	fmt.Println("training the learned stages (embedding, filter, GNN)...")
+	if err := r.Fit(ctx, train); err != nil {
+		log.Fatal(err)
 	}
-	loss := p.TrainGNN(graphs, *gnnEpochs, 3e-3, 2.0)
-	fmt.Printf("final GNN loss %.4f\n\n", loss)
+	if *save != "" {
+		if err := r.SaveCheckpoint(*save); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("checkpoint written to %s\n\n", *save)
+	}
+
+	eng, err := recon.NewEngine(r, recon.WithWorkers(*workers))
+	if err != nil {
+		log.Fatal(err)
+	}
+	results, err := eng.ReconstructBatch(ctx, test)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	var agg repro.BinaryCounts
 	effSum, fakeSum := 0.0, 0.0
-	for i, ev := range test {
-		res := p.Reconstruct(ev)
+	for i, res := range results {
 		agg.Merge(res.EdgeCounts)
 		effSum += res.Match.Efficiency()
 		fakeSum += res.Match.FakeRate()

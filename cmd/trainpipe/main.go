@@ -5,12 +5,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 	"time"
 
 	"repro"
+	"repro/recon"
 )
 
 func main() {
@@ -38,15 +42,27 @@ func main() {
 	}
 	trainEvs, valEvs, _ := ds.Split(0.75, 0.25)
 
-	pcfg := repro.DefaultPipelineConfig(ds.Spec)
-	p := repro.NewPipeline(pcfg, *seed)
-	var train, val []*repro.EventGraph
-	for i, ev := range trainEvs {
-		train = append(train, p.BuildTruthLevelGraph(ev, 1.5, *seed+uint64(i)))
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	// Event graphs come from the recon truth-level builder (ground-truth
+	// edges plus random fakes), decoupling GNN training from stage 1-3.
+	rec, err := recon.New(ds.Spec, recon.WithTruthLevelGraphs(1.5), recon.WithSeed(*seed))
+	if err != nil {
+		log.Fatal(err)
 	}
-	for i, ev := range valEvs {
-		val = append(val, p.BuildTruthLevelGraph(ev, 1.5, *seed+uint64(100+i)))
+	buildAll := func(evs []*repro.Event) []*repro.EventGraph {
+		graphs := make([]*repro.EventGraph, 0, len(evs))
+		for _, ev := range evs {
+			eg, err := rec.BuildGraph(ctx, ev)
+			if err != nil {
+				log.Fatal(err)
+			}
+			graphs = append(graphs, eg)
+		}
+		return graphs
 	}
+	train, val := buildAll(trainEvs), buildAll(valEvs)
 
 	gnn := repro.GNNConfig{
 		NodeFeatures: ds.Spec.VertexFeatures,
@@ -70,6 +86,10 @@ func main() {
 
 	fmt.Printf("training impl=%s procs=%d batch=%d on %d graphs\n", *impl, *procs, *batch, len(train))
 	for e := 0; e < *epochs; e++ {
+		if ctx.Err() != nil {
+			fmt.Println("interrupted")
+			return
+		}
 		var stats repro.EpochStats
 		if *impl == "fullgraph" {
 			stats = tr.TrainEpochFullGraph(train)

@@ -6,22 +6,31 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 	"time"
 
 	"repro/internal/detector"
-	"repro/internal/pipeline"
 	"repro/internal/rng"
 	"repro/internal/sampling"
+	"repro/recon"
 )
 
 func main() {
-	// Build one event graph to sample from.
+	// Build one event graph to sample from, using the recon truth-level
+	// builder (ground-truth edges plus 1.5 random fakes per true edge).
 	spec := detector.Ex3Like(0.15) // ~200 particles → ~2000 hits
 	spec.NumEvents = 1
 	ds := detector.Generate(spec, 3)
-	p := pipeline.New(pipeline.DefaultConfig(spec), 4)
-	eg := p.BuildTruthLevelGraph(ds.Events[0], 1.5, 9)
+	rec, err := recon.New(spec, recon.WithTruthLevelGraphs(1.5), recon.WithSeed(4))
+	if err != nil {
+		log.Fatal(err)
+	}
+	eg, err := rec.BuildGraph(context.Background(), ds.Events[0])
+	if err != nil {
+		log.Fatal(err)
+	}
 	eidx := sampling.NewEdgeIndex(eg.G)
 	fmt.Printf("event graph: %d vertices, %d edges\n\n", eg.NumVertices(), eg.NumEdges())
 

@@ -2,16 +2,24 @@
 // optimizations: GNN training sharded across simulated GPUs with ShaDow
 // minibatch sampling, comparing the PyG-style baseline (sequential
 // per-batch sampling + per-matrix all-reduce) against the paper's
-// pipeline (matrix-based bulk sampling + coalesced all-reduce).
+// pipeline (matrix-based bulk sampling + coalesced all-reduce). Ctrl-C
+// cancels the sweep and prints whatever rows completed.
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
+	"os"
+	"os/signal"
 
 	"repro"
 )
 
 func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	o := repro.ExperimentOptions{
 		Scale:  0.03,
 		Events: 6,
@@ -20,9 +28,12 @@ func main() {
 	}
 
 	fmt.Println("=== epoch time across simulated GPU counts (Figure 3 shape) ===")
-	rows := repro.RunFigure3(o, []int{1, 2, 4})
+	rows, err := repro.Figure3(ctx, o, []int{1, 2, 4})
 	for _, r := range rows {
 		fmt.Println(" ", r)
+	}
+	if err != nil {
+		log.Fatalf("sweep interrupted: %v", err)
 	}
 	fmt.Println("\nspeedup of ours vs PyG baseline:")
 	for p, s := range repro.Figure3Speedups(rows) {
@@ -30,8 +41,12 @@ func main() {
 	}
 
 	fmt.Println("\n=== all-reduce strategies (§III-D) ===")
-	for _, r := range repro.RunAllReduceAblation(o, []int{2, 4, 8}, 10) {
+	arRows, err := repro.AllReduceAblation(ctx, o, []int{2, 4, 8}, 10)
+	for _, r := range arRows {
 		fmt.Printf("  p=%-2d %-10s collectives=%-4d modeled=%v\n",
 			r.Procs, r.Strategy, r.Collectives, r.ModeledTime)
+	}
+	if err != nil {
+		log.Fatalf("ablation interrupted: %v", err)
 	}
 }

@@ -1,16 +1,21 @@
 // Command quickstart is the smallest end-to-end use of the library:
-// simulate collision events, train the learned pipeline stages, and
-// reconstruct particle tracks on a held-out event.
+// simulate collision events, compose a reconstructor from the recon
+// package, train its learned stages, and reconstruct particle tracks
+// on a held-out event.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"repro"
+	"repro/recon"
 )
 
 func main() {
+	ctx := context.Background()
+
 	// 1. Simulate a small Ex3-like dataset: 10 events, ~60 particles each.
 	spec := repro.Ex3Like(0.05)
 	spec.NumEvents = 10
@@ -19,25 +24,37 @@ func main() {
 	fmt.Printf("dataset %s: %d events, %.0f hits/event on average\n",
 		spec.Name, len(ds.Events), ds.ComputeStats().AvgVertices)
 
-	// 2. Train stages 1-3 (embedding + graph construction + filter).
-	cfg := repro.DefaultPipelineConfig(spec)
-	cfg.GNN.Hidden = 16
-	cfg.GNN.Steps = 3
-	p := repro.NewPipeline(cfg, 7)
-	if err := p.TrainStages13(train, 11); err != nil {
+	// 2. Compose the five-stage reconstructor. Functional options replace
+	// the old nested config structs: here we shrink the GNN to laptop
+	// scale and pin the deterministic initialization seed. Any stage can
+	// be swapped (recon.WithTruthLevelGraphs, recon.WithoutEdgeFilter,
+	// recon.WithEdgeClassifier, ...).
+	r, err := recon.New(spec,
+		recon.WithGNN(16, 3),
+		recon.WithGNNTraining(20, 3e-3, 2.0),
+		recon.WithSeed(7),
+	)
+	if err != nil {
 		log.Fatal(err)
 	}
 
-	// 3. Train the GNN stage (stage 4) full-graph for a few epochs.
-	var graphs []*repro.EventGraph
-	for _, ev := range train {
-		graphs = append(graphs, p.BuildGraph(ev))
+	// 3. Fit trains every learned stage: the embedding MLP, the edge
+	// filter on radius graphs in the trained embedding space, and the
+	// Interaction GNN on the graphs the configured builder produces. The
+	// context cancels long runs cooperatively.
+	if err := r.Fit(ctx, train); err != nil {
+		log.Fatal(err)
 	}
-	loss := p.TrainGNN(graphs, 20, 3e-3, 2.0)
-	fmt.Printf("GNN trained, final loss %.4f\n", loss)
+	fmt.Println("learned stages trained")
 
-	// 4. Reconstruct tracks on the held-out event (stages 1-5).
-	res := p.Reconstruct(test[0])
+	// 4. Reconstruct tracks on the held-out event (stages 1-5). For
+	// batches and streams, wrap the reconstructor in a recon.Engine with
+	// recon.WithWorkers(n) — results are bit-identical to this serial
+	// call at any worker count.
+	res, err := r.Reconstruct(ctx, test[0])
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("reconstructed %d track candidates\n", len(res.Tracks))
 	fmt.Printf("edge classification: precision=%.3f recall=%.3f\n",
 		res.EdgeCounts.Precision(), res.EdgeCounts.Recall())

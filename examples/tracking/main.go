@@ -1,16 +1,22 @@
 // Command tracking runs the full five-stage Exa.TrkX pipeline on a
 // CTD-like workload — the dense LHC tracking scenario that motivates the
-// paper — and reports per-stage graph quality and final track metrics.
+// paper — through the recon API, reporting per-stage graph quality,
+// final track metrics, and multi-worker engine throughput.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"repro"
+	"repro/recon"
 )
 
 func main() {
+	ctx := context.Background()
+
 	// CTD-like events: 14 hit features, 8 edge features, denser tracks.
 	spec := repro.CTDLike(0.0025) // ~80 particles/event at laptop scale
 	spec.NumEvents = 8
@@ -22,39 +28,49 @@ func main() {
 		stats.Graphs, stats.AvgVertices, stats.AvgTruthEdges,
 		stats.VertexFeatures, stats.EdgeFeatures)
 
-	cfg := repro.DefaultPipelineConfig(spec)
-	cfg.GNN.Hidden = 24
-	cfg.GNN.Steps = 3
-	p := repro.NewPipeline(cfg, 5)
+	r, err := recon.New(spec,
+		recon.WithGNN(24, 3),
+		recon.WithGNNTraining(15, 3e-3, 2.0),
+		recon.WithSeed(5),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
 
-	// Stages 1-3.
-	fmt.Println("training embedding + filter stages...")
-	if err := p.TrainStages13(train, 23); err != nil {
+	// Train all learned stages (embedding, filter, GNN).
+	fmt.Println("training the learned stages...")
+	if err := r.Fit(ctx, train); err != nil {
 		log.Fatal(err)
 	}
 	for _, ev := range val {
-		eg := p.BuildGraph(ev)
+		eg, err := r.BuildGraph(ctx, ev)
+		if err != nil {
+			log.Fatal(err)
+		}
 		eff, pur := eg.GraphQuality()
 		fmt.Printf("  built graph: %d vertices %d edges, edge efficiency=%.3f purity=%.3f\n",
 			eg.NumVertices(), eg.NumEdges(), eff, pur)
 	}
 
-	// Stage 4: GNN training on constructed graphs.
-	fmt.Println("training interaction GNN stage...")
-	var graphs []*repro.EventGraph
-	for _, ev := range train {
-		graphs = append(graphs, p.BuildGraph(ev))
+	// Held-out reconstruction, concurrently through the engine.
+	fmt.Println("\n=== held-out reconstruction (engine, 4 workers) ===")
+	eng, err := recon.NewEngine(r, recon.WithWorkers(4))
+	if err != nil {
+		log.Fatal(err)
 	}
-	loss := p.TrainGNN(graphs, 15, 3e-3, 2.0)
-	fmt.Printf("  final loss %.4f\n", loss)
-
-	// Stage 5 + evaluation on held-out events.
-	fmt.Println("\n=== held-out reconstruction ===")
-	for i, ev := range test {
-		res := p.Reconstruct(ev)
+	start := time.Now()
+	results, err := eng.ReconstructBatch(ctx, test)
+	if err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	for i, res := range results {
 		fmt.Printf("event %d: %d candidates | edge P=%.3f R=%.3f | track eff=%.3f fake=%.3f\n",
 			i, len(res.Tracks),
 			res.EdgeCounts.Precision(), res.EdgeCounts.Recall(),
 			res.Match.Efficiency(), res.Match.FakeRate())
 	}
+	fmt.Printf("\nbatch of %d events in %v (%.1f events/s)\n",
+		len(test), elapsed.Round(time.Millisecond),
+		float64(len(test))/elapsed.Seconds())
 }

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/rng"
 	"repro/internal/tensor"
+	"repro/internal/workspace"
 )
 
 // Hit is one recorded 3D measurement.
@@ -322,7 +323,14 @@ func etaOf(radius, z float64) float64 {
 // over the event's hits: Δr, Δφ (wrapped), and for wider specs Δz, Δη,
 // 3D distance, mean radius, φ-slope, and a curvature proxy.
 func EdgeFeatures(spec Spec, ev *Event, src, dst []int) *tensor.Dense {
-	f := tensor.New(len(src), spec.EdgeFeatures)
+	return EdgeFeaturesWith(nil, spec, ev, src, dst)
+}
+
+// EdgeFeaturesWith is EdgeFeatures with the feature matrix borrowed from
+// the arena's workspace pools: valid only until the arena resets past
+// it. A nil arena falls back to the heap.
+func EdgeFeaturesWith(a *workspace.Arena, spec Spec, ev *Event, src, dst []int) *tensor.Dense {
+	f := tensor.NewFrom(a, len(src), spec.EdgeFeatures)
 	rMax := spec.Layers[len(spec.Layers)-1]
 	for k := range src {
 		a, b := ev.Hits[src[k]], ev.Hits[dst[k]]

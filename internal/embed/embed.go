@@ -5,6 +5,8 @@
 package embed
 
 import (
+	"context"
+
 	"repro/internal/autograd"
 	"repro/internal/detector"
 	"repro/internal/nn"
@@ -109,12 +111,24 @@ func buildPairs(ev *detector.Event, ratio float64, r *rng.Rand) pairBatch {
 
 // TrainStep runs one optimization step on one event and returns the loss.
 func (e *Embedder) TrainStep(ev *detector.Event, opt nn.Optimizer, r *rng.Rand) float64 {
+	return e.TrainStepWith(nil, ev, opt, r)
+}
+
+// TrainStepWith is TrainStep with forward/backward activations borrowed
+// from the given arena (checkpointed around the step, so the caller's
+// other allocations survive). A nil arena uses a private one.
+func (e *Embedder) TrainStepWith(arena *workspace.Arena, ev *detector.Event, opt nn.Optimizer, r *rng.Rand) float64 {
 	pb := buildPairs(ev, e.cfg.NegativeRatio, r)
 	if len(pb.a) == 0 {
 		return 0
 	}
-	arena := workspace.NewArena()
-	defer arena.Reset()
+	if arena == nil {
+		arena = workspace.NewArena()
+		defer arena.Reset()
+	} else {
+		mark := arena.Checkpoint()
+		defer arena.ResetTo(mark)
+	}
 	t := autograd.NewTapeArena(arena)
 	emb := e.mlp.Forward(t, t.Constant(ev.Features))
 	ea := t.GatherRows(emb, pb.a)
@@ -130,17 +144,31 @@ func (e *Embedder) TrainStep(ev *detector.Event, opt nn.Optimizer, r *rng.Rand) 
 // Train fits the embedder on the training events for cfg.Epochs passes.
 // It returns the mean loss of the final epoch.
 func (e *Embedder) Train(events []*detector.Event, seed uint64) float64 {
+	loss, _ := e.TrainContext(context.Background(), events, seed)
+	return loss
+}
+
+// TrainContext is Train with cooperative cancellation between epochs
+// and one arena threaded through every step, so epoch loops recycle
+// warm activation buffers. Returns the last completed epoch's mean loss
+// alongside ctx.Err() when cancelled.
+func (e *Embedder) TrainContext(ctx context.Context, events []*detector.Event, seed uint64) (float64, error) {
 	r := rng.New(seed)
 	opt := nn.NewAdam(e.cfg.LR)
+	arena := workspace.NewArena()
+	defer arena.Reset()
 	last := 0.0
 	for epoch := 0; epoch < e.cfg.Epochs; epoch++ {
+		if err := ctx.Err(); err != nil {
+			return last, err
+		}
 		sum := 0.0
 		for _, ev := range events {
-			sum += e.TrainStep(ev, opt, r)
+			sum += e.TrainStepWith(arena, ev, opt, r)
 		}
 		if len(events) > 0 {
 			last = sum / float64(len(events))
 		}
 	}
-	return last
+	return last, nil
 }

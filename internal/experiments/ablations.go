@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"time"
 
 	"repro/internal/core"
@@ -20,6 +22,13 @@ type BulkKRow struct {
 // RunBulkKAblation sweeps the bulk batch count k at fixed P and measures
 // the epoch-time phase split.
 func RunBulkKAblation(o Options, ks []int) []BulkKRow {
+	rows, _ := RunBulkKAblationContext(context.Background(), o, ks)
+	return rows
+}
+
+// RunBulkKAblationContext is RunBulkKAblation with cooperative
+// cancellation between sweep points.
+func RunBulkKAblationContext(ctx context.Context, o Options, ks []int) ([]BulkKRow, error) {
 	o = o.withDefaults()
 	if len(ks) == 0 {
 		ks = []int{1, 2, 4, 8}
@@ -27,6 +36,9 @@ func RunBulkKAblation(o Options, ks []int) []BulkKRow {
 	train, _, gnn := buildGraphs(o)
 	var rows []BulkKRow
 	for _, k := range ks {
+		if err := ctx.Err(); err != nil {
+			return rows, err
+		}
 		cfg := core.OursConfig(gnn, 1)
 		cfg.BatchSize = o.BatchSize
 		cfg.BulkK = k
@@ -46,7 +58,7 @@ func RunBulkKAblation(o Options, ks []int) []BulkKRow {
 			SamplerCalls: calls,
 		})
 	}
-	return rows
+	return rows, nil
 }
 
 // FanoutRow is one point of the ShaDow hyperparameter ablation.
@@ -60,6 +72,13 @@ type FanoutRow struct {
 // RunFanoutAblation sweeps ShaDow (depth, fanout) pairs and reports
 // validation quality and epoch cost.
 func RunFanoutAblation(o Options, pairs [][2]int) []FanoutRow {
+	rows, _ := RunFanoutAblationContext(context.Background(), o, pairs)
+	return rows
+}
+
+// RunFanoutAblationContext is RunFanoutAblation with cooperative
+// cancellation between sweep points.
+func RunFanoutAblationContext(ctx context.Context, o Options, pairs [][2]int) ([]FanoutRow, error) {
 	o = o.withDefaults()
 	if len(pairs) == 0 {
 		pairs = [][2]int{{1, 4}, {2, 4}, {3, 6}, {2, 8}}
@@ -67,6 +86,9 @@ func RunFanoutAblation(o Options, pairs [][2]int) []FanoutRow {
 	train, val, gnn := buildGraphs(o)
 	var rows []FanoutRow
 	for _, pd := range pairs {
+		if err := ctx.Err(); err != nil {
+			return rows, err
+		}
 		cfg := core.OursConfig(gnn, 1)
 		cfg.BatchSize = o.BatchSize
 		cfg.Shadow.Depth, cfg.Shadow.Fanout = pd[0], pd[1]
@@ -87,7 +109,7 @@ func RunFanoutAblation(o Options, pairs [][2]int) []FanoutRow {
 			EpochTime: elapsed,
 		})
 	}
-	return rows
+	return rows, nil
 }
 
 // BatchSizeRow is one point of the generalization-vs-batch-size ablation
@@ -102,6 +124,13 @@ type BatchSizeRow struct {
 // RunBatchSizeAblation trains at several batch sizes for a fixed epoch
 // budget and reports final validation quality.
 func RunBatchSizeAblation(o Options, sizes []int) []BatchSizeRow {
+	rows, _ := RunBatchSizeAblationContext(context.Background(), o, sizes)
+	return rows
+}
+
+// RunBatchSizeAblationContext is RunBatchSizeAblation with cooperative
+// cancellation between sweep points.
+func RunBatchSizeAblationContext(ctx context.Context, o Options, sizes []int) ([]BatchSizeRow, error) {
 	o = o.withDefaults()
 	if len(sizes) == 0 {
 		sizes = []int{32, 128, 512}
@@ -109,6 +138,9 @@ func RunBatchSizeAblation(o Options, sizes []int) []BatchSizeRow {
 	train, val, gnn := buildGraphs(o)
 	var rows []BatchSizeRow
 	for _, bs := range sizes {
+		if err := ctx.Err(); err != nil {
+			return rows, err
+		}
 		cfg := core.OursConfig(gnn, 1)
 		cfg.BatchSize = bs
 		cfg.Epochs = o.Epochs
@@ -127,5 +159,5 @@ func RunBatchSizeAblation(o Options, sizes []int) []BatchSizeRow {
 			F1:            counts.F1(),
 		})
 	}
-	return rows
+	return rows, nil
 }

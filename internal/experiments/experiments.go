@@ -9,6 +9,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 	"time"
 
@@ -163,6 +165,13 @@ type Table1Row struct {
 // truth-level graph edge count at the configured fake ratio (the graphs
 // the GNN consumes).
 func RunTable1(o Options) []Table1Row {
+	rows, _ := RunTable1Context(context.Background(), o)
+	return rows
+}
+
+// RunTable1Context is RunTable1 with cooperative cancellation between
+// dataset families; it returns the rows completed so far and ctx.Err().
+func RunTable1Context(ctx context.Context, o Options) ([]Table1Row, error) {
 	o = o.withDefaults()
 	rows := make([]Table1Row, 0, 2)
 	paper := map[string][2]float64{
@@ -170,6 +179,9 @@ func RunTable1(o Options) []Table1Row {
 		"Ex3": {13000, 47800},
 	}
 	for _, name := range []string{"ctd", "ex3"} {
+		if err := ctx.Err(); err != nil {
+			return rows, err
+		}
 		oo := o
 		oo.Dataset = name
 		spec := oo.spec()
@@ -189,7 +201,7 @@ func RunTable1(o Options) []Table1Row {
 			PaperEdges:     paper[st.Name][1],
 		})
 	}
-	return rows
+	return rows, nil
 }
 
 // ConvergenceResult holds the three curves of Figure 4.
@@ -204,6 +216,14 @@ type ConvergenceResult struct {
 // vs ShaDow with the PyG implementation vs ShaDow with our
 // implementation, precision and recall per epoch on the validation set.
 func RunFigure4(o Options) *ConvergenceResult {
+	res, _ := RunFigure4Context(context.Background(), o)
+	return res
+}
+
+// RunFigure4Context is RunFigure4 with cooperative cancellation between
+// the three training runs; the partial result holds the curves finished
+// so far (later curves nil) alongside ctx.Err().
+func RunFigure4Context(ctx context.Context, o Options) (*ConvergenceResult, error) {
 	o = o.withDefaults()
 	train, val, gnn := buildGraphs(o)
 	deviceBytes := o.DeviceBytes
@@ -212,6 +232,9 @@ func RunFigure4(o Options) *ConvergenceResult {
 	}
 
 	res := &ConvergenceResult{}
+	if err := ctx.Err(); err != nil {
+		return res, err
+	}
 
 	// Full-graph: memory-constrained device (skips the largest graphs).
 	fullCfg := core.DefaultConfig(gnn)
@@ -221,6 +244,9 @@ func RunFigure4(o Options) *ConvergenceResult {
 	fullTr := core.NewTrainer(fullCfg)
 	res.FullGraph = fullTr.RunConvergence(core.FullGraph, train, val)
 	res.Skipped = countSkipped(fullCfg, train, gnn)
+	if err := ctx.Err(); err != nil {
+		return res, err
+	}
 
 	// PyG baseline: standard per-batch ShaDow, per-matrix all-reduce.
 	pygCfg := core.PyGBaselineConfig(gnn, 1)
@@ -228,6 +254,9 @@ func RunFigure4(o Options) *ConvergenceResult {
 	pygCfg.BatchSize = o.BatchSize
 	pygCfg.Seed = o.Seed
 	res.PyG = core.NewTrainer(pygCfg).RunConvergence(core.Minibatch, train, val)
+	if err := ctx.Err(); err != nil {
+		return res, err
+	}
 
 	// Ours: matrix bulk sampling, coalesced all-reduce.
 	oursCfg := core.OursConfig(gnn, 1)
@@ -236,7 +265,7 @@ func RunFigure4(o Options) *ConvergenceResult {
 	oursCfg.Seed = o.Seed
 	res.Ours = core.NewTrainer(oursCfg).RunConvergence(core.Minibatch, train, val)
 
-	return res
+	return res, nil
 }
 
 func countSkipped(cfg core.Config, graphs []*pipeline.EventGraph, gnn ignn.Config) int {
@@ -287,6 +316,14 @@ func (r EpochTimeRow) String() string {
 // launch overhead, and a 25× accelerator compute model so the
 // sampling:training proportions match the published bars.
 func RunFigure3(o Options, procs []int) []EpochTimeRow {
+	rows, _ := RunFigure3Context(context.Background(), o, procs)
+	return rows
+}
+
+// RunFigure3Context is RunFigure3 with cooperative cancellation between
+// (process count, implementation) cells; it returns the rows measured
+// so far and ctx.Err().
+func RunFigure3Context(ctx context.Context, o Options, procs []int) ([]EpochTimeRow, error) {
 	// Figure-3-specific defaults, applied before the generic ones.
 	if o.SamplerOverhead == 0 {
 		o.SamplerOverhead = 15 * time.Millisecond
@@ -303,6 +340,9 @@ func RunFigure3(o Options, procs []int) []EpochTimeRow {
 	var rows []EpochTimeRow
 	for _, p := range procs {
 		for _, impl := range []string{"PyG", "Ours"} {
+			if err := ctx.Err(); err != nil {
+				return rows, err
+			}
 			var cfg core.Config
 			if impl == "PyG" {
 				cfg = core.PyGBaselineConfig(gnn, p)
@@ -333,7 +373,7 @@ func RunFigure3(o Options, procs []int) []EpochTimeRow {
 			})
 		}
 	}
-	return rows
+	return rows, nil
 }
 
 // Speedups pairs PyG and Ours rows at equal P and returns Ours' speedup.
@@ -368,6 +408,13 @@ type AllReduceRow struct {
 // RunAllReduceAblation measures the modeled cost of synchronizing the
 // IGNN gradient set under per-matrix vs coalesced all-reduce.
 func RunAllReduceAblation(o Options, procs []int, stepsPerEpoch int) []AllReduceRow {
+	rows, _ := RunAllReduceAblationContext(context.Background(), o, procs, stepsPerEpoch)
+	return rows
+}
+
+// RunAllReduceAblationContext is RunAllReduceAblation with cooperative
+// cancellation between cells.
+func RunAllReduceAblationContext(ctx context.Context, o Options, procs []int, stepsPerEpoch int) ([]AllReduceRow, error) {
 	o = o.withDefaults()
 	if len(procs) == 0 {
 		procs = []int{2, 4, 8, 16}
@@ -379,6 +426,9 @@ func RunAllReduceAblation(o Options, procs []int, stepsPerEpoch int) []AllReduce
 	var rows []AllReduceRow
 	for _, p := range procs {
 		for _, sync := range []ddp.SyncStrategy{ddp.PerMatrix, ddp.Coalesced} {
+			if err := ctx.Err(); err != nil {
+				return rows, err
+			}
 			cfg := core.DefaultConfig(gnn)
 			cfg.Procs = p
 			cfg.Sync = sync
@@ -397,5 +447,5 @@ func RunAllReduceAblation(o Options, procs []int, stepsPerEpoch int) []AllReduce
 			})
 		}
 	}
-	return rows
+	return rows, nil
 }

@@ -119,11 +119,23 @@ func (f *EdgeFilter) KeepWith(arena *workspace.Arena, nodeFeat, edgeFeat *tensor
 
 // TrainStep runs one optimization step on one graph's edges.
 func (f *EdgeFilter) TrainStep(nodeFeat, edgeFeat *tensor.Dense, src, dst []int, labels []float64, opt nn.Optimizer) float64 {
+	return f.TrainStepWith(nil, nodeFeat, edgeFeat, src, dst, labels, opt)
+}
+
+// TrainStepWith is TrainStep with forward/backward activations borrowed
+// from the given arena (checkpointed around the step). A nil arena uses
+// a private one.
+func (f *EdgeFilter) TrainStepWith(arena *workspace.Arena, nodeFeat, edgeFeat *tensor.Dense, src, dst []int, labels []float64, opt nn.Optimizer) float64 {
 	if len(src) == 0 {
 		return 0
 	}
-	arena := workspace.NewArena()
-	defer arena.Reset()
+	if arena == nil {
+		arena = workspace.NewArena()
+		defer arena.Reset()
+	} else {
+		mark := arena.Checkpoint()
+		defer arena.ResetTo(mark)
+	}
 	t := autograd.NewTapeArena(arena)
 	logits := f.forward(t, nodeFeat, edgeFeat, src, dst)
 	loss := t.BCEWithLogits(logits, labels, f.cfg.PosWeight)

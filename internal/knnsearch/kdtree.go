@@ -16,9 +16,10 @@ import (
 
 // KDTree is a static k-d tree over the rows of a dense matrix.
 type KDTree struct {
-	pts  *tensor.Dense
-	dim  int
-	root *node
+	pts   *tensor.Dense
+	dim   int
+	root  *node
+	nodes []node // slab: all nodes in one allocation, pointers into it
 }
 
 type node struct {
@@ -27,10 +28,15 @@ type node struct {
 	left, right *node
 }
 
-// Build constructs a balanced k-d tree over all rows of pts.
+// Build constructs a balanced k-d tree over all rows of pts. The tree's
+// nodes live in one slab allocation sized up front, so building costs
+// O(1) allocations rather than one per row.
 func Build(pts *tensor.Dense) *KDTree {
 	t := &KDTree{pts: pts, dim: pts.Cols()}
-	idx := make([]int, pts.Rows())
+	n := pts.Rows()
+	t.nodes = make([]node, 0, n)
+	idx := workspace.GetInt(n)
+	defer workspace.PutInt(idx)
 	for i := range idx {
 		idx[i] = i
 	}
@@ -47,8 +53,11 @@ func (t *KDTree) build(idx []int, depth int) *node {
 		return cmp.Compare(t.pts.At(a, axis), t.pts.At(b, axis))
 	})
 	mid := len(idx) / 2
-	n := &node{point: idx[mid], axis: axis}
-	// Copy halves: the sort above reorders idx in place, and the
+	// The slab was sized to hold every node, so append never reallocates
+	// and the pointer stays valid.
+	t.nodes = append(t.nodes, node{point: idx[mid], axis: axis})
+	n := &t.nodes[len(t.nodes)-1]
+	// Re-sorted halves: the sort above reorders idx in place, and the
 	// recursive calls re-sort disjoint sub-slices, so views are safe.
 	n.left = t.build(idx[:mid], depth+1)
 	n.right = t.build(idx[mid+1:], depth+1)

@@ -1,6 +1,8 @@
 package nn
 
 import (
+	"bufio"
+	"bytes"
 	"compress/gzip"
 	"encoding/gob"
 	"fmt"
@@ -11,14 +13,40 @@ import (
 	"repro/internal/tensor"
 )
 
-// checkpointVersion guards the on-disk format.
-const checkpointVersion = 1
+// The on-disk format. Version 2 files open with an 8-byte magic and a
+// gob-encoded header declaring the parameter count and every
+// parameter's name, shape, and element count — so loading a checkpoint
+// into a mismatched model configuration fails loudly before a single
+// weight is touched. Version 1 files (headerless: the gob stream starts
+// immediately) remain readable.
+const (
+	checkpointVersionLegacy = 1
+	checkpointVersion       = 2
+)
 
-// checkpointRecord is the serialized form of one parameter.
+// checkpointMagic opens every v2 checkpoint. Legacy gob streams cannot
+// start with these bytes (gob type definitions begin differently), so
+// the formats are distinguishable from the first read.
+var checkpointMagic = [8]byte{'R', 'P', 'R', 'O', 'C', 'K', 'P', checkpointVersion}
+
+// checkpointRecord is the serialized form of one parameter. Count is
+// redundant with Rows×Cols and with len(Data); the redundancy is the
+// point — any disagreement means corruption and is rejected.
 type checkpointRecord struct {
 	Name       string
 	Rows, Cols int
+	Count      int // v2 only: expected len(Data)
 	Data       []float64
+}
+
+// checkpointHeader declares the file's contents ahead of the payload:
+// per-param shapes and counts, so validation never has to trust Data.
+type checkpointHeader struct {
+	NumParams int
+	Names     []string
+	Rows      []int
+	Cols      []int
+	Counts    []int
 }
 
 type checkpointFile struct {
@@ -26,35 +54,80 @@ type checkpointFile struct {
 	Params  []checkpointRecord
 }
 
-// SaveParams writes parameter values to w (gob). Gradients and optimizer
-// state are not persisted — checkpoints capture the model, not the
-// training run.
+// SaveParams writes parameter values to w: magic, versioned header with
+// per-param shape + count, then the payload (gob). Gradients and
+// optimizer state are not persisted — checkpoints capture the model,
+// not the training run.
 func SaveParams(w io.Writer, params []*autograd.Param) error {
+	if _, err := w.Write(checkpointMagic[:]); err != nil {
+		return fmt.Errorf("nn: write checkpoint magic: %w", err)
+	}
+	hdr := checkpointHeader{NumParams: len(params)}
 	file := checkpointFile{Version: checkpointVersion}
 	for _, p := range params {
+		rows, cols := p.Value.Rows(), p.Value.Cols()
+		hdr.Names = append(hdr.Names, p.Name)
+		hdr.Rows = append(hdr.Rows, rows)
+		hdr.Cols = append(hdr.Cols, cols)
+		hdr.Counts = append(hdr.Counts, rows*cols)
 		file.Params = append(file.Params, checkpointRecord{
-			Name: p.Name,
-			Rows: p.Value.Rows(),
-			Cols: p.Value.Cols(),
-			Data: p.Value.Data(),
+			Name:  p.Name,
+			Rows:  rows,
+			Cols:  cols,
+			Count: rows * cols,
+			Data:  p.Value.Data(),
 		})
 	}
-	if err := gob.NewEncoder(w).Encode(&file); err != nil {
+	enc := gob.NewEncoder(w)
+	if err := enc.Encode(&hdr); err != nil {
+		return fmt.Errorf("nn: encode checkpoint header: %w", err)
+	}
+	if err := enc.Encode(&file); err != nil {
 		return fmt.Errorf("nn: encode checkpoint: %w", err)
 	}
 	return nil
 }
 
-// LoadParams restores parameter values from r into params, matching by
-// position and validating names and shapes.
+// LoadParams restores parameter values from r into params. The header
+// (or, for legacy headerless files, the decoded records) is validated
+// in full — count, names, shapes, element counts — before any parameter
+// is modified, so a mismatched checkpoint can never partially corrupt a
+// model's weights.
 func LoadParams(r io.Reader, params []*autograd.Param) error {
+	br := bufio.NewReader(r)
+	peek, err := br.Peek(len(checkpointMagic))
+	isV2 := err == nil && bytes.Equal(peek, checkpointMagic[:])
+
 	var file checkpointFile
-	if err := gob.NewDecoder(r).Decode(&file); err != nil {
-		return fmt.Errorf("nn: decode checkpoint: %w", err)
+	if isV2 {
+		if _, err := br.Discard(len(checkpointMagic)); err != nil {
+			return fmt.Errorf("nn: read checkpoint magic: %w", err)
+		}
+		dec := gob.NewDecoder(br)
+		var hdr checkpointHeader
+		if err := dec.Decode(&hdr); err != nil {
+			return fmt.Errorf("nn: decode checkpoint header: %w", err)
+		}
+		if err := validateHeader(hdr, params); err != nil {
+			return err
+		}
+		if err := dec.Decode(&file); err != nil {
+			return fmt.Errorf("nn: decode checkpoint: %w", err)
+		}
+		if file.Version != checkpointVersion {
+			return fmt.Errorf("nn: checkpoint version %d, want %d", file.Version, checkpointVersion)
+		}
+	} else {
+		// Legacy headerless file: the gob stream starts immediately.
+		if err := gob.NewDecoder(br).Decode(&file); err != nil {
+			return fmt.Errorf("nn: decode checkpoint (not a checkpoint file?): %w", err)
+		}
+		if file.Version != checkpointVersionLegacy {
+			return fmt.Errorf("nn: headerless checkpoint version %d, want %d", file.Version, checkpointVersionLegacy)
+		}
 	}
-	if file.Version != checkpointVersion {
-		return fmt.Errorf("nn: checkpoint version %d, want %d", file.Version, checkpointVersion)
-	}
+
+	// Validate every record against every parameter before copying any.
 	if len(file.Params) != len(params) {
 		return fmt.Errorf("nn: checkpoint has %d params, model has %d", len(file.Params), len(params))
 	}
@@ -67,7 +140,43 @@ func LoadParams(r io.Reader, params []*autograd.Param) error {
 			return fmt.Errorf("nn: checkpoint param %q is %dx%d, model expects %dx%d",
 				rec.Name, rec.Rows, rec.Cols, p.Value.Rows(), p.Value.Cols())
 		}
-		p.Value.CopyFrom(tensor.FromSlice(rec.Rows, rec.Cols, rec.Data))
+		if len(rec.Data) != rec.Rows*rec.Cols {
+			return fmt.Errorf("nn: checkpoint param %q has %d values for a %dx%d shape",
+				rec.Name, len(rec.Data), rec.Rows, rec.Cols)
+		}
+		if isV2 && rec.Count != len(rec.Data) {
+			return fmt.Errorf("nn: checkpoint param %q declares %d values but carries %d",
+				rec.Name, rec.Count, len(rec.Data))
+		}
+	}
+	for i, rec := range file.Params {
+		params[i].Value.CopyFrom(tensor.FromSlice(rec.Rows, rec.Cols, rec.Data))
+	}
+	return nil
+}
+
+// validateHeader checks the v2 header against the model's parameters —
+// the loud, early failure for mismatched configurations.
+func validateHeader(hdr checkpointHeader, params []*autograd.Param) error {
+	if hdr.NumParams != len(params) {
+		return fmt.Errorf("nn: checkpoint header declares %d params, model has %d", hdr.NumParams, len(params))
+	}
+	if len(hdr.Names) != hdr.NumParams || len(hdr.Rows) != hdr.NumParams ||
+		len(hdr.Cols) != hdr.NumParams || len(hdr.Counts) != hdr.NumParams {
+		return fmt.Errorf("nn: checkpoint header is internally inconsistent")
+	}
+	for i, p := range params {
+		if hdr.Names[i] != p.Name {
+			return fmt.Errorf("nn: checkpoint header param %d is %q, model expects %q", i, hdr.Names[i], p.Name)
+		}
+		if hdr.Rows[i] != p.Value.Rows() || hdr.Cols[i] != p.Value.Cols() {
+			return fmt.Errorf("nn: checkpoint header param %q is %dx%d, model expects %dx%d",
+				hdr.Names[i], hdr.Rows[i], hdr.Cols[i], p.Value.Rows(), p.Value.Cols())
+		}
+		if hdr.Counts[i] != hdr.Rows[i]*hdr.Cols[i] {
+			return fmt.Errorf("nn: checkpoint header param %q count %d disagrees with shape %dx%d",
+				hdr.Names[i], hdr.Counts[i], hdr.Rows[i], hdr.Cols[i])
+		}
 	}
 	return nil
 }

@@ -7,6 +7,7 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/autograd"
@@ -143,6 +144,13 @@ func (p *Pipeline) BuildTruthLevelGraph(ev *detector.Event, fakeRatio float64, s
 }
 
 func (p *Pipeline) assembleGraph(ev *detector.Event, src, dst []int) *EventGraph {
+	return AssembleGraph(p.Cfg.Spec, ev, src, dst)
+}
+
+// AssembleGraph packages an edge list into an EventGraph with truth
+// labels and edge features — the shared stage-2/3 output format consumed
+// by the GNN stage. The result is heap-owned.
+func AssembleGraph(spec detector.Spec, ev *detector.Event, src, dst []int) *EventGraph {
 	labels := make([]float64, len(src))
 	for k := range src {
 		if ev.IsTruthEdge(src[k], dst[k]) {
@@ -153,7 +161,7 @@ func (p *Pipeline) assembleGraph(ev *detector.Event, src, dst []int) *EventGraph
 		Event: ev,
 		G:     graph.New(ev.NumHits(), src, dst),
 		X:     ev.Features,
-		Y:     detector.EdgeFeatures(p.Cfg.Spec, ev, src, dst),
+		Y:     detector.EdgeFeatures(spec, ev, src, dst),
 		Label: labels,
 	}
 }
@@ -248,12 +256,23 @@ func (p *Pipeline) LoadModels(path string) error {
 // paper's minibatch/DDP training use core.NewTrainer instead; this is the
 // simple path for examples and stage-wise pipeline fitting.
 func (p *Pipeline) TrainGNN(graphs []*EventGraph, epochs int, lr, posWeight float64) float64 {
+	loss, _ := p.TrainGNNContext(context.Background(), graphs, epochs, lr, posWeight)
+	return loss
+}
+
+// TrainGNNContext is TrainGNN with cooperative cancellation: it checks
+// the context between epochs and returns the last completed epoch's
+// mean loss alongside ctx.Err() when cancelled.
+func (p *Pipeline) TrainGNNContext(ctx context.Context, graphs []*EventGraph, epochs int, lr, posWeight float64) (float64, error) {
 	opt := nn.NewAdam(lr)
 	arena := workspace.NewArena()
 	defer arena.Reset()
 	tape := autograd.NewTapeArena(arena)
 	last := 0.0
 	for epoch := 0; epoch < epochs; epoch++ {
+		if err := ctx.Err(); err != nil {
+			return last, err
+		}
 		sum, n := 0.0, 0
 		for _, eg := range graphs {
 			if eg.NumEdges() == 0 {
@@ -272,35 +291,72 @@ func (p *Pipeline) TrainGNN(graphs []*EventGraph, epochs int, lr, posWeight floa
 			last = sum / float64(n)
 		}
 	}
-	return last
+	return last, nil
 }
 
 // TrainStages13 trains the embedding and filter stages on the training
 // events. The filter trains on radius graphs built from the trained
 // embedder's output, mirroring the staged Exa.TrkX training procedure.
 func (p *Pipeline) TrainStages13(train []*detector.Event, seed uint64) error {
+	return p.TrainStages13Context(context.Background(), train, seed)
+}
+
+// TrainEmbedderContext trains only the stage-1 embedder, checking the
+// context between epochs.
+func (p *Pipeline) TrainEmbedderContext(ctx context.Context, train []*detector.Event, seed uint64) error {
 	if len(train) == 0 {
 		return fmt.Errorf("pipeline: no training events")
 	}
-	p.Embedder.Train(train, seed)
+	_, err := p.Embedder.TrainContext(ctx, train, seed)
+	return err
+}
+
+// TrainStages13Context is TrainStages13 with cooperative cancellation
+// between epochs. Every per-event intermediate — embedding forward,
+// edge features, labels, and the filter step's activations — lives in
+// one workspace arena checkpointed around the event, so epoch loops
+// recycle warm buffers instead of reallocating graphs each pass.
+func (p *Pipeline) TrainStages13Context(ctx context.Context, train []*detector.Event, seed uint64) error {
+	if len(train) == 0 {
+		return fmt.Errorf("pipeline: no training events")
+	}
+	if _, err := p.Embedder.TrainContext(ctx, train, seed); err != nil {
+		return err
+	}
 
 	opt := nn.NewAdam(p.Cfg.Filter.LR)
+	arena := workspace.NewArena()
+	defer arena.Reset()
 	for epoch := 0; epoch < p.Cfg.Filter.Epochs; epoch++ {
-		for _, ev := range train {
-			embedded := p.Embedder.Embed(ev.Features)
-			src, dst := knnsearch.BuildRadiusGraph(embedded, p.Cfg.Radius, p.Cfg.MaxDegree)
-			if len(src) == 0 {
-				continue
-			}
-			edgeFeat := detector.EdgeFeatures(p.Cfg.Spec, ev, src, dst)
-			labels := make([]float64, len(src))
-			for k := range src {
-				if ev.IsTruthEdge(src[k], dst[k]) {
-					labels[k] = 1
-				}
-			}
-			p.Filter.TrainStep(ev.Features, edgeFeat, src, dst, labels, opt)
+		if err := ctx.Err(); err != nil {
+			return err
 		}
+		p.filterTrainEpoch(arena, opt, train)
 	}
 	return nil
+}
+
+// filterTrainEpoch runs one filter-training pass over the events. The
+// per-event rebuild — embedding forward, radius graph, edge features,
+// labels, filter step — borrows everything from the arena and releases
+// it before moving on, so epochs after the first recycle warm buffers.
+func (p *Pipeline) filterTrainEpoch(arena *workspace.Arena, opt nn.Optimizer, train []*detector.Event) {
+	for _, ev := range train {
+		mark := arena.Checkpoint()
+		embedded := p.Embedder.EmbedWith(arena, ev.Features)
+		src, dst := knnsearch.BuildRadiusGraph(embedded, p.Cfg.Radius, p.Cfg.MaxDegree)
+		if len(src) == 0 {
+			arena.ResetTo(mark)
+			continue
+		}
+		edgeFeat := detector.EdgeFeaturesWith(arena, p.Cfg.Spec, ev, src, dst)
+		labels := arena.F64(len(src))
+		for k := range src {
+			if ev.IsTruthEdge(src[k], dst[k]) {
+				labels[k] = 1
+			}
+		}
+		p.Filter.TrainStepWith(arena, ev.Features, edgeFeat, src, dst, labels, opt)
+		arena.ResetTo(mark)
+	}
 }

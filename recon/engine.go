@@ -1,0 +1,231 @@
+package recon
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/workspace"
+)
+
+// Outcome is one event's reconstruction from a streaming engine:
+// either a Result or a per-event error, tagged with the submission
+// index. Event errors never abort the stream.
+type Outcome struct {
+	Index  int     // position in the submission order
+	Event  *Event  // the submitted event
+	Result *Result // nil iff Err != nil
+	Err    error
+}
+
+// Engine executes a Reconstructor concurrently: a fixed worker pool
+// where each worker pins one workspace arena for its whole lifetime,
+// reconstructing events with zero steady-state allocation churn.
+//
+// Semantics (see API.md):
+//   - Determinism: results are bit-identical to serial Reconstruct at
+//     any worker count — each event is an independent unit of work and
+//     the kernels parallelize deterministically.
+//   - Ordering: ReconstructBatch returns results positionally;
+//     ReconstructStream emits outcomes in submission order.
+//   - Backpressure: at most workers+queueDepth events are in flight; a
+//     stream producer blocks once the window is full.
+//   - Errors: per-event errors ride in the Outcome (stream) or leave a
+//     nil hole (batch); cancellation is the only engine-level error.
+type Engine struct {
+	rec     *Reconstructor
+	workers int
+	queue   int
+}
+
+// NewEngine wraps a reconstructor in a concurrent execution core.
+// Relevant options: WithWorkers, WithQueueDepth. Options already applied
+// to the Reconstructor (thresholds, stages) are not re-interpreted here.
+func NewEngine(rec *Reconstructor, opts ...Option) (*Engine, error) {
+	set, err := applyOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{rec: rec, workers: set.workers, queue: set.queueDepth}, nil
+}
+
+// Reconstructor returns the engine's underlying reconstructor.
+func (e *Engine) Reconstructor() *Reconstructor { return e.rec }
+
+// Workers returns the worker-pool size.
+func (e *Engine) Workers() int { return e.workers }
+
+// ReconstructBatch reconstructs a batch concurrently and returns
+// results in event order, bit-identical to calling Reconstruct on each
+// event serially. On cancellation it returns promptly with the results
+// completed so far (unfinished slots are nil) and ctx.Err(). A nil
+// event leaves a nil result slot.
+func (e *Engine) ReconstructBatch(ctx context.Context, events []*Event) ([]*Result, error) {
+	results := make([]*Result, len(events))
+	if len(events) == 0 {
+		return results, ctx.Err()
+	}
+	// Touching each event's lazily-built truth set up front keeps the
+	// workers read-only on shared *Event values, even when the same
+	// pointer appears in the batch twice.
+	warmTruth(events)
+
+	workers := e.workers
+	if workers > len(events) {
+		workers = len(events)
+	}
+	var (
+		next     atomic.Int64
+		errMu    sync.Mutex
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			arena := workspace.NewArena()
+			defer arena.Reset()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(events) || ctx.Err() != nil {
+					return
+				}
+				if events[i] == nil {
+					continue
+				}
+				res, err := e.rec.reconstructWith(ctx, arena, events[i])
+				if err != nil {
+					if ctx.Err() == nil {
+						errMu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						errMu.Unlock()
+					}
+					continue
+				}
+				results[i] = res
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return results, err
+	}
+	return results, firstErr
+}
+
+// ReconstructStream reconstructs events as they arrive on in, emitting
+// one Outcome per event on the returned channel in submission order.
+// At most workers+queueDepth events are admitted at once — once the
+// window is full, reads from in pause until an outcome is consumed
+// (bounded in-flight backpressure). The output channel closes after in
+// closes and every admitted event's outcome has been emitted, or
+// promptly on cancellation (events never admitted are dropped). The
+// consumer must drain the output channel or cancel the context;
+// abandoning it mid-stream leaks the pool's goroutines.
+func (e *Engine) ReconstructStream(ctx context.Context, in <-chan *Event) <-chan Outcome {
+	out := make(chan Outcome)
+	work := make(chan Outcome) // dispatched units: Result/Err unset
+	done := make(chan Outcome) // finished units, arbitrary order
+	window := e.workers + e.queue
+
+	// Dispatcher: admit events under the in-flight window.
+	admit := make(chan struct{}, window)
+	go func() {
+		defer close(work)
+		idx := 0
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case ev, ok := <-in:
+				if !ok {
+					return
+				}
+				select {
+				case admit <- struct{}{}:
+				case <-ctx.Done():
+					return
+				}
+				if ev != nil {
+					// See ReconstructBatch: keep workers read-only.
+					ev.IsTruthEdge(0, 0)
+				}
+				select {
+				case work <- Outcome{Index: idx, Event: ev}:
+					idx++
+				case <-ctx.Done():
+					return
+				}
+			}
+		}
+	}()
+
+	// Workers: one pinned arena each.
+	var wg sync.WaitGroup
+	for w := 0; w < e.workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			arena := workspace.NewArena()
+			defer arena.Reset()
+			for u := range work {
+				if ctx.Err() != nil {
+					return
+				}
+				if u.Event == nil {
+					u.Err = errNilEvent
+				} else {
+					u.Result, u.Err = e.rec.reconstructWith(ctx, arena, u.Event)
+				}
+				select {
+				case done <- u:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
+	go func() { wg.Wait(); close(done) }()
+
+	// Reorderer: emit in submission order, releasing window slots as
+	// outcomes leave, which is what bounds the reorder buffer.
+	go func() {
+		defer close(out)
+		pending := make(map[int]Outcome, window)
+		nextIdx := 0
+		for u := range done {
+			pending[u.Index] = u
+			for {
+				o, ok := pending[nextIdx]
+				if !ok {
+					break
+				}
+				delete(pending, nextIdx)
+				select {
+				case out <- o:
+				case <-ctx.Done():
+					return
+				}
+				<-admit
+				nextIdx++
+			}
+		}
+	}()
+	return out
+}
+
+var errNilEvent = errors.New("recon: nil event")
+
+// warmTruth forces each event's lazily-built truth-edge set so that
+// concurrent workers never mutate shared Event state.
+func warmTruth(events []*Event) {
+	for _, ev := range events {
+		if ev != nil {
+			ev.IsTruthEdge(0, 0)
+		}
+	}
+}

@@ -1,0 +1,272 @@
+package recon_test
+
+import (
+	"context"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/detector"
+	"repro/recon"
+)
+
+// TestEngineBatchParity is the golden concurrency test: a 4-worker
+// batch over 32 events must be bit-identical to serial Reconstruct.
+// Run under -race by CI.
+func TestEngineBatchParity(t *testing.T) {
+	ds := testDataset(t, 0.02, 32, 77)
+	r, err := recon.New(ds.Spec, recon.WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	serial := make([]*recon.Result, len(ds.Events))
+	for i, ev := range ds.Events {
+		res, err := r.Reconstruct(context.Background(), ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial[i] = res
+	}
+
+	eng, err := recon.NewEngine(r, recon.WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := eng.ReconstructBatch(context.Background(), ds.Events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parallel) != len(serial) {
+		t.Fatalf("got %d results, want %d", len(parallel), len(serial))
+	}
+	for i := range serial {
+		if !reflect.DeepEqual(parallel[i], serial[i]) {
+			t.Fatalf("event %d: 4-worker result diverges from serial:\n got %+v\nwant %+v",
+				i, parallel[i], serial[i])
+		}
+	}
+}
+
+// TestEngineBatchParityTruthGraphs repeats the parity check with the
+// truth-level builder, whose per-event RNG must not depend on
+// processing order.
+func TestEngineBatchParityTruthGraphs(t *testing.T) {
+	ds := testDataset(t, 0.02, 8, 78)
+	r, err := recon.New(ds.Spec, recon.WithTruthLevelGraphs(1.5), recon.WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := make([]*recon.Result, len(ds.Events))
+	for i, ev := range ds.Events {
+		res, err := r.Reconstruct(context.Background(), ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial[i] = res
+	}
+	eng, err := recon.NewEngine(r, recon.WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := eng.ReconstructBatch(context.Background(), ds.Events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial {
+		if !reflect.DeepEqual(parallel[i], serial[i]) {
+			t.Fatalf("event %d: truth-level parallel result diverges from serial", i)
+		}
+	}
+}
+
+// slowExtractor delays stage 5 so cancellation can land mid-batch.
+type slowExtractor struct{ delay time.Duration }
+
+func (s slowExtractor) ExtractTracks(ctx context.Context, eg *recon.EventGraph, keep []bool) ([][]int, error) {
+	select {
+	case <-time.After(s.delay):
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	return nil, nil
+}
+
+// TestEngineBatchCancellation: cancelling mid-batch returns promptly
+// with ctx.Err() and partial results.
+func TestEngineBatchCancellation(t *testing.T) {
+	ds := testDataset(t, 0.02, 64, 79)
+	r, err := recon.New(ds.Spec,
+		recon.WithTrackExtractor(slowExtractor{delay: 20 * time.Millisecond}),
+		recon.WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := recon.NewEngine(r, recon.WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() { time.Sleep(60 * time.Millisecond); cancel() }()
+
+	start := time.Now()
+	results, err := eng.ReconstructBatch(ctx, ds.Events)
+	elapsed := time.Since(start)
+	if err != context.Canceled {
+		t.Fatalf("got err %v, want context.Canceled", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v, not prompt", elapsed)
+	}
+	missing := 0
+	for _, res := range results {
+		if res == nil {
+			missing++
+		}
+	}
+	if missing == 0 {
+		t.Fatal("expected unfinished (nil) slots after mid-batch cancel")
+	}
+}
+
+// TestEngineStreamOrdering: the stream emits outcomes in submission
+// order, one per event, and matches serial results.
+func TestEngineStreamOrdering(t *testing.T) {
+	ds := testDataset(t, 0.02, 16, 80)
+	r, err := recon.New(ds.Spec, recon.WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := make([]*recon.Result, len(ds.Events))
+	for i, ev := range ds.Events {
+		serial[i], err = r.Reconstruct(context.Background(), ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng, err := recon.NewEngine(r, recon.WithWorkers(3), recon.WithQueueDepth(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := make(chan *recon.Event)
+	go func() {
+		defer close(in)
+		for _, ev := range ds.Events {
+			in <- ev
+		}
+	}()
+	var got []recon.Outcome
+	for o := range eng.ReconstructStream(context.Background(), in) {
+		got = append(got, o)
+	}
+	if len(got) != len(ds.Events) {
+		t.Fatalf("stream emitted %d outcomes for %d events", len(got), len(ds.Events))
+	}
+	for i, o := range got {
+		if o.Index != i {
+			t.Fatalf("outcome %d has index %d: stream is out of order", i, o.Index)
+		}
+		if o.Err != nil {
+			t.Fatalf("outcome %d: %v", i, o.Err)
+		}
+		if !reflect.DeepEqual(o.Result, serial[i]) {
+			t.Fatalf("outcome %d diverges from serial", i)
+		}
+	}
+}
+
+// TestEngineStreamBackpressure: with nobody consuming outcomes, the
+// stream admits at most workers+queueDepth events (plus the one the
+// dispatcher holds) before the producer blocks.
+func TestEngineStreamBackpressure(t *testing.T) {
+	ds := testDataset(t, 0.02, 1, 81)
+	r, err := recon.New(ds.Spec, recon.WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers, queue = 2, 1
+	eng, err := recon.NewEngine(r, recon.WithWorkers(workers), recon.WithQueueDepth(queue))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	in := make(chan *recon.Event)
+	out := eng.ReconstructStream(ctx, in)
+	accepted := 0
+	ev := ds.Events[0]
+	for i := 0; i < 20; i++ {
+		select {
+		case in <- ev:
+			accepted++
+		case <-time.After(300 * time.Millisecond):
+			i = 20
+		}
+	}
+	// window = workers+queue admitted, +1 held by the dispatcher between
+	// reading and admitting.
+	if max := workers + queue + 1; accepted > max+1 {
+		t.Fatalf("stream accepted %d events with no consumer; want ≤ %d", accepted, max+1)
+	}
+	cancel()
+	for range out {
+	}
+}
+
+// TestEngineStreamCancellation: cancelling closes the output promptly.
+func TestEngineStreamCancellation(t *testing.T) {
+	ds := testDataset(t, 0.02, 1, 82)
+	r, err := recon.New(ds.Spec,
+		recon.WithTrackExtractor(slowExtractor{delay: 50 * time.Millisecond}),
+		recon.WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := recon.NewEngine(r, recon.WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	in := make(chan *recon.Event, 8)
+	for i := 0; i < 8; i++ {
+		in <- ds.Events[0]
+	}
+	out := eng.ReconstructStream(ctx, in)
+	<-out // at least one outcome flows
+	cancel()
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case _, ok := <-out:
+			if !ok {
+				return
+			}
+		case <-deadline:
+			t.Fatal("stream did not close promptly after cancel")
+		}
+	}
+}
+
+// TestEngineNilAndEmpty: nil events leave nil slots; empty batches work.
+func TestEngineNilAndEmpty(t *testing.T) {
+	ds := testDataset(t, 0.02, 2, 83)
+	r, err := recon.New(ds.Spec, recon.WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := recon.NewEngine(r, recon.WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res, err := eng.ReconstructBatch(context.Background(), nil); err != nil || len(res) != 0 {
+		t.Fatalf("empty batch: res=%v err=%v", res, err)
+	}
+	res, err := eng.ReconstructBatch(context.Background(), []*detector.Event{ds.Events[0], nil, ds.Events[1]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0] == nil || res[1] != nil || res[2] == nil {
+		t.Fatalf("nil-event handling wrong: %v", res)
+	}
+}

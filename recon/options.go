@@ -1,0 +1,224 @@
+package recon
+
+import "fmt"
+
+// settings collects everything the functional options control. The
+// zero-ish defaults come from pipeline.DefaultConfig for the model
+// hyperparameters and from sensible engine defaults for execution.
+type settings struct {
+	// Stage hyperparameters (override pipeline.DefaultConfig).
+	radius       *float64
+	maxDegree    *int
+	filterThresh *float64
+	gnnThreshold *float64
+	minTrackHits *int
+	gnnHidden    *int
+	gnnSteps     *int
+	truthLevel   bool
+	truthRatio   float64
+	skipFilter   bool
+	seed         uint64
+
+	// Stage implementations (replace the defaults wholesale).
+	embedder   Embedder
+	builder    GraphBuilder
+	filter     EdgeFilter
+	classifier EdgeClassifier
+	extractor  TrackExtractor
+
+	// Fit knobs for the GNN stage.
+	gnnEpochs    int
+	gnnLR        float64
+	gnnPosWeight float64
+
+	// Engine execution knobs.
+	workers    int
+	queueDepth int
+
+	err error
+}
+
+func defaultSettings() settings {
+	return settings{
+		seed:         1,
+		gnnEpochs:    20,
+		gnnLR:        3e-3,
+		gnnPosWeight: 2.0,
+		workers:      1,
+		queueDepth:   2,
+	}
+}
+
+// Option configures a Reconstructor or an Engine. Options that do not
+// apply to the receiving constructor are ignored, so one option list can
+// configure both.
+type Option func(*settings)
+
+// fail records the first invalid option; New/NewEngine surface it.
+func (s *settings) fail(format string, args ...any) {
+	if s.err == nil {
+		s.err = fmt.Errorf("recon: %s", fmt.Sprintf(format, args...))
+	}
+}
+
+// WithRadius sets the fixed-radius graph-construction distance in
+// embedding space (stage 2).
+func WithRadius(r float64) Option {
+	return func(s *settings) {
+		if r <= 0 {
+			s.fail("WithRadius: radius must be positive, got %v", r)
+			return
+		}
+		s.radius = &r
+	}
+}
+
+// WithMaxDegree caps per-vertex neighbors during graph construction.
+func WithMaxDegree(d int) Option {
+	return func(s *settings) {
+		if d < 1 {
+			s.fail("WithMaxDegree: degree must be ≥1, got %d", d)
+			return
+		}
+		s.maxDegree = &d
+	}
+}
+
+// WithTruthLevelGraphs swaps stage 2 for a truth-level builder: graphs
+// assembled from ground-truth edges plus ratio random fake edges per
+// true edge. This is the shortcut the paper's GNN-stage experiments use
+// (Figures 3 and 4) to decouple GNN quality from upstream tuning; it
+// also skips the embedding computation entirely.
+func WithTruthLevelGraphs(ratio float64) Option {
+	return func(s *settings) {
+		if ratio < 0 {
+			s.fail("WithTruthLevelGraphs: ratio must be ≥0, got %v", ratio)
+			return
+		}
+		s.truthLevel = true
+		s.truthRatio = ratio
+	}
+}
+
+// WithoutEdgeFilter removes stage 3 — the filter-skip ablation. Every
+// constructed edge reaches the GNN.
+func WithoutEdgeFilter() Option {
+	return func(s *settings) { s.skipFilter = true }
+}
+
+// WithFilterThreshold sets the stage-3 keep threshold on the filter
+// MLP's sigmoid score.
+func WithFilterThreshold(t float64) Option {
+	return func(s *settings) { s.filterThresh = &t }
+}
+
+// WithThreshold sets the stage-4 decision threshold: edges scored at or
+// above it survive to track building.
+func WithThreshold(t float64) Option {
+	return func(s *settings) { s.gnnThreshold = &t }
+}
+
+// WithMinTrackHits drops track candidates with fewer hits.
+func WithMinTrackHits(n int) Option {
+	return func(s *settings) {
+		if n < 1 {
+			s.fail("WithMinTrackHits: need ≥1, got %d", n)
+			return
+		}
+		s.minTrackHits = &n
+	}
+}
+
+// WithGNN sets the Interaction GNN's hidden width and message-passing
+// step count (paper: 64 and 8; defaults are laptop-scale).
+func WithGNN(hidden, steps int) Option {
+	return func(s *settings) {
+		if hidden < 1 || steps < 1 {
+			s.fail("WithGNN: hidden and steps must be ≥1, got %d/%d", hidden, steps)
+			return
+		}
+		s.gnnHidden = &hidden
+		s.gnnSteps = &steps
+	}
+}
+
+// WithSeed sets the deterministic initialization seed for the learned
+// stages (and the base seed for truth-level graph fakes).
+func WithSeed(seed uint64) Option {
+	return func(s *settings) { s.seed = seed }
+}
+
+// WithGNNTraining sets the Fit hyperparameters for the GNN stage:
+// epochs, learning rate, and positive-class weight.
+func WithGNNTraining(epochs int, lr, posWeight float64) Option {
+	return func(s *settings) {
+		if epochs < 1 || lr <= 0 {
+			s.fail("WithGNNTraining: need epochs ≥1 and lr > 0, got %d/%v", epochs, lr)
+			return
+		}
+		s.gnnEpochs = epochs
+		s.gnnLR = lr
+		s.gnnPosWeight = posWeight
+	}
+}
+
+// WithEmbedder replaces stage 1.
+func WithEmbedder(e Embedder) Option {
+	return func(s *settings) { s.embedder = e }
+}
+
+// WithGraphBuilder replaces stage 2.
+func WithGraphBuilder(b GraphBuilder) Option {
+	return func(s *settings) { s.builder = b }
+}
+
+// WithEdgeFilter replaces stage 3.
+func WithEdgeFilter(f EdgeFilter) Option {
+	return func(s *settings) { s.filter = f }
+}
+
+// WithEdgeClassifier replaces stage 4.
+func WithEdgeClassifier(c EdgeClassifier) Option {
+	return func(s *settings) { s.classifier = c }
+}
+
+// WithTrackExtractor replaces stage 5.
+func WithTrackExtractor(x TrackExtractor) Option {
+	return func(s *settings) { s.extractor = x }
+}
+
+// WithWorkers sets the engine's worker-pool size. Each worker pins one
+// workspace arena and processes whole events; n=1 degenerates to serial
+// execution. Results are bit-identical at any worker count.
+func WithWorkers(n int) Option {
+	return func(s *settings) {
+		if n < 1 {
+			s.fail("WithWorkers: need ≥1, got %d", n)
+			return
+		}
+		s.workers = n
+	}
+}
+
+// WithQueueDepth bounds the engine's in-flight events beyond the worker
+// count: a stream admits at most workers+depth events at once, applying
+// backpressure to the producer.
+func WithQueueDepth(n int) Option {
+	return func(s *settings) {
+		if n < 0 {
+			s.fail("WithQueueDepth: need ≥0, got %d", n)
+			return
+		}
+		s.queueDepth = n
+	}
+}
+
+func applyOptions(opts []Option) (settings, error) {
+	s := defaultSettings()
+	for _, o := range opts {
+		if o != nil {
+			o(&s)
+		}
+	}
+	return s, s.err
+}

@@ -1,0 +1,250 @@
+package recon_test
+
+import (
+	"context"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/detector"
+	"repro/internal/pipeline"
+	"repro/recon"
+)
+
+func testDataset(t *testing.T, scale float64, events int, seed uint64) *detector.Dataset {
+	t.Helper()
+	spec := detector.Ex3Like(scale)
+	spec.NumEvents = events
+	return detector.Generate(spec, seed)
+}
+
+// TestFromPipelineParity: the recon stage decomposition must reproduce
+// the monolithic pipeline's output bit-for-bit.
+func TestFromPipelineParity(t *testing.T) {
+	ds := testDataset(t, 0.02, 3, 42)
+	p := pipeline.New(pipeline.DefaultConfig(ds.Spec), 5)
+	r, err := recon.FromPipeline(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ev := range ds.Events {
+		want := p.Reconstruct(ev)
+		got, err := r.Reconstruct(context.Background(), ev)
+		if err != nil {
+			t.Fatalf("event %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("event %d: recon result diverges from pipeline:\n got %+v\nwant %+v", i, got, want)
+		}
+	}
+}
+
+// TestNewMatchesFromPipeline: New with the same seed builds the same
+// models as pipeline.New.
+func TestNewMatchesFromPipeline(t *testing.T) {
+	ds := testDataset(t, 0.02, 2, 7)
+	r1, err := recon.New(ds.Spec, recon.WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := pipeline.New(pipeline.DefaultConfig(ds.Spec), 5)
+	r2, err := recon.FromPipeline(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := ds.Events[0]
+	a, err := r1.Reconstruct(context.Background(), ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r2.Reconstruct(context.Background(), ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("New(seed) and FromPipeline(pipeline.New(seed)) disagree")
+	}
+}
+
+// TestTruthLevelGraphs: the truth-level builder keeps every truth edge,
+// adds fakes, bypasses the filter, and is deterministic per event.
+func TestTruthLevelGraphs(t *testing.T) {
+	ds := testDataset(t, 0.02, 2, 9)
+	r, err := recon.New(ds.Spec, recon.WithTruthLevelGraphs(1.5), recon.WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := ds.Events[0]
+	eg, err := r.BuildGraph(context.Background(), ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eg.NumEdges() < len(ev.TruthSrc) {
+		t.Fatalf("truth-level graph has %d edges, fewer than %d truth edges", eg.NumEdges(), len(ev.TruthSrc))
+	}
+	trueCount := 0
+	for _, l := range eg.Label {
+		if l > 0.5 {
+			trueCount++
+		}
+	}
+	if trueCount < len(ev.TruthSrc) {
+		t.Fatalf("only %d/%d truth edges labeled true", trueCount, len(ev.TruthSrc))
+	}
+	eg2, err := r.BuildGraph(context.Background(), ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(eg.G.Src, eg2.G.Src) || !reflect.DeepEqual(eg.G.Dst, eg2.G.Dst) {
+		t.Fatal("truth-level building is not deterministic per event")
+	}
+}
+
+// TestWithoutEdgeFilter: the filter-skip ablation passes every
+// constructed edge to the GNN.
+func TestWithoutEdgeFilter(t *testing.T) {
+	ds := testDataset(t, 0.02, 1, 11)
+	unfiltered, err := recon.New(ds.Spec, recon.WithoutEdgeFilter(), recon.WithSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	filtered, err := recon.New(ds.Spec, recon.WithSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := ds.Events[0]
+	egU, err := unfiltered.BuildGraph(context.Background(), ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	egF, err := filtered.BuildGraph(context.Background(), ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if egU.NumEdges() < egF.NumEdges() {
+		t.Fatalf("filter-skip graph has %d edges, filtered has %d", egU.NumEdges(), egF.NumEdges())
+	}
+}
+
+// singleTrack is a custom stage-5 variant: every hit in one candidate.
+type singleTrack struct{}
+
+func (singleTrack) ExtractTracks(ctx context.Context, eg *recon.EventGraph, keep []bool) ([][]int, error) {
+	track := make([]int, eg.NumVertices())
+	for i := range track {
+		track[i] = i
+	}
+	return [][]int{track}, ctx.Err()
+}
+
+// TestCustomStage: a swapped-in TrackExtractor is actually used.
+func TestCustomStage(t *testing.T) {
+	ds := testDataset(t, 0.02, 1, 13)
+	r, err := recon.New(ds.Spec, recon.WithTrackExtractor(singleTrack{}), recon.WithSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Reconstruct(context.Background(), ds.Events[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tracks) != 1 || len(res.Tracks[0]) != ds.Events[0].NumHits() {
+		t.Fatalf("custom extractor not used: got %d tracks", len(res.Tracks))
+	}
+}
+
+// TestOptionValidation: invalid options surface as constructor errors.
+func TestOptionValidation(t *testing.T) {
+	spec := detector.Ex3Like(0.02)
+	if _, err := recon.New(spec, recon.WithRadius(-1)); err == nil {
+		t.Fatal("WithRadius(-1) accepted")
+	}
+	if _, err := recon.New(spec, recon.WithWorkers(0)); err == nil {
+		t.Fatal("WithWorkers(0) accepted")
+	}
+	p := pipeline.New(pipeline.DefaultConfig(spec), 1)
+	if _, err := recon.FromPipeline(p, recon.WithGNN(8, 2)); err == nil {
+		t.Fatal("FromPipeline accepted WithGNN")
+	}
+}
+
+// TestCheckpointInterchange: recon checkpoints and legacy
+// pipeline.SaveModels checkpoints are interchangeable, and loading
+// restores bit-identical inference.
+func TestCheckpointInterchange(t *testing.T) {
+	ds := testDataset(t, 0.02, 2, 21)
+	dir := t.TempDir()
+
+	p := pipeline.New(pipeline.DefaultConfig(ds.Spec), 5)
+	legacy := filepath.Join(dir, "legacy.ckpt")
+	if err := p.SaveModels(legacy); err != nil {
+		t.Fatal(err)
+	}
+	want := p.Reconstruct(ds.Events[0])
+
+	// Fresh models with a different seed, then restore the legacy file.
+	r, err := recon.New(ds.Spec, recon.WithSeed(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.LoadCheckpoint(legacy); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Reconstruct(context.Background(), ds.Events[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("inference diverges after loading a pipeline.SaveModels checkpoint")
+	}
+
+	// And the reverse: recon checkpoint into a pipeline.
+	rckpt := filepath.Join(dir, "recon.ckpt")
+	if err := r.SaveCheckpoint(rckpt); err != nil {
+		t.Fatal(err)
+	}
+	p2 := pipeline.New(pipeline.DefaultConfig(ds.Spec), 123)
+	if err := p2.LoadModels(rckpt); err != nil {
+		t.Fatal(err)
+	}
+	if got2 := p2.Reconstruct(ds.Events[0]); !reflect.DeepEqual(got2, want) {
+		t.Fatal("pipeline inference diverges after loading a recon checkpoint")
+	}
+}
+
+// TestFitSmoke: Fit trains the default stages end-to-end on a tiny
+// dataset and inference still runs.
+func TestFitSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training smoke test")
+	}
+	ds := testDataset(t, 0.015, 2, 31)
+	r, err := recon.New(ds.Spec, recon.WithGNN(8, 2), recon.WithGNNTraining(2, 3e-3, 2.0), recon.WithSeed(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Fit(context.Background(), ds.Events); err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Reconstruct(context.Background(), ds.Events[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EdgeCounts.Accuracy() < 0 || res.EdgeCounts.Accuracy() > 1 {
+		t.Fatal("degenerate edge counts after Fit")
+	}
+}
+
+// TestFitCancelled: a pre-cancelled context aborts Fit immediately.
+func TestFitCancelled(t *testing.T) {
+	ds := testDataset(t, 0.015, 2, 33)
+	r, err := recon.New(ds.Spec, recon.WithSeed(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := r.Fit(ctx, ds.Events); err != context.Canceled {
+		t.Fatalf("Fit under cancelled ctx: got %v, want context.Canceled", err)
+	}
+}

@@ -1,0 +1,300 @@
+package recon
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/nn"
+	"repro/internal/pipeline"
+	"repro/internal/workspace"
+)
+
+// Reconstructor composes the five reconstruction stages behind one
+// context-aware, per-event entry point. Construct with New (fresh
+// models) or FromPipeline (adapt an existing trained pipeline), swap
+// stage variants with options, and wrap in an Engine for concurrency.
+//
+// A Reconstructor is safe for concurrent use once training is done:
+// inference only reads model weights.
+type Reconstructor struct {
+	spec DetectorSpec
+	cfg  pipeline.Config
+	set  settings
+
+	embedder   Embedder
+	builder    GraphBuilder
+	filter     EdgeFilter
+	classifier EdgeClassifier
+	extractor  TrackExtractor
+
+	// p holds the underlying staged models when the default adapters are
+	// in play; Fit routes their training through the pipeline procedure.
+	p *pipeline.Pipeline
+}
+
+// New builds a reconstructor with freshly initialized models for the
+// given detector spec. Options override hyperparameters and swap stage
+// implementations.
+func New(spec DetectorSpec, opts ...Option) (*Reconstructor, error) {
+	set, err := applyOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	cfg := pipeline.DefaultConfig(spec)
+	applyConfig(&cfg, set)
+	return assemble(spec, cfg, set, pipeline.New(cfg, set.seed))
+}
+
+// FromPipeline adapts an existing (typically trained) pipeline's models
+// behind the stage interfaces. Structural options (WithGNN) are invalid
+// here — the models already exist; runtime options (thresholds, radius,
+// truth-level graphs, workers) apply normally.
+func FromPipeline(p *pipeline.Pipeline, opts ...Option) (*Reconstructor, error) {
+	set, err := applyOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	if set.gnnHidden != nil || set.gnnSteps != nil {
+		return nil, errors.New("recon: WithGNN cannot reshape an existing pipeline's models")
+	}
+	cfg := p.Cfg
+	applyConfig(&cfg, set)
+	return assemble(cfg.Spec, cfg, set, p)
+}
+
+// applyConfig folds option overrides into the resolved hyperparameters.
+func applyConfig(cfg *pipeline.Config, set settings) {
+	if set.radius != nil {
+		cfg.Radius = *set.radius
+	}
+	if set.maxDegree != nil {
+		cfg.MaxDegree = *set.maxDegree
+	}
+	if set.gnnThreshold != nil {
+		cfg.GNNThreshold = *set.gnnThreshold
+	}
+	if set.minTrackHits != nil {
+		cfg.MinTrackHits = *set.minTrackHits
+	}
+	if set.filterThresh != nil {
+		cfg.Filter.Threshold = *set.filterThresh
+	}
+	if set.gnnHidden != nil {
+		cfg.GNN.Hidden = *set.gnnHidden
+	}
+	if set.gnnSteps != nil {
+		cfg.GNN.Steps = *set.gnnSteps
+	}
+}
+
+func assemble(spec DetectorSpec, cfg pipeline.Config, set settings, p *pipeline.Pipeline) (*Reconstructor, error) {
+	r := &Reconstructor{spec: spec, cfg: cfg, set: set, p: p}
+
+	r.embedder = set.embedder
+	if r.embedder == nil {
+		r.embedder = mlpEmbedder{p.Embedder}
+	}
+	r.builder = set.builder
+	switch {
+	case r.builder != nil:
+	case set.truthLevel:
+		r.builder = truthBuilder{fakeRatio: set.truthRatio, baseSeed: set.seed}
+	default:
+		r.builder = radiusBuilder{radius: cfg.Radius, maxDegree: cfg.MaxDegree}
+	}
+	r.filter = set.filter
+	switch {
+	case r.filter != nil:
+	case set.skipFilter || set.truthLevel:
+		// Truth-level graphs bypass the filter, matching the pipeline's
+		// BuildTruthLevelGraph semantics.
+		r.filter = passFilter{}
+	default:
+		r.filter = mlpFilter{f: p.Filter, spec: spec}
+	}
+	r.classifier = set.classifier
+	if r.classifier == nil {
+		r.classifier = gnnClassifier{p.GNN}
+	}
+	r.extractor = set.extractor
+	if r.extractor == nil {
+		r.extractor = ccExtractor{minTrackHits: cfg.MinTrackHits}
+	}
+	return r, nil
+}
+
+// Spec returns the detector spec the reconstructor was built for.
+func (r *Reconstructor) Spec() DetectorSpec { return r.spec }
+
+// Threshold returns the stage-4 decision threshold.
+func (r *Reconstructor) Threshold() float64 { return r.cfg.GNNThreshold }
+
+// BuildGraph runs stages 1–3 on an event. The returned EventGraph is
+// heap-owned and remains valid indefinitely.
+func (r *Reconstructor) BuildGraph(ctx context.Context, ev *Event) (*EventGraph, error) {
+	a := workspace.NewArena()
+	defer a.Reset()
+	return r.buildGraphWith(ctx, a, ev)
+}
+
+func (r *Reconstructor) buildGraphWith(ctx context.Context, a *Arena, ev *Event) (*EventGraph, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	embedThunk := func() (*Matrix, error) { return r.embedder.Embed(ctx, a, ev) }
+	src, dst, err := r.builder.BuildEdges(ctx, a, ev, embedThunk)
+	if err != nil {
+		return nil, fmt.Errorf("recon: build edges: %w", err)
+	}
+	fsrc, fdst, err := r.filter.FilterEdges(ctx, a, ev, src, dst)
+	if err != nil {
+		return nil, fmt.Errorf("recon: filter edges: %w", err)
+	}
+	return pipeline.AssembleGraph(r.spec, ev, fsrc, fdst), nil
+}
+
+// Reconstruct runs all five stages on one event and scores the output
+// against truth. It is the serial entry point; use an Engine for
+// batches and streams.
+func (r *Reconstructor) Reconstruct(ctx context.Context, ev *Event) (*Result, error) {
+	a := workspace.NewArena()
+	defer a.Reset()
+	return r.reconstructWith(ctx, a, ev)
+}
+
+// ReconstructOn runs stages 4–5 on a pre-built event graph.
+func (r *Reconstructor) ReconstructOn(ctx context.Context, eg *EventGraph) (*Result, error) {
+	a := workspace.NewArena()
+	defer a.Reset()
+	return r.reconstructOnWith(ctx, a, eg)
+}
+
+// reconstructWith is the engine's per-event unit of work: everything
+// transient comes from the caller's arena, released before returning,
+// so a worker's pinned arena stays warm across events.
+func (r *Reconstructor) reconstructWith(ctx context.Context, a *Arena, ev *Event) (*Result, error) {
+	mark := a.Checkpoint()
+	defer a.ResetTo(mark)
+	eg, err := r.buildGraphWith(ctx, a, ev)
+	if err != nil {
+		return nil, err
+	}
+	return r.reconstructOnWith(ctx, a, eg)
+}
+
+func (r *Reconstructor) reconstructOnWith(ctx context.Context, a *Arena, eg *EventGraph) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	keep := make([]bool, eg.NumEdges())
+	if eg.NumEdges() > 0 {
+		scores, err := r.classifier.ScoreEdges(ctx, a, eg)
+		if err != nil {
+			return nil, fmt.Errorf("recon: score edges: %w", err)
+		}
+		if len(scores) != eg.NumEdges() {
+			return nil, fmt.Errorf("recon: classifier returned %d scores for %d edges", len(scores), eg.NumEdges())
+		}
+		for k, s := range scores {
+			keep[k] = s >= r.cfg.GNNThreshold
+			res.EdgeCounts.Add(keep[k], eg.Label[k] > 0.5)
+		}
+	}
+	tracks, err := r.extractor.ExtractTracks(ctx, eg, keep)
+	if err != nil {
+		return nil, fmt.Errorf("recon: extract tracks: %w", err)
+	}
+	res.Tracks = tracks
+	hitParticle := make([]int, eg.Event.NumHits())
+	for i, h := range eg.Event.Hits {
+		hitParticle[i] = h.Particle
+	}
+	res.Match = metrics.MatchTracks(res.Tracks, hitParticle,
+		eg.Event.TrackHits(r.cfg.MinTrackHits), r.cfg.MinTrackHits)
+	return res, nil
+}
+
+// Fit trains the trainable stages on the given events: the default
+// embedding and filter stages through the staged Exa.TrkX procedure,
+// the default GNN stage on graphs built by the configured GraphBuilder,
+// and any custom stage implementing Fitter. Custom stages without a
+// Fitter are assumed training-free.
+func (r *Reconstructor) Fit(ctx context.Context, events []*Event) error {
+	if len(events) == 0 {
+		return errors.New("recon: Fit needs at least one training event")
+	}
+	_, embedDefault := r.embedder.(mlpEmbedder)
+	_, filterDefault := r.filter.(mlpFilter)
+	// The truth-level builder never consumes the embedding, so training
+	// the embedder under it would be pure waste; a custom builder might
+	// call the embed thunk, so it keeps embedder training.
+	_, truthLevel := r.builder.(truthBuilder)
+	switch {
+	case embedDefault && filterDefault:
+		// The staged Exa.TrkX procedure: embedder first, then the filter
+		// on radius graphs built in the trained embedding space.
+		if err := r.p.TrainStages13Context(ctx, events, r.set.seed+1); err != nil {
+			return err
+		}
+	case embedDefault && !truthLevel:
+		// Filter is skipped or custom (custom filters train through the
+		// Fitter loop below); the embedder still trains on its own.
+		if err := r.p.TrainEmbedderContext(ctx, events, r.set.seed+1); err != nil {
+			return err
+		}
+	case filterDefault:
+		return errors.New("recon: the default edge filter trains on the default embedder's radius graphs; with a custom Embedder, supply an EdgeFilter that implements Fitter")
+	}
+	for _, stage := range []any{r.embedder, r.builder, r.filter, r.classifier, r.extractor} {
+		if f, ok := stage.(Fitter); ok {
+			if err := f.Fit(ctx, events); err != nil {
+				return err
+			}
+		}
+	}
+	if _, ok := r.classifier.(gnnClassifier); ok {
+		graphs := make([]*EventGraph, 0, len(events))
+		for _, ev := range events {
+			eg, err := r.BuildGraph(ctx, ev)
+			if err != nil {
+				return err
+			}
+			graphs = append(graphs, eg)
+		}
+		if _, err := r.p.TrainGNNContext(ctx, graphs, r.set.gnnEpochs, r.set.gnnLR, r.set.gnnPosWeight); err != nil {
+			return err
+		}
+	}
+	return ctx.Err()
+}
+
+// params walks the five stages in order and collects the trainable
+// parameters of those that have any. For the default stage layout this
+// matches the pipeline checkpoint layout exactly, so recon checkpoints
+// and pipeline.SaveModels checkpoints are interchangeable.
+func (r *Reconstructor) params() []*Param {
+	var ps []*Param
+	for _, stage := range []any{r.embedder, r.builder, r.filter, r.classifier, r.extractor} {
+		if p, ok := stage.(Parameterized); ok {
+			ps = append(ps, p.Params()...)
+		}
+	}
+	return ps
+}
+
+// SaveCheckpoint writes the trainable parameters of every stage to a
+// versioned, shape-checked checkpoint file (see internal/nn).
+func (r *Reconstructor) SaveCheckpoint(path string) error {
+	return nn.SaveParamsFile(path, r.params())
+}
+
+// LoadCheckpoint restores a checkpoint written by SaveCheckpoint (or by
+// the legacy pipeline.SaveModels) into a reconstructor with the same
+// stage layout and hyperparameters. Mismatched shapes fail loudly
+// before any parameter is modified.
+func (r *Reconstructor) LoadCheckpoint(path string) error {
+	return nn.LoadParamsFile(path, r.params())
+}

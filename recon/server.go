@@ -1,0 +1,339 @@
+package recon
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/detector"
+	"repro/internal/tensor"
+)
+
+// HitJSON is one detector hit on the wire. R and Phi are optional; when
+// both are zero they are derived from X and Y (sending them preserves
+// bit-exact cylindrical coordinates across the roundtrip).
+type HitJSON struct {
+	X        float64 `json:"x"`
+	Y        float64 `json:"y"`
+	Z        float64 `json:"z"`
+	R        float64 `json:"r,omitempty"`
+	Phi      float64 `json:"phi,omitempty"`
+	Layer    int     `json:"layer"`
+	Particle int     `json:"particle"` // -1 for noise / unknown
+}
+
+// EventJSON is one collision event on the wire. Truth edges are
+// optional; without them the response's quality metrics are zero.
+type EventJSON struct {
+	Hits     []HitJSON   `json:"hits"`
+	Features [][]float64 `json:"features"`
+	TruthSrc []int       `json:"truth_src,omitempty"`
+	TruthDst []int       `json:"truth_dst,omitempty"`
+}
+
+// SyntheticJSON asks the server to generate events from its configured
+// detector spec instead of shipping them over the wire — handy for
+// smoke tests and load generation.
+type SyntheticJSON struct {
+	Count int    `json:"count"`
+	Seed  uint64 `json:"seed"`
+}
+
+// ReconstructRequest is the POST /v1/reconstruct body: explicit events,
+// synthetic events, or both (synthetic are appended).
+type ReconstructRequest struct {
+	Events    []EventJSON    `json:"events,omitempty"`
+	Synthetic *SyntheticJSON `json:"synthetic,omitempty"`
+}
+
+// TrackResultJSON is one event's reconstruction on the wire.
+type TrackResultJSON struct {
+	NumTracks       int     `json:"num_tracks"`
+	Tracks          [][]int `json:"tracks"`
+	EdgePrecision   float64 `json:"edge_precision"`
+	EdgeRecall      float64 `json:"edge_recall"`
+	TrackEfficiency float64 `json:"track_efficiency"`
+	FakeRate        float64 `json:"fake_rate"`
+	Error           string  `json:"error,omitempty"`
+}
+
+// ReconstructResponse is the POST /v1/reconstruct reply.
+type ReconstructResponse struct {
+	Results []TrackResultJSON `json:"results"`
+	Elapsed float64           `json:"elapsed_ms"`
+}
+
+// StatsJSON is the GET /statz reply: throughput counters and latency
+// quantiles over the most recent requests.
+type StatsJSON struct {
+	UptimeSeconds   float64 `json:"uptime_s"`
+	Requests        int64   `json:"requests"`
+	Events          int64   `json:"events"`
+	Errors          int64   `json:"errors"`
+	EventsPerSecond float64 `json:"events_per_s"`
+	LatencyP50Ms    float64 `json:"latency_p50_ms"`
+	LatencyP90Ms    float64 `json:"latency_p90_ms"`
+	LatencyP99Ms    float64 `json:"latency_p99_ms"`
+	Workers         int     `json:"workers"`
+}
+
+// serverStats tracks throughput counters and a ring of recent request
+// latencies for quantile estimation.
+type serverStats struct {
+	mu        sync.Mutex
+	start     time.Time
+	requests  int64
+	events    int64
+	errors    int64
+	latencies []time.Duration // ring buffer
+	next      int
+	filled    bool
+}
+
+const latencyWindow = 1024
+
+func newServerStats() *serverStats {
+	return &serverStats{start: time.Now(), latencies: make([]time.Duration, latencyWindow)}
+}
+
+func (s *serverStats) record(d time.Duration, events int, failed bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.requests++
+	s.events += int64(events)
+	if failed {
+		s.errors++
+	}
+	s.latencies[s.next] = d
+	s.next++
+	if s.next == len(s.latencies) {
+		s.next = 0
+		s.filled = true
+	}
+}
+
+func (s *serverStats) snapshot(workers int) StatsJSON {
+	s.mu.Lock()
+	n := s.next
+	if s.filled {
+		n = len(s.latencies)
+	}
+	window := append([]time.Duration(nil), s.latencies[:n]...)
+	out := StatsJSON{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Requests:      s.requests,
+		Events:        s.events,
+		Errors:        s.errors,
+		Workers:       workers,
+	}
+	s.mu.Unlock()
+
+	if out.UptimeSeconds > 0 {
+		out.EventsPerSecond = float64(out.Events) / out.UptimeSeconds
+	}
+	if len(window) > 0 {
+		sort.Slice(window, func(i, j int) bool { return window[i] < window[j] })
+		q := func(p float64) float64 {
+			i := int(p * float64(len(window)-1))
+			return float64(window[i]) / float64(time.Millisecond)
+		}
+		out.LatencyP50Ms = q(0.50)
+		out.LatencyP90Ms = q(0.90)
+		out.LatencyP99Ms = q(0.99)
+	}
+	return out
+}
+
+// Server is the HTTP JSON front-end over an Engine: POST /v1/reconstruct
+// runs concurrent reconstruction, GET /healthz is a liveness probe, and
+// GET /statz reports p50/p90/p99 latency and throughput counters.
+type Server struct {
+	engine *Engine
+	stats  *serverStats
+	mux    *http.ServeMux
+}
+
+// NewServer wraps an engine in the HTTP front-end.
+func NewServer(engine *Engine) *Server {
+	s := &Server{engine: engine, stats: newServerStats(), mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /statz", s.handleStatz)
+	s.mux.HandleFunc("POST /v1/reconstruct", s.handleReconstruct)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleStatz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.stats.snapshot(s.engine.Workers()))
+}
+
+func (s *Server) handleReconstruct(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	var req ReconstructRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.stats.record(time.Since(start), 0, true)
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad request body: " + err.Error()})
+		return
+	}
+	spec := s.engine.Reconstructor().Spec()
+
+	events := make([]*Event, 0, len(req.Events))
+	for i := range req.Events {
+		ev, err := eventFromJSON(spec, &req.Events[i])
+		if err != nil {
+			s.stats.record(time.Since(start), 0, true)
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("event %d: %v", i, err)})
+			return
+		}
+		events = append(events, ev)
+	}
+	if req.Synthetic != nil {
+		count := req.Synthetic.Count
+		if count <= 0 {
+			count = 1
+		}
+		if count > 64 {
+			s.stats.record(time.Since(start), 0, true)
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "synthetic.count must be ≤ 64"})
+			return
+		}
+		gspec := spec
+		gspec.NumEvents = count
+		ds := detector.Generate(gspec, req.Synthetic.Seed)
+		events = append(events, ds.Events...)
+	}
+	if len(events) == 0 {
+		s.stats.record(time.Since(start), 0, true)
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "no events: supply events or synthetic"})
+		return
+	}
+
+	results, err := s.engine.ReconstructBatch(r.Context(), events)
+	if err != nil && r.Context().Err() != nil {
+		// Client went away or timed out; nothing useful to write.
+		s.stats.record(time.Since(start), len(events), true)
+		return
+	}
+
+	resp := ReconstructResponse{Results: make([]TrackResultJSON, len(events))}
+	failed := err != nil
+	failDetail := "reconstruction failed"
+	if err != nil {
+		// The engine reports the batch's first event error; surface it so
+		// operators see why slots failed instead of a generic marker.
+		failDetail = err.Error()
+	}
+	for i, res := range results {
+		if res == nil {
+			resp.Results[i] = TrackResultJSON{Error: failDetail}
+			failed = true
+			continue
+		}
+		tracks := res.Tracks
+		if tracks == nil {
+			tracks = [][]int{}
+		}
+		resp.Results[i] = TrackResultJSON{
+			NumTracks:       len(res.Tracks),
+			Tracks:          tracks,
+			EdgePrecision:   res.EdgeCounts.Precision(),
+			EdgeRecall:      res.EdgeCounts.Recall(),
+			TrackEfficiency: res.Match.Efficiency(),
+			FakeRate:        res.Match.FakeRate(),
+		}
+	}
+	resp.Elapsed = float64(time.Since(start)) / float64(time.Millisecond)
+	s.stats.record(time.Since(start), len(events), failed)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// eventFromJSON validates and converts a wire event. Feature widths
+// must match the spec the models were built for, so a missing or ragged
+// feature matrix is an error.
+func eventFromJSON(spec DetectorSpec, ej *EventJSON) (*Event, error) {
+	n := len(ej.Hits)
+	if n == 0 {
+		return nil, fmt.Errorf("no hits")
+	}
+	if len(ej.Features) != n {
+		return nil, fmt.Errorf("got %d feature rows for %d hits", len(ej.Features), n)
+	}
+	feat := tensor.New(n, spec.VertexFeatures)
+	ev := &Event{Hits: make([]detector.Hit, n)}
+	for i, h := range ej.Hits {
+		if len(ej.Features[i]) != spec.VertexFeatures {
+			return nil, fmt.Errorf("feature row %d has width %d, spec wants %d", i, len(ej.Features[i]), spec.VertexFeatures)
+		}
+		copy(feat.Row(i), ej.Features[i])
+		r, phi := h.R, h.Phi
+		if r == 0 && phi == 0 {
+			r, phi = math.Hypot(h.X, h.Y), math.Atan2(h.Y, h.X)
+		}
+		ev.Hits[i] = detector.Hit{
+			X: h.X, Y: h.Y, Z: h.Z,
+			R: r, Phi: phi,
+			Layer: h.Layer, Particle: h.Particle,
+		}
+	}
+	if len(ej.TruthSrc) != len(ej.TruthDst) {
+		return nil, fmt.Errorf("truth_src/truth_dst length mismatch")
+	}
+	for k := range ej.TruthSrc {
+		if ej.TruthSrc[k] < 0 || ej.TruthSrc[k] >= n || ej.TruthDst[k] < 0 || ej.TruthDst[k] >= n {
+			return nil, fmt.Errorf("truth edge %d out of range", k)
+		}
+	}
+	ev.Features = feat
+	ev.TruthSrc = append([]int(nil), ej.TruthSrc...)
+	ev.TruthDst = append([]int(nil), ej.TruthDst...)
+	return ev, nil
+}
+
+// EventToJSON converts an event to its wire form — the inverse of the
+// request codec, used by clients and tests.
+func EventToJSON(ev *Event) *EventJSON {
+	ej := &EventJSON{
+		Hits:     make([]HitJSON, ev.NumHits()),
+		Features: make([][]float64, ev.NumHits()),
+		TruthSrc: append([]int(nil), ev.TruthSrc...),
+		TruthDst: append([]int(nil), ev.TruthDst...),
+	}
+	for i, h := range ev.Hits {
+		ej.Hits[i] = HitJSON{X: h.X, Y: h.Y, Z: h.Z, R: h.R, Phi: h.Phi, Layer: h.Layer, Particle: h.Particle}
+		ej.Features[i] = append([]float64(nil), ev.Features.Row(i)...)
+	}
+	return ej
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// Serve runs the front-end on addr until the context is cancelled, then
+// shuts down gracefully. It is the programmatic core of cmd/serve.
+func (s *Server) Serve(ctx context.Context, addr string) error {
+	srv := &http.Server{Addr: addr, Handler: s}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		return srv.Shutdown(shutCtx)
+	}
+}

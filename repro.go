@@ -6,34 +6,39 @@
 //
 //   - A synthetic barrel-detector event generator standing in for the
 //     paper's CTD and Ex3 datasets (GenerateDataset with CTDLike/Ex3Like).
-//   - The five-stage Exa.TrkX pipeline: metric-learning embedding MLP,
-//     fixed-radius graph construction, edge-filter MLP, Interaction GNN
-//     edge classification, and connected-component track building
-//     (NewPipeline).
+//   - The five-stage Exa.TrkX pipeline behind the composable repro/recon
+//     package: five swappable stage interfaces, functional options, a
+//     context-aware Reconstructor, and a concurrent Engine with an HTTP
+//     front-end (cmd/serve).
 //   - The paper's contribution: minibatch GNN training with ShaDow
 //     subgraph sampling, matrix-based bulk sampling, and a coalesced
 //     all-reduce for distributed data parallelism over simulated devices
 //     (NewTrainer with PyGBaselineConfig/OursConfig).
 //   - Experiment harnesses regenerating every table and figure of the
-//     paper's evaluation (RunTable1, RunFigure3, RunFigure4, and the
-//     Run*Ablation functions).
+//     paper's evaluation (Table1, Figure3, Figure4, and the *Ablation
+//     functions, all context-aware).
 //
-// Quickstart:
+// Quickstart (see API.md for the full recon surface):
 //
 //	spec := repro.Ex3Like(0.05)
 //	spec.NumEvents = 10
 //	ds := repro.GenerateDataset(spec, 42)
-//	cfg := repro.DefaultPipelineConfig(spec)
-//	p := repro.NewPipeline(cfg, 1)
 //	train, _, test := ds.Split(0.8, 0.1)
-//	p.TrainStages13(train, 2)
-//	res := p.Reconstruct(test[0])
+//	r, _ := recon.New(spec, recon.WithGNN(16, 3), recon.WithSeed(1))
+//	_ = r.Fit(ctx, train)
+//	res, _ := r.Reconstruct(ctx, test[0])
 //	fmt.Println("track efficiency:", res.Match.Efficiency())
+//
+// The pipeline-centric constructors below (NewPipeline,
+// DefaultPipelineConfig) remain as thin deprecated shims for one
+// release; new code should use repro/recon.
 //
 // See the examples/ directory for runnable programs.
 package repro
 
 import (
+	"context"
+
 	"repro/internal/core"
 	"repro/internal/detector"
 	"repro/internal/experiments"
@@ -99,12 +104,19 @@ type (
 
 // DefaultPipelineConfig returns a laptop-scale pipeline configuration for
 // a dataset spec.
+//
+// Deprecated: use recon.New with functional options (recon.WithRadius,
+// recon.WithThreshold, recon.WithGNN, ...) instead of mutating nested
+// config structs. This shim remains for one release.
 func DefaultPipelineConfig(spec DetectorSpec) PipelineConfig {
 	return pipeline.DefaultConfig(spec)
 }
 
 // NewPipeline creates an untrained pipeline with deterministic
 // initialization.
+//
+// Deprecated: use recon.New (fresh models) or adapt an existing
+// pipeline with recon.FromPipeline. This shim remains for one release.
 func NewPipeline(cfg PipelineConfig, seed uint64) *Pipeline { return pipeline.New(cfg, seed) }
 
 // NewInteractionGNN builds a standalone Interaction GNN.
@@ -179,37 +191,92 @@ type (
 	BatchSizeRow = experiments.BatchSizeRow
 )
 
-// RunTable1 regenerates Table I at the configured scale.
-func RunTable1(o ExperimentOptions) []Table1Row { return experiments.RunTable1(o) }
+// Table1 regenerates Table I at the configured scale. Cancelling the
+// context returns the rows completed so far alongside ctx.Err().
+func Table1(ctx context.Context, o ExperimentOptions) ([]Table1Row, error) {
+	return experiments.RunTable1Context(ctx, o)
+}
 
-// RunFigure3 regenerates Figure 3 (epoch time across process counts).
-func RunFigure3(o ExperimentOptions, procs []int) []EpochTimeRow {
-	return experiments.RunFigure3(o, procs)
+// Figure3 regenerates Figure 3 (epoch time across process counts),
+// checking the context between measurement cells.
+func Figure3(ctx context.Context, o ExperimentOptions, procs []int) ([]EpochTimeRow, error) {
+	return experiments.RunFigure3Context(ctx, o, procs)
 }
 
 // Figure3Speedups pairs Figure 3 rows into per-P speedups of Ours vs PyG.
 func Figure3Speedups(rows []EpochTimeRow) map[int]float64 { return experiments.Speedups(rows) }
 
+// Figure4 regenerates Figure 4 (convergence of full-graph vs ShaDow
+// minibatch training), checking the context between the three runs.
+func Figure4(ctx context.Context, o ExperimentOptions) (*ConvergenceResult, error) {
+	return experiments.RunFigure4Context(ctx, o)
+}
+
+// AllReduceAblation measures per-matrix vs coalesced all-reduce cost.
+func AllReduceAblation(ctx context.Context, o ExperimentOptions, procs []int, steps int) ([]AllReduceRow, error) {
+	return experiments.RunAllReduceAblationContext(ctx, o, procs, steps)
+}
+
+// BulkKAblation sweeps the bulk batch count.
+func BulkKAblation(ctx context.Context, o ExperimentOptions, ks []int) ([]BulkKRow, error) {
+	return experiments.RunBulkKAblationContext(ctx, o, ks)
+}
+
+// FanoutAblation sweeps ShaDow (depth, fanout).
+func FanoutAblation(ctx context.Context, o ExperimentOptions, pairs [][2]int) ([]FanoutRow, error) {
+	return experiments.RunFanoutAblationContext(ctx, o, pairs)
+}
+
+// BatchSizeAblation sweeps the training batch size.
+func BatchSizeAblation(ctx context.Context, o ExperimentOptions, sizes []int) ([]BatchSizeRow, error) {
+	return experiments.RunBatchSizeAblationContext(ctx, o, sizes)
+}
+
+// Deprecated shims: the pre-context experiment entry points, kept for
+// one release. New code should call the context-aware versions above.
+
+// RunTable1 regenerates Table I at the configured scale.
+//
+// Deprecated: use Table1.
+func RunTable1(o ExperimentOptions) []Table1Row { return experiments.RunTable1(o) }
+
+// RunFigure3 regenerates Figure 3 (epoch time across process counts).
+//
+// Deprecated: use Figure3.
+func RunFigure3(o ExperimentOptions, procs []int) []EpochTimeRow {
+	return experiments.RunFigure3(o, procs)
+}
+
 // RunFigure4 regenerates Figure 4 (convergence of full-graph vs ShaDow
 // minibatch training).
+//
+// Deprecated: use Figure4.
 func RunFigure4(o ExperimentOptions) *ConvergenceResult { return experiments.RunFigure4(o) }
 
 // RunAllReduceAblation measures per-matrix vs coalesced all-reduce cost.
+//
+// Deprecated: use AllReduceAblation.
 func RunAllReduceAblation(o ExperimentOptions, procs []int, steps int) []AllReduceRow {
 	return experiments.RunAllReduceAblation(o, procs, steps)
 }
 
 // RunBulkKAblation sweeps the bulk batch count.
+//
+// Deprecated: use BulkKAblation.
 func RunBulkKAblation(o ExperimentOptions, ks []int) []BulkKRow {
 	return experiments.RunBulkKAblation(o, ks)
 }
 
 // RunFanoutAblation sweeps ShaDow (depth, fanout).
+//
+// Deprecated: use FanoutAblation.
 func RunFanoutAblation(o ExperimentOptions, pairs [][2]int) []FanoutRow {
 	return experiments.RunFanoutAblation(o, pairs)
 }
 
 // RunBatchSizeAblation sweeps the training batch size.
+//
+// Deprecated: use BatchSizeAblation.
 func RunBatchSizeAblation(o ExperimentOptions, sizes []int) []BatchSizeRow {
 	return experiments.RunBatchSizeAblation(o, sizes)
 }
