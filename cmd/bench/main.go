@@ -262,6 +262,24 @@ func suite(quick bool) []namedBench {
 				sampling.BulkMatrixShaDow(g, eidx, batches, cfg, r.Split())
 			}
 		}},
+		{"BenchmarkDistTrain_EpochP2_Bucketed", func(b *testing.B) {
+			graphs, gnn := distTrainFixture(b)
+			cfg := repro.DefaultDistTrainerConfig(gnn)
+			cfg.Ranks = 2
+			cfg.Strategy = repro.BucketedSync
+			cfg.BatchSize = 64
+			cfg.Shadow = sampling.Config{Depth: 2, Fanout: 4}
+			tr := repro.NewDistTrainer(cfg)
+			ctx := context.Background()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := tr.TrainEpoch(ctx, graphs); err != nil {
+					b.Fatal(err)
+				}
+			}
+			cs := tr.CommStats()
+			b.ReportMetric(float64(cs.Modeled.Nanoseconds())/float64(b.N), "comm_modeled_ns/op")
+		}},
 	}
 	if !quick {
 		benches = append(benches,
@@ -280,6 +298,26 @@ func suite(quick bool) []namedBench {
 		)
 	}
 	return benches
+}
+
+// distTrainFixture builds truth-level graphs and a small GNN config for
+// the distributed-trainer benchmark.
+func distTrainFixture(b *testing.B) ([]*repro.EventGraph, repro.GNNConfig) {
+	spec := repro.Ex3Like(0.02)
+	spec.NumEvents = 2
+	ds := repro.GenerateDataset(spec, 42)
+	p := repro.NewPipeline(repro.DefaultPipelineConfig(spec), 44)
+	var graphs []*repro.EventGraph
+	for i, ev := range ds.Events {
+		graphs = append(graphs, p.BuildTruthLevelGraph(ev, 1.5, uint64(200+i)))
+	}
+	gnn := repro.GNNConfig{
+		NodeFeatures: spec.VertexFeatures,
+		EdgeFeatures: spec.EdgeFeatures,
+		Hidden:       8,
+		Steps:        2,
+	}
+	return graphs, gnn
 }
 
 // engineFixture builds the 32-event batch and untrained reconstructor

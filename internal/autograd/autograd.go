@@ -49,6 +49,7 @@ type Node struct {
 	grad     *tensor.Dense
 	needGrad bool
 	back     func() // propagates n.grad into parent grads; nil for leaves
+	param    *Param // set for Use nodes, for the param-grad-ready hook
 	tp       *Tape
 }
 
@@ -89,6 +90,16 @@ const nodeChunkSize = 128
 type Tape struct {
 	nodes []*Node
 	arena *workspace.Arena
+
+	// paramHook, when set, is invoked during Backward as soon as a
+	// parameter's gradient is final — i.e. when the reverse sweep passes
+	// the parameter's earliest Use node, after which no further
+	// contribution can reach p.Grad. This is the signal bucketed gradient
+	// synchronization overlaps communication with: a bucket's all-reduce
+	// can start the moment its last parameter fires, while backward is
+	// still computing earlier layers. The hook runs on the goroutine
+	// executing Backward.
+	paramHook func(p *Param)
 
 	// Chunked node slab: records are handed out from chunks so Reset can
 	// rewind and reuse them — a reused tape allocates no node storage at
@@ -189,8 +200,15 @@ func (t *Tape) Use(p *Param) *Node {
 	n = t.newNode(p.Value, true, func() {
 		p.Grad.AddInPlace(n.grad)
 	})
+	n.param = p
 	return n
 }
+
+// SetParamGradHook installs (or, with nil, removes) the
+// parameter-gradient-ready callback — see the paramHook field. The hook
+// persists across Reset; callers arming it for one step should clear it
+// afterwards.
+func (t *Tape) SetParamGradHook(h func(p *Param)) { t.paramHook = h }
 
 // Backward seeds the gradient of loss (which must be 1×1) with 1 and
 // propagates through the tape in reverse recording order.
@@ -201,10 +219,29 @@ func (t *Tape) Backward(loss *Node) {
 	seed := t.alloc(1, 1)
 	seed.Set(0, 0, 1)
 	loss.accumOwned(seed)
+	// With a param hook installed, count the remaining Use nodes per
+	// parameter so the hook fires exactly once, at the earliest-recorded
+	// use (the final gradient contribution in reverse order) — even for
+	// parameters bound multiple times or left without gradient flow.
+	var remaining map[*Param]int
+	if t.paramHook != nil {
+		remaining = make(map[*Param]int)
+		for _, n := range t.nodes {
+			if n.param != nil {
+				remaining[n.param]++
+			}
+		}
+	}
 	for i := len(t.nodes) - 1; i >= 0; i-- {
 		n := t.nodes[i]
 		if n.grad != nil && n.back != nil {
 			n.back()
+		}
+		if remaining != nil && n.param != nil {
+			remaining[n.param]--
+			if remaining[n.param] == 0 {
+				t.paramHook(n.param)
+			}
 		}
 	}
 }

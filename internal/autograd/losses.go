@@ -12,6 +12,21 @@ import (
 // w_i = posWeight for y=1 and 1 for y=0, matching PyTorch's
 // BCEWithLogitsLoss(pos_weight=...) up to the same mean reduction.
 func (t *Tape) BCEWithLogits(logits *Node, targets []float64, posWeight float64) *Node {
+	return t.bceWithLogits(logits, targets, posWeight, true)
+}
+
+// BCEWithLogitsSum is BCEWithLogits with sum reduction: the per-edge
+// weighted losses are added but never divided by the count. The
+// distributed trainer uses it so micro-block losses can be combined and
+// normalized by the GLOBAL edge count in one canonical order — the mean
+// of means over unevenly sized shards is both statistically wrong and
+// dependent on the shard layout, which would break cross-rank-count
+// bitwise reproducibility.
+func (t *Tape) BCEWithLogitsSum(logits *Node, targets []float64, posWeight float64) *Node {
+	return t.bceWithLogits(logits, targets, posWeight, false)
+}
+
+func (t *Tape) bceWithLogits(logits *Node, targets []float64, posWeight float64, mean bool) *Node {
 	m := logits.Value.Rows()
 	if logits.Value.Cols() != 1 || len(targets) != m {
 		panic(fmt.Sprintf("autograd: BCEWithLogits wants m x 1 logits and m targets, got %dx%d and %d",
@@ -28,8 +43,12 @@ func (t *Tape) BCEWithLogits(logits *Node, targets []float64, posWeight float64)
 		l := math.Max(zi, 0) - zi*y + math.Log1p(math.Exp(-math.Abs(zi)))
 		total += w * l
 	}
+	norm := 1.0
+	if mean {
+		norm = float64(m)
+	}
 	v := t.alloc(1, 1)
-	v.Set(0, 0, total/float64(m))
+	v.Set(0, 0, total/norm)
 	var out *Node
 	out = t.newNode(v, logits.needGrad, func() {
 		if !logits.needGrad {
@@ -37,7 +56,7 @@ func (t *Tape) BCEWithLogits(logits *Node, targets []float64, posWeight float64)
 		}
 		g := t.alloc(m, 1)
 		gd := g.Data()
-		scale := out.grad.At(0, 0) / float64(m)
+		scale := out.grad.At(0, 0) / norm
 		for i, y := range targets {
 			w := 1.0
 			if y > 0.5 {

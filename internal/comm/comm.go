@@ -32,16 +32,51 @@ func NVLink3() CostModel {
 	return CostModel{Alpha: 10 * time.Microsecond, BetaBytesPerSecond: 100e9}
 }
 
+// wireTime is the β term for moving n bytes, zero when the model has no
+// bandwidth configured (a zero CostModel charges nothing — used by groups
+// whose transport is bookkept elsewhere).
+func (m CostModel) wireTime(nBytes float64) time.Duration {
+	if m.BetaBytesPerSecond <= 0 {
+		return 0
+	}
+	return time.Duration(nBytes / m.BetaBytesPerSecond * float64(time.Second))
+}
+
 // RingAllReduceTime returns the modeled wall time of a ring all-reduce of
 // n bytes across p ranks: 2(p−1) latency hops plus 2n(p−1)/p bytes moved
-// per rank at bandwidth β.
+// per rank at bandwidth β. It is exactly the reduce-scatter time plus the
+// all-gather time, NCCL's decomposition.
 func (m CostModel) RingAllReduceTime(nBytes int64, p int) time.Duration {
+	return m.RingReduceScatterTime(nBytes, p) + m.RingAllGatherTime(nBytes, p)
+}
+
+// RingReduceScatterTime returns the modeled wall time of a ring
+// reduce-scatter of n bytes across p ranks: (p−1) latency hops plus
+// n(p−1)/p bytes moved per rank.
+func (m CostModel) RingReduceScatterTime(nBytes int64, p int) time.Duration {
 	if p <= 1 {
 		return 0
 	}
-	hops := time.Duration(2*(p-1)) * m.Alpha
-	wire := time.Duration(float64(2*nBytes) * float64(p-1) / float64(p) / m.BetaBytesPerSecond * float64(time.Second))
-	return hops + wire
+	return time.Duration(p-1)*m.Alpha + m.wireTime(float64(nBytes)*float64(p-1)/float64(p))
+}
+
+// RingAllGatherTime returns the modeled wall time of a ring all-gather of
+// n total bytes across p ranks: (p−1) latency hops plus n(p−1)/p bytes
+// moved per rank.
+func (m CostModel) RingAllGatherTime(nBytes int64, p int) time.Duration {
+	if p <= 1 {
+		return 0
+	}
+	return time.Duration(p-1)*m.Alpha + m.wireTime(float64(nBytes)*float64(p-1)/float64(p))
+}
+
+// BroadcastTime returns the modeled wall time of a ring-pipeline
+// broadcast of n bytes across p ranks.
+func (m CostModel) BroadcastTime(nBytes int64, p int) time.Duration {
+	if p <= 1 {
+		return 0
+	}
+	return time.Duration(p-1)*m.Alpha + m.wireTime(float64(nBytes))
 }
 
 // Group is a fixed set of P ranks with a ring topology.
@@ -102,27 +137,49 @@ func chunkBounds(n, p, idx int) (lo, hi int) {
 }
 
 // AllReduceSum performs an in-place ring all-reduce (sum) of buf across
-// the group. Every rank must call it concurrently with its own buffer of
+// the group: a reduce-scatter followed by an all-gather, NCCL's
+// algorithm. Every rank must call it concurrently with its own buffer of
 // identical length; on return each buffer holds the elementwise sum.
 func (g *Group) AllReduceSum(rank int, buf []float64) {
 	if g.P == 1 {
 		return
 	}
 	if rank == 0 {
+		// Counted and charged as one collective: the composition of the
+		// two phases is the all-reduce, and RingAllReduceTime is exactly
+		// the sum of the phase times.
 		atomic.AddInt64(&g.calls, 1)
-		nBytes := int64(len(buf) * 8)
-		atomic.AddInt64(&g.modeledTime, int64(g.model.RingAllReduceTime(nBytes, g.P)))
+		atomic.AddInt64(&g.modeledTime, int64(g.model.RingAllReduceTime(int64(len(buf)*8), g.P)))
+	}
+	g.reduceScatterSum(rank, buf, false)
+	g.allGather(rank, buf, false)
+}
+
+// ReduceScatterSum performs an in-place ring reduce-scatter (sum): after
+// the call, rank r's buffer holds the fully reduced elements of its owned
+// chunk (returned as [lo, hi)); other regions hold partial sums. Every
+// rank must call it concurrently with equal-length buffers.
+func (g *Group) ReduceScatterSum(rank int, buf []float64) (lo, hi int) {
+	if g.P == 1 {
+		return 0, len(buf)
+	}
+	return g.reduceScatterSum(rank, buf, true)
+}
+
+func (g *Group) reduceScatterSum(rank int, buf []float64, charge bool) (lo, hi int) {
+	if rank == 0 && charge {
+		atomic.AddInt64(&g.calls, 1)
+		atomic.AddInt64(&g.modeledTime, int64(g.model.RingReduceScatterTime(int64(len(buf)*8), g.P)))
 	}
 	p := g.P
 	prev := (rank - 1 + p) % p
-	// Reduce-scatter: after P−1 steps rank r holds the fully reduced
-	// chunk (r+1) mod P.
+	// After P−1 steps rank r holds the fully reduced chunk (r+1) mod P.
 	for s := 0; s < p-1; s++ {
 		sendIdx := ((rank-s)%p + p) % p
 		recvIdx := ((rank-s-1)%p + p) % p
-		lo, hi := chunkBounds(len(buf), p, sendIdx)
-		out := make([]float64, hi-lo)
-		copy(out, buf[lo:hi])
+		clo, chi := chunkBounds(len(buf), p, sendIdx)
+		out := make([]float64, chi-clo)
+		copy(out, buf[clo:chi])
 		g.links[rank] <- out
 		in := <-g.links[prev]
 		rlo, _ := chunkBounds(len(buf), p, recvIdx)
@@ -131,7 +188,26 @@ func (g *Group) AllReduceSum(rank int, buf []float64) {
 		}
 		atomic.AddInt64(&g.bytesMoved, int64(len(out)*8))
 	}
-	// All-gather: circulate the reduced chunks.
+	return chunkBounds(len(buf), p, (rank+1)%p)
+}
+
+// AllGather circulates each rank's owned chunk (the chunk ReduceScatterSum
+// leaves reduced: (rank+1) mod P) so every rank's buffer ends complete.
+// Every rank must call it concurrently with equal-length buffers.
+func (g *Group) AllGather(rank int, buf []float64) {
+	if g.P == 1 {
+		return
+	}
+	g.allGather(rank, buf, true)
+}
+
+func (g *Group) allGather(rank int, buf []float64, charge bool) {
+	if rank == 0 && charge {
+		atomic.AddInt64(&g.calls, 1)
+		atomic.AddInt64(&g.modeledTime, int64(g.model.RingAllGatherTime(int64(len(buf)*8), g.P)))
+	}
+	p := g.P
+	prev := (rank - 1 + p) % p
 	for s := 0; s < p-1; s++ {
 		sendIdx := ((rank-s+1)%p + p) % p
 		recvIdx := ((rank-s)%p + p) % p
@@ -154,8 +230,7 @@ func (g *Group) Broadcast(rank int, buf []float64, root int) {
 	}
 	if rank == 0 {
 		atomic.AddInt64(&g.calls, 1)
-		atomic.AddInt64(&g.modeledTime, int64(time.Duration(g.P-1)*g.model.Alpha)+
-			int64(float64(len(buf)*8)/g.model.BetaBytesPerSecond*float64(time.Second)))
+		atomic.AddInt64(&g.modeledTime, int64(g.model.BroadcastTime(int64(len(buf)*8), g.P)))
 	}
 	p := g.P
 	pos := ((rank-root)%p + p) % p // distance from root along the ring

@@ -198,3 +198,122 @@ func TestBarrierReusable(t *testing.T) {
 		runRanks(p, func(rank int) { b.Wait() })
 	}
 }
+
+func TestReduceScatterSum(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 4, 8} {
+		for _, n := range []int{1, 5, 64, 257} {
+			g := NewGroup(p, NVLink3())
+			r := rng.New(uint64(p*7919 + n))
+			bufs := make([][]float64, p)
+			want := make([]float64, n)
+			for rank := range bufs {
+				bufs[rank] = make([]float64, n)
+				for i := range bufs[rank] {
+					bufs[rank][i] = r.NormFloat64()
+					want[i] += bufs[rank][i]
+				}
+			}
+			los, his := make([]int, p), make([]int, p)
+			runRanks(p, func(rank int) {
+				los[rank], his[rank] = g.ReduceScatterSum(rank, bufs[rank])
+			})
+			// Every element must be fully reduced in exactly one rank's
+			// owned chunk, and the chunks must tile [0, n).
+			covered := make([]bool, n)
+			for rank := 0; rank < p; rank++ {
+				for i := los[rank]; i < his[rank]; i++ {
+					if covered[i] {
+						t.Fatalf("p=%d n=%d: element %d owned twice", p, n, i)
+					}
+					covered[i] = true
+					if math.Abs(bufs[rank][i]-want[i]) > 1e-9 {
+						t.Fatalf("p=%d n=%d rank %d elem %d: %v != %v",
+							p, n, rank, i, bufs[rank][i], want[i])
+					}
+				}
+			}
+			for i, c := range covered {
+				if !c {
+					t.Fatalf("p=%d n=%d: element %d unowned", p, n, i)
+				}
+			}
+		}
+	}
+}
+
+func TestReduceScatterThenAllGatherEqualsAllReduce(t *testing.T) {
+	for _, p := range []int{2, 3, 4} {
+		n := 97
+		g := NewGroup(p, NVLink3())
+		g2 := NewGroup(p, NVLink3())
+		r := rng.New(uint64(p))
+		composed := make([][]float64, p)
+		direct := make([][]float64, p)
+		for rank := 0; rank < p; rank++ {
+			composed[rank] = make([]float64, n)
+			direct[rank] = make([]float64, n)
+			for i := range composed[rank] {
+				v := r.NormFloat64()
+				composed[rank][i], direct[rank][i] = v, v
+			}
+		}
+		runRanks(p, func(rank int) {
+			g.ReduceScatterSum(rank, composed[rank])
+			g.AllGather(rank, composed[rank])
+			g2.AllReduceSum(rank, direct[rank])
+		})
+		for rank := 0; rank < p; rank++ {
+			for i := range composed[rank] {
+				if composed[rank][i] != direct[rank][i] {
+					t.Fatalf("p=%d rank %d elem %d: composed %v != direct %v",
+						p, rank, i, composed[rank][i], direct[rank][i])
+				}
+			}
+		}
+		// Two collectives charged vs one, identical modeled time and bytes.
+		if g.Calls() != 2 || g2.Calls() != 1 {
+			t.Fatalf("calls: composed %d (want 2), direct %d (want 1)", g.Calls(), g2.Calls())
+		}
+		if g.ModeledTime() != g2.ModeledTime() {
+			t.Fatalf("modeled time: composed %v != direct %v", g.ModeledTime(), g2.ModeledTime())
+		}
+		if g.BytesMoved() != g2.BytesMoved() {
+			t.Fatalf("bytes: composed %d != direct %d", g.BytesMoved(), g2.BytesMoved())
+		}
+	}
+}
+
+func TestPhaseCostsSumToAllReduce(t *testing.T) {
+	m := NVLink3()
+	for _, p := range []int{2, 3, 8} {
+		n := int64(1 << 20)
+		if got, want := m.RingReduceScatterTime(n, p)+m.RingAllGatherTime(n, p), m.RingAllReduceTime(n, p); got != want {
+			t.Fatalf("p=%d: phases %v != all-reduce %v", p, got, want)
+		}
+	}
+	if m.RingReduceScatterTime(1<<20, 1) != 0 || m.RingAllGatherTime(1<<20, 1) != 0 || m.BroadcastTime(1<<20, 1) != 0 {
+		t.Fatal("single-rank collectives must be free")
+	}
+}
+
+func TestZeroCostModelChargesNothing(t *testing.T) {
+	var zero CostModel
+	if zero.RingAllReduceTime(1<<30, 8) != 0 {
+		t.Fatal("zero model must charge no time")
+	}
+	g := NewGroup(4, zero)
+	bufs := make([][]float64, 4)
+	for rank := range bufs {
+		bufs[rank] = []float64{float64(rank), 1, 2, 3, 4}
+	}
+	runRanks(4, func(rank int) { g.AllReduceSum(rank, bufs[rank]) })
+	if g.ModeledTime() != 0 {
+		t.Fatalf("zero model charged %v", g.ModeledTime())
+	}
+	if g.BytesMoved() == 0 {
+		t.Fatal("real bytes should still be counted")
+	}
+	if bufs[0][0] != 0+1+2+3 {
+		t.Fatalf("sum wrong: %v", bufs[0][0])
+	}
+}

@@ -27,14 +27,78 @@ const (
 	// Coalesced flattens all gradients into one buffer and all-reduces
 	// once — the paper's optimization.
 	Coalesced
+	// Bucketed groups gradients into fixed-size buckets in reverse
+	// parameter order (the order backward completes them) and reduces one
+	// bucket at a time — the PyTorch-DDP refinement of coalescing that
+	// lets communication start before the full backward pass finishes.
+	// GradSyncer.Sync reduces the buckets synchronously; the distributed
+	// trainer overlaps them with backward.
+	Bucketed
 )
 
 // String names the strategy for reports.
 func (s SyncStrategy) String() string {
-	if s == Coalesced {
+	switch s {
+	case Coalesced:
 		return "coalesced"
+	case Bucketed:
+		return "bucketed"
+	default:
+		return "per-matrix"
 	}
-	return "per-matrix"
+}
+
+// DefaultBucketBytes is the bucket cap used when none is configured —
+// PyTorch DDP's 25 MiB default scaled to this simulation's model sizes.
+const DefaultBucketBytes = 256 << 10
+
+// Bucket is one contiguous run of parameters synchronized together. Lo
+// and Hi are the half-open element bounds of the bucket inside the
+// flattened gradient vector (nn.FlattenGrads order).
+type Bucket struct {
+	Params []int // indices into the parameter list, ascending
+	Lo, Hi int   // flat element bounds [Lo, Hi)
+}
+
+// Elements returns the bucket's flattened element count.
+func (b Bucket) Elements() int { return b.Hi - b.Lo }
+
+// BucketLayout partitions parameters into buckets of at most bucketBytes
+// (8 bytes per element; a single oversized parameter gets its own
+// bucket). Buckets are ordered by backward completion: the LAST
+// parameters in the list (the classifier head, used latest in the
+// forward pass) finish their gradients first, so the final parameters
+// form bucket 0. Within a bucket, parameter indices stay ascending so
+// flattened bounds are contiguous.
+func BucketLayout(params []*autograd.Param, bucketBytes int) []Bucket {
+	if bucketBytes <= 0 {
+		bucketBytes = DefaultBucketBytes
+	}
+	offsets := make([]int, len(params)+1)
+	for i, p := range params {
+		offsets[i+1] = offsets[i] + p.Grad.Size()
+	}
+	var buckets []Bucket
+	hi := len(params)
+	for hi > 0 {
+		lo := hi
+		bytes := 0
+		for lo > 0 {
+			pb := params[lo-1].Grad.Size() * 8
+			if bytes > 0 && bytes+pb > bucketBytes {
+				break
+			}
+			bytes += pb
+			lo--
+		}
+		b := Bucket{Lo: offsets[lo], Hi: offsets[hi]}
+		for i := lo; i < hi; i++ {
+			b.Params = append(b.Params, i)
+		}
+		buckets = append(buckets, b)
+		hi = lo
+	}
+	return buckets
 }
 
 // GradSyncer synchronizes one rank's gradients across a group. Each rank
@@ -43,15 +107,19 @@ type GradSyncer struct {
 	Group    *comm.Group
 	Rank     int
 	Strategy SyncStrategy
+	// BucketBytes caps each bucket for the Bucketed strategy
+	// (DefaultBucketBytes when zero).
+	BucketBytes int
 
-	buf []float64
+	buf     []float64
+	buckets []Bucket
 }
 
 // NewGradSyncer creates a syncer for a rank, sizing the coalescing
 // buffer for the given parameter set.
 func NewGradSyncer(group *comm.Group, rank int, strategy SyncStrategy, params []*autograd.Param) *GradSyncer {
 	s := &GradSyncer{Group: group, Rank: rank, Strategy: strategy}
-	if strategy == Coalesced {
+	if strategy == Coalesced || strategy == Bucketed {
 		s.buf = make([]float64, nn.GradElements(params))
 	}
 	return s
@@ -65,6 +133,19 @@ func (s *GradSyncer) Sync(params []*autograd.Param) {
 	case Coalesced:
 		nn.FlattenGrads(params, s.buf)
 		s.Group.AllReduceSum(s.Rank, s.buf)
+		nn.UnflattenGrads(params, s.buf)
+	case Bucketed:
+		// Buckets tile the flat buffer in reverse parameter order; each is
+		// reduced as its own collective. Without overlap this costs the
+		// same bytes as Coalesced plus (buckets−1) extra latency terms —
+		// still at most the PerMatrix latency since buckets ≤ matrices.
+		if s.buckets == nil {
+			s.buckets = BucketLayout(params, s.BucketBytes)
+		}
+		nn.FlattenGrads(params, s.buf)
+		for _, b := range s.buckets {
+			s.Group.AllReduceSum(s.Rank, s.buf[b.Lo:b.Hi])
+		}
 		nn.UnflattenGrads(params, s.buf)
 	default:
 		for _, p := range params {

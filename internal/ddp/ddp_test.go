@@ -200,3 +200,117 @@ func TestSingleRankNoDeadlock(t *testing.T) {
 		t.Fatalf("P=1 sync should only average (÷1): got %v", params[0].Grad.At(0, 0))
 	}
 }
+
+func TestBucketLayout(t *testing.T) {
+	m := nn.NewMLP(rng.New(3), "b", nn.MLPConfig{In: 8, Hidden: []int{16, 16}, Out: 4, Activation: nn.ReLU})
+	params := m.Params()
+	total := nn.GradElements(params)
+	for _, bucketBytes := range []int{1, 64, 1024, 1 << 20} {
+		buckets := BucketLayout(params, bucketBytes)
+		// Buckets must tile [0, total) in reverse order and cover every
+		// parameter exactly once.
+		seen := make(map[int]bool)
+		wantHi := total
+		for _, b := range buckets {
+			if b.Hi != wantHi {
+				t.Fatalf("bucketBytes=%d: bucket hi %d, want %d", bucketBytes, b.Hi, wantHi)
+			}
+			if b.Lo >= b.Hi {
+				t.Fatalf("bucketBytes=%d: empty bucket [%d,%d)", bucketBytes, b.Lo, b.Hi)
+			}
+			elems := 0
+			for _, pi := range b.Params {
+				if seen[pi] {
+					t.Fatalf("param %d in two buckets", pi)
+				}
+				seen[pi] = true
+				elems += params[pi].Grad.Size()
+			}
+			if elems != b.Elements() {
+				t.Fatalf("bucket [%d,%d) declares %d elements, params sum to %d", b.Lo, b.Hi, b.Elements(), elems)
+			}
+			// A bucket may exceed the cap only when it holds a single
+			// oversized parameter.
+			if elems*8 > bucketBytes && len(b.Params) > 1 {
+				t.Fatalf("bucketBytes=%d: multi-param bucket of %d bytes", bucketBytes, elems*8)
+			}
+			wantHi = b.Lo
+		}
+		if wantHi != 0 {
+			t.Fatalf("bucketBytes=%d: buckets do not reach element 0 (stop at %d)", bucketBytes, wantHi)
+		}
+		if len(seen) != len(params) {
+			t.Fatalf("bucketBytes=%d: %d of %d params bucketed", bucketBytes, len(seen), len(params))
+		}
+	}
+	// Bucket 0 must hold the LAST parameters (first gradients ready).
+	buckets := BucketLayout(params, 64)
+	last := buckets[0].Params[len(buckets[0].Params)-1]
+	if last != len(params)-1 {
+		t.Fatalf("bucket 0 must end at the final param, got %d", last)
+	}
+}
+
+func TestBucketedSyncMatchesCoalesced(t *testing.T) {
+	const p = 4
+	x := tensor.XavierInit(rng.New(99), 16, 4)
+	y := make([]float64, 16)
+	for i := range y {
+		if i%3 == 0 {
+			y[i] = 1
+		}
+	}
+	run := func(strategy SyncStrategy, bucketBytes int) ([][]*tensor.Dense, int64) {
+		reps := buildReplicas(p)
+		group := comm.NewGroup(p, comm.NVLink3())
+		syncers := make([]*GradSyncer, p)
+		for r := 0; r < p; r++ {
+			syncers[r] = NewGradSyncer(group, r, strategy, reps[r])
+			syncers[r].BucketBytes = bucketBytes
+		}
+		RunRanks(p, func(rank int) {
+			lo, hi := ShardRange(16, p, rank)
+			shard := tensor.New(hi-lo, 4)
+			for i := lo; i < hi; i++ {
+				for j := 0; j < 4; j++ {
+					shard.Set(i-lo, j, x.At(i, j))
+				}
+			}
+			m := nn.NewMLP(rng.New(7), "m", nn.MLPConfig{In: 4, Hidden: []int{8}, Out: 1, Activation: nn.Tanh})
+			nn.CopyParamValues(m.Params(), reps[rank])
+			tp := autograd.NewTape()
+			loss := tp.BCEWithLogits(m.Forward(tp, tp.Constant(shard)), y[lo:hi], 1)
+			tp.Backward(loss)
+			for i, pr := range reps[rank] {
+				pr.Grad.CopyFrom(m.Params()[i].Grad)
+			}
+			syncers[rank].Sync(reps[rank])
+		})
+		grads := make([][]*tensor.Dense, p)
+		for r := 0; r < p; r++ {
+			grads[r] = make([]*tensor.Dense, len(reps[r]))
+			for i, pr := range reps[r] {
+				grads[r][i] = pr.Grad.Clone()
+			}
+		}
+		return grads, group.Calls()
+	}
+	coal, coalCalls := run(Coalesced, 0)
+	buck, buckCalls := run(Bucketed, 128)
+	if coalCalls != 1 {
+		t.Fatalf("coalesced calls = %d", coalCalls)
+	}
+	if buckCalls <= 1 {
+		t.Fatalf("bucketed with a 128-byte cap should issue several collectives, got %d", buckCalls)
+	}
+	for r := 0; r < p; r++ {
+		for i := range coal[r] {
+			a, b := coal[r][i].Data(), buck[r][i].Data()
+			for k := range a {
+				if math.Abs(a[k]-b[k]) > 1e-12 {
+					t.Fatalf("rank %d param %d elem %d: coalesced %v != bucketed %v", r, i, k, a[k], b[k])
+				}
+			}
+		}
+	}
+}

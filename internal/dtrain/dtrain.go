@@ -1,0 +1,733 @@
+// Package dtrain is the end-to-end distributed bulk-sampled trainer —
+// the code path that actually composes the paper's two contributions:
+// ShaDow minibatches sampled in bulk as sparse-matrix operations
+// (internal/sampling) and gradient synchronization through coalesced
+// collectives (internal/comm, internal/ddp), driving the Interaction GNN
+// across P simulated ranks.
+//
+// Each rank is a goroutine owning a model replica, a pinned
+// workspace.Arena, and a contiguous range of the step's gradient
+// micro-blocks. Every step each rank bulk-samples the subgraphs of its
+// blocks (stacking up to BulkBatches batches into one matrix-sampler
+// invocation), runs forward/backward per block, and synchronizes
+// gradients under one of three strategies: one collective per parameter
+// matrix (the baseline), one coalesced collective (the paper's
+// optimization), or bucketed collectives overlapped with the backward
+// pass (the PyTorch-DDP refinement: a bucket enters the ring as soon as
+// its layer's backward completes).
+//
+// # Determinism
+//
+// The trainer is bitwise deterministic not just run-to-run but across
+// rank counts and sync strategies: TrainEpoch at P ranks produces the
+// exact float64 loss trajectory of the P=1 run. Three mechanisms make
+// that hold:
+//
+//  1. Per-root sampling streams. Every batch vertex draws from its own
+//     seeded generator (sampling.BulkMatrixShaDowStreams), so its ShaDow
+//     subgraph does not depend on how batches are stacked into bulk
+//     calls or sharded across ranks.
+//  2. Canonical gradient micro-blocks. Each global batch is split into a
+//     fixed number of micro-blocks (Config.GradBlocks, independent of
+//     P). A rank backward-passes each of its blocks separately, so the
+//     per-block gradients are P-independent.
+//  3. Fixed-tree reduction. Block gradients cross ranks as distinct
+//     summands (an all-reduce whose payload rows are per-block partials;
+//     summation against zero rows is exact in IEEE arithmetic) and every
+//     rank then combines all blocks with the same balanced pairwise tree
+//     over block index. Floating-point addition is not associative, so a
+//     plain ring reduction would order sums by rank layout; the fixed
+//     tree makes the order a function of the block structure only.
+//
+// The sync strategy therefore changes which collectives are issued and
+// charged — never the numbers. The α–β cost model charges each strategy
+// the ring all-reduce a production NCCL deployment would run for the
+// same logical payload: k·2(P−1)·α latency for per-matrix, one 2(P−1)·α
+// for coalesced, and one per bucket for bucketed (overlapped with
+// backward compute, so its wall-clock exposure is lower still).
+package dtrain
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/autograd"
+	"repro/internal/comm"
+	"repro/internal/ddp"
+	"repro/internal/ignn"
+	"repro/internal/metrics"
+	"repro/internal/nn"
+	"repro/internal/pipeline"
+	"repro/internal/rng"
+	"repro/internal/sampling"
+	"repro/internal/tensor"
+	"repro/internal/workspace"
+)
+
+// Config collects the distributed trainer's hyperparameters.
+type Config struct {
+	GNN       ignn.Config
+	Epochs    int
+	BatchSize int // global batch: ShaDow roots per optimizer step
+	Shadow    sampling.Config
+	LR        float64
+	PosWeight float64
+
+	// Ranks is the number of simulated devices P.
+	Ranks int
+	// Strategy selects the gradient synchronization pattern.
+	Strategy ddp.SyncStrategy
+	// BucketBytes caps each bucket for ddp.Bucketed
+	// (ddp.DefaultBucketBytes when 0).
+	BucketBytes int
+	// BulkBatches is k, the number of consecutive batches stacked into
+	// one bulk sampler invocation per rank (the paper's utilization
+	// optimization). Changing k never changes the numbers — only how
+	// much sampler work is amortized per call.
+	BulkBatches int
+	// GradBlocks is the number of canonical gradient micro-blocks per
+	// step. It bounds usable ranks' parallelism (ranks beyond GradBlocks
+	// idle through compute) and must stay fixed across runs that are
+	// expected to match bitwise. Default 8.
+	GradBlocks int
+
+	// CostModel prices the charged collectives; the zero value defaults
+	// to comm.NVLink3 unless UseZeroCost is set.
+	CostModel comm.CostModel
+	// UseZeroCost makes New honor an explicitly zero CostModel (charge
+	// nothing) instead of substituting the NVLink3 default.
+	UseZeroCost bool
+
+	Seed uint64
+}
+
+// DefaultConfig returns the paper-shaped defaults for a GNN config.
+func DefaultConfig(gnn ignn.Config) Config {
+	return Config{
+		GNN:         gnn,
+		Epochs:      8,
+		BatchSize:   64,
+		Shadow:      sampling.DefaultConfig(),
+		LR:          1e-3,
+		PosWeight:   1.0,
+		Ranks:       1,
+		Strategy:    ddp.Coalesced,
+		BulkBatches: 4,
+		GradBlocks:  8,
+		Seed:        1,
+	}
+}
+
+// CommStats summarizes the charged (logical) collective traffic.
+type CommStats struct {
+	// Calls is the number of charged collectives (per-matrix: one per
+	// parameter per step; coalesced: one per step; bucketed: one per
+	// bucket per step; plus the initial weight broadcast).
+	Calls int64
+	// LogicalBytes is the payload a production DDP would reduce — the
+	// flattened gradient bytes, not the simulation's per-block transport.
+	LogicalBytes int64
+	// Modeled is the α–β ring time of the charged collectives.
+	Modeled time.Duration
+}
+
+// EpochStats reports one epoch of distributed training.
+type EpochStats struct {
+	// Loss is the mean canonical step loss (sum of per-edge losses over
+	// the global batch divided by its edge count).
+	Loss float64
+	// StepLosses is the canonical loss trajectory, one entry per
+	// optimizer step — the sequence the determinism guarantee covers.
+	StepLosses []float64
+	// Steps is the number of optimizer steps taken.
+	Steps int
+	// Timer breaks the epoch into Sampling / Training (max across
+	// ranks) and AllReduce (modeled collective time).
+	Timer *metrics.PhaseTimer
+	// Comm is the charged collective traffic of this epoch.
+	Comm CommStats
+}
+
+// rankState is one rank's private training state.
+type rankState struct {
+	model  *ignn.Model
+	params []*autograd.Param
+	opt    nn.Optimizer
+	arena  *workspace.Arena
+	tape   *autograd.Tape
+	timer  *metrics.PhaseTimer
+
+	paramIdx map[*autograd.Param]int
+
+	blockGrads [][]float64 // local block index → flattened gradient (len S)
+	transports [][]float64 // bucket index → G×width all-reduce payload
+	flat       []float64   // canonical combined gradient (len S)
+	scratch    [][]float64 // tree-reduction temporaries, one per level
+	meta       []float64   // 2·G: per-block (loss sum, edge count)
+	lossTree   []float64   // G: loss sums gathered for tree reduction
+	ctrl       []float64   // 1: cancellation consensus flag
+}
+
+// Trainer drives distributed bulk-sampled minibatch training.
+type Trainer struct {
+	Cfg Config
+
+	ranks        []*rankState
+	buckets      []ddp.Bucket
+	bucketOfIdx  []int // param index → bucket index
+	paramOffsets []int // param index → offset in the flattened gradient
+	elems        int   // S: flattened gradient elements
+
+	// Transport groups move real data through ring channels but charge
+	// no modeled time (their payloads are the simulation's reproducible
+	// per-block partials, not what a production ring would ship); the
+	// logical collectives are charged explicitly against CostModel.
+	bucketGroups []*comm.Group
+	metaGroup    *comm.Group
+	ctrlGroup    *comm.Group
+
+	model comm.CostModel
+
+	commCalls   int64
+	commBytes   int64
+	commModeled int64 // ns
+
+	epoch       int
+	edgeIndexes map[*pipeline.EventGraph]*sampling.EdgeIndex
+	stepLosses  []float64 // rank 0 appends; driver drains per epoch
+}
+
+// New builds a trainer: P identically initialized replicas, per-rank
+// arenas and tapes, bucket layout, transport groups, and the initial
+// weight replication broadcast from rank 0.
+func New(cfg Config) *Trainer {
+	if cfg.Ranks < 1 {
+		cfg.Ranks = 1
+	}
+	if cfg.GradBlocks < 1 {
+		cfg.GradBlocks = 8
+	}
+	if cfg.BulkBatches < 1 {
+		cfg.BulkBatches = 1
+	}
+	if cfg.BatchSize < 1 {
+		cfg.BatchSize = 64
+	}
+	model := cfg.CostModel
+	if !cfg.UseZeroCost && model == (comm.CostModel{}) {
+		model = comm.NVLink3()
+	}
+	t := &Trainer{
+		Cfg:         cfg,
+		model:       model,
+		edgeIndexes: make(map[*pipeline.EventGraph]*sampling.EdgeIndex),
+	}
+	replicas := ignn.Replicas(cfg.GNN, cfg.Seed+1000, cfg.Ranks)
+	t.elems = nn.GradElements(replicas[0].Params())
+
+	switch cfg.Strategy {
+	case ddp.PerMatrix:
+		t.buckets = ddp.BucketLayout(replicas[0].Params(), 1) // one param per bucket
+	case ddp.Bucketed:
+		t.buckets = ddp.BucketLayout(replicas[0].Params(), cfg.BucketBytes)
+	default:
+		t.buckets = ddp.BucketLayout(replicas[0].Params(), t.elems*8+1) // single bucket
+	}
+
+	params0 := replicas[0].Params()
+	t.bucketOfIdx = make([]int, len(params0))
+	for bi, b := range t.buckets {
+		for _, p := range b.Params {
+			t.bucketOfIdx[p] = bi
+		}
+	}
+	t.paramOffsets = make([]int, len(params0)+1)
+	for i, p := range params0 {
+		t.paramOffsets[i+1] = t.paramOffsets[i] + p.Grad.Size()
+	}
+
+	var zero comm.CostModel
+	for range t.buckets {
+		t.bucketGroups = append(t.bucketGroups, comm.NewGroup(cfg.Ranks, zero))
+	}
+	t.metaGroup = comm.NewGroup(cfg.Ranks, zero)
+	t.ctrlGroup = comm.NewGroup(cfg.Ranks, zero)
+
+	g := cfg.GradBlocks
+	levels := 1
+	for n := 1; n < g; n *= 2 {
+		levels++
+	}
+	for rank := 0; rank < cfg.Ranks; rank++ {
+		st := &rankState{
+			model:    replicas[rank],
+			params:   replicas[rank].Params(),
+			opt:      nn.NewAdam(cfg.LR),
+			arena:    workspace.NewArena(),
+			timer:    metrics.NewPhaseTimer(),
+			paramIdx: make(map[*autograd.Param]int),
+			flat:     make([]float64, t.elems),
+			meta:     make([]float64, 2*g),
+			lossTree: make([]float64, g),
+			ctrl:     make([]float64, 1),
+		}
+		st.tape = autograd.NewTapeArena(st.arena)
+		for i, p := range st.params {
+			st.paramIdx[p] = i
+		}
+		lo, hi := ddp.ShardRange(g, cfg.Ranks, rank)
+		for b := lo; b < hi; b++ {
+			st.blockGrads = append(st.blockGrads, make([]float64, t.elems))
+		}
+		for _, b := range t.buckets {
+			st.transports = append(st.transports, make([]float64, g*b.Elements()))
+		}
+		for l := 0; l < levels; l++ {
+			st.scratch = append(st.scratch, make([]float64, t.elems))
+		}
+		t.ranks = append(t.ranks, st)
+	}
+
+	// Initial weight replication: rank 0 broadcasts its flattened
+	// parameters so every replica provably starts from the same bits
+	// (they already do — the broadcast is the protocol, not a repair).
+	if cfg.Ranks > 1 {
+		bcast := comm.NewGroup(cfg.Ranks, zero)
+		ddp.RunRanks(cfg.Ranks, func(rank int) {
+			st := t.ranks[rank]
+			buf := make([]float64, nn.ParamElements(st.params))
+			nn.FlattenParams(st.params, buf)
+			bcast.Broadcast(rank, buf, 0)
+			nn.UnflattenParams(st.params, buf)
+		})
+		t.charge(1, int64(t.elems*8), t.model.BroadcastTime(int64(t.elems*8), cfg.Ranks))
+	}
+	return t
+}
+
+// charge records one logical collective against the cost model.
+func (t *Trainer) charge(calls, logicalBytes int64, d time.Duration) {
+	atomic.AddInt64(&t.commCalls, calls)
+	atomic.AddInt64(&t.commBytes, logicalBytes)
+	atomic.AddInt64(&t.commModeled, int64(d))
+}
+
+// CommStats returns the accumulated charged collective traffic.
+func (t *Trainer) CommStats() CommStats {
+	return CommStats{
+		Calls:        atomic.LoadInt64(&t.commCalls),
+		LogicalBytes: atomic.LoadInt64(&t.commBytes),
+		Modeled:      time.Duration(atomic.LoadInt64(&t.commModeled)),
+	}
+}
+
+// Model returns replica 0 (replicas stay bitwise synchronized).
+func (t *Trainer) Model() *ignn.Model { return t.ranks[0].model }
+
+// Params returns replica 0's parameters.
+func (t *Trainer) Params() []*autograd.Param { return t.ranks[0].params }
+
+// NumBuckets reports how many collectives each step issues.
+func (t *Trainer) NumBuckets() int { return len(t.buckets) }
+
+func (t *Trainer) edgeIndex(eg *pipeline.EventGraph) *sampling.EdgeIndex {
+	if idx, ok := t.edgeIndexes[eg]; ok {
+		return idx
+	}
+	idx := sampling.NewEdgeIndex(eg.G)
+	t.edgeIndexes[eg] = idx
+	return idx
+}
+
+// fold mixes integers into a derived seed (splitmix-style), giving every
+// (epoch, event, batch, root) coordinate its own independent stream.
+func fold(seed uint64, parts ...uint64) uint64 {
+	h := seed
+	for _, p := range parts {
+		h += 0x9e3779b97f4a7c15
+		h = (h ^ p) * 0xbf58476d1ce4e5b9
+		h ^= h >> 27
+	}
+	return h
+}
+
+// Stream tags keep the derived RNG families disjoint.
+const (
+	tagPerm uint64 = 1 // per-event vertex shuffle
+	tagRoot uint64 = 2 // per-root sampling stream
+)
+
+// planStep is one optimizer step of an epoch's precomputed schedule.
+type planStep struct {
+	event    int
+	batchIdx int   // batch ordinal within its event (stream coordinate)
+	roots    []int // global batch vertices
+	runLen   int   // >0 on the first step of a bulk sampling run
+}
+
+// buildPlan lays out an epoch: per event, a seeded shuffle into batches,
+// and consecutive same-event batches grouped into bulk runs of up to
+// BulkBatches. The plan is a pure function of (seed, epoch, graphs) —
+// never of Ranks or Strategy.
+func (t *Trainer) buildPlan(epoch int, graphs []*pipeline.EventGraph) []planStep {
+	var plan []planStep
+	for ei, eg := range graphs {
+		if eg.NumVertices() == 0 || eg.NumEdges() == 0 {
+			continue
+		}
+		perm := rng.New(fold(t.Cfg.Seed, tagPerm, uint64(epoch), uint64(ei))).Perm(eg.NumVertices())
+		start := len(plan)
+		bi := 0
+		for lo := 0; lo < len(perm); lo += t.Cfg.BatchSize {
+			hi := lo + t.Cfg.BatchSize
+			if hi > len(perm) {
+				hi = len(perm)
+			}
+			plan = append(plan, planStep{event: ei, batchIdx: bi, roots: perm[lo:hi]})
+			bi++
+		}
+		for i := start; i < len(plan); i += t.Cfg.BulkBatches {
+			run := len(plan) - i
+			if run > t.Cfg.BulkBatches {
+				run = t.Cfg.BulkBatches
+			}
+			plan[i].runLen = run
+		}
+	}
+	return plan
+}
+
+// blockBounds returns micro-block b's [lo, hi) within a batch of n roots.
+func (t *Trainer) blockBounds(n, b int) (int, int) {
+	return ddp.ShardRange(n, t.Cfg.GradBlocks, b)
+}
+
+// rootStreams builds the per-root generators for one batch's local
+// blocks: the stream of a root depends only on its (epoch, event, batch,
+// position) coordinate, never on sharding.
+func (t *Trainer) rootStreams(epoch int, step planStep, blkLo, blkHi int) ([][]int, [][]*rng.Rand) {
+	var batches [][]int
+	var streams [][]*rng.Rand
+	for b := blkLo; b < blkHi; b++ {
+		lo, hi := t.blockBounds(len(step.roots), b)
+		roots := step.roots[lo:hi]
+		ss := make([]*rng.Rand, len(roots))
+		for i := range roots {
+			ss[i] = rng.New(fold(t.Cfg.Seed, tagRoot, uint64(epoch), uint64(step.event), uint64(step.batchIdx), uint64(lo+i)))
+		}
+		batches = append(batches, roots)
+		streams = append(streams, ss)
+	}
+	return batches, streams
+}
+
+// treeReduceRows combines rows [lo, hi) of a row-major G×w buffer into
+// dst with the canonical balanced pairwise tree — the fixed association
+// order that makes gradient sums independent of rank layout.
+func treeReduceRows(dst, buf []float64, w, lo, hi int, scratch [][]float64, level int) {
+	if hi-lo == 1 {
+		copy(dst, buf[lo*w:lo*w+w])
+		return
+	}
+	mid := (lo + hi) / 2
+	treeReduceRows(dst, buf, w, lo, mid, scratch, level+1)
+	tmp := scratch[level][:w]
+	treeReduceRows(tmp, buf, w, mid, hi, scratch, level+1)
+	for i := range dst {
+		dst[i] += tmp[i]
+	}
+}
+
+// Train runs Cfg.Epochs epochs and returns the per-epoch stats. It stops
+// early (returning the completed epochs alongside ctx.Err()) when the
+// context is cancelled.
+func (t *Trainer) Train(ctx context.Context, graphs []*pipeline.EventGraph) ([]EpochStats, error) {
+	var out []EpochStats
+	for e := 0; e < t.Cfg.Epochs; e++ {
+		stats, err := t.TrainEpoch(ctx, graphs)
+		out = append(out, stats)
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+// TrainEpoch executes one epoch across Cfg.Ranks rank goroutines. All
+// ranks decide each step's fate together (a one-word consensus
+// collective carries the cancellation flag), so a cancelled context
+// stops every rank at the same step boundary with no goroutine leaked
+// mid-collective.
+func (t *Trainer) TrainEpoch(ctx context.Context, graphs []*pipeline.EventGraph) (EpochStats, error) {
+	epoch := t.epoch
+	t.epoch++
+	plan := t.buildPlan(epoch, graphs)
+	for _, eg := range graphs {
+		if eg.NumVertices() > 0 && eg.NumEdges() > 0 {
+			t.edgeIndex(eg)  // build shared indexes before ranks fan out
+			eg.G.Adjacency() // materialize the lazily cached CSR likewise
+		}
+	}
+
+	commBefore := t.CommStats()
+	t.stepLosses = t.stepLosses[:0]
+	for _, st := range t.ranks {
+		st.timer = metrics.NewPhaseTimer()
+	}
+	var stopped atomic.Bool
+
+	ddp.RunRanks(t.Cfg.Ranks, func(rank int) {
+		t.runEpochRank(ctx, rank, epoch, plan, graphs, &stopped)
+	})
+
+	stats := EpochStats{Timer: metrics.NewPhaseTimer()}
+	stats.StepLosses = append([]float64(nil), t.stepLosses...)
+	stats.Steps = len(stats.StepLosses)
+	if stats.Steps > 0 {
+		sum := 0.0
+		for _, l := range stats.StepLosses {
+			sum += l
+		}
+		stats.Loss = sum / float64(stats.Steps)
+	}
+	for _, ph := range []metrics.Phase{metrics.PhaseSampling, metrics.PhaseTraining} {
+		var worst time.Duration
+		for _, st := range t.ranks {
+			if d := st.timer.Get(ph); d > worst {
+				worst = d
+			}
+		}
+		stats.Timer.AddDuration(ph, worst)
+	}
+	after := t.CommStats()
+	stats.Comm = CommStats{
+		Calls:        after.Calls - commBefore.Calls,
+		LogicalBytes: after.LogicalBytes - commBefore.LogicalBytes,
+		Modeled:      after.Modeled - commBefore.Modeled,
+	}
+	stats.Timer.AddDuration(metrics.PhaseAllReduce, stats.Comm.Modeled)
+	if stopped.Load() {
+		return stats, ctx.Err()
+	}
+	return stats, nil
+}
+
+// runEpochRank is one rank's epoch body.
+func (t *Trainer) runEpochRank(ctx context.Context, rank, epoch int, plan []planStep, graphs []*pipeline.EventGraph, stopped *atomic.Bool) {
+	st := t.ranks[rank]
+	g := t.Cfg.GradBlocks
+	blkLo, blkHi := ddp.ShardRange(g, t.Cfg.Ranks, rank)
+	nLocal := blkHi - blkLo
+
+	// pending holds the bulk run's sampled subgraphs: nLocal per step.
+	var pending []*sampling.Subgraph
+	pendingAt := 0 // plan index pending starts at
+
+	for si := 0; si < len(plan); si++ {
+		step := plan[si]
+
+		// Cancellation consensus: every rank contributes its view of the
+		// context and all agree on the max — so either every rank enters
+		// this step's collectives or none does.
+		st.ctrl[0] = 0
+		if ctx.Err() != nil {
+			st.ctrl[0] = 1
+		}
+		t.ctrlGroup.AllReduceSum(rank, st.ctrl)
+		if st.ctrl[0] > 0 {
+			stopped.Store(true)
+			return
+		}
+
+		eg := graphs[step.event]
+
+		// Bulk sampling: on a run's first step, one matrix-sampler call
+		// stacks this rank's blocks across all runLen batches.
+		if step.runLen > 0 {
+			pending = pending[:0]
+			pendingAt = si
+			if nLocal > 0 {
+				start := time.Now()
+				var batches [][]int
+				var streams [][]*rng.Rand
+				for ri := 0; ri < step.runLen; ri++ {
+					b, s := t.rootStreams(epoch, plan[si+ri], blkLo, blkHi)
+					batches = append(batches, b...)
+					streams = append(streams, s...)
+				}
+				pending = sampling.BulkMatrixShaDowStreams(eg.G, t.edgeIndexes[eg], batches, t.Cfg.Shadow, streams)
+				st.timer.AddDuration(metrics.PhaseSampling, time.Since(start))
+			}
+		}
+		var subs []*sampling.Subgraph
+		if nLocal > 0 {
+			off := (si - pendingAt) * nLocal
+			subs = pending[off : off+nLocal]
+		}
+
+		t.runStep(st, rank, eg, subs)
+	}
+}
+
+// runStep executes one optimizer step: per-block backward passes, the
+// strategy's collectives, the canonical tree combine, and the identical
+// optimizer update on every rank.
+func (t *Trainer) runStep(st *rankState, rank int, eg *pipeline.EventGraph, subs []*sampling.Subgraph) {
+	g := t.Cfg.GradBlocks
+	blkLo, _ := ddp.ShardRange(g, t.Cfg.Ranks, rank)
+	nLocal := len(subs)
+	bucketed := t.Cfg.Strategy == ddp.Bucketed
+
+	start := time.Now()
+	for i := range st.meta {
+		st.meta[i] = 0
+	}
+
+	launched := make([]bool, len(t.buckets))
+	var wg sync.WaitGroup
+	bucketRemaining := make([]int, len(t.buckets))
+	for bi, b := range t.buckets {
+		bucketRemaining[bi] = len(b.Params)
+	}
+
+	launch := func(bi int) {
+		// Fill the bucket's transport: local blocks' slices at their
+		// global block rows, zero elsewhere. Adding +0 normalizes any
+		// negative zero so the P=1 (no transport) and P>1 paths agree
+		// bitwise.
+		b := t.buckets[bi]
+		w := b.Elements()
+		tr := st.transports[bi]
+		for i := range tr {
+			tr[i] = 0
+		}
+		for j := 0; j < nLocal; j++ {
+			row := tr[(blkLo+j)*w : (blkLo+j+1)*w]
+			src := st.blockGrads[j][b.Lo:b.Hi]
+			for i, v := range src {
+				row[i] = v + 0
+			}
+		}
+		launched[bi] = true
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			t.bucketGroups[bi].AllReduceSum(rank, tr)
+			if rank == 0 && t.Cfg.Ranks > 1 {
+				logical := int64(w * 8)
+				t.charge(1, logical, t.model.RingAllReduceTime(logical, t.Cfg.Ranks))
+			}
+		}()
+	}
+
+	// Per-block forward/backward. The final local block arms the
+	// param-grad hook under the bucketed strategy so each bucket's
+	// collective launches the moment its layer's backward completes,
+	// overlapping communication with the rest of the pass.
+	for j := 0; j < nLocal; j++ {
+		sub := subs[j]
+		final := j == nLocal-1
+		if sub == nil || sub.NumEdges() == 0 {
+			for i := range st.blockGrads[j] {
+				st.blockGrads[j][i] = 0
+			}
+			continue
+		}
+		nn.ZeroGrads(st.params)
+		x := tensor.NewFrom(st.arena, len(sub.Vertices), eg.X.Cols())
+		tensor.GatherRowsInto(x, eg.X, sub.Vertices)
+		y := tensor.NewFrom(st.arena, len(sub.EdgeIDs), eg.Y.Cols())
+		tensor.GatherRowsInto(y, eg.Y, sub.EdgeIDs)
+		labels := st.arena.F64(len(sub.EdgeIDs))
+		for i, id := range sub.EdgeIDs {
+			labels[i] = eg.Label[id]
+		}
+		st.tape.Reset()
+		logits := st.model.Forward(st.tape, sub.Src, sub.Dst, x, y)
+		loss := st.tape.BCEWithLogitsSum(logits, labels, t.Cfg.PosWeight)
+		if bucketed && final {
+			bg := st.blockGrads[j]
+			// The hook writes only the parameters backward reaches; clear
+			// the slot so a parameter without gradient flow contributes
+			// zeros rather than the previous step's values.
+			for i := range bg {
+				bg[i] = 0
+			}
+			st.tape.SetParamGradHook(func(p *autograd.Param) {
+				pi := st.paramIdx[p]
+				bi := t.bucketOfIdx[pi]
+				// Flatten this parameter's finished gradient into the
+				// final block's slot, then launch the bucket when it is
+				// the last to arrive.
+				off := t.paramOffsets[pi]
+				copy(bg[off:off+p.Grad.Size()], p.Grad.Data())
+				bucketRemaining[bi]--
+				if bucketRemaining[bi] == 0 {
+					launch(bi)
+				}
+			})
+		}
+		st.tape.Backward(loss)
+		if bucketed && final {
+			st.tape.SetParamGradHook(nil)
+		} else {
+			nn.FlattenGrads(st.params, st.blockGrads[j])
+		}
+		gb := blkLo + j
+		st.meta[2*gb] = loss.Value.At(0, 0)
+		st.meta[2*gb+1] = float64(len(sub.EdgeIDs))
+		st.arena.Reset()
+	}
+
+	// Issue whatever the hook did not: all buckets for the synchronous
+	// strategies; stragglers (empty final block, grad-free params) for
+	// the bucketed one. Order is deterministic; each bucket has its own
+	// transport group, so in-flight overlapped buckets are unaffected.
+	for bi := range t.buckets {
+		if !launched[bi] {
+			launch(bi)
+		}
+	}
+	wg.Wait()
+	st.timer.AddDuration(metrics.PhaseTraining, time.Since(start))
+
+	// Share per-block loss sums and edge counts (control plane, uncharged).
+	t.metaGroup.AllReduceSum(rank, st.meta)
+
+	totalEdges := 0.0
+	for b := 0; b < g; b++ {
+		st.lossTree[b] = st.meta[2*b]
+		totalEdges += st.meta[2*b+1]
+	}
+	if totalEdges == 0 {
+		return
+	}
+
+	start = time.Now()
+	// Canonical combine: fixed tree over global block index, identical
+	// on every rank, then the global-edge-count normalization.
+	for bi, b := range t.buckets {
+		treeReduceRows(st.flat[b.Lo:b.Hi], st.transports[bi], b.Elements(), 0, g, st.scratch, 0)
+	}
+	inv := 1 / totalEdges
+	for i := range st.flat {
+		st.flat[i] *= inv
+	}
+	nn.UnflattenGrads(st.params, st.flat)
+	st.opt.Step(st.params)
+	st.timer.AddDuration(metrics.PhaseTraining, time.Since(start))
+
+	if rank == 0 {
+		var lossSum float64
+		scalarScratch := make([][]float64, len(st.scratch))
+		for i := range scalarScratch {
+			scalarScratch[i] = st.scratch[i][:1]
+		}
+		var dst [1]float64
+		treeReduceRows(dst[:], st.lossTree, 1, 0, g, scalarScratch, 0)
+		lossSum = dst[0]
+		t.stepLosses = append(t.stepLosses, lossSum/totalEdges)
+	}
+}

@@ -1,0 +1,289 @@
+package dtrain
+
+import (
+	"context"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/ddp"
+	"repro/internal/detector"
+	"repro/internal/ignn"
+	"repro/internal/metrics"
+	"repro/internal/pipeline"
+	"repro/internal/sampling"
+)
+
+// testGraphs builds small truth-level event graphs.
+func testGraphs(t *testing.T, events int, scale float64) ([]*pipeline.EventGraph, ignn.Config) {
+	t.Helper()
+	spec := detector.Ex3Like(scale)
+	spec.NumEvents = events
+	ds := detector.Generate(spec, 33)
+	p := pipeline.New(pipeline.DefaultConfig(spec), 44)
+	var egs []*pipeline.EventGraph
+	for i, ev := range ds.Events {
+		egs = append(egs, p.BuildTruthLevelGraph(ev, 1.5, uint64(200+i)))
+	}
+	gnn := ignn.Config{
+		NodeFeatures: spec.VertexFeatures,
+		EdgeFeatures: spec.EdgeFeatures,
+		Hidden:       8,
+		Steps:        2,
+	}
+	return egs, gnn
+}
+
+func fastConfig(gnn ignn.Config) Config {
+	cfg := DefaultConfig(gnn)
+	cfg.Epochs = 2
+	cfg.BatchSize = 48
+	cfg.Shadow = sampling.Config{Depth: 2, Fanout: 4}
+	cfg.LR = 3e-3
+	cfg.Seed = 7
+	return cfg
+}
+
+// trajectory trains a fresh trainer and returns the concatenated
+// per-step loss trajectory across epochs.
+func trajectory(t *testing.T, cfg Config, egs []*pipeline.EventGraph) []float64 {
+	t.Helper()
+	tr := New(cfg)
+	var losses []float64
+	for e := 0; e < cfg.Epochs; e++ {
+		stats, err := tr.TrainEpoch(context.Background(), egs)
+		if err != nil {
+			t.Fatalf("epoch %d: %v", e, err)
+		}
+		if stats.Steps == 0 {
+			t.Fatalf("epoch %d took no steps", e)
+		}
+		losses = append(losses, stats.StepLosses...)
+	}
+	return losses
+}
+
+func assertSameTrajectory(t *testing.T, name string, want, got []float64) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: %d steps vs %d", name, len(want), len(got))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("%s: step %d loss %.17g != %.17g (bitwise mismatch)", name, i, got[i], want[i])
+		}
+	}
+}
+
+// TestRankCountParity is the acceptance bar: with a fixed seed and the
+// same global batches, P∈{1,2,4} produce bit-identical loss
+// trajectories, for both the coalesced and per-matrix strategies (and
+// the bucketed-overlap one).
+func TestRankCountParity(t *testing.T) {
+	egs, gnn := testGraphs(t, 2, 0.02)
+	for _, strategy := range []ddp.SyncStrategy{ddp.Coalesced, ddp.PerMatrix, ddp.Bucketed} {
+		base := fastConfig(gnn)
+		base.Strategy = strategy
+		if strategy == ddp.Bucketed {
+			base.BucketBytes = 2048 // force several buckets at test scale
+		}
+		base.Ranks = 1
+		want := trajectory(t, base, egs)
+		for _, p := range []int{2, 4} {
+			cfg := base
+			cfg.Ranks = p
+			got := trajectory(t, cfg, egs)
+			assertSameTrajectory(t, strategy.String()+"/P="+string(rune('0'+p)), want, got)
+		}
+	}
+}
+
+// TestStrategyParity: the sync strategy changes which collectives are
+// charged, never the numbers.
+func TestStrategyParity(t *testing.T) {
+	egs, gnn := testGraphs(t, 1, 0.02)
+	base := fastConfig(gnn)
+	base.Ranks = 2
+	base.Strategy = ddp.Coalesced
+	want := trajectory(t, base, egs)
+	for _, strategy := range []ddp.SyncStrategy{ddp.PerMatrix, ddp.Bucketed} {
+		cfg := base
+		cfg.Strategy = strategy
+		cfg.BucketBytes = 2048
+		assertSameTrajectory(t, "strategy "+strategy.String(), want, trajectory(t, cfg, egs))
+	}
+}
+
+// TestBulkBatchParity: the bulk batch count k is a pure performance
+// knob — per-root sampling streams make the subgraphs, and therefore the
+// trajectory, independent of sampler-call stacking.
+func TestBulkBatchParity(t *testing.T) {
+	egs, gnn := testGraphs(t, 1, 0.02)
+	base := fastConfig(gnn)
+	base.Ranks = 2
+	base.BulkBatches = 1
+	want := trajectory(t, base, egs)
+	for _, k := range []int{2, 4} {
+		cfg := base
+		cfg.BulkBatches = k
+		assertSameTrajectory(t, "bulk k", want, trajectory(t, cfg, egs))
+	}
+}
+
+// TestGradBlockCountMatters documents the flip side of the determinism
+// contract: GradBlocks defines the canonical reduction tree, so changing
+// it is allowed to change low-order bits. (No assertion on inequality —
+// just that both configurations train sanely.)
+func TestLossDecreases(t *testing.T) {
+	egs, gnn := testGraphs(t, 2, 0.02)
+	cfg := fastConfig(gnn)
+	cfg.Ranks = 2
+	cfg.Epochs = 6
+	tr := New(cfg)
+	stats, err := tr.Train(context.Background(), egs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 6 {
+		t.Fatalf("got %d epochs", len(stats))
+	}
+	if stats[len(stats)-1].Loss >= stats[0].Loss {
+		t.Fatalf("loss did not decrease: %v -> %v", stats[0].Loss, stats[len(stats)-1].Loss)
+	}
+	// The trained model must produce non-degenerate edge scores
+	// (evaluation through the public surface lives in recon).
+	eg := egs[0]
+	scores := tr.Model().EdgeScores(eg.G.Src, eg.G.Dst, eg.X, eg.Y)
+	counts := metrics.FromScores(scores, eg.Label, 0.5)
+	if counts.Precision() == 0 && counts.Recall() == 0 {
+		t.Fatal("trained model scored nothing")
+	}
+}
+
+// TestCommAccounting: coalesced and bucketed must charge at most the
+// per-matrix collective cost at every P — the paper's §III-D claim under
+// the α–β model.
+func TestCommAccounting(t *testing.T) {
+	egs, gnn := testGraphs(t, 1, 0.02)
+	for _, p := range []int{2, 4} {
+		modeled := map[ddp.SyncStrategy]time.Duration{}
+		calls := map[ddp.SyncStrategy]int64{}
+		for _, strategy := range []ddp.SyncStrategy{ddp.PerMatrix, ddp.Coalesced, ddp.Bucketed} {
+			cfg := fastConfig(gnn)
+			cfg.Ranks = p
+			cfg.Strategy = strategy
+			cfg.BucketBytes = 4096
+			cfg.Epochs = 1
+			tr := New(cfg)
+			if _, err := tr.TrainEpoch(context.Background(), egs); err != nil {
+				t.Fatal(err)
+			}
+			cs := tr.CommStats()
+			modeled[strategy] = cs.Modeled
+			calls[strategy] = cs.Calls
+			if cs.Calls == 0 || cs.Modeled == 0 {
+				t.Fatalf("P=%d %s: no comm charged", p, strategy)
+			}
+		}
+		if modeled[ddp.Coalesced] > modeled[ddp.PerMatrix] {
+			t.Fatalf("P=%d: coalesced %v > per-matrix %v", p, modeled[ddp.Coalesced], modeled[ddp.PerMatrix])
+		}
+		if modeled[ddp.Bucketed] > modeled[ddp.PerMatrix] {
+			t.Fatalf("P=%d: bucketed %v > per-matrix %v", p, modeled[ddp.Bucketed], modeled[ddp.PerMatrix])
+		}
+		if calls[ddp.Coalesced] >= calls[ddp.PerMatrix] {
+			t.Fatalf("P=%d: coalesced calls %d not < per-matrix %d", p, calls[ddp.Coalesced], calls[ddp.PerMatrix])
+		}
+	}
+}
+
+// TestSingleRankNoComm: P=1 charges nothing.
+func TestSingleRankNoComm(t *testing.T) {
+	egs, gnn := testGraphs(t, 1, 0.02)
+	cfg := fastConfig(gnn)
+	cfg.Epochs = 1
+	tr := New(cfg)
+	if _, err := tr.TrainEpoch(context.Background(), egs); err != nil {
+		t.Fatal(err)
+	}
+	if cs := tr.CommStats(); cs.Modeled != 0 {
+		t.Fatalf("P=1 charged %v", cs.Modeled)
+	}
+}
+
+// TestCancellationMidEpoch: cancelling the context mid-epoch stops every
+// rank promptly at a step boundary without leaking goroutines, and
+// TrainEpoch reports the context error.
+func TestCancellationMidEpoch(t *testing.T) {
+	egs, gnn := testGraphs(t, 3, 0.03)
+	cfg := fastConfig(gnn)
+	cfg.Ranks = 4
+	cfg.Strategy = ddp.Bucketed
+	before := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	tr := New(cfg)
+	// First epoch untouched, then cancel during the second.
+	if _, err := tr.TrainEpoch(ctx, egs); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		time.Sleep(2 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := tr.TrainEpoch(ctx, egs)
+	if err == nil {
+		// The epoch may have finished before the cancel landed; force a
+		// deterministic check with an already-cancelled context.
+		_, err = tr.TrainEpoch(ctx, egs)
+	}
+	if err != context.Canceled {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("cancellation took %v", elapsed)
+	}
+	// All rank and bucket goroutines must be gone.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		runtime.GC()
+		if runtime.NumGoroutine() <= before || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > before {
+		t.Fatalf("goroutines leaked: %d before, %d after", before, g)
+	}
+}
+
+// TestAlreadyCancelled: a cancelled context takes no steps at all.
+func TestAlreadyCancelled(t *testing.T) {
+	egs, gnn := testGraphs(t, 1, 0.02)
+	cfg := fastConfig(gnn)
+	cfg.Ranks = 2
+	tr := New(cfg)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	stats, err := tr.TrainEpoch(ctx, egs)
+	if err != context.Canceled {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if stats.Steps != 0 {
+		t.Fatalf("cancelled epoch took %d steps", stats.Steps)
+	}
+}
+
+// TestRanksExceedingBlocks: ranks beyond GradBlocks idle through compute
+// but still participate in collectives — no deadlock, same numbers.
+func TestRanksExceedingBlocks(t *testing.T) {
+	egs, gnn := testGraphs(t, 1, 0.02)
+	base := fastConfig(gnn)
+	base.GradBlocks = 2
+	base.Ranks = 1
+	want := trajectory(t, base, egs)
+	cfg := base
+	cfg.Ranks = 3 // one rank owns no blocks
+	assertSameTrajectory(t, "P>G", want, trajectory(t, cfg, egs))
+}

@@ -72,6 +72,17 @@ func New(cfg Config, r *rng.Rand) *Model {
 // Config returns the model configuration.
 func (m *Model) Config() Config { return m.cfg }
 
+// Replicas builds p identically initialized models — one replica per DDP
+// rank. Every replica is constructed from the same derived seed, so their
+// parameters agree bit-for-bit before the first broadcast.
+func Replicas(cfg Config, seed uint64, p int) []*Model {
+	out := make([]*Model, p)
+	for i := range out {
+		out[i] = New(cfg, rng.New(seed))
+	}
+	return out
+}
+
 // Params returns every trainable parameter in a stable order — the order
 // matters for DDP gradient synchronization across replicas.
 func (m *Model) Params() []*autograd.Param {

@@ -143,6 +143,38 @@ func ScaleGrads(params []*autograd.Param, s float64) {
 	}
 }
 
+// ParamElements returns the total number of value elements across params
+// — the size of a flattened weight buffer (equals GradElements for
+// well-formed params; spelled separately because weight replication and
+// gradient reduction are different wires).
+func ParamElements(params []*autograd.Param) int {
+	n := 0
+	for _, p := range params {
+		n += p.Value.Size()
+	}
+	return n
+}
+
+// FlattenParams copies every parameter value into buf in order — the
+// payload of an initial-weight broadcast. buf must have
+// ParamElements(params) capacity.
+func FlattenParams(params []*autograd.Param, buf []float64) {
+	off := 0
+	for _, p := range params {
+		copy(buf[off:off+p.Value.Size()], p.Value.Data())
+		off += p.Value.Size()
+	}
+}
+
+// UnflattenParams copies buf back into the parameter values in order.
+func UnflattenParams(params []*autograd.Param, buf []float64) {
+	off := 0
+	for _, p := range params {
+		copy(p.Value.Data(), buf[off:off+p.Value.Size()])
+		off += p.Value.Size()
+	}
+}
+
 // CloneParams deep-copies parameters (values only, zeroed gradients) —
 // used to create per-rank model replicas in DDP.
 func CloneParams(params []*autograd.Param) []*autograd.Param {

@@ -24,6 +24,40 @@ import (
 // k× taller, amortizing per-invocation overhead exactly as bulk sampling
 // amortizes kernel launches on a GPU.
 func BulkMatrixShaDow(g *graph.Graph, eidx *EdgeIndex, batches [][]int, cfg Config, r *rng.Rand) []*Subgraph {
+	return bulkMatrixShaDow(g, eidx, batches, cfg, func(p *sparse.CSR, rootOf []int) *sparse.SampleRowsResult {
+		return sparse.SampleRows(p, cfg.Fanout, r)
+	})
+}
+
+// BulkMatrixShaDowStreams is BulkMatrixShaDow with one random stream per
+// batch vertex (streams parallel to batches). Every row-sampling draw for
+// a batch vertex's walkers comes from that vertex's own stream, so the
+// subgraph sampled for a given (vertex, stream) pair is byte-identical no
+// matter how many batches are stacked into the bulk call or how the
+// batch is sharded across ranks — the reproducibility contract the
+// distributed trainer's cross-rank parity rests on. It equals
+// StandardShaDowStreams component-by-component for the same streams.
+func BulkMatrixShaDowStreams(g *graph.Graph, eidx *EdgeIndex, batches [][]int, cfg Config, streams [][]*rng.Rand) []*Subgraph {
+	var rootStreams []*rng.Rand
+	for bi, batch := range batches {
+		if bi >= len(streams) || len(streams[bi]) != len(batch) {
+			panic("sampling: BulkMatrixShaDowStreams wants one stream per batch vertex")
+		}
+		rootStreams = append(rootStreams, streams[bi]...)
+	}
+	return bulkMatrixShaDow(g, eidx, batches, cfg, func(p *sparse.CSR, rootOf []int) *sparse.SampleRowsResult {
+		rowRand := make([]*rng.Rand, len(rootOf))
+		for row, root := range rootOf {
+			rowRand[row] = rootStreams[root]
+		}
+		return sparse.SampleRowsStreams(p, cfg.Fanout, rowRand)
+	})
+}
+
+// bulkMatrixShaDow is the matrix-formulation core: sampleFn draws up to
+// cfg.Fanout neighbors per stacked walker row (rootOf maps each row to
+// its owning global root index).
+func bulkMatrixShaDow(g *graph.Graph, eidx *EdgeIndex, batches [][]int, cfg Config, sampleFn func(p *sparse.CSR, rootOf []int) *sparse.SampleRowsResult) []*Subgraph {
 	for _, b := range batches {
 		validate(g, b, cfg)
 	}
@@ -63,7 +97,7 @@ func BulkMatrixShaDow(g *graph.Graph, eidx *EdgeIndex, batches [][]int, cfg Conf
 		// per row), so the product reduces to a bulk CSR row gather — the
 		// same specialization a GPU SpGEMM exploits for selection matrices.
 		p := sparse.GatherRowsInto(qa, adj, cursorVertex)
-		sampled := sparse.SampleRows(p, cfg.Fanout, r)
+		sampled := sampleFn(p, rootOf)
 
 		var nextVertex []int
 		var nextRoot []int

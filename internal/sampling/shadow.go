@@ -179,6 +179,24 @@ func StandardShaDow(g *graph.Graph, eidx *EdgeIndex, batch []int, cfg Config, r 
 	return assembleComponents(g, eidx, visitedSets)
 }
 
+// StandardShaDowStreams is StandardShaDow with one random stream per
+// batch vertex: root i's walk draws only from streams[i]. With the same
+// streams it produces exactly the components BulkMatrixShaDowStreams
+// samples for the same roots, independent of batch composition — the
+// property the distributed trainer's determinism is built on.
+func StandardShaDowStreams(g *graph.Graph, eidx *EdgeIndex, batch []int, cfg Config, streams []*rng.Rand) *Subgraph {
+	validate(g, batch, cfg)
+	if len(streams) != len(batch) {
+		panic("sampling: StandardShaDowStreams wants one stream per batch vertex")
+	}
+	adj := g.Adjacency()
+	visitedSets := make([][]int, len(batch))
+	for i, root := range batch {
+		visitedSets[i] = walkOneRoot(adj, root, cfg, streams[i])
+	}
+	return assembleComponents(g, eidx, visitedSets)
+}
+
 func validate(g *graph.Graph, batch []int, cfg Config) {
 	if cfg.Depth < 1 || cfg.Fanout < 1 {
 		panic(fmt.Sprintf("sampling: invalid ShaDow config %+v", cfg))

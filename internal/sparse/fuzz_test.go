@@ -1,0 +1,134 @@
+package sparse
+
+import (
+	"testing"
+)
+
+// decodeEdges interprets fuzz bytes as a small graph: first byte sizes
+// the vertex set, the rest pair up into (src, dst) edges reduced mod n.
+// Every decoded graph is structurally valid input — the fuzzing surface
+// is the CSR construction and SpGEMM symbolic/numeric passes, which
+// must uphold their invariants for ANY edge list, not crash on one.
+func decodeEdges(data []byte) (n int, src, dst []int) {
+	if len(data) == 0 {
+		return 1, nil, nil
+	}
+	n = int(data[0]%32) + 1
+	rest := data[1:]
+	for i := 0; i+1 < len(rest) && len(src) < 256; i += 2 {
+		src = append(src, int(rest[i])%n)
+		dst = append(dst, int(rest[i+1])%n)
+	}
+	return n, src, dst
+}
+
+// checkCSRInvariants asserts structural validity beyond checkValid:
+// monotone row pointers, strictly sorted in-range columns per row.
+func checkCSRInvariants(t *testing.T, m *CSR) {
+	t.Helper()
+	m.checkValid()
+	if len(m.RowPtr) != m.RowsN+1 || m.RowPtr[0] != 0 || m.RowPtr[m.RowsN] != len(m.ColIdx) {
+		t.Fatalf("row pointer envelope broken: %d rows, ptr %v", m.RowsN, m.RowPtr)
+	}
+	for i := 0; i < m.RowsN; i++ {
+		if m.RowPtr[i] > m.RowPtr[i+1] {
+			t.Fatalf("row %d pointers not monotone", i)
+		}
+		cols, _ := m.Row(i)
+		for k, c := range cols {
+			if c < 0 || c >= m.ColsN {
+				t.Fatalf("row %d col %d out of range", i, c)
+			}
+			if k > 0 && cols[k-1] >= c {
+				t.Fatalf("row %d cols not strictly sorted: %v", i, cols)
+			}
+		}
+	}
+}
+
+// FuzzCSRFromEdges: CSR construction (COO sort+dedup path) upholds its
+// invariants and agrees with a brute-force dense adjacency for any edge
+// list, symmetric or not.
+func FuzzCSRFromEdges(f *testing.F) {
+	f.Add([]byte{4, 0, 1, 1, 2, 2, 3, 3, 0})
+	f.Add([]byte{1, 0, 0})
+	f.Add([]byte{8, 7, 7, 7, 7, 0, 7})
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		n, src, dst := decodeEdges(data)
+		for _, symmetric := range []bool{false, true} {
+			m := FromEdges(n, src, dst, symmetric)
+			checkCSRInvariants(t, m)
+			want := make([]float64, n*n)
+			for k := range src {
+				want[src[k]*n+dst[k]] = 1
+				if symmetric {
+					want[dst[k]*n+src[k]] = 1
+				}
+			}
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					if got := m.At(i, j); got != want[i*n+j] {
+						t.Fatalf("symmetric=%v: At(%d,%d)=%v want %v", symmetric, i, j, got, want[i*n+j])
+					}
+				}
+			}
+		}
+	})
+}
+
+// FuzzSpGEMM: the two-pass symbolic+numeric SpGEMM produces a valid CSR
+// that matches the dense reference product A·B for arbitrary sparse
+// operands (B = Aᵀ so shapes always agree and transposition is stressed
+// too).
+func FuzzSpGEMM(f *testing.F) {
+	f.Add([]byte{4, 0, 1, 1, 2, 2, 3})
+	f.Add([]byte{2, 0, 0, 1, 1})
+	f.Add([]byte{16, 3, 9, 9, 3, 1, 15, 0, 0})
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		n, src, dst := decodeEdges(data)
+		a := FromEdges(n, src, dst, false)
+		// Give values some variety beyond 1 so numeric bugs can't hide.
+		for i := range a.Vals {
+			a.Vals[i] = float64(i%5) + 0.5
+		}
+		b := a.Transpose()
+		checkCSRInvariants(t, b)
+		c := SpGEMM(a, b)
+		checkCSRInvariants(t, c)
+		if c.Rows() != n || c.Cols() != n {
+			t.Fatalf("product shape %dx%d, want %dx%d", c.Rows(), c.Cols(), n, n)
+		}
+		// Dense reference.
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				want := 0.0
+				for k := 0; k < n; k++ {
+					want += a.At(i, k) * b.At(k, j)
+				}
+				got := c.At(i, j)
+				diff := got - want
+				if diff < -1e-9 || diff > 1e-9 {
+					t.Fatalf("C(%d,%d)=%v, dense reference %v", i, j, got, want)
+				}
+			}
+		}
+		// The symbolic pass must not fabricate stored zeros outside the
+		// structural product: every stored entry needs a matching k.
+		for i := 0; i < n; i++ {
+			cols, _ := c.Row(i)
+			for _, j := range cols {
+				structural := false
+				for k := 0; k < n && !structural; k++ {
+					structural = a.At(i, k) != 0 && b.At(k, j) != 0
+				}
+				if !structural {
+					t.Fatalf("C(%d,%d) stored without structural support", i, j)
+				}
+			}
+		}
+	})
+}

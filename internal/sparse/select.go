@@ -190,3 +190,31 @@ func IndicatorFromSets(sets [][]int, n int) *CSR {
 	}
 	return csr
 }
+
+// SampleRowsStreams is SampleRows with one generator per row: row i draws
+// from rowRand[i]. Rows sharing a generator are processed in row order,
+// so a caller that routes every row of one logical stream (e.g. one
+// ShaDow batch vertex) through the same generator gets draw sequences
+// that do not depend on which other rows are stacked into the matrix —
+// the property bulk sampling needs for results independent of batch
+// stacking and rank sharding.
+func SampleRowsStreams(m *CSR, s int, rowRand []*rng.Rand) *SampleRowsResult {
+	if len(rowRand) != m.RowsN {
+		panic("sparse: SampleRowsStreams wants one generator per row")
+	}
+	out := &SampleRowsResult{Samples: make([][]int, m.RowsN)}
+	for i := 0; i < m.RowsN; i++ {
+		cols, _ := m.Row(i)
+		if len(cols) <= s {
+			out.Samples[i] = append([]int(nil), cols...)
+			continue
+		}
+		picks := rowRand[i].SampleWithoutReplacement(len(cols), s)
+		sel := make([]int, len(picks))
+		for k, p := range picks {
+			sel[k] = cols[p]
+		}
+		out.Samples[i] = sel
+	}
+	return out
+}

@@ -1,6 +1,10 @@
 package recon
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/ddp"
+)
 
 // settings collects everything the functional options control. The
 // zero-ish defaults come from pipeline.DefaultConfig for the model
@@ -35,6 +39,14 @@ type settings struct {
 	workers    int
 	queueDepth int
 
+	// Distributed-training knobs (TrainDistributed).
+	ranks       int
+	bulkBatches int
+	bucketBytes int
+	sync        ddp.SyncStrategy
+	batchSize   int
+	gradBlocks  int
+
 	err error
 }
 
@@ -46,6 +58,11 @@ func defaultSettings() settings {
 		gnnPosWeight: 2.0,
 		workers:      1,
 		queueDepth:   2,
+		ranks:        1,
+		bulkBatches:  4,
+		sync:         ddp.Coalesced,
+		batchSize:    64,
+		gradBlocks:   8,
 	}
 }
 
@@ -210,6 +227,85 @@ func WithQueueDepth(n int) Option {
 			return
 		}
 		s.queueDepth = n
+	}
+}
+
+// WithRanks sets the number of simulated DDP ranks P for
+// TrainDistributed. The trained model is bit-identical at every P.
+func WithRanks(p int) Option {
+	return func(s *settings) {
+		if p < 1 {
+			s.fail("WithRanks: need ≥1, got %d", p)
+			return
+		}
+		s.ranks = p
+	}
+}
+
+// WithBulkBatches sets k, the number of consecutive batches stacked into
+// one bulk matrix-sampler invocation per rank — the paper's utilization
+// optimization. A pure performance knob: results are bit-identical at
+// every k.
+func WithBulkBatches(k int) Option {
+	return func(s *settings) {
+		if k < 1 {
+			s.fail("WithBulkBatches: need ≥1, got %d", k)
+			return
+		}
+		s.bulkBatches = k
+	}
+}
+
+// WithBucketBytes caps each gradient bucket for the bucketed-overlap
+// sync strategy (0 = ddp.DefaultBucketBytes).
+func WithBucketBytes(n int) Option {
+	return func(s *settings) {
+		if n < 0 {
+			s.fail("WithBucketBytes: need ≥0, got %d", n)
+			return
+		}
+		s.bucketBytes = n
+	}
+}
+
+// WithSyncStrategy selects how TrainDistributed synchronizes gradients:
+// PerMatrixSync (baseline), CoalescedSync (the paper's optimization), or
+// BucketedSync (coalescing overlapped with backward). The strategy
+// changes which collectives are issued and charged, never the numbers.
+func WithSyncStrategy(strategy SyncStrategy) Option {
+	return func(s *settings) {
+		switch strategy {
+		case ddp.PerMatrix, ddp.Coalesced, ddp.Bucketed:
+			s.sync = strategy
+		default:
+			s.fail("WithSyncStrategy: unknown strategy %d", strategy)
+		}
+	}
+}
+
+// WithBatchSize sets the global batch (ShaDow roots per optimizer step)
+// for TrainDistributed.
+func WithBatchSize(n int) Option {
+	return func(s *settings) {
+		if n < 1 {
+			s.fail("WithBatchSize: need ≥1, got %d", n)
+			return
+		}
+		s.batchSize = n
+	}
+}
+
+// WithGradBlocks sets the number of canonical gradient micro-blocks per
+// step — the leaves of the fixed reduction tree that makes training
+// bitwise independent of the rank count. It must stay the same across
+// runs that are expected to match exactly.
+func WithGradBlocks(g int) Option {
+	return func(s *settings) {
+		if g < 1 {
+			s.fail("WithGradBlocks: need ≥1, got %d", g)
+			return
+		}
+		s.gradBlocks = g
 	}
 }
 

@@ -40,7 +40,9 @@ import (
 	"context"
 
 	"repro/internal/core"
+	"repro/internal/ddp"
 	"repro/internal/detector"
+	"repro/internal/dtrain"
 	"repro/internal/experiments"
 	"repro/internal/ignn"
 	"repro/internal/metrics"
@@ -153,6 +155,41 @@ const (
 	// SamplerMatrixBulk is the paper's matrix-based bulk sampler.
 	SamplerMatrixBulk = core.SamplerMatrixBulk
 )
+
+// Distributed training (the end-to-end composition of bulk sampling and
+// coalesced collectives; see repro/recon.TrainDistributed for the
+// option-based front-end).
+type (
+	// SyncStrategy selects the DDP gradient synchronization pattern.
+	SyncStrategy = ddp.SyncStrategy
+	// DistTrainerConfig configures the distributed bulk-sampled trainer.
+	DistTrainerConfig = dtrain.Config
+	// DistTrainer trains IGNN replicas across P rank goroutines with
+	// bulk-sampled ShaDow minibatches and a bitwise rank-count-invariant
+	// loss trajectory.
+	DistTrainer = dtrain.Trainer
+	// DistEpochStats reports one distributed epoch.
+	DistEpochStats = dtrain.EpochStats
+	// DistCommStats summarizes charged collective traffic.
+	DistCommStats = dtrain.CommStats
+)
+
+// The gradient synchronization strategies.
+const (
+	// PerMatrixSync all-reduces each parameter matrix separately.
+	PerMatrixSync = ddp.PerMatrix
+	// CoalescedSync reduces one flattened buffer — the paper's choice.
+	CoalescedSync = ddp.Coalesced
+	// BucketedSync reduces buckets overlapped with the backward pass.
+	BucketedSync = ddp.Bucketed
+)
+
+// DefaultDistTrainerConfig returns paper-shaped distributed-trainer
+// defaults for a GNN configuration.
+func DefaultDistTrainerConfig(gnn GNNConfig) DistTrainerConfig { return dtrain.DefaultConfig(gnn) }
+
+// NewDistTrainer builds the distributed bulk-sampled trainer.
+func NewDistTrainer(cfg DistTrainerConfig) *DistTrainer { return dtrain.New(cfg) }
 
 // DefaultTrainerConfig mirrors the paper's training hyperparameters.
 func DefaultTrainerConfig(gnn GNNConfig) TrainerConfig { return core.DefaultConfig(gnn) }
