@@ -6,10 +6,15 @@
 //
 // Usage:
 //
-//	go run ./cmd/bench -out BENCH_1.json [-baseline BENCH_baseline.json] [-quick]
+//	go run ./cmd/bench -out BENCH_1.json [-baseline BENCH_baseline.json] [-quick] [-procs 1,2,4]
 //
 // With -baseline, the named prior record is embedded and per-benchmark
-// improvement percentages are computed against it.
+// improvement percentages are computed against it. With -procs, the
+// kernel and Reconstruct benchmarks are additionally re-run at each
+// listed GOMAXPROCS and recorded under procs_sweep with speedup_vs_p1
+// metrics — suppressed (speedup_claims_deferred) on a single-CPU host,
+// where GOMAXPROCS scaling measures scheduler overhead rather than
+// parallelism. cmd/benchdiff compares two records mechanically.
 package main
 
 import (
@@ -19,6 +24,8 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 	"testing"
 	"time"
 
@@ -51,6 +58,25 @@ type Improvement struct {
 	AllocsPercent float64 `json:"allocs_per_op_pct"`
 }
 
+// SweepRun is one GOMAXPROCS setting's pass over the sweep suite.
+type SweepRun struct {
+	Procs      int           `json:"procs"`
+	Benchmarks []BenchResult `json:"benchmarks"`
+}
+
+// ProcsSweep records the -procs GOMAXPROCS scaling sweep. Entries at
+// p>1 carry a speedup_vs_p1 metric — unless the host has only one CPU,
+// in which case SpeedupClaimsDeferred documents why no speedup is
+// claimed (a 1-CPU container cannot demonstrate parallel headroom; the
+// sweep still records per-procs timings so overhead is visible).
+type ProcsSweep struct {
+	NumCPU                int        `json:"num_cpu"`
+	Procs                 []int      `json:"procs"`
+	SpeedupClaimsDeferred bool       `json:"speedup_claims_deferred,omitempty"`
+	DeferredReason        string     `json:"deferred_reason,omitempty"`
+	Runs                  []SweepRun `json:"runs"`
+}
+
 // Record is the BENCH_*.json schema (see PERF.md).
 type Record struct {
 	SchemaVersion int           `json:"schema_version"`
@@ -59,8 +85,10 @@ type Record struct {
 	GOOS          string        `json:"goos"`
 	GOARCH        string        `json:"goarch"`
 	MaxProcs      int           `json:"maxprocs"`
+	NumCPU        int           `json:"num_cpu"`
 	Protocol      string        `json:"protocol"`
 	Benchmarks    []BenchResult `json:"benchmarks"`
+	Sweep         *ProcsSweep   `json:"procs_sweep,omitempty"`
 	Workspace     struct {
 		Gets       int64 `json:"gets"`
 		Puts       int64 `json:"puts"`
@@ -249,6 +277,41 @@ func suite(quick bool) []namedBench {
 				tensor.AddBias(x, bias)
 			}
 		}},
+		{"BenchmarkAddBiasReLUInto", func(b *testing.B) {
+			x := benchMat(4096, 64, 1)
+			bias := benchMat(1, 64, 2)
+			out := tensor.New(4096, 64)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tensor.AddBiasReLUInto(out, x, bias)
+			}
+		}},
+		{"BenchmarkGatherConcat3Into", func(b *testing.B) {
+			x := benchMat(4096, 64, 1)
+			e := benchMat(8192, 16, 2)
+			r := rng.New(3)
+			src := make([]int, 8192)
+			dst := make([]int, 8192)
+			for i := range src {
+				src[i] = r.Intn(4096)
+				dst[i] = r.Intn(4096)
+			}
+			out := tensor.New(8192, 16+64+64)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tensor.GatherConcat3Into(out, e, nil, x, src, x, dst)
+			}
+		}},
+		{"BenchmarkSpMMAddInto", func(b *testing.B) {
+			a := benchCSR(2000, 8, 1)
+			x := benchMat(2000, 32, 3)
+			res := benchMat(2000, 32, 4)
+			out := tensor.New(2000, 32)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sparse.SpMMAddInto(out, a, x, res)
+			}
+		}},
 		{"BenchmarkBulkMatrixShaDow256x4", func(b *testing.B) {
 			g, eidx := samplingFixture(2000)
 			r := rng.New(2)
@@ -298,6 +361,112 @@ func suite(quick bool) []namedBench {
 		)
 	}
 	return benches
+}
+
+// sweepNames selects the kernel and Reconstruct benchmarks the -procs
+// sweep re-runs at each GOMAXPROCS setting.
+var sweepNames = []string{
+	"BenchmarkSpGEMM",
+	"BenchmarkSpMM",
+	"BenchmarkSpMMAddInto",
+	"BenchmarkMatMulInto",
+	"BenchmarkMatMulT",
+	"BenchmarkTMatMul",
+	"BenchmarkGatherRows",
+	"BenchmarkAddBias",
+	"BenchmarkAddBiasReLUInto",
+	"BenchmarkGatherConcat3Into",
+	"BenchmarkPipeline_Reconstruct",
+}
+
+// parseProcsList parses a -procs value like "1,2,4".
+func parseProcsList(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		p, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || p < 1 {
+			return nil, fmt.Errorf("bad procs entry %q", part)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// runSweep re-runs the sweep suite under each GOMAXPROCS in procs and
+// attaches speedup_vs_p1 metrics — unless the host has a single CPU, in
+// which case speedup claims are explicitly deferred: GOMAXPROCS>1 on
+// one core measures scheduling overhead, not parallel speedup, and
+// printing a "speedup" from it would repeat the BENCH_2/BENCH_3 caveat
+// this guard exists to kill.
+func runSweep(procs []int) *ProcsSweep {
+	sweep := &ProcsSweep{NumCPU: runtime.NumCPU(), Procs: procs}
+	if sweep.NumCPU == 1 {
+		sweep.SpeedupClaimsDeferred = true
+		sweep.DeferredReason = "host has 1 CPU: GOMAXPROCS scaling cannot demonstrate parallel speedup; re-run the sweep on a multi-core host to claim speedup_vs_p1"
+		fmt.Fprintln(os.Stderr, "bench: NOTE:", sweep.DeferredReason)
+	}
+	byName := map[string]func(b *testing.B){}
+	for _, nb := range suite(true) {
+		byName[nb.name] = nb.fn
+	}
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+
+	for _, p := range procs {
+		runtime.GOMAXPROCS(p)
+		run := SweepRun{Procs: p}
+		for _, name := range sweepNames {
+			fn, ok := byName[name]
+			if !ok {
+				continue
+			}
+			fmt.Fprintf(os.Stderr, "running %s at GOMAXPROCS=%d...\n", name, p)
+			r := testing.Benchmark(fn)
+			run.Benchmarks = append(run.Benchmarks, BenchResult{
+				Name:        name,
+				Iterations:  r.N,
+				NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+				BytesPerOp:  r.AllocedBytesPerOp(),
+				AllocsPerOp: r.AllocsPerOp(),
+			})
+		}
+		sweep.Runs = append(sweep.Runs, run)
+	}
+
+	// Speedups are attached after every run completes, so the p=1
+	// reference may appear anywhere in the -procs list.
+	if sweep.SpeedupClaimsDeferred {
+		return sweep
+	}
+	p1 := map[string]float64{}
+	for _, run := range sweep.Runs {
+		if run.Procs != 1 {
+			continue
+		}
+		for _, b := range run.Benchmarks {
+			p1[b.Name] = b.NsPerOp
+		}
+	}
+	if len(p1) == 0 {
+		fmt.Fprintln(os.Stderr, "bench: NOTE: -procs list has no p=1 run; speedup_vs_p1 cannot be computed")
+		return sweep
+	}
+	for ri := range sweep.Runs {
+		run := &sweep.Runs[ri]
+		if run.Procs == 1 {
+			continue
+		}
+		for bi := range run.Benchmarks {
+			b := &run.Benchmarks[bi]
+			if base, ok := p1[b.Name]; ok && b.NsPerOp > 0 {
+				b.Metrics = map[string]float64{"speedup_vs_p1": base / b.NsPerOp}
+			}
+		}
+	}
+	return sweep
 }
 
 // distTrainFixture builds truth-level graphs and a small GNN config for
@@ -397,7 +566,14 @@ func main() {
 	out := flag.String("out", "BENCH_1.json", "output JSON path")
 	baselinePath := flag.String("baseline", "", "optional prior BENCH_*.json to diff against")
 	quick := flag.Bool("quick", false, "skip the multi-second experiment benchmarks")
+	procsFlag := flag.String("procs", "", "comma-separated GOMAXPROCS sweep for the kernel/Reconstruct benchmarks (e.g. 1,2,4); p>1 entries gain speedup_vs_p1 unless the host has 1 CPU")
 	flag.Parse()
+
+	procs, err := parseProcsList(*procsFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: -procs: %v\n", err)
+		os.Exit(1)
+	}
 
 	// Validate the baseline before spending a minute on benchmarks.
 	var base *Record
@@ -422,8 +598,10 @@ func main() {
 		GOOS:          runtime.GOOS,
 		GOARCH:        runtime.GOARCH,
 		MaxProcs:      runtime.GOMAXPROCS(0),
+		NumCPU:        runtime.NumCPU(),
 		Protocol:      "testing.Benchmark per entry (default 1s benchtime), fixtures identical to bench_test.go and the kernel bench files; see PERF.md",
 	}
+	fmt.Fprintf(os.Stderr, "bench: host maxprocs=%d num_cpu=%d\n", rec.MaxProcs, rec.NumCPU)
 
 	for _, nb := range suite(*quick) {
 		fmt.Fprintf(os.Stderr, "running %s...\n", nb.name)
@@ -445,6 +623,10 @@ func main() {
 	}
 
 	attachEngineSpeedup(rec)
+
+	if len(procs) > 0 {
+		rec.Sweep = runSweep(procs)
+	}
 
 	ws := workspace.ReadStats()
 	rec.Workspace.Gets = ws.Gets

@@ -1,0 +1,146 @@
+// Command benchdiff compares two BENCH_*.json records produced by
+// cmd/bench and fails (exit 1) on performance regressions, making perf
+// trajectories mechanically checkable in CI and review:
+//
+//	go run ./cmd/benchdiff old.json new.json [-ns-tol 10]
+//
+// A regression is any shared benchmark whose ns/op grew by more than
+// -ns-tol percent (default 10), or whose allocs/op grew at all — the
+// zero-allocation contract of the hot kernels admits no tolerance.
+// Benchmarks present in only one record are reported but never fail the
+// diff (suites legitimately grow).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+)
+
+// benchResult mirrors the cmd/bench BenchResult fields benchdiff reads.
+type benchResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// record mirrors the cmd/bench Record fields benchdiff reads.
+type record struct {
+	Date       string        `json:"date"`
+	MaxProcs   int           `json:"maxprocs"`
+	Benchmarks []benchResult `json:"benchmarks"`
+}
+
+func load(path string) (*record, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r record
+	if err := json.Unmarshal(raw, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+func pct(old, new float64) float64 {
+	if old == 0 {
+		return 0
+	}
+	return 100 * (new - old) / old
+}
+
+func main() {
+	nsTol := flag.Float64("ns-tol", 10, "ns/op growth tolerance in percent")
+	match := flag.String("match", "", "only compare benchmarks whose name matches this regexp")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: benchdiff [flags] old.json new.json\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	oldRec, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	newRec, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	var matchRe *regexp.Regexp
+	if *match != "" {
+		matchRe, err = regexp.Compile(*match)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: -match: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	if matchRe != nil {
+		filter := func(bs []benchResult) []benchResult {
+			var out []benchResult
+			for _, b := range bs {
+				if matchRe.MatchString(b.Name) {
+					out = append(out, b)
+				}
+			}
+			return out
+		}
+		oldRec.Benchmarks = filter(oldRec.Benchmarks)
+		newRec.Benchmarks = filter(newRec.Benchmarks)
+	}
+	if oldRec.MaxProcs != newRec.MaxProcs {
+		fmt.Printf("NOTE: maxprocs differs (%d vs %d); ns/op comparison may be meaningless\n",
+			oldRec.MaxProcs, newRec.MaxProcs)
+	}
+
+	oldBy := map[string]benchResult{}
+	for _, b := range oldRec.Benchmarks {
+		oldBy[b.Name] = b
+	}
+	seen := map[string]bool{}
+
+	regressions := 0
+	fmt.Printf("%-44s %14s %14s %8s %8s\n", "benchmark", "old ns/op", "new ns/op", "Δns%", "Δallocs")
+	for _, nb := range newRec.Benchmarks {
+		seen[nb.Name] = true
+		ob, ok := oldBy[nb.Name]
+		if !ok {
+			fmt.Printf("%-44s %14s %14.0f %8s %8s  (new)\n", nb.Name, "-", nb.NsPerOp, "-", "-")
+			continue
+		}
+		dNs := pct(ob.NsPerOp, nb.NsPerOp)
+		dAllocs := nb.AllocsPerOp - ob.AllocsPerOp
+		verdict := ""
+		if dNs > *nsTol {
+			verdict = "  REGRESSION: ns/op"
+			regressions++
+		}
+		if dAllocs > 0 {
+			verdict += "  REGRESSION: allocs/op"
+			regressions++
+		}
+		fmt.Printf("%-44s %14.0f %14.0f %+7.1f%% %+8d%s\n",
+			nb.Name, ob.NsPerOp, nb.NsPerOp, dNs, dAllocs, verdict)
+	}
+	for _, ob := range oldRec.Benchmarks {
+		if !seen[ob.Name] {
+			fmt.Printf("%-44s %14.0f %14s %8s %8s  (removed)\n", ob.Name, ob.NsPerOp, "-", "-", "-")
+		}
+	}
+
+	if regressions > 0 {
+		fmt.Printf("\nbenchdiff: %d regression(s) beyond tolerance (ns/op > +%.0f%% or any allocs/op growth)\n",
+			regressions, *nsTol)
+		os.Exit(1)
+	}
+	fmt.Println("\nbenchdiff: no regressions")
+}

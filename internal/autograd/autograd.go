@@ -19,6 +19,7 @@ package autograd
 import (
 	"fmt"
 
+	"repro/internal/kernels"
 	"repro/internal/tensor"
 	"repro/internal/workspace"
 )
@@ -91,6 +92,14 @@ type Tape struct {
 	nodes []*Node
 	arena *workspace.Arena
 
+	// kc is the intra-op worker budget every kernel recorded on this
+	// tape runs under — forward ops and their backward closures alike.
+	// The zero value means GOMAXPROCS; trainers that run several tapes
+	// concurrently (DDP ranks, engine workers) set a divided budget so
+	// rank-level and kernel-level parallelism compose without
+	// oversubscription. Results are bitwise identical at every budget.
+	kc kernels.Context
+
 	// paramHook, when set, is invoked during Backward as soon as a
 	// parameter's gradient is final — i.e. when the reverse sweep passes
 	// the parameter's earliest Use node, after which no further
@@ -121,6 +130,14 @@ func NewTapeArena(a *workspace.Arena) *Tape { return &Tape{arena: a} }
 
 // Arena returns the arena the tape allocates from (nil for heap tapes).
 func (t *Tape) Arena() *workspace.Arena { return t.arena }
+
+// SetKernels installs the intra-op worker budget for every subsequent
+// op on this tape (forward and backward). It survives Reset, so a
+// trainer configures it once per rank.
+func (t *Tape) SetKernels(kc kernels.Context) { t.kc = kc }
+
+// Kernels returns the tape's intra-op worker budget.
+func (t *Tape) Kernels() kernels.Context { return t.kc }
 
 // Reset clears the recorded operations so the tape can be reused for the
 // next step, rewinding the node slab and retaining its chunks and the
@@ -155,6 +172,14 @@ func (t *Tape) allocF64(n int) []float64 {
 		return make([]float64, n)
 	}
 	return t.arena.F64(n)
+}
+
+// allocInt returns a zeroed tape-owned scratch int vector.
+func (t *Tape) allocInt(n int) []int {
+	if t.arena == nil {
+		return make([]int, n)
+	}
+	return t.arena.Int(n)
 }
 
 // NumNodes reports how many nodes the tape recorded (activation count —

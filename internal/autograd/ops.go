@@ -10,18 +10,18 @@ import (
 // MatMul returns a×b.
 func (t *Tape) MatMul(a, b *Node) *Node {
 	v := t.alloc(a.Value.Rows(), b.Value.Cols())
-	tensor.MatMulInto(v, a.Value, b.Value)
+	tensor.MatMulIntoCtx(t.kc, v, a.Value, b.Value)
 	need := a.needGrad || b.needGrad
 	var out *Node
 	out = t.newNode(v, need, func() {
 		if a.needGrad {
 			g := t.alloc(a.Value.Rows(), a.Value.Cols())
-			tensor.MatMulTInto(g, out.grad, b.Value)
+			tensor.MatMulTIntoCtx(t.kc, g, out.grad, b.Value)
 			a.accumOwned(g)
 		}
 		if b.needGrad {
 			g := t.alloc(b.Value.Rows(), b.Value.Cols())
-			tensor.TMatMulInto(g, a.Value, out.grad)
+			tensor.TMatMulIntoCtx(t.kc, g, a.Value, out.grad)
 			b.accumOwned(g)
 		}
 	})
@@ -54,7 +54,7 @@ func (t *Tape) Add(a, b *Node) *Node {
 // AddBias adds the 1×c row vector bias to every row of a.
 func (t *Tape) AddBias(a, bias *Node) *Node {
 	v := t.alloc(a.Value.Rows(), a.Value.Cols())
-	tensor.AddBiasInto(v, a.Value, bias.Value)
+	tensor.AddBiasIntoCtx(t.kc, v, a.Value, bias.Value)
 	need := a.needGrad || bias.needGrad
 	var out *Node
 	out = t.newNode(v, need, func() {
@@ -134,7 +134,7 @@ func (t *Tape) ConcatCols(parts ...*Node) *Node {
 		need = need || p.needGrad
 	}
 	v := t.alloc(rows, totalCols)
-	tensor.ConcatColsInto(v, vals...)
+	tensor.ConcatColsIntoCtx(t.kc, v, vals...)
 	var out *Node
 	out = t.newNode(v, need, func() {
 		off := 0
@@ -158,7 +158,7 @@ func (t *Tape) ConcatCols(parts ...*Node) *Node {
 // Backward scatter-adds the incoming gradient into x's rows.
 func (t *Tape) GatherRows(x *Node, idx []int) *Node {
 	v := t.alloc(len(idx), x.Value.Cols())
-	tensor.GatherRowsInto(v, x.Value, idx)
+	tensor.GatherRowsIntoCtx(t.kc, v, x.Value, idx)
 	var out *Node
 	out = t.newNode(v, x.needGrad, func() {
 		if x.needGrad {
@@ -183,7 +183,7 @@ func (t *Tape) ScatterAddRows(x *Node, idx []int, outRows int) *Node {
 	out = t.newNode(v, x.needGrad, func() {
 		if x.needGrad {
 			g := t.alloc(len(idx), x.Value.Cols())
-			tensor.GatherRowsInto(g, out.grad, idx)
+			tensor.GatherRowsIntoCtx(t.kc, g, out.grad, idx)
 			x.accumOwned(g)
 		}
 	})

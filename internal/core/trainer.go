@@ -25,6 +25,7 @@ import (
 	"repro/internal/ddp"
 	"repro/internal/gpumem"
 	"repro/internal/ignn"
+	"repro/internal/kernels"
 	"repro/internal/metrics"
 	"repro/internal/nn"
 	"repro/internal/pipeline"
@@ -87,6 +88,13 @@ type Config struct {
 	// sparse, host-side workload and is never scaled. EXPERIMENTS.md
 	// documents the calibration; tests run unscaled.
 	ComputeSpeedup float64
+
+	// KernelWorkers bounds the intra-op parallelism of each rank's
+	// kernels (0 = auto). Ranks execute serially in this trainer's
+	// timing model, so each rank may use the full host: the budget is
+	// kernels.Budget(1, KernelWorkers). Results are bitwise identical
+	// at every value.
+	KernelWorkers int
 
 	Seed uint64
 }
@@ -155,6 +163,7 @@ type Trainer struct {
 	// training allocates no per-step buffer memory.
 	arenas []*workspace.Arena
 	tapes  []*autograd.Tape
+	kc     kernels.Context
 
 	edgeIndexes map[*pipeline.EventGraph]*sampling.EdgeIndex
 	bulkK       map[*pipeline.EventGraph]int // memory-derived k, cached across epochs
@@ -172,6 +181,9 @@ func NewTrainer(cfg Config) *Trainer {
 		edgeIndexes: make(map[*pipeline.EventGraph]*sampling.EdgeIndex),
 		bulkK:       make(map[*pipeline.EventGraph]int),
 	}
+	// Ranks are timed serially (see the package comment), so each tape
+	// gets the full single-unit kernel budget rather than a 1/P share.
+	kc := kernels.Budget(1, cfg.KernelWorkers)
 	for rank := 0; rank < cfg.Procs; rank++ {
 		m := ignn.New(cfg.GNN, rng.New(cfg.Seed+1000)) // same seed → identical replicas
 		t.replicas = append(t.replicas, m)
@@ -180,8 +192,11 @@ func NewTrainer(cfg Config) *Trainer {
 		t.syncers = append(t.syncers, ddp.NewGradSyncer(t.group, rank, cfg.Sync, m.Params()))
 		arena := workspace.NewArena()
 		t.arenas = append(t.arenas, arena)
-		t.tapes = append(t.tapes, autograd.NewTapeArena(arena))
+		tape := autograd.NewTapeArena(arena)
+		tape.SetKernels(kc)
+		t.tapes = append(t.tapes, tape)
 	}
+	t.kc = kc
 	return t
 }
 
@@ -466,7 +481,7 @@ func (t *Trainer) Evaluate(graphs []*pipeline.EventGraph) metrics.BinaryCounts {
 		if eg.NumEdges() == 0 {
 			continue
 		}
-		scores := t.Model().EdgeScoresWith(t.arenas[0], eg.G.Src, eg.G.Dst, eg.X, eg.Y)
+		scores := t.Model().EdgeScoresCtx(t.kc, t.arenas[0], eg.G.Src, eg.G.Dst, eg.X, eg.Y)
 		for k, s := range scores {
 			counts.Add(s >= t.Cfg.Threshold, eg.Label[k] > 0.5)
 		}

@@ -57,6 +57,7 @@ import (
 	"repro/internal/comm"
 	"repro/internal/ddp"
 	"repro/internal/ignn"
+	"repro/internal/kernels"
 	"repro/internal/metrics"
 	"repro/internal/nn"
 	"repro/internal/pipeline"
@@ -92,6 +93,14 @@ type Config struct {
 	// idle through compute) and must stay fixed across runs that are
 	// expected to match bitwise. Default 8.
 	GradBlocks int
+
+	// KernelWorkers bounds the intra-op parallelism of each rank's
+	// kernels (0 = auto). Rank goroutines really run concurrently here,
+	// so the per-rank budget is kernels.Budget(Ranks, KernelWorkers):
+	// ranks × kernel-workers never exceeds GOMAXPROCS. A pure
+	// performance knob — the loss trajectory is bitwise identical at
+	// every value.
+	KernelWorkers int
 
 	// CostModel prices the charged collectives; the zero value defaults
 	// to comm.NVLink3 unless UseZeroCost is set.
@@ -274,6 +283,7 @@ func New(cfg Config) *Trainer {
 			ctrl:     make([]float64, 1),
 		}
 		st.tape = autograd.NewTapeArena(st.arena)
+		st.tape.SetKernels(kernels.Budget(cfg.Ranks, cfg.KernelWorkers))
 		for i, p := range st.params {
 			st.paramIdx[p] = i
 		}

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/autograd"
 	"repro/internal/detector"
+	"repro/internal/kernels"
 	"repro/internal/nn"
 	"repro/internal/rng"
 	"repro/internal/tensor"
@@ -76,7 +77,15 @@ func (e *Embedder) Embed(features *tensor.Dense) *tensor.Dense {
 // workspace pools. The returned matrix is arena-owned: it is valid only
 // until the caller resets the arena. A nil arena falls back to the heap.
 func (e *Embedder) EmbedWith(arena *workspace.Arena, features *tensor.Dense) *tensor.Dense {
+	return e.EmbedCtx(kernels.Context{}, arena, features)
+}
+
+// EmbedCtx is EmbedWith under an explicit intra-op worker budget for
+// the forward kernels; the embedding is bitwise identical at every
+// budget.
+func (e *Embedder) EmbedCtx(kc kernels.Context, arena *workspace.Arena, features *tensor.Dense) *tensor.Dense {
 	t := autograd.NewTapeArena(arena)
+	t.SetKernels(kc)
 	return e.mlp.Forward(t, t.Constant(features)).Value
 }
 

@@ -8,6 +8,7 @@ import (
 	"math"
 
 	"repro/internal/autograd"
+	"repro/internal/kernels"
 	"repro/internal/nn"
 	"repro/internal/rng"
 	"repro/internal/tensor"
@@ -69,14 +70,11 @@ func (f *EdgeFilter) Params() []*autograd.Param { return f.mlp.Params() }
 // Threshold returns the keep threshold on the sigmoid score.
 func (f *EdgeFilter) Threshold() float64 { return f.cfg.Threshold }
 
-// forward builds the logits node for edges (src, dst).
+// forward builds the logits node for edges (src, dst) with one fused
+// gather+concat pass assembling [X[src] ‖ X[dst] ‖ E].
 func (f *EdgeFilter) forward(t *autograd.Tape, nodeFeat, edgeFeat *tensor.Dense, src, dst []int) *autograd.Node {
 	nodes := t.Constant(nodeFeat)
-	in := t.ConcatCols(
-		t.GatherRows(nodes, src),
-		t.GatherRows(nodes, dst),
-		t.Constant(edgeFeat),
-	)
+	in := t.GatherConcat3(nodes, src, nodes, dst, t.Constant(edgeFeat), nil)
 	return f.mlp.Forward(t, in)
 }
 
@@ -89,11 +87,18 @@ func (f *EdgeFilter) Scores(nodeFeat, edgeFeat *tensor.Dense, src, dst []int) []
 // arena's workspace pools (released before returning). A nil arena
 // falls back to the heap.
 func (f *EdgeFilter) ScoresWith(arena *workspace.Arena, nodeFeat, edgeFeat *tensor.Dense, src, dst []int) []float64 {
+	return f.ScoresCtx(kernels.Context{}, arena, nodeFeat, edgeFeat, src, dst)
+}
+
+// ScoresCtx is ScoresWith under an explicit intra-op worker budget;
+// scores are bitwise identical at every budget.
+func (f *EdgeFilter) ScoresCtx(kc kernels.Context, arena *workspace.Arena, nodeFeat, edgeFeat *tensor.Dense, src, dst []int) []float64 {
 	if arena != nil {
 		mark := arena.Checkpoint()
 		defer arena.ResetTo(mark)
 	}
 	t := autograd.NewTapeArena(arena)
+	t.SetKernels(kc)
 	logits := f.forward(t, nodeFeat, edgeFeat, src, dst)
 	scores := make([]float64, len(src))
 	for i := range scores {
@@ -109,7 +114,12 @@ func (f *EdgeFilter) Keep(nodeFeat, edgeFeat *tensor.Dense, src, dst []int) []bo
 
 // KeepWith is Keep with workspace-pooled forward activations.
 func (f *EdgeFilter) KeepWith(arena *workspace.Arena, nodeFeat, edgeFeat *tensor.Dense, src, dst []int) []bool {
-	scores := f.ScoresWith(arena, nodeFeat, edgeFeat, src, dst)
+	return f.KeepCtx(kernels.Context{}, arena, nodeFeat, edgeFeat, src, dst)
+}
+
+// KeepCtx is KeepWith under an explicit intra-op worker budget.
+func (f *EdgeFilter) KeepCtx(kc kernels.Context, arena *workspace.Arena, nodeFeat, edgeFeat *tensor.Dense, src, dst []int) []bool {
+	scores := f.ScoresCtx(kc, arena, nodeFeat, edgeFeat, src, dst)
 	keep := make([]bool, len(scores))
 	for i, s := range scores {
 		keep[i] = s >= f.cfg.Threshold

@@ -11,6 +11,7 @@ import (
 	"math"
 
 	"repro/internal/autograd"
+	"repro/internal/kernels"
 	"repro/internal/nn"
 	"repro/internal/rng"
 	"repro/internal/tensor"
@@ -120,15 +121,18 @@ func (m *Model) Forward(t *autograd.Tape, src, dst []int, x, y *tensor.Dense) *a
 		// Concatenation residuals with the initial encodings.
 		xc := t.ConcatCols(xl, x0) // n × 2h
 		yc := t.ConcatCols(yl, y0) // m × 2h
-		// MSG: per-edge update from the edge state and both endpoints.
-		msgIn := t.ConcatCols(yc, t.GatherRows(xc, src), t.GatherRows(xc, dst))
+		// MSG: per-edge update from the edge state and both endpoints —
+		// one fused gather+concat pass builds [Y' ‖ X'src ‖ X'dst].
+		msgIn := t.GatherConcat3(yc, nil, xc, src, xc, dst)
 		yl = m.edgeNets[l].Forward(t, msgIn) // m × h
 		if l == m.cfg.Steps-1 {
 			break // final X update is unused by the edge head
 		}
-		// AGG: sum messages into rows (sources) and cols (destinations).
-		msrc := t.ScatterAddRows(yl, src, n)
-		mdst := t.ScatterAddRows(yl, dst, n)
+		// AGG: sum messages into rows (sources) and cols (destinations),
+		// as row-parallel incidence SpMMs (bitwise equal to the serial
+		// scatter-add, see autograd.AggregateRows).
+		msrc := t.AggregateRows(yl, src, n)
+		mdst := t.AggregateRows(yl, dst, n)
 		// Node update.
 		xl = m.nodeNets[l].Forward(t, t.ConcatCols(msrc, mdst, xc)) // n × h
 	}
@@ -146,11 +150,20 @@ func (m *Model) EdgeScores(src, dst []int, x, y *tensor.Dense) []float64 {
 // one warm buffer set instead of allocating per event. A nil arena falls
 // back to heap allocation.
 func (m *Model) EdgeScoresWith(arena *workspace.Arena, src, dst []int, x, y *tensor.Dense) []float64 {
+	return m.EdgeScoresCtx(kernels.Context{}, arena, src, dst, x, y)
+}
+
+// EdgeScoresCtx is EdgeScoresWith under an explicit intra-op worker
+// budget for the forward kernels. Scores are bitwise identical at every
+// budget; the engine passes each worker its share of the host so
+// event-level and kernel-level parallelism compose.
+func (m *Model) EdgeScoresCtx(kc kernels.Context, arena *workspace.Arena, src, dst []int, x, y *tensor.Dense) []float64 {
 	if arena != nil {
 		mark := arena.Checkpoint()
 		defer arena.ResetTo(mark)
 	}
 	t := autograd.NewTapeArena(arena)
+	t.SetKernels(kc)
 	logits := m.Forward(t, src, dst, x, y)
 	out := make([]float64, len(src))
 	for i := range out {

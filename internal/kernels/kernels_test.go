@@ -1,0 +1,51 @@
+package kernels
+
+import (
+	"context"
+	"runtime"
+	"testing"
+)
+
+func TestCapDefaultsToGOMAXPROCS(t *testing.T) {
+	if got := (Context{}).Cap(); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("zero Context cap = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := (Context{Workers: 3}).Cap(); got != 3 {
+		t.Fatalf("explicit cap = %d, want 3", got)
+	}
+}
+
+// TestBudgetNeverOversubscribes pins the worker-budget rule:
+// units × per-unit workers ≤ GOMAXPROCS (with a floor of one worker per
+// unit), whatever was requested.
+func TestBudgetNeverOversubscribes(t *testing.T) {
+	maxprocs := runtime.GOMAXPROCS(0)
+	for _, units := range []int{0, 1, 2, 4, 7, 100} {
+		for _, req := range []int{0, 1, 3, 1000} {
+			kc := Budget(units, req)
+			if kc.Workers < 1 {
+				t.Fatalf("Budget(%d,%d).Workers = %d < 1", units, req, kc.Workers)
+			}
+			u := units
+			if u < 1 {
+				u = 1
+			}
+			if u*kc.Workers > maxprocs && kc.Workers != 1 {
+				t.Fatalf("Budget(%d,%d) oversubscribes: %d×%d > %d", units, req, u, kc.Workers, maxprocs)
+			}
+			if req > 0 && kc.Workers > req {
+				t.Fatalf("Budget(%d,%d) exceeds request: %d", units, req, kc.Workers)
+			}
+		}
+	}
+}
+
+func TestContextRoundTripsThroughContext(t *testing.T) {
+	ctx := Into(context.Background(), Context{Workers: 5})
+	if got := From(ctx); got.Workers != 5 {
+		t.Fatalf("From(Into(5)) = %+v", got)
+	}
+	if got := From(context.Background()); got.Workers != 0 {
+		t.Fatalf("From(plain ctx) = %+v, want zero", got)
+	}
+}

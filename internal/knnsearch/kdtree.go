@@ -9,7 +9,9 @@ import (
 	"cmp"
 	"slices"
 	"sort"
+	"sync"
 
+	"repro/internal/kernels"
 	"repro/internal/tensor"
 	"repro/internal/workspace"
 )
@@ -131,17 +133,72 @@ func BruteRadiusNeighbors(pts *tensor.Dense, query []float64, radius float64, ex
 // the neighbors considered per query vertex, mirroring the k-cap used by
 // the production FRNN stage to bound graph size.
 //
-// One pooled buffer is reused across all n radius queries, and capped
-// queries use an O(len) partial selection of the maxDegree smallest
-// indices instead of sorting the full candidate list — the output is
-// identical to sorting ascending and truncating.
+// One pooled buffer per worker is reused across its radius queries, and
+// capped queries use an O(len) partial selection of the maxDegree
+// smallest indices instead of sorting the full candidate list — the
+// output is identical to sorting ascending and truncating.
+//
+// The query loop is row-partitioned across workers with the same static
+// contiguous chunking the kernel layer uses: each worker answers a
+// disjoint range of query vertices into its own edge buffer and the
+// buffers concatenate in range order, so the output is bitwise
+// identical to the serial loop at every worker count.
 func BuildRadiusGraph(embeddings *tensor.Dense, radius float64, maxDegree int) (src, dst []int) {
+	return BuildRadiusGraphCtx(kernels.Context{}, embeddings, radius, maxDegree)
+}
+
+// BuildRadiusGraphCtx is BuildRadiusGraph under an explicit intra-op
+// worker budget.
+func BuildRadiusGraphCtx(kc kernels.Context, embeddings *tensor.Dense, radius float64, maxDegree int) (src, dst []int) {
 	t := Build(embeddings)
 	n := embeddings.Rows()
+	workers := kc.Cap()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		return t.collectRange(embeddings, radius, maxDegree, 0, n)
+	}
+	chunk := (n + workers - 1) / workers
+	srcs := make([][]int, workers)
+	dsts := make([][]int, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			srcs[w], dsts[w] = t.collectRange(embeddings, radius, maxDegree, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	total := 0
+	for _, s := range srcs {
+		total += len(s)
+	}
+	src = make([]int, 0, total)
+	dst = make([]int, 0, total)
+	for w := range srcs {
+		src = append(src, srcs[w]...)
+		dst = append(dst, dsts[w]...)
+	}
+	return src, dst
+}
+
+// collectRange answers the radius queries of vertices [lo, hi),
+// appending each query's surviving i<j edges to src/dst in ascending
+// vertex order.
+func (t *KDTree) collectRange(embeddings *tensor.Dense, radius float64, maxDegree int, lo, hi int) (src, dst []int) {
 	r2 := radius * radius
-	base := workspace.GetInt(n)
+	base := workspace.GetInt(embeddings.Rows())
 	defer workspace.PutInt(base)
-	for i := 0; i < n; i++ {
+	for i := lo; i < hi; i++ {
 		nbrs := base[:0]
 		t.search(t.root, embeddings.Row(i), r2, i, &nbrs)
 		if maxDegree > 0 && len(nbrs) > maxDegree {

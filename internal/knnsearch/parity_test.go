@@ -1,0 +1,35 @@
+package knnsearch
+
+import (
+	"testing"
+
+	"repro/internal/kernels"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// TestBuildRadiusGraphWorkerCountParity proves the parallel query loop
+// emits exactly the serial edge list — same edges, same order — at
+// workers ∈ {1, 2, 4, 7}, with and without a degree cap.
+func TestBuildRadiusGraphWorkerCountParity(t *testing.T) {
+	r := rng.New(31)
+	pts := tensor.RandN(r, 157, 3, 1)
+	for _, maxDegree := range []int{0, 5} {
+		refSrc, refDst := BuildRadiusGraphCtx(kernels.Context{Workers: 1}, pts, 0.6, maxDegree)
+		if len(refSrc) == 0 {
+			t.Fatalf("fixture produced no edges (maxDegree=%d)", maxDegree)
+		}
+		for _, w := range []int{2, 4, 7} {
+			src, dst := BuildRadiusGraphCtx(kernels.Context{Workers: w}, pts, 0.6, maxDegree)
+			if len(src) != len(refSrc) {
+				t.Fatalf("maxDegree=%d workers=%d: %d edges vs %d serial", maxDegree, w, len(src), len(refSrc))
+			}
+			for k := range src {
+				if src[k] != refSrc[k] || dst[k] != refDst[k] {
+					t.Fatalf("maxDegree=%d workers=%d: edge %d is (%d,%d), serial (%d,%d)",
+						maxDegree, w, k, src[k], dst[k], refSrc[k], refDst[k])
+				}
+			}
+		}
+	}
+}

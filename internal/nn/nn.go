@@ -119,11 +119,19 @@ func NewMLP(r *rng.Rand, name string, cfg MLPConfig) *MLP {
 	return m
 }
 
-// Forward runs the MLP on the tape.
+// Forward runs the MLP on the tape. Hidden layers with the (default)
+// ReLU activation run the fused bias+ReLU kernel — one pass instead of
+// an AddBias followed by a ReLU over the full activation matrix; the
+// result is bitwise identical to the unfused chain.
 func (m *MLP) Forward(t *autograd.Tape, x *autograd.Node) *autograd.Node {
 	h := x
 	for i := 0; i < len(m.layers)-1; i++ {
-		h = m.cfg.Activation.apply(t, m.layers[i].Forward(t, h))
+		if m.cfg.Activation == ReLU {
+			l := m.layers[i]
+			h = t.AddBiasReLU(t.MatMul(h, t.Use(l.W)), t.Use(l.B))
+		} else {
+			h = m.cfg.Activation.apply(t, m.layers[i].Forward(t, h))
+		}
 		if m.cfg.LayerNorm {
 			ln := m.norms[i]
 			h = t.LayerNorm(h, t.Use(ln.Gain), t.Use(ln.Bias), 1e-5)

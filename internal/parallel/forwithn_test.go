@@ -1,0 +1,52 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestForWithNCoversRangeOnce checks the static partition at awkward
+// worker/grain/n combinations: every index visited exactly once, chunk
+// count never exceeds the worker cap.
+func TestForWithNCoversRangeOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 7} {
+		for _, n := range []int{0, 1, 6, 7, 63, 64, 65, 1000} {
+			for _, grain := range []int{1, 16, 100} {
+				visits := make([]atomic.Int32, n)
+				var chunks atomic.Int32
+				ForWithN(workers, n, grain, visits, func(v []atomic.Int32, lo, hi int) {
+					chunks.Add(1)
+					if lo < 0 || hi > n || lo >= hi {
+						t.Errorf("workers=%d n=%d grain=%d: bad chunk [%d,%d)", workers, n, grain, lo, hi)
+						return
+					}
+					for i := lo; i < hi; i++ {
+						v[i].Add(1)
+					}
+				})
+				for i := range visits {
+					if got := visits[i].Load(); got != 1 {
+						t.Fatalf("workers=%d n=%d grain=%d: index %d visited %d times", workers, n, grain, i, got)
+					}
+				}
+				if int(chunks.Load()) > workers {
+					t.Fatalf("workers=%d n=%d grain=%d: %d chunks exceed cap", workers, n, grain, chunks.Load())
+				}
+			}
+		}
+	}
+}
+
+// TestForWithNZeroWorkersFallsBack ensures a non-positive cap behaves
+// like the default ForWith.
+func TestForWithNZeroWorkersFallsBack(t *testing.T) {
+	var sum atomic.Int64
+	ForWithN(0, 100, 1, &sum, func(s *atomic.Int64, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			s.Add(int64(i))
+		}
+	})
+	if sum.Load() != 4950 {
+		t.Fatalf("sum = %d, want 4950", sum.Load())
+	}
+}

@@ -33,13 +33,28 @@ func For(n, grain int, body func(lo, hi int)) {
 // (with the caller's closure as the context), so the chunking policy —
 // worker cap, grain floor — lives in exactly one place.
 func ForWith[T any](n, grain int, ctx T, body func(ctx T, lo, hi int)) {
+	ForWithN(MaxWorkers(), n, grain, ctx, body)
+}
+
+// ForWithN is ForWith with an explicit worker cap: at most workers
+// chunks run concurrently (workers ≤ 0 means MaxWorkers()). This is the
+// hook the kernels.Context budget plugs into — an outer layer that is
+// itself parallel (engine workers, trainer ranks) passes each unit a
+// reduced cap so inner × outer parallelism never oversubscribes the
+// host. The chunking is static and depends only on (workers, n, grain),
+// never on runtime load, and chunks are contiguous disjoint ranges —
+// kernels whose per-index work is independent therefore produce bitwise
+// identical results at every worker count.
+func ForWithN[T any](workers, n, grain int, ctx T, body func(ctx T, lo, hi int)) {
 	if n <= 0 {
 		return
 	}
 	if grain < 1 {
 		grain = 1
 	}
-	workers := MaxWorkers()
+	if workers <= 0 {
+		workers = MaxWorkers()
+	}
 	chunks := (n + grain - 1) / grain
 	if chunks > workers {
 		chunks = workers

@@ -74,3 +74,16 @@ func BenchmarkExtractSubmatrixDirect(b *testing.B) {
 		ExtractSubmatrixDirect(a, idx)
 	}
 }
+
+// BenchmarkSpMMAddInto measures the fused aggregation+residual kernel
+// (one pass over res instead of SpMM followed by an elementwise add).
+func BenchmarkSpMMAddInto(b *testing.B) {
+	a := benchCSR(2000, 8, 1)
+	x := benchDense(2000, 32, 3)
+	res := benchDense(2000, 32, 4)
+	out := tensor.New(2000, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SpMMAddInto(out, a, x, res)
+	}
+}

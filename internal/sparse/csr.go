@@ -132,6 +132,46 @@ func VStack(ms ...*CSR) *CSR {
 	return out
 }
 
+// IncidenceInto builds into out the rows×len(idx) incidence matrix S
+// with S[idx[e], e] = 1 — row v of S selects exactly the positions e
+// whose idx[e] == v, so S×X computes the scatter-add aggregation
+// out[v] = Σ_{e: idx[e]=v} X[e] as a row-parallel SpMM instead of a
+// serial scatter. Column indices within each row are ascending e, which
+// is precisely the order tensor.ScatterAddRows accumulates in, so the
+// two aggregations are bitwise interchangeable.
+//
+// out's existing storage is reused when large enough (callers may
+// pre-size it from an arena) and grown through the workspace pools
+// otherwise; a one-row cursor scratch is borrowed from the pools for
+// the counting sort. Returns out.
+func IncidenceInto(out *CSR, rows int, idx []int) *CSR {
+	m := len(idx)
+	out.RowsN, out.ColsN = rows, m
+	out.RowPtr = workspace.GrowInt(out.RowPtr, rows+1)
+	out.ColIdx = workspace.GrowInt(out.ColIdx, m)
+	out.Vals = workspace.GrowF64(out.Vals, m)
+	for i := range out.RowPtr {
+		out.RowPtr[i] = 0
+	}
+	for _, v := range idx {
+		out.RowPtr[v+1]++
+	}
+	for i := 0; i < rows; i++ {
+		out.RowPtr[i+1] += out.RowPtr[i]
+	}
+	cursor := workspace.GetInt(rows)
+	copy(cursor, out.RowPtr[:rows])
+	for e, v := range idx {
+		out.ColIdx[cursor[v]] = e
+		cursor[v]++
+	}
+	workspace.PutInt(cursor)
+	for i := range out.Vals {
+		out.Vals[i] = 1
+	}
+	return out
+}
+
 // BlockDiag assembles matrices along the diagonal: the result has
 // sum(rows)×sum(cols) shape with each input occupying its own block.
 // ShaDow's sampled adjacency "with b disjoint components" is exactly this.

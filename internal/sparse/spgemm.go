@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"slices"
 
+	"repro/internal/kernels"
 	"repro/internal/parallel"
 	"repro/internal/tensor"
 	"repro/internal/workspace"
@@ -38,6 +39,15 @@ func SpGEMM(a, b *CSR) *CSR {
 //
 // out must not alias a or b. Returns out.
 func SpGEMMInto(out *CSR, a, b *CSR) *CSR {
+	return SpGEMMIntoCtx(kernels.Context{}, out, a, b)
+}
+
+// SpGEMMIntoCtx is SpGEMMInto under an explicit intra-op worker budget.
+// Both passes partition rows statically and every output row is
+// computed entirely by one worker (per-worker dense accumulator
+// scratch, disjoint CSR ranges placed by the serial prefix sum), so the
+// result is bitwise identical at every worker count.
+func SpGEMMIntoCtx(kc kernels.Context, out *CSR, a, b *CSR) *CSR {
 	if a.ColsN != b.RowsN {
 		panic(fmt.Sprintf("sparse: SpGEMM inner dims %d vs %d", a.ColsN, b.RowsN))
 	}
@@ -50,7 +60,7 @@ func SpGEMMInto(out *CSR, a, b *CSR) *CSR {
 
 	// Pass 1 (symbolic): out.RowPtr[i+1] ← number of distinct columns in
 	// output row i.
-	parallel.ForWith(rows, spgemmGrain, spgemmCtx{out, a, b, cols}, func(c spgemmCtx, lo, hi int) {
+	parallel.ForWithN(kc.Cap(), rows, spgemmGrain, spgemmCtx{out, a, b, cols}, func(c spgemmCtx, lo, hi int) {
 		out, a, b := c.out, c.a, c.b
 		seen := workspace.GetBool(c.cols)
 		touched := workspace.GetInt(c.cols)
@@ -87,7 +97,7 @@ func SpGEMMInto(out *CSR, a, b *CSR) *CSR {
 
 	// Pass 2 (numeric): accumulate each row in a dense scratch accumulator
 	// and write the sorted columns and values straight into the output.
-	parallel.ForWith(rows, spgemmGrain, spgemmCtx{out, a, b, cols}, func(c spgemmCtx, lo, hi int) {
+	parallel.ForWithN(kc.Cap(), rows, spgemmGrain, spgemmCtx{out, a, b, cols}, func(c spgemmCtx, lo, hi int) {
 		out, a, b := c.out, c.a, c.b
 		acc := workspace.GetF64(c.cols)
 		seen := workspace.GetBool(c.cols)
@@ -142,36 +152,82 @@ func SpMM(a *CSR, x *tensor.Dense) *tensor.Dense {
 // a.RowsN × x.Cols() and must not alias x. Steady-state calls perform no
 // heap allocation.
 func SpMMInto(out *tensor.Dense, a *CSR, x *tensor.Dense) *tensor.Dense {
+	return SpMMIntoCtx(kernels.Context{}, out, a, x)
+}
+
+// spmmCtx carries SpMM operands into capture-free parallel bodies; res
+// is nil for the plain product and the residual operand for SpMMAdd.
+type spmmCtx struct {
+	out *tensor.Dense
+	a   *CSR
+	x   *tensor.Dense
+	res *tensor.Dense
+}
+
+// SpMMIntoCtx is SpMMInto under an explicit intra-op worker budget.
+// Rows partition statically and each output row accumulates serially in
+// CSR column order, so the result is bitwise identical at every worker
+// count.
+func SpMMIntoCtx(kc kernels.Context, out *tensor.Dense, a *CSR, x *tensor.Dense) *tensor.Dense {
 	if a.ColsN != x.Rows() {
 		panic(fmt.Sprintf("sparse: SpMM inner dims %d vs %d", a.ColsN, x.Rows()))
 	}
 	if out.Rows() != a.RowsN || out.Cols() != x.Cols() {
 		panic("sparse: SpMMInto output shape mismatch")
 	}
-	type spmmCtx struct {
-		out *tensor.Dense
-		a   *CSR
-		x   *tensor.Dense
+	parallel.ForWithN(kc.Cap(), a.RowsN, 32, spmmCtx{out, a, x, nil}, spmmBody)
+	return out
+}
+
+// SpMMAddInto computes out = a×x + res in one pass — the fused
+// message-aggregation-plus-residual kernel: each output row starts from
+// the residual row instead of zero, so res is read exactly once and no
+// intermediate product matrix exists. out may alias res (each row is
+// read before it is written, and rows are disjoint across workers); it
+// must not alias x. Shapes: out, res are a.RowsN × x.Cols().
+func SpMMAddInto(out *tensor.Dense, a *CSR, x, res *tensor.Dense) *tensor.Dense {
+	return SpMMAddIntoCtx(kernels.Context{}, out, a, x, res)
+}
+
+// SpMMAddIntoCtx is SpMMAddInto under an explicit intra-op worker
+// budget; bitwise identical at every worker count.
+func SpMMAddIntoCtx(kc kernels.Context, out *tensor.Dense, a *CSR, x, res *tensor.Dense) *tensor.Dense {
+	if a.ColsN != x.Rows() {
+		panic(fmt.Sprintf("sparse: SpMMAdd inner dims %d vs %d", a.ColsN, x.Rows()))
 	}
-	parallel.ForWith(a.RowsN, 32, spmmCtx{out, a, x}, func(cx spmmCtx, lo, hi int) {
-		out, a, x := cx.out, cx.a, cx.x
-		c := x.Cols()
-		for i := lo; i < hi; i++ {
-			oRow := out.Row(i)
+	if out.Rows() != a.RowsN || out.Cols() != x.Cols() {
+		panic("sparse: SpMMAddInto output shape mismatch")
+	}
+	if res.Rows() != a.RowsN || res.Cols() != x.Cols() {
+		panic("sparse: SpMMAddInto residual shape mismatch")
+	}
+	parallel.ForWithN(kc.Cap(), a.RowsN, 32, spmmCtx{out, a, x, res}, spmmBody)
+	return out
+}
+
+// spmmBody computes rows [lo, hi) of out = a×x (+ res). Kept as a named
+// function so both entry points share one capture-free body.
+func spmmBody(cx spmmCtx, lo, hi int) {
+	out, a, x := cx.out, cx.a, cx.x
+	c := x.Cols()
+	for i := lo; i < hi; i++ {
+		oRow := out.Row(i)
+		if cx.res != nil {
+			copy(oRow, cx.res.Row(i))
+		} else {
 			for j := range oRow {
 				oRow[j] = 0
 			}
-			cols, vals := a.Row(i)
-			for k, col := range cols {
-				v := vals[k]
-				xRow := x.Row(col)
-				for j := 0; j < c; j++ {
-					oRow[j] += v * xRow[j]
-				}
+		}
+		cols, vals := a.Row(i)
+		for k, col := range cols {
+			v := vals[k]
+			xRow := x.Row(col)
+			for j := 0; j < c; j++ {
+				oRow[j] += v * xRow[j]
 			}
 		}
-	})
-	return out
+	}
 }
 
 // ToDense materializes the matrix (for tests and small examples only).

@@ -80,3 +80,35 @@ func BenchmarkAddBias(b *testing.B) {
 		AddBias(x, bias)
 	}
 }
+
+// BenchmarkAddBiasReLUInto measures the fused bias+activation kernel
+// against the AddBias + ReLU chain it replaces in the MLP hidden
+// layers.
+func BenchmarkAddBiasReLUInto(b *testing.B) {
+	x := benchMat(4096, 64, 1)
+	bias := benchMat(1, 64, 2)
+	out := New(4096, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		AddBiasReLUInto(out, x, bias)
+	}
+}
+
+// BenchmarkGatherConcat3Into measures the fused edge-feature assembly
+// [E ‖ X[src] ‖ X[dst]] at IGNN message-input shape.
+func BenchmarkGatherConcat3Into(b *testing.B) {
+	x := benchMat(4096, 64, 1)
+	e := benchMat(8192, 16, 2)
+	r := rng.New(3)
+	src := make([]int, 8192)
+	dst := make([]int, 8192)
+	for i := range src {
+		src[i] = r.Intn(4096)
+		dst[i] = r.Intn(4096)
+	}
+	out := New(8192, 16+64+64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		GatherConcat3Into(out, e, nil, x, src, x, dst)
+	}
+}

@@ -4,11 +4,19 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/kernels"
 	"repro/internal/parallel"
 )
 
 // matmulGrain is the minimum number of output rows per parallel chunk.
 const matmulGrain = 8
+
+// gemmTileJ is the column-tile width of the blocked GEMM: when the
+// output row is wider than this, the k-unrolled inner sweep runs per
+// column tile so the active bands of b and out stay cache-resident.
+// Tiling only regroups the j loop — each out[i,j] still accumulates
+// over k in the same order — so results are bitwise unchanged.
+const gemmTileJ = 512
 
 // MatMul returns a×b. Panics on an inner-dimension mismatch.
 func MatMul(a, b *Dense) *Dense {
@@ -23,16 +31,24 @@ func MatMul(a, b *Dense) *Dense {
 //
 // The kernel uses i-k-j loop order so the innermost loop streams
 // contiguously over rows of b and out, parallelizes across row blocks,
-// and unrolls the k dimension 4× so each pass over the output row does
-// four fused accumulations per store.
+// tiles wide outputs by gemmTileJ columns, and unrolls the k dimension
+// 4× so each pass over the output row does four fused accumulations per
+// store.
 func MatMulInto(out, a, b *Dense) {
+	MatMulIntoCtx(kernels.Context{}, out, a, b)
+}
+
+// MatMulIntoCtx is MatMulInto under an explicit intra-op worker budget.
+// Row blocks partition statically, so the result is bitwise identical
+// at every worker count.
+func MatMulIntoCtx(kc kernels.Context, out, a, b *Dense) {
 	if a.cols != b.rows {
 		panic(fmt.Sprintf("tensor: MatMul inner dims %d vs %d", a.cols, b.rows))
 	}
 	if out.rows != a.rows || out.cols != b.cols {
 		panic("tensor: MatMulInto output shape mismatch")
 	}
-	parallel.ForWith(a.rows, matmulGrain, matCtx{out, a, b}, func(c matCtx, lo, hi int) {
+	parallel.ForWithN(kc.Cap(), a.rows, matmulGrain, matCtx{out, a, b}, func(c matCtx, lo, hi int) {
 		out, a, b := c.out, c.a, c.b
 		n, k := b.cols, a.cols
 		for i := lo; i < hi; i++ {
@@ -41,28 +57,35 @@ func MatMulInto(out, a, b *Dense) {
 				oRow[j] = 0
 			}
 			aRow := a.data[i*k : (i+1)*k]
-			p := 0
-			for ; p+4 <= k; p += 4 {
-				a0, a1, a2, a3 := aRow[p], aRow[p+1], aRow[p+2], aRow[p+3]
-				if a0 == 0 && a1 == 0 && a2 == 0 && a3 == 0 {
-					continue
+			for jt := 0; jt < n; jt += gemmTileJ {
+				jHi := jt + gemmTileJ
+				if jHi > n {
+					jHi = n
 				}
-				b0 := b.data[p*n : (p+1)*n]
-				b1 := b.data[(p+1)*n : (p+2)*n]
-				b2 := b.data[(p+2)*n : (p+3)*n]
-				b3 := b.data[(p+3)*n : (p+4)*n]
-				for j, bv := range b0 {
-					oRow[j] += a0*bv + a1*b1[j] + a2*b2[j] + a3*b3[j]
+				oTile := oRow[jt:jHi]
+				p := 0
+				for ; p+4 <= k; p += 4 {
+					a0, a1, a2, a3 := aRow[p], aRow[p+1], aRow[p+2], aRow[p+3]
+					if a0 == 0 && a1 == 0 && a2 == 0 && a3 == 0 {
+						continue
+					}
+					b0 := b.data[p*n+jt : p*n+jHi]
+					b1 := b.data[(p+1)*n+jt : (p+1)*n+jHi]
+					b2 := b.data[(p+2)*n+jt : (p+2)*n+jHi]
+					b3 := b.data[(p+3)*n+jt : (p+3)*n+jHi]
+					for j, bv := range b0 {
+						oTile[j] += a0*bv + a1*b1[j] + a2*b2[j] + a3*b3[j]
+					}
 				}
-			}
-			for ; p < k; p++ {
-				av := aRow[p]
-				if av == 0 {
-					continue
-				}
-				bRow := b.data[p*n : (p+1)*n]
-				for j, bv := range bRow {
-					oRow[j] += av * bv
+				for ; p < k; p++ {
+					av := aRow[p]
+					if av == 0 {
+						continue
+					}
+					bRow := b.data[p*n+jt : p*n+jHi]
+					for j, bv := range bRow {
+						oTile[j] += av * bv
+					}
 				}
 			}
 		}
@@ -87,13 +110,19 @@ func MatMulT(a, b *Dense) *Dense {
 // loop runs four independent accumulators for instruction-level
 // parallelism.
 func MatMulTInto(out, a, b *Dense) {
+	MatMulTIntoCtx(kernels.Context{}, out, a, b)
+}
+
+// MatMulTIntoCtx is MatMulTInto under an explicit intra-op worker
+// budget; bitwise identical at every worker count.
+func MatMulTIntoCtx(kc kernels.Context, out, a, b *Dense) {
 	if a.cols != b.cols {
 		panic(fmt.Sprintf("tensor: MatMulT inner dims %d vs %d", a.cols, b.cols))
 	}
 	if out.rows != a.rows || out.cols != b.rows {
 		panic("tensor: MatMulTInto output shape mismatch")
 	}
-	parallel.ForWith(a.rows, matmulGrain, matCtx{out, a, b}, func(c matCtx, lo, hi int) {
+	parallel.ForWithN(kc.Cap(), a.rows, matmulGrain, matCtx{out, a, b}, func(c matCtx, lo, hi int) {
 		out, a, b := c.out, c.a, c.b
 		k := a.cols
 		for i := lo; i < hi; i++ {
@@ -129,6 +158,12 @@ func TMatMul(a, b *Dense) *Dense {
 // TMatMulInto computes out = aᵀ×b without forming aᵀ. out must have
 // shape a.cols × b.cols and must not alias a or b.
 func TMatMulInto(out, a, b *Dense) {
+	TMatMulIntoCtx(kernels.Context{}, out, a, b)
+}
+
+// TMatMulIntoCtx is TMatMulInto under an explicit intra-op worker
+// budget; bitwise identical at every worker count.
+func TMatMulIntoCtx(kc kernels.Context, out, a, b *Dense) {
 	if a.rows != b.rows {
 		panic(fmt.Sprintf("tensor: TMatMul inner dims %d vs %d", a.rows, b.rows))
 	}
@@ -136,7 +171,7 @@ func TMatMulInto(out, a, b *Dense) {
 		panic("tensor: TMatMulInto output shape mismatch")
 	}
 	// Parallelize over output rows (columns of a) to avoid write races.
-	parallel.ForWith(a.cols, 1, matCtx{out, a, b}, func(c matCtx, lo, hi int) {
+	parallel.ForWithN(kc.Cap(), a.cols, 1, matCtx{out, a, b}, func(c matCtx, lo, hi int) {
 		out, a, b := c.out, c.a, c.b
 		for i := lo; i < hi; i++ {
 			oRow := out.data[i*b.cols : (i+1)*b.cols]
@@ -269,11 +304,17 @@ func AddBias(m, b *Dense) *Dense {
 // AddBiasInto computes out = m with the 1×cols row vector b added to
 // every row. out may alias m.
 func AddBiasInto(out, m, b *Dense) {
+	AddBiasIntoCtx(kernels.Context{}, out, m, b)
+}
+
+// AddBiasIntoCtx is AddBiasInto under an explicit intra-op worker
+// budget.
+func AddBiasIntoCtx(kc kernels.Context, out, m, b *Dense) {
 	if b.rows != 1 || b.cols != m.cols {
 		panic(fmt.Sprintf("tensor: AddBias bias %dx%d vs matrix cols %d", b.rows, b.cols, m.cols))
 	}
 	checkSame("AddBiasInto", out, m)
-	parallel.ForWith(m.rows, 64, matCtx{out, m, b}, func(c matCtx, lo, hi int) {
+	parallel.ForWithN(kc.Cap(), m.rows, 64, matCtx{out, m, b}, func(c matCtx, lo, hi int) {
 		out, m, b := c.out, c.a, c.b
 		for i := lo; i < hi; i++ {
 			row := m.data[i*m.cols : (i+1)*m.cols]
@@ -397,14 +438,28 @@ func concatColsShape(ms []*Dense) (rows, totalCols int) {
 // ConcatColsInto concatenates matrices horizontally into out, which must
 // have the combined shape and must not alias any input.
 func ConcatColsInto(out *Dense, ms ...*Dense) {
+	ConcatColsIntoCtx(kernels.Context{}, out, ms...)
+}
+
+// concatCtx carries ConcatColsIntoCtx operands into capture-free
+// parallel bodies.
+type concatCtx struct {
+	out *Dense
+	ms  []*Dense
+}
+
+// ConcatColsIntoCtx is ConcatColsInto under an explicit intra-op worker
+// budget.
+func ConcatColsIntoCtx(kc kernels.Context, out *Dense, ms ...*Dense) {
 	rows, totalCols := concatColsShape(ms)
 	if out.rows != rows || out.cols != totalCols {
 		panic("tensor: ConcatColsInto output shape mismatch")
 	}
-	parallel.For(rows, 64, func(lo, hi int) {
+	parallel.ForWithN(kc.Cap(), rows, 64, concatCtx{out, ms}, func(c concatCtx, lo, hi int) {
+		out, totalCols := c.out, c.out.cols
 		for i := lo; i < hi; i++ {
 			off := i * totalCols
-			for _, m := range ms {
+			for _, m := range c.ms {
 				copy(out.data[off:off+m.cols], m.data[i*m.cols:(i+1)*m.cols])
 				off += m.cols
 			}
@@ -482,6 +537,12 @@ func GatherRows(m *Dense, idx []int) *Dense {
 // GatherRowsInto computes out[i] = m[idx[i]]. out must have shape
 // len(idx) × m.cols and must not alias m.
 func GatherRowsInto(out, m *Dense, idx []int) {
+	GatherRowsIntoCtx(kernels.Context{}, out, m, idx)
+}
+
+// GatherRowsIntoCtx is GatherRowsInto under an explicit intra-op worker
+// budget.
+func GatherRowsIntoCtx(kc kernels.Context, out, m *Dense, idx []int) {
 	if out.rows != len(idx) || out.cols != m.cols {
 		panic("tensor: GatherRowsInto output shape mismatch")
 	}
@@ -489,7 +550,7 @@ func GatherRowsInto(out, m *Dense, idx []int) {
 		out, m *Dense
 		idx    []int
 	}
-	parallel.ForWith(len(idx), 256, gatherCtx{out, m, idx}, func(c gatherCtx, lo, hi int) {
+	parallel.ForWithN(kc.Cap(), len(idx), 256, gatherCtx{out, m, idx}, func(c gatherCtx, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			copy(c.out.data[i*c.m.cols:(i+1)*c.m.cols], c.m.Row(c.idx[i]))
 		}

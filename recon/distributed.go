@@ -134,6 +134,7 @@ func TrainDistributed(ctx context.Context, graphs []*EventGraph, opts ...Option)
 	cfg.BucketBytes = set.bucketBytes
 	cfg.BulkBatches = set.bulkBatches
 	cfg.GradBlocks = set.gradBlocks
+	cfg.KernelWorkers = set.kernelWorkers
 	cfg.Shadow = sampling.DefaultConfig()
 	cfg.Seed = set.seed
 

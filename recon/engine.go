@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/kernels"
 	"repro/internal/workspace"
 )
 
@@ -34,20 +35,34 @@ type Outcome struct {
 //   - Errors: per-event errors ride in the Outcome (stream) or leave a
 //     nil hole (batch); cancellation is the only engine-level error.
 type Engine struct {
-	rec     *Reconstructor
-	workers int
-	queue   int
+	rec           *Reconstructor
+	workers       int
+	queue         int
+	kernelWorkers int
 }
 
 // NewEngine wraps a reconstructor in a concurrent execution core.
-// Relevant options: WithWorkers, WithQueueDepth. Options already applied
-// to the Reconstructor (thresholds, stages) are not re-interpreted here.
+// Relevant options: WithWorkers, WithQueueDepth, WithKernelWorkers
+// (defaulting to the reconstructor's own setting, then to an automatic
+// GOMAXPROCS/workers share so pool and kernel parallelism compose).
+// Options already applied to the Reconstructor (thresholds, stages)
+// are not re-interpreted here.
 func NewEngine(rec *Reconstructor, opts ...Option) (*Engine, error) {
 	set, err := applyOptions(opts)
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{rec: rec, workers: set.workers, queue: set.queueDepth}, nil
+	if set.kernelWorkers == 0 {
+		set.kernelWorkers = rec.set.kernelWorkers
+	}
+	return &Engine{rec: rec, workers: set.workers, queue: set.queueDepth, kernelWorkers: set.kernelWorkers}, nil
+}
+
+// workerCtx installs one pool worker's intra-op kernel budget on ctx:
+// the host divided across the workers actually running, so
+// workers × kernel-workers never exceeds GOMAXPROCS.
+func (e *Engine) workerCtx(ctx context.Context, workers int) context.Context {
+	return kernels.Into(ctx, kernels.Budget(workers, e.kernelWorkers))
 }
 
 // Reconstructor returns the engine's underlying reconstructor.
@@ -87,6 +102,7 @@ func (e *Engine) ReconstructBatch(ctx context.Context, events []*Event) ([]*Resu
 			defer wg.Done()
 			arena := workspace.NewArena()
 			defer arena.Reset()
+			wctx := e.workerCtx(ctx, workers)
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= len(events) || ctx.Err() != nil {
@@ -95,7 +111,7 @@ func (e *Engine) ReconstructBatch(ctx context.Context, events []*Event) ([]*Resu
 				if events[i] == nil {
 					continue
 				}
-				res, err := e.rec.reconstructWith(ctx, arena, events[i])
+				res, err := e.rec.reconstructWith(wctx, arena, events[i])
 				if err != nil {
 					if ctx.Err() == nil {
 						errMu.Lock()
@@ -172,6 +188,7 @@ func (e *Engine) ReconstructStream(ctx context.Context, in <-chan *Event) <-chan
 			defer wg.Done()
 			arena := workspace.NewArena()
 			defer arena.Reset()
+			wctx := e.workerCtx(ctx, e.workers)
 			for u := range work {
 				if ctx.Err() != nil {
 					return
@@ -179,7 +196,7 @@ func (e *Engine) ReconstructStream(ctx context.Context, in <-chan *Event) <-chan
 				if u.Event == nil {
 					u.Err = errNilEvent
 				} else {
-					u.Result, u.Err = e.rec.reconstructWith(ctx, arena, u.Event)
+					u.Result, u.Err = e.rec.reconstructWith(wctx, arena, u.Event)
 				}
 				select {
 				case done <- u:

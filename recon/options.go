@@ -1,10 +1,22 @@
 package recon
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/ddp"
+	"repro/internal/kernels"
 )
+
+// KernelWorkersFromContext reports the intra-op worker budget installed
+// on ctx by the Reconstructor's serial entry points or by an Engine
+// worker (see WithKernelWorkers). Custom stage implementations that run
+// their own parallel loops can honour it to stay inside the same
+// oversubscription-free budget as the built-in kernels; ignoring it is
+// also safe.
+func KernelWorkersFromContext(ctx context.Context) int {
+	return kernels.From(ctx).Cap()
+}
 
 // settings collects everything the functional options control. The
 // zero-ish defaults come from pipeline.DefaultConfig for the model
@@ -36,8 +48,9 @@ type settings struct {
 	gnnPosWeight float64
 
 	// Engine execution knobs.
-	workers    int
-	queueDepth int
+	workers       int
+	queueDepth    int
+	kernelWorkers int
 
 	// Distributed-training knobs (TrainDistributed).
 	ranks       int
@@ -227,6 +240,25 @@ func WithQueueDepth(n int) Option {
 			return
 		}
 		s.queueDepth = n
+	}
+}
+
+// WithKernelWorkers bounds the intra-op parallelism of the hot kernels
+// (GEMM, SpGEMM, SpMM, fused gathers) inside a single Reconstruct call
+// or TrainDistributed rank. 0 (the default) derives the budget
+// automatically: GOMAXPROCS for serial use, divided by the worker or
+// rank count when an Engine or TrainDistributed runs units
+// concurrently, so inter-op × intra-op parallelism never oversubscribes
+// the host (an explicit request is likewise capped by that rule).
+// Results are bit-identical at every value — this is purely a
+// performance knob.
+func WithKernelWorkers(n int) Option {
+	return func(s *settings) {
+		if n < 0 {
+			s.fail("WithKernelWorkers: need ≥0, got %d", n)
+			return
+		}
+		s.kernelWorkers = n
 	}
 }
 

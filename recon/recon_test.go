@@ -162,9 +162,57 @@ func TestOptionValidation(t *testing.T) {
 	if _, err := recon.New(spec, recon.WithWorkers(0)); err == nil {
 		t.Fatal("WithWorkers(0) accepted")
 	}
+	if _, err := recon.New(spec, recon.WithKernelWorkers(-1)); err == nil {
+		t.Fatal("WithKernelWorkers(-1) accepted")
+	}
 	p := pipeline.New(pipeline.DefaultConfig(spec), 1)
 	if _, err := recon.FromPipeline(p, recon.WithGNN(8, 2)); err == nil {
 		t.Fatal("FromPipeline accepted WithGNN")
+	}
+}
+
+// TestKernelWorkersParity: the intra-op worker budget is a pure
+// performance knob — serial reconstruction at explicit budgets 1, 2,
+// and 7 must be bit-identical, and an engine combining worker-level and
+// kernel-level parallelism must match too.
+func TestKernelWorkersParity(t *testing.T) {
+	ds := testDataset(t, 0.02, 6, 91)
+
+	var ref []*recon.Result
+	for _, kw := range []int{1, 2, 7} {
+		r, err := recon.New(ds.Spec, recon.WithSeed(5), recon.WithKernelWorkers(kw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		results := make([]*recon.Result, len(ds.Events))
+		for i, ev := range ds.Events {
+			if results[i], err = r.Reconstruct(context.Background(), ev); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if ref == nil {
+			ref = results
+			continue
+		}
+		if !reflect.DeepEqual(ref, results) {
+			t.Fatalf("kernel workers %d: results diverge from budget 1", kw)
+		}
+	}
+
+	r, err := recon.New(ds.Spec, recon.WithSeed(5), recon.WithKernelWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := recon.NewEngine(r, recon.WithWorkers(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := eng.ReconstructBatch(context.Background(), ds.Events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ref, batch) {
+		t.Fatal("engine with kernel workers diverges from serial")
 	}
 }
 

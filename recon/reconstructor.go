@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/kernels"
 	"repro/internal/metrics"
 	"repro/internal/nn"
 	"repro/internal/pipeline"
@@ -131,12 +132,19 @@ func (r *Reconstructor) Spec() DetectorSpec { return r.spec }
 // Threshold returns the stage-4 decision threshold.
 func (r *Reconstructor) Threshold() float64 { return r.cfg.GNNThreshold }
 
+// kernelCtx installs the serial intra-op worker budget on ctx for the
+// default stage adapters (see stages.go). Engine workers install their
+// own divided budget instead.
+func (r *Reconstructor) kernelCtx(ctx context.Context) context.Context {
+	return kernels.Into(ctx, kernels.Budget(1, r.set.kernelWorkers))
+}
+
 // BuildGraph runs stages 1–3 on an event. The returned EventGraph is
 // heap-owned and remains valid indefinitely.
 func (r *Reconstructor) BuildGraph(ctx context.Context, ev *Event) (*EventGraph, error) {
 	a := workspace.NewArena()
 	defer a.Reset()
-	return r.buildGraphWith(ctx, a, ev)
+	return r.buildGraphWith(r.kernelCtx(ctx), a, ev)
 }
 
 func (r *Reconstructor) buildGraphWith(ctx context.Context, a *Arena, ev *Event) (*EventGraph, error) {
@@ -161,14 +169,14 @@ func (r *Reconstructor) buildGraphWith(ctx context.Context, a *Arena, ev *Event)
 func (r *Reconstructor) Reconstruct(ctx context.Context, ev *Event) (*Result, error) {
 	a := workspace.NewArena()
 	defer a.Reset()
-	return r.reconstructWith(ctx, a, ev)
+	return r.reconstructWith(r.kernelCtx(ctx), a, ev)
 }
 
 // ReconstructOn runs stages 4–5 on a pre-built event graph.
 func (r *Reconstructor) ReconstructOn(ctx context.Context, eg *EventGraph) (*Result, error) {
 	a := workspace.NewArena()
 	defer a.Reset()
-	return r.reconstructOnWith(ctx, a, eg)
+	return r.reconstructOnWith(r.kernelCtx(ctx), a, eg)
 }
 
 // reconstructWith is the engine's per-event unit of work: everything

@@ -8,9 +8,16 @@ import (
 	"repro/internal/filter"
 	"repro/internal/graph"
 	"repro/internal/ignn"
+	"repro/internal/kernels"
 	"repro/internal/knnsearch"
 	"repro/internal/rng"
 )
+
+// The default stage adapters read their intra-op worker budget out of
+// ctx (kernels.From): the Reconstructor installs its configured budget
+// on serial entry points and the Engine installs each worker's share,
+// so custom stages see only the standard context.Context signature
+// while the built-in kernels compose with worker-level parallelism.
 
 // mlpEmbedder adapts the stage-1 metric-learning MLP.
 type mlpEmbedder struct{ m *embed.Embedder }
@@ -19,7 +26,7 @@ func (e mlpEmbedder) Embed(ctx context.Context, a *Arena, ev *Event) (*Matrix, e
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	return e.m.EmbedWith(a, ev.Features), nil
+	return e.m.EmbedCtx(kernels.From(ctx), a, ev.Features), nil
 }
 
 func (e mlpEmbedder) Params() []*Param { return e.m.Params() }
@@ -39,7 +46,7 @@ func (b radiusBuilder) BuildEdges(ctx context.Context, a *Arena, ev *Event, embe
 	if err != nil {
 		return nil, nil, err
 	}
-	src, dst = knnsearch.BuildRadiusGraph(embedded, b.radius, b.maxDegree)
+	src, dst = knnsearch.BuildRadiusGraphCtx(kernels.From(ctx), embedded, b.radius, b.maxDegree)
 	return src, dst, nil
 }
 
@@ -102,7 +109,7 @@ func (f mlpFilter) FilterEdges(ctx context.Context, a *Arena, ev *Event, src, ds
 		return nil, nil, nil
 	}
 	edgeFeat := detector.EdgeFeatures(f.spec, ev, src, dst)
-	keep := f.f.KeepWith(a, ev.Features, edgeFeat, src, dst)
+	keep := f.f.KeepCtx(kernels.From(ctx), a, ev.Features, edgeFeat, src, dst)
 	for k := range src {
 		if keep[k] {
 			fsrc = append(fsrc, src[k])
@@ -128,7 +135,7 @@ func (c gnnClassifier) ScoreEdges(ctx context.Context, a *Arena, eg *EventGraph)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	return c.m.EdgeScoresWith(a, eg.G.Src, eg.G.Dst, eg.X, eg.Y), nil
+	return c.m.EdgeScoresCtx(kernels.From(ctx), a, eg.G.Src, eg.G.Dst, eg.X, eg.Y), nil
 }
 
 func (c gnnClassifier) Params() []*Param { return c.m.Params() }
