@@ -344,6 +344,7 @@ func suite(quick bool) []namedBench {
 			b.ReportMetric(float64(cs.Modeled.Nanoseconds())/float64(b.N), "comm_modeled_ns/op")
 		}},
 	}
+	benches = append(benches, precisionSuite()...)
 	if !quick {
 		benches = append(benches,
 			namedBench{"BenchmarkFigure3_EpochTime_P1", func(b *testing.B) {

@@ -1,0 +1,272 @@
+package main
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro"
+	"repro/internal/rng"
+	"repro/internal/sparse"
+	"repro/internal/tensor"
+	"repro/recon"
+)
+
+// This file holds the precision benchmark family: every row exists as
+// an _f64/_f32 twin over identical fixtures (the f32 operands are the
+// rounded f64 operands), so cmd/benchdiff's pair mode
+// (-pair _f64:_f32) reports the float32 speed and bytes-moved ratios
+// directly and CI gates the B/op reduction mechanically. The kernel
+// twins allocate their outputs inside the timed loop on purpose: B/op
+// then measures the bytes the kernel writes per op, which is the
+// bandwidth claim under test (f32 must move ≥25% fewer).
+
+func benchCSR32(n, nnzPerRow int, seed uint64) *sparse.CSR32 {
+	return sparse.ConvertCSR[float32](benchCSR(n, nnzPerRow, seed))
+}
+
+func benchMat32(rows, cols int, seed uint64) *tensor.Dense32 {
+	return tensor.ConvertFrom[float32](nil, benchMat(rows, cols, seed))
+}
+
+// precisionSuite returns the _f64/_f32 twin rows.
+func precisionSuite() []namedBench {
+	return []namedBench{
+		{"BenchmarkSpMM_f64", func(b *testing.B) {
+			a := benchCSR(2000, 8, 1)
+			x := benchMat(2000, 32, 3)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sparse.SpMM(a, x)
+			}
+		}},
+		{"BenchmarkSpMM_f32", func(b *testing.B) {
+			a := benchCSR32(2000, 8, 1)
+			x := benchMat32(2000, 32, 3)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sparse.SpMM(a, x)
+			}
+		}},
+		{"BenchmarkMatMul_f64", func(b *testing.B) {
+			a := benchMat(4096, 64, 1)
+			w := benchMat(64, 64, 2)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tensor.MatMul(a, w)
+			}
+		}},
+		{"BenchmarkMatMul_f32", func(b *testing.B) {
+			a := benchMat32(4096, 64, 1)
+			w := benchMat32(64, 64, 2)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tensor.MatMul(a, w)
+			}
+		}},
+		{"BenchmarkSpMMAdd_f64", func(b *testing.B) {
+			a := benchCSR(2000, 8, 1)
+			x := benchMat(2000, 32, 3)
+			res := benchMat(2000, 32, 4)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				out := tensor.New(2000, 32)
+				sparse.SpMMAddInto(out, a, x, res)
+			}
+		}},
+		{"BenchmarkSpMMAdd_f32", func(b *testing.B) {
+			a := benchCSR32(2000, 8, 1)
+			x := benchMat32(2000, 32, 3)
+			res := benchMat32(2000, 32, 4)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				out := tensor.NewOf[float32](2000, 32)
+				sparse.SpMMAddInto(out, a, x, res)
+			}
+		}},
+		{"BenchmarkAddBiasReLU_f64", func(b *testing.B) {
+			x := benchMat(4096, 64, 1)
+			bias := benchMat(1, 64, 2)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				out := tensor.New(4096, 64)
+				tensor.AddBiasReLUInto(out, x, bias)
+			}
+		}},
+		{"BenchmarkAddBiasReLU_f32", func(b *testing.B) {
+			x := benchMat32(4096, 64, 1)
+			bias := benchMat32(1, 64, 2)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				out := tensor.NewOf[float32](4096, 64)
+				tensor.AddBiasReLUInto(out, x, bias)
+			}
+		}},
+		{"BenchmarkGatherConcat3_f64", func(b *testing.B) {
+			x := benchMat(4096, 64, 1)
+			e := benchMat(8192, 16, 2)
+			src, dst := benchEdges(8192, 4096, 3)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				out := tensor.New(8192, 16+64+64)
+				tensor.GatherConcat3Into(out, e, nil, x, src, x, dst)
+			}
+		}},
+		{"BenchmarkGatherConcat3_f32", func(b *testing.B) {
+			x := benchMat32(4096, 64, 1)
+			e := benchMat32(8192, 16, 2)
+			src, dst := benchEdges(8192, 4096, 3)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				out := tensor.NewOf[float32](8192, 16+64+64)
+				tensor.GatherConcat3Into(out, e, nil, x, src, x, dst)
+			}
+		}},
+		{"BenchmarkEngine_Reconstruct_f64", func(b *testing.B) {
+			f := precisionEngineFixture(b)
+			runEngineBench(b, f.e64, f.test)
+			reportTrackMetrics(b, f.e64, f.test, nil)
+		}},
+		{"BenchmarkEngine_Reconstruct_f32", func(b *testing.B) {
+			f := precisionEngineFixture(b)
+			runEngineBench(b, f.e32, f.test)
+			reportTrackMetrics(b, f.e32, f.test, f.e64)
+		}},
+	}
+}
+
+// precisionFixtureState caches one trained model served at both
+// precisions, so the twin rows (and their parity metrics) measure
+// identical weights and events.
+type precisionFixtureState struct {
+	e64, e32 *recon.Engine
+	test     []*repro.Event
+	err      error
+}
+
+var (
+	precisionOnce  sync.Once
+	precisionState precisionFixtureState
+)
+
+func precisionEngineFixture(b *testing.B) *precisionFixtureState {
+	precisionOnce.Do(func() {
+		ctx := context.Background()
+		spec := repro.Ex3Like(0.02)
+		spec.NumEvents = 6
+		ds := repro.GenerateDataset(spec, 11)
+		train, test := ds.Events[:2], ds.Events[2:]
+		opts := []recon.Option{
+			recon.WithSeed(9),
+			recon.WithGNN(8, 2),
+		}
+		r64, err := recon.New(spec, opts...)
+		if err == nil {
+			err = r64.Fit(ctx, train)
+		}
+		var r32 *recon.Reconstructor
+		var ckpt string
+		if err == nil {
+			dir, derr := os.MkdirTemp("", "bench-precision")
+			if derr != nil {
+				err = derr
+			} else {
+				ckpt = filepath.Join(dir, "model.ckpt.gz")
+				err = r64.SaveCheckpoint(ckpt)
+			}
+		}
+		if err == nil {
+			r32, err = recon.New(spec, append(append([]recon.Option{}, opts...), recon.WithPrecision(recon.Float32))...)
+		}
+		if err == nil {
+			err = r32.LoadCheckpoint(ckpt)
+		}
+		var e64, e32 *recon.Engine
+		if err == nil {
+			e64, err = recon.NewEngine(r64, recon.WithWorkers(1))
+		}
+		if err == nil {
+			e32, err = recon.NewEngine(r32, recon.WithWorkers(1))
+		}
+		precisionState = precisionFixtureState{e64: e64, e32: e32, test: test, err: err}
+	})
+	if precisionState.err != nil {
+		b.Fatal(precisionState.err)
+	}
+	return &precisionState
+}
+
+func runEngineBench(b *testing.B, eng *recon.Engine, events []*repro.Event) {
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.ReconstructBatch(ctx, events); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	reportEventsPerSec(b, len(events))
+}
+
+// reportTrackMetrics attaches mean track efficiency and edge purity
+// over the test events; when ref is non-nil (the f32 row), the
+// absolute parity deltas against the reference engine ride along — the
+// mechanical record of the "identical metrics within tolerance" claim.
+func reportTrackMetrics(b *testing.B, eng *recon.Engine, events []*repro.Event, ref *recon.Engine) {
+	eff, purity, err := meanTrackMetrics(eng, events)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(eff, "track_efficiency")
+	b.ReportMetric(purity, "edge_purity")
+	if ref != nil {
+		refEff, refPurity, err := meanTrackMetrics(ref, events)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(abs(eff-refEff), "eff_delta_vs_f64")
+		b.ReportMetric(abs(purity-refPurity), "purity_delta_vs_f64")
+	}
+}
+
+func meanTrackMetrics(eng *recon.Engine, events []*repro.Event) (eff, purity float64, err error) {
+	results, err := eng.ReconstructBatch(context.Background(), events)
+	if err != nil {
+		return 0, 0, err
+	}
+	n := 0
+	for _, res := range results {
+		if res == nil {
+			continue
+		}
+		eff += res.Match.Efficiency()
+		purity += res.EdgeCounts.Precision()
+		n++
+	}
+	if n > 0 {
+		eff /= float64(n)
+		purity /= float64(n)
+	}
+	return eff, purity, nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// benchEdges builds deterministic random src/dst index lists.
+func benchEdges(m, n int, seed uint64) (src, dst []int) {
+	r := rng.New(seed)
+	src = make([]int, m)
+	dst = make([]int, m)
+	for i := range src {
+		src[i] = r.Intn(n)
+		dst[i] = r.Intn(n)
+	}
+	return src, dst
+}

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPrecisionSuitePairsComplete pins the twin-row invariant the
+// benchdiff pair gate relies on: every _f64 row has an _f32 twin and
+// vice versa.
+func TestPrecisionSuitePairsComplete(t *testing.T) {
+	names := map[string]bool{}
+	for _, nb := range precisionSuite() {
+		names[nb.name] = true
+	}
+	if len(names) == 0 {
+		t.Fatal("empty precision suite")
+	}
+	for n := range names {
+		var twin string
+		switch {
+		case strings.HasSuffix(n, "_f64"):
+			twin = strings.TrimSuffix(n, "_f64") + "_f32"
+		case strings.HasSuffix(n, "_f32"):
+			twin = strings.TrimSuffix(n, "_f32") + "_f64"
+		default:
+			t.Fatalf("%s carries no precision suffix", n)
+		}
+		if !names[twin] {
+			t.Fatalf("%s has no twin %s", n, twin)
+		}
+	}
+}
+
+// TestPrecisionSuiteRuns executes every twin row once through the
+// benchmark harness (the engine rows train one shared fixture), so the
+// BENCH_5 rows and their parity metrics are exercised under go test —
+// not only via cmd/bench runs.
+func TestPrecisionSuiteRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("precision suite trains a model; skipped in -short")
+	}
+	for _, nb := range precisionSuite() {
+		r := testing.Benchmark(nb.fn)
+		if r.N < 1 {
+			t.Fatalf("%s did not run", nb.name)
+		}
+		if strings.HasPrefix(nb.name, "BenchmarkEngine_Reconstruct_f32") {
+			if d, ok := r.Extra["eff_delta_vs_f64"]; !ok || d > 0.02 {
+				t.Fatalf("%s: efficiency delta %v (present=%v) exceeds tolerance", nb.name, d, ok)
+			}
+			if d, ok := r.Extra["purity_delta_vs_f64"]; !ok || d > 0.02 {
+				t.Fatalf("%s: purity delta %v (present=%v) exceeds tolerance", nb.name, d, ok)
+			}
+		}
+	}
+}
+
+func TestParseProcsList(t *testing.T) {
+	got, err := parseProcsList("1, 2,4")
+	if err != nil || len(got) != 3 || got[0] != 1 || got[2] != 4 {
+		t.Fatalf("parseProcsList: %v %v", got, err)
+	}
+	if _, err := parseProcsList("0"); err == nil {
+		t.Fatal("procs 0 accepted")
+	}
+	if _, err := parseProcsList("x"); err == nil {
+		t.Fatal("procs x accepted")
+	}
+	if got, err := parseProcsList(""); err != nil || got != nil {
+		t.Fatalf("empty procs: %v %v", got, err)
+	}
+}
+
+func TestAttachEngineSpeedup(t *testing.T) {
+	rec := &Record{Benchmarks: []BenchResult{
+		{Name: "BenchmarkEngine_ReconstructSerial", NsPerOp: 1000},
+		{Name: "BenchmarkEngine_ReconstructBatch_W4", NsPerOp: 500},
+	}}
+	attachEngineSpeedup(rec)
+	if got := rec.Benchmarks[1].Metrics["speedup_vs_serial"]; got != 2 {
+		t.Fatalf("speedup_vs_serial = %v, want 2", got)
+	}
+}

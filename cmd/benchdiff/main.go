@@ -9,6 +9,17 @@
 // zero-allocation contract of the hot kernels admits no tolerance.
 // Benchmarks present in only one record are reported but never fail the
 // diff (suites legitimately grow).
+//
+// Pair mode compares suffix-paired rows WITHIN one record instead:
+//
+//	go run ./cmd/benchdiff -pair _f64:_f32 [-pair-min-bytes-drop 25] BENCH_5.json
+//
+// Every benchmark named X<old-suffix> is matched with X<new-suffix> and
+// the ns/op and B/op ratios are reported — how the precision (or any
+// other suffixed variant) family compares on the same host and run.
+// With -pair-min-bytes-drop N, the diff fails unless every pair's B/op
+// dropped by at least N percent, gating e.g. the float32 bandwidth win
+// mechanically. Unpaired rows are ignored.
 package main
 
 import (
@@ -17,6 +28,7 @@ import (
 	"fmt"
 	"os"
 	"regexp"
+	"strings"
 )
 
 // benchResult mirrors the cmd/bench BenchResult fields benchdiff reads.
@@ -53,14 +65,103 @@ func pct(old, new float64) float64 {
 	return 100 * (new - old) / old
 }
 
+// runPairMode compares rows named X<oldSuf> against X<newSuf> within
+// one record, printing the ns/op and B/op ratios, and returns the
+// number of pairs whose B/op reduction missed minBytesDrop percent.
+func runPairMode(rec *record, oldSuf, newSuf string, minBytesDrop float64, matchRe *regexp.Regexp) int {
+	byName := map[string]benchResult{}
+	for _, b := range rec.Benchmarks {
+		byName[b.Name] = b
+	}
+	type pair struct {
+		base     string
+		old, new benchResult
+	}
+	var pairs []pair
+	for _, b := range rec.Benchmarks {
+		if !strings.HasSuffix(b.Name, oldSuf) {
+			continue
+		}
+		base := strings.TrimSuffix(b.Name, oldSuf)
+		if matchRe != nil && !matchRe.MatchString(base) {
+			continue
+		}
+		nb, ok := byName[base+newSuf]
+		if !ok {
+			fmt.Printf("%-40s   (no %s twin)\n", b.Name, newSuf)
+			continue
+		}
+		pairs = append(pairs, pair{base, b, nb})
+	}
+	if len(pairs) == 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: no %s/%s pairs found\n", oldSuf, newSuf)
+		os.Exit(2)
+	}
+
+	failures := 0
+	fmt.Printf("%-40s %12s %12s %8s %12s %12s %8s\n",
+		"benchmark", oldSuf+" ns", newSuf+" ns", "ns ratio", oldSuf+" B/op", newSuf+" B/op", "ΔB%")
+	for _, p := range pairs {
+		nsRatio := 0.0
+		if p.new.NsPerOp > 0 {
+			nsRatio = p.old.NsPerOp / p.new.NsPerOp
+		}
+		bytesDrop := 0.0
+		if p.old.BytesPerOp > 0 {
+			bytesDrop = 100 * float64(p.old.BytesPerOp-p.new.BytesPerOp) / float64(p.old.BytesPerOp)
+		}
+		verdict := ""
+		if minBytesDrop > 0 && bytesDrop < minBytesDrop {
+			verdict = fmt.Sprintf("  FAIL: B/op drop %.1f%% < %.0f%%", bytesDrop, minBytesDrop)
+			failures++
+		}
+		fmt.Printf("%-40s %12.0f %12.0f %7.2fx %12d %12d %+7.1f%%%s\n",
+			p.base, p.old.NsPerOp, p.new.NsPerOp, nsRatio,
+			p.old.BytesPerOp, p.new.BytesPerOp, -bytesDrop, verdict)
+	}
+	return failures
+}
+
 func main() {
 	nsTol := flag.Float64("ns-tol", 10, "ns/op growth tolerance in percent")
 	match := flag.String("match", "", "only compare benchmarks whose name matches this regexp")
+	pairSuffixes := flag.String("pair", "", "pair mode: compare rows suffixed OLD:NEW (e.g. _f64:_f32) within ONE record")
+	pairMinBytesDrop := flag.Float64("pair-min-bytes-drop", 0, "pair mode: fail unless every pair's B/op dropped by at least this percent")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: benchdiff [flags] old.json new.json\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "       benchdiff -pair OLDSUF:NEWSUF [flags] record.json\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+
+	var pairRe *regexp.Regexp
+	var err error
+	if *match != "" {
+		pairRe, err = regexp.Compile(*match)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: -match: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	if *pairSuffixes != "" {
+		parts := strings.SplitN(*pairSuffixes, ":", 2)
+		if len(parts) != 2 || parts[0] == "" || parts[1] == "" || flag.NArg() != 1 {
+			flag.Usage()
+			os.Exit(2)
+		}
+		rec, err := load(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+			os.Exit(2)
+		}
+		failures := runPairMode(rec, parts[0], parts[1], *pairMinBytesDrop, pairRe)
+		if failures > 0 {
+			fmt.Printf("\nbenchdiff: %d pair(s) missed the %.0f%% B/op reduction gate\n", failures, *pairMinBytesDrop)
+			os.Exit(1)
+		}
+		fmt.Println("\nbenchdiff: all pairs within gate")
+		return
+	}
 	if flag.NArg() != 2 {
 		flag.Usage()
 		os.Exit(2)
@@ -76,14 +177,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
 		os.Exit(2)
 	}
-	var matchRe *regexp.Regexp
-	if *match != "" {
-		matchRe, err = regexp.Compile(*match)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "benchdiff: -match: %v\n", err)
-			os.Exit(2)
-		}
-	}
+	matchRe := pairRe
 	if matchRe != nil {
 		filter := func(bs []benchResult) []benchResult {
 			var out []benchResult

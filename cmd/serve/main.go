@@ -40,7 +40,13 @@ func main() {
 	threshold := flag.Float64("threshold", 0.5, "stage-4 edge decision threshold")
 	truthGraphs := flag.Float64("truth-graphs", -1, "build truth-level graphs with this fake ratio instead of the learned stages 1-3 (<0 = off)")
 	seed := flag.Uint64("seed", 1, "model initialization seed (must match the checkpoint)")
+	precision := flag.String("precision", "f64", "inference precision for the built-in stages: f64 or f32 (f32 halves kernel memory traffic; checkpoints of any dtype load)")
 	flag.Parse()
+
+	prec, ok := recon.ParsePrecision(*precision)
+	if !ok {
+		log.Fatalf("serve: -precision must be f64 or f32, got %q", *precision)
+	}
 
 	var spec repro.DetectorSpec
 	if *dataset == "ctd" {
@@ -53,6 +59,7 @@ func main() {
 		recon.WithGNN(*hidden, *steps),
 		recon.WithThreshold(*threshold),
 		recon.WithSeed(*seed),
+		recon.WithPrecision(prec),
 	}
 	if *truthGraphs >= 0 {
 		opts = append(opts, recon.WithTruthLevelGraphs(*truthGraphs))
@@ -76,8 +83,8 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	log.Printf("serving %s-like reconstruction on %s (workers=%d queue=%d threshold=%v)",
-		spec.Name, *addr, *workers, *queue, *threshold)
+	log.Printf("serving %s-like reconstruction on %s (workers=%d queue=%d threshold=%v precision=%s)",
+		spec.Name, *addr, *workers, *queue, *threshold, prec)
 	if err := recon.NewServer(eng).Serve(ctx, *addr); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

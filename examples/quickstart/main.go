@@ -60,4 +60,31 @@ func main() {
 		res.EdgeCounts.Precision(), res.EdgeCounts.Recall())
 	fmt.Printf("track finding: efficiency=%.3f fake rate=%.3f\n",
 		res.Match.Efficiency(), res.Match.FakeRate())
+
+	// 5. Serve the same trained model at float32: the weights convert
+	// once, every per-event kernel then moves half the bytes, and the
+	// track metrics match f64 within the documented tolerance (API.md
+	// "Precision"). The checkpoint round-trip mirrors how cmd/serve
+	// -precision f32 deploys a model trained elsewhere.
+	ckpt := "quickstart.ckpt.gz"
+	if err := r.SaveCheckpoint(ckpt); err != nil {
+		log.Fatal(err)
+	}
+	r32, err := recon.New(spec,
+		recon.WithGNN(16, 3),
+		recon.WithSeed(7),
+		recon.WithPrecision(recon.Float32),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := r32.LoadCheckpoint(ckpt); err != nil {
+		log.Fatal(err)
+	}
+	res32, err := r32.Reconstruct(ctx, test[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("float32 serving path: %d tracks, efficiency=%.3f (f64: %.3f)\n",
+		len(res32.Tracks), res32.Match.Efficiency(), res.Match.Efficiency())
 }

@@ -1,0 +1,35 @@
+package embed
+
+import (
+	"repro/internal/fp"
+	"repro/internal/kernels"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+	"repro/internal/workspace"
+)
+
+// Inference is the precision-generic, tape-free forward pass of a
+// trained Embedder: weights are converted to T once at construction and
+// every per-event kernel then runs in T. The float64 instantiation is
+// bitwise identical to EmbedCtx; the float32 instantiation is the
+// reduced-precision serving path. Immutable and safe for concurrent
+// use.
+type Inference[T fp.Float] struct {
+	cfg Config
+	mlp *nn.MLPInference[T]
+}
+
+// NewInference snapshots e's trained weights at precision T.
+func NewInference[T fp.Float](e *Embedder) *Inference[T] {
+	return &Inference[T]{cfg: e.cfg, mlp: nn.NewMLPInference[T](e.mlp)}
+}
+
+// Config returns the embedder configuration.
+func (inf *Inference[T]) Config() Config { return inf.cfg }
+
+// EmbedCtx maps hit features (n × InputFeatures, already in T) into the
+// embedding space under the given worker budget. The result is
+// arena-owned when arena is non-nil.
+func (inf *Inference[T]) EmbedCtx(kc kernels.Context, arena *workspace.Arena, features *tensor.Matrix[T]) *tensor.Matrix[T] {
+	return inf.mlp.Forward(kc, arena, features)
+}

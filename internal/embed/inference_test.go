@@ -1,0 +1,37 @@
+package embed
+
+import (
+	"testing"
+
+	"repro/internal/detector"
+	"repro/internal/kernels"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+func TestInferenceF64MatchesTapeEmbed(t *testing.T) {
+	spec := detector.Ex3Like(0.02)
+	cfg := DefaultConfig(spec)
+	e := New(cfg, rng.New(3))
+	feat := tensor.RandN(rng.New(4), 40, cfg.InputFeatures, 1)
+
+	want := e.Embed(feat)
+	got := NewInference[float64](e).EmbedCtx(kernels.Context{}, nil, feat)
+	if want.MaxAbsDiff(got) != 0 {
+		t.Fatalf("f64 inference embedding differs by %v", want.MaxAbsDiff(got))
+	}
+}
+
+func TestInferenceF32WithinTolerance(t *testing.T) {
+	spec := detector.Ex3Like(0.02)
+	cfg := DefaultConfig(spec)
+	e := New(cfg, rng.New(5))
+	feat := tensor.RandN(rng.New(6), 40, cfg.InputFeatures, 1)
+
+	want := e.Embed(feat)
+	got32 := NewInference[float32](e).EmbedCtx(kernels.Context{}, nil, tensor.ConvertFrom[float32](nil, feat))
+	got := tensor.ConvertFrom[float64](nil, got32)
+	if d := want.MaxAbsDiff(got); d > 1e-4 {
+		t.Fatalf("f32 embedding drifts %v from f64", d)
+	}
+}

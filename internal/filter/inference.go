@@ -1,0 +1,55 @@
+package filter
+
+import (
+	"repro/internal/fp"
+	"repro/internal/kernels"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+	"repro/internal/workspace"
+)
+
+// Inference is the precision-generic, tape-free stage-3 forward pass:
+// weights convert to T once at construction, and per-event scoring runs
+// the fused gather+concat and the MLP entirely in T. Scores and the
+// keep threshold stay float64 — the precision boundary sits at the
+// logit. The float64 instantiation is bitwise identical to ScoresCtx.
+// Immutable and safe for concurrent use.
+type Inference[T fp.Float] struct {
+	cfg Config
+	mlp *nn.MLPInference[T]
+}
+
+// NewInference snapshots f's trained weights at precision T.
+func NewInference[T fp.Float](f *EdgeFilter) *Inference[T] {
+	return &Inference[T]{cfg: f.cfg, mlp: nn.NewMLPInference[T](f.mlp)}
+}
+
+// Threshold returns the keep threshold on the sigmoid score.
+func (inf *Inference[T]) Threshold() float64 { return inf.cfg.Threshold }
+
+// ScoresCtx returns the sigmoid score per edge (src, dst) with all
+// activations borrowed from the arena (released before returning).
+func (inf *Inference[T]) ScoresCtx(kc kernels.Context, arena *workspace.Arena, nodeFeat, edgeFeat *tensor.Matrix[T], src, dst []int) []float64 {
+	if arena != nil {
+		mark := arena.Checkpoint()
+		defer arena.ResetTo(mark)
+	}
+	in := tensor.NewFromOf[T](arena, len(src), 2*nodeFeat.Cols()+edgeFeat.Cols())
+	tensor.GatherConcat3IntoCtx(kc, in, nodeFeat, src, nodeFeat, dst, edgeFeat, nil)
+	logits := inf.mlp.Forward(kc, arena, in)
+	scores := make([]float64, len(src))
+	for i := range scores {
+		scores[i] = nn.SigmoidScore(logits.At(i, 0))
+	}
+	return scores
+}
+
+// KeepCtx returns the boolean keep mask at the configured threshold.
+func (inf *Inference[T]) KeepCtx(kc kernels.Context, arena *workspace.Arena, nodeFeat, edgeFeat *tensor.Matrix[T], src, dst []int) []bool {
+	scores := inf.ScoresCtx(kc, arena, nodeFeat, edgeFeat, src, dst)
+	keep := make([]bool, len(scores))
+	for i, s := range scores {
+		keep[i] = s >= inf.cfg.Threshold
+	}
+	return keep
+}

@@ -1,0 +1,58 @@
+package filter
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/kernels"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+func inferenceFixture(seed uint64) (*EdgeFilter, *tensor.Dense, *tensor.Dense, []int, []int) {
+	cfg := DefaultConfig(5, 2, 2)
+	f := New(cfg, rng.New(seed))
+	r := rng.New(seed + 1)
+	nodeFeat := tensor.RandN(r, 30, cfg.NodeFeatures, 1)
+	src := make([]int, 64)
+	dst := make([]int, 64)
+	for i := range src {
+		src[i] = r.Intn(30)
+		dst[i] = r.Intn(30)
+	}
+	edgeFeat := tensor.RandN(r, len(src), cfg.EdgeFeatures, 1)
+	return f, nodeFeat, edgeFeat, src, dst
+}
+
+func TestInferenceF64MatchesTapeScores(t *testing.T) {
+	f, nodeFeat, edgeFeat, src, dst := inferenceFixture(11)
+	want := f.Scores(nodeFeat, edgeFeat, src, dst)
+	inf := NewInference[float64](f)
+	got := inf.ScoresCtx(kernels.Context{}, nil, nodeFeat, edgeFeat, src, dst)
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("score %d differs: %v vs %v", i, want[i], got[i])
+		}
+	}
+	// The keep mask must agree exactly at f64 (same scores, same threshold).
+	wantKeep := f.Keep(nodeFeat, edgeFeat, src, dst)
+	gotKeep := inf.KeepCtx(kernels.Context{}, nil, nodeFeat, edgeFeat, src, dst)
+	for i := range wantKeep {
+		if wantKeep[i] != gotKeep[i] {
+			t.Fatalf("keep %d differs", i)
+		}
+	}
+}
+
+func TestInferenceF32WithinTolerance(t *testing.T) {
+	f, nodeFeat, edgeFeat, src, dst := inferenceFixture(13)
+	want := f.Scores(nodeFeat, edgeFeat, src, dst)
+	inf := NewInference[float32](f)
+	got := inf.ScoresCtx(kernels.Context{}, nil,
+		tensor.ConvertFrom[float32](nil, nodeFeat), tensor.ConvertFrom[float32](nil, edgeFeat), src, dst)
+	for i := range want {
+		if math.Abs(want[i]-got[i]) > 1e-4 {
+			t.Fatalf("f32 score %d drifts %v", i, math.Abs(want[i]-got[i]))
+		}
+	}
+}

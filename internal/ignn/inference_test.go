@@ -1,0 +1,86 @@
+package ignn
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/kernels"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+	"repro/internal/workspace"
+)
+
+// TestInferenceF64MatchesTapeScores is the refactor guarantee for the
+// GNN stage: the tape-free float64 inference path reproduces
+// EdgeScoresCtx bit for bit — same kernels in the same order.
+func TestInferenceF64MatchesTapeScores(t *testing.T) {
+	for _, layerNorm := range []bool{false, true} {
+		cfg := tinyConfig()
+		cfg.LayerNorm = layerNorm
+		m := New(cfg, rng.New(3))
+		src, dst, x, y := ring(rng.New(4), 24, cfg)
+
+		want := m.EdgeScores(src, dst, x, y)
+		inf := NewInference[float64](m)
+		arena := workspace.NewArena()
+		defer arena.Reset()
+		got := inf.EdgeScoresCtx(kernels.Context{}, arena, src, dst, x, y)
+		if len(got) != len(want) {
+			t.Fatalf("layerNorm=%v: %d scores, want %d", layerNorm, len(got), len(want))
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("layerNorm=%v: score %d differs: %v vs %v", layerNorm, i, want[i], got[i])
+			}
+		}
+		// Worker budgets must not change the scores either.
+		got2 := inf.EdgeScoresCtx(kernels.Context{Workers: 3}, arena, src, dst, x, y)
+		for i := range want {
+			if want[i] != got2[i] {
+				t.Fatalf("layerNorm=%v: score %d differs at 3 workers", layerNorm, i)
+			}
+		}
+	}
+}
+
+// TestInferenceF32WithinTolerance bounds the f32 score drift on the
+// small ring fixture. Scores are sigmoids in [0,1]; the deep (Steps=2)
+// unit-scale network keeps the drift orders of magnitude below the 0.5
+// decision threshold's neighborhood.
+func TestInferenceF32WithinTolerance(t *testing.T) {
+	cfg := tinyConfig()
+	m := New(cfg, rng.New(5))
+	src, dst, x, y := ring(rng.New(6), 24, cfg)
+
+	want := NewInference[float64](m).EdgeScoresCtx(kernels.Context{}, nil, src, dst, x, y)
+	inf32 := NewInference[float32](m)
+	got := inf32.EdgeScoresCtx(kernels.Context{}, nil, src, dst,
+		tensor.ConvertFrom[float32](nil, x), tensor.ConvertFrom[float32](nil, y))
+	worst := 0.0
+	for i := range want {
+		if d := math.Abs(want[i] - got[i]); d > worst {
+			worst = d
+		}
+	}
+	if worst > 1e-4 {
+		t.Fatalf("f32 scores drift %v from f64", worst)
+	}
+}
+
+// TestInferenceArenaReleased verifies the inference pass returns every
+// arena slice it borrowed.
+func TestInferenceArenaReleased(t *testing.T) {
+	cfg := tinyConfig()
+	m := New(cfg, rng.New(7))
+	src, dst, x, y := ring(rng.New(8), 16, cfg)
+	inf := NewInference[float32](m)
+	arena := workspace.NewArena()
+	defer arena.Reset()
+	x32 := tensor.ConvertFrom[float32](nil, x)
+	y32 := tensor.ConvertFrom[float32](nil, y)
+	before := arena.Live()
+	inf.EdgeScoresCtx(kernels.Context{}, arena, src, dst, x32, y32)
+	if arena.Live() != before {
+		t.Fatalf("inference leaked %d arena slices", arena.Live()-before)
+	}
+}

@@ -3,6 +3,10 @@
 // paper's stack delegates to FAISS/FRNN on GPU. A k-d tree over the
 // embedding rows answers radius queries; BuildRadiusGraph assembles the
 // event graph the downstream filter and GNN stages consume.
+//
+// The tree and the graph builder are generic over the embedding element
+// type, so the float32 inference path searches f32 embeddings directly
+// (half the bytes per visited node) instead of widening them first.
 package knnsearch
 
 import (
@@ -11,14 +15,15 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/fp"
 	"repro/internal/kernels"
 	"repro/internal/tensor"
 	"repro/internal/workspace"
 )
 
 // KDTree is a static k-d tree over the rows of a dense matrix.
-type KDTree struct {
-	pts   *tensor.Dense
+type KDTree[T fp.Float] struct {
+	pts   *tensor.Matrix[T]
 	dim   int
 	root  *node
 	nodes []node // slab: all nodes in one allocation, pointers into it
@@ -33,8 +38,8 @@ type node struct {
 // Build constructs a balanced k-d tree over all rows of pts. The tree's
 // nodes live in one slab allocation sized up front, so building costs
 // O(1) allocations rather than one per row.
-func Build(pts *tensor.Dense) *KDTree {
-	t := &KDTree{pts: pts, dim: pts.Cols()}
+func Build[T fp.Float](pts *tensor.Matrix[T]) *KDTree[T] {
+	t := &KDTree[T]{pts: pts, dim: pts.Cols()}
 	n := pts.Rows()
 	t.nodes = make([]node, 0, n)
 	idx := workspace.GetInt(n)
@@ -46,7 +51,7 @@ func Build(pts *tensor.Dense) *KDTree {
 	return t
 }
 
-func (t *KDTree) build(idx []int, depth int) *node {
+func (t *KDTree[T]) build(idx []int, depth int) *node {
 	if len(idx) == 0 {
 		return nil
 	}
@@ -69,23 +74,23 @@ func (t *KDTree) build(idx []int, depth int) *node {
 // RadiusNeighbors returns indices of all points within Euclidean distance
 // radius of query (a slice of length dim), excluding exclude (pass -1 to
 // keep all). Results are sorted ascending.
-func (t *KDTree) RadiusNeighbors(query []float64, radius float64, exclude int) []int {
+func (t *KDTree[T]) RadiusNeighbors(query []T, radius float64, exclude int) []int {
 	if len(query) != t.dim {
 		panic("knnsearch: query dimension mismatch")
 	}
 	var out []int
-	r2 := radius * radius
+	r2 := T(radius) * T(radius)
 	t.search(t.root, query, r2, exclude, &out)
 	sort.Ints(out)
 	return out
 }
 
-func (t *KDTree) search(n *node, q []float64, r2 float64, exclude int, out *[]int) {
+func (t *KDTree[T]) search(n *node, q []T, r2 T, exclude int, out *[]int) {
 	if n == nil {
 		return
 	}
 	row := t.pts.Row(n.point)
-	d2 := 0.0
+	var d2 T
 	for j, qv := range q {
 		d := row[j] - qv
 		d2 += d * d
@@ -108,15 +113,15 @@ func (t *KDTree) search(n *node, q []float64, r2 float64, exclude int, out *[]in
 }
 
 // BruteRadiusNeighbors is the O(n·d) oracle used for testing.
-func BruteRadiusNeighbors(pts *tensor.Dense, query []float64, radius float64, exclude int) []int {
+func BruteRadiusNeighbors[T fp.Float](pts *tensor.Matrix[T], query []T, radius float64, exclude int) []int {
 	var out []int
-	r2 := radius * radius
+	r2 := T(radius) * T(radius)
 	for i := 0; i < pts.Rows(); i++ {
 		if i == exclude {
 			continue
 		}
 		row := pts.Row(i)
-		d2 := 0.0
+		var d2 T
 		for j, qv := range query {
 			d := row[j] - qv
 			d2 += d * d
@@ -143,13 +148,13 @@ func BruteRadiusNeighbors(pts *tensor.Dense, query []float64, radius float64, ex
 // disjoint range of query vertices into its own edge buffer and the
 // buffers concatenate in range order, so the output is bitwise
 // identical to the serial loop at every worker count.
-func BuildRadiusGraph(embeddings *tensor.Dense, radius float64, maxDegree int) (src, dst []int) {
+func BuildRadiusGraph[T fp.Float](embeddings *tensor.Matrix[T], radius float64, maxDegree int) (src, dst []int) {
 	return BuildRadiusGraphCtx(kernels.Context{}, embeddings, radius, maxDegree)
 }
 
 // BuildRadiusGraphCtx is BuildRadiusGraph under an explicit intra-op
 // worker budget.
-func BuildRadiusGraphCtx(kc kernels.Context, embeddings *tensor.Dense, radius float64, maxDegree int) (src, dst []int) {
+func BuildRadiusGraphCtx[T fp.Float](kc kernels.Context, embeddings *tensor.Matrix[T], radius float64, maxDegree int) (src, dst []int) {
 	t := Build(embeddings)
 	n := embeddings.Rows()
 	workers := kc.Cap()
@@ -194,8 +199,8 @@ func BuildRadiusGraphCtx(kc kernels.Context, embeddings *tensor.Dense, radius fl
 // collectRange answers the radius queries of vertices [lo, hi),
 // appending each query's surviving i<j edges to src/dst in ascending
 // vertex order.
-func (t *KDTree) collectRange(embeddings *tensor.Dense, radius float64, maxDegree int, lo, hi int) (src, dst []int) {
-	r2 := radius * radius
+func (t *KDTree[T]) collectRange(embeddings *tensor.Matrix[T], radius float64, maxDegree int, lo, hi int) (src, dst []int) {
+	r2 := T(radius) * T(radius)
 	base := workspace.GetInt(embeddings.Rows())
 	defer workspace.PutInt(base)
 	for i := lo; i < hi; i++ {

@@ -13,40 +13,61 @@ import (
 	"repro/internal/tensor"
 )
 
-// The on-disk format. Version 2 files open with an 8-byte magic and a
+// The on-disk format. Version 3 files open with an 8-byte magic and a
 // gob-encoded header declaring the parameter count and every
-// parameter's name, shape, and element count — so loading a checkpoint
-// into a mismatched model configuration fails loudly before a single
-// weight is touched. Version 1 files (headerless: the gob stream starts
-// immediately) remain readable.
+// parameter's name, shape, element count, and element dtype — so
+// loading a checkpoint into a mismatched model configuration fails
+// loudly before a single weight is touched, and each parameter's
+// payload may be stored as float64 ("f64") or float32 ("f32", half the
+// bytes — the serving-checkpoint format for the float32 inference
+// path). Version 2 files (same layout, no dtype tags, f64 payloads)
+// and version 1 files (headerless: the gob stream starts immediately)
+// remain readable; both load as float64.
 const (
 	checkpointVersionLegacy = 1
-	checkpointVersion       = 2
+	checkpointVersionV2     = 2
+	checkpointVersion       = 3
 )
 
-// checkpointMagic opens every v2 checkpoint. Legacy gob streams cannot
-// start with these bytes (gob type definitions begin differently), so
-// the formats are distinguishable from the first read.
-var checkpointMagic = [8]byte{'R', 'P', 'R', 'O', 'C', 'K', 'P', checkpointVersion}
+// Dtype tags carried per parameter by v3 checkpoints.
+const (
+	DtypeF64 = "f64"
+	DtypeF32 = "f32"
+)
+
+// checkpointMagic opens every v3 checkpoint; checkpointMagicV2 opened
+// v2 files. Legacy gob streams cannot start with these bytes (gob type
+// definitions begin differently), so the formats are distinguishable
+// from the first read.
+var (
+	checkpointMagic   = [8]byte{'R', 'P', 'R', 'O', 'C', 'K', 'P', checkpointVersion}
+	checkpointMagicV2 = [8]byte{'R', 'P', 'R', 'O', 'C', 'K', 'P', checkpointVersionV2}
+)
 
 // checkpointRecord is the serialized form of one parameter. Count is
-// redundant with Rows×Cols and with len(Data); the redundancy is the
-// point — any disagreement means corruption and is rejected.
+// redundant with Rows×Cols and with the payload length; the redundancy
+// is the point — any disagreement means corruption and is rejected.
+// Exactly one of Data (dtype f64) and Data32 (dtype f32) carries the
+// payload; v1/v2 files predate Dtype and Data32 and always use Data.
 type checkpointRecord struct {
 	Name       string
 	Rows, Cols int
-	Count      int // v2 only: expected len(Data)
+	Count      int    // v2+: expected payload length
+	Dtype      string // v3: DtypeF64 or DtypeF32; empty in v1/v2 files
 	Data       []float64
+	Data32     []float32
 }
 
 // checkpointHeader declares the file's contents ahead of the payload:
-// per-param shapes and counts, so validation never has to trust Data.
+// per-param shapes, counts, and (v3) dtypes, so validation never has to
+// trust Data.
 type checkpointHeader struct {
 	NumParams int
 	Names     []string
 	Rows      []int
 	Cols      []int
 	Counts    []int
+	Dtypes    []string // v3 only; empty in v2 files
 }
 
 type checkpointFile struct {
@@ -55,10 +76,23 @@ type checkpointFile struct {
 }
 
 // SaveParams writes parameter values to w: magic, versioned header with
-// per-param shape + count, then the payload (gob). Gradients and
-// optimizer state are not persisted — checkpoints capture the model,
-// not the training run.
+// per-param shape + count + dtype, then the payload (gob), all at
+// dtype f64. Gradients and optimizer state are not persisted —
+// checkpoints capture the model, not the training run.
 func SaveParams(w io.Writer, params []*autograd.Param) error {
+	return SaveParamsDtype(w, params, DtypeF64)
+}
+
+// SaveParamsDtype is SaveParams with an explicit element dtype for
+// every parameter payload. DtypeF32 rounds each float64 weight to the
+// nearest float32 (half the checkpoint bytes) — the demotion the
+// float32 serving path applies at construction anyway, so an f32
+// checkpoint loaded into an f64 model and served at f32 is
+// score-identical to an f64 checkpoint served at f32.
+func SaveParamsDtype(w io.Writer, params []*autograd.Param, dtype string) error {
+	if dtype != DtypeF64 && dtype != DtypeF32 {
+		return fmt.Errorf("nn: unknown checkpoint dtype %q", dtype)
+	}
 	if _, err := w.Write(checkpointMagic[:]); err != nil {
 		return fmt.Errorf("nn: write checkpoint magic: %w", err)
 	}
@@ -70,13 +104,23 @@ func SaveParams(w io.Writer, params []*autograd.Param) error {
 		hdr.Rows = append(hdr.Rows, rows)
 		hdr.Cols = append(hdr.Cols, cols)
 		hdr.Counts = append(hdr.Counts, rows*cols)
-		file.Params = append(file.Params, checkpointRecord{
+		hdr.Dtypes = append(hdr.Dtypes, dtype)
+		rec := checkpointRecord{
 			Name:  p.Name,
 			Rows:  rows,
 			Cols:  cols,
 			Count: rows * cols,
-			Data:  p.Value.Data(),
-		})
+			Dtype: dtype,
+		}
+		if dtype == DtypeF32 {
+			rec.Data32 = make([]float32, rows*cols)
+			for i, v := range p.Value.Data() {
+				rec.Data32[i] = float32(v)
+			}
+		} else {
+			rec.Data = p.Value.Data()
+		}
+		file.Params = append(file.Params, rec)
 	}
 	enc := gob.NewEncoder(w)
 	if err := enc.Encode(&hdr); err != nil {
@@ -90,34 +134,41 @@ func SaveParams(w io.Writer, params []*autograd.Param) error {
 
 // LoadParams restores parameter values from r into params. The header
 // (or, for legacy headerless files, the decoded records) is validated
-// in full — count, names, shapes, element counts — before any parameter
-// is modified, so a mismatched checkpoint can never partially corrupt a
-// model's weights.
+// in full — count, names, shapes, element counts, dtype consistency —
+// before any parameter is modified, so a mismatched checkpoint can
+// never partially corrupt a model's weights. Float32 payloads widen
+// exactly to float64.
 func LoadParams(r io.Reader, params []*autograd.Param) error {
 	br := bufio.NewReader(r)
 	peek, err := br.Peek(len(checkpointMagic))
-	isV2 := err == nil && bytes.Equal(peek, checkpointMagic[:])
+	isV3 := err == nil && bytes.Equal(peek, checkpointMagic[:])
+	isV2 := err == nil && bytes.Equal(peek, checkpointMagicV2[:])
 
 	var file checkpointFile
-	if isV2 {
+	var hdr checkpointHeader
+	switch {
+	case isV3, isV2:
 		if _, err := br.Discard(len(checkpointMagic)); err != nil {
 			return fmt.Errorf("nn: read checkpoint magic: %w", err)
 		}
 		dec := gob.NewDecoder(br)
-		var hdr checkpointHeader
 		if err := dec.Decode(&hdr); err != nil {
 			return fmt.Errorf("nn: decode checkpoint header: %w", err)
 		}
-		if err := validateHeader(hdr, params); err != nil {
+		if err := validateHeader(hdr, params, isV3); err != nil {
 			return err
 		}
 		if err := dec.Decode(&file); err != nil {
 			return fmt.Errorf("nn: decode checkpoint: %w", err)
 		}
-		if file.Version != checkpointVersion {
-			return fmt.Errorf("nn: checkpoint version %d, want %d", file.Version, checkpointVersion)
+		want := checkpointVersion
+		if isV2 {
+			want = checkpointVersionV2
 		}
-	} else {
+		if file.Version != want {
+			return fmt.Errorf("nn: checkpoint version %d, want %d", file.Version, want)
+		}
+	default:
 		// Legacy headerless file: the gob stream starts immediately.
 		if err := gob.NewDecoder(br).Decode(&file); err != nil {
 			return fmt.Errorf("nn: decode checkpoint (not a checkpoint file?): %w", err)
@@ -140,30 +191,68 @@ func LoadParams(r io.Reader, params []*autograd.Param) error {
 			return fmt.Errorf("nn: checkpoint param %q is %dx%d, model expects %dx%d",
 				rec.Name, rec.Rows, rec.Cols, p.Value.Rows(), p.Value.Cols())
 		}
-		if len(rec.Data) != rec.Rows*rec.Cols {
+		if isV3 {
+			if rec.Dtype != hdr.Dtypes[i] {
+				return fmt.Errorf("nn: checkpoint param %q is dtype %q but the header declares %q",
+					rec.Name, rec.Dtype, hdr.Dtypes[i])
+			}
+			switch rec.Dtype {
+			case DtypeF64:
+				if len(rec.Data32) != 0 {
+					return fmt.Errorf("nn: checkpoint param %q is dtype f64 but carries %d f32 values", rec.Name, len(rec.Data32))
+				}
+			case DtypeF32:
+				if len(rec.Data) != 0 {
+					return fmt.Errorf("nn: checkpoint param %q is dtype f32 but carries %d f64 values", rec.Name, len(rec.Data))
+				}
+				if len(rec.Data32) != rec.Rows*rec.Cols {
+					return fmt.Errorf("nn: checkpoint param %q has %d f32 values for a %dx%d shape",
+						rec.Name, len(rec.Data32), rec.Rows, rec.Cols)
+				}
+			default:
+				return fmt.Errorf("nn: checkpoint param %q has unknown dtype %q", rec.Name, rec.Dtype)
+			}
+		} else if rec.Dtype != "" || len(rec.Data32) != 0 {
+			return fmt.Errorf("nn: pre-v3 checkpoint param %q carries dtype metadata", rec.Name)
+		}
+		if rec.Dtype != DtypeF32 && len(rec.Data) != rec.Rows*rec.Cols {
 			return fmt.Errorf("nn: checkpoint param %q has %d values for a %dx%d shape",
 				rec.Name, len(rec.Data), rec.Rows, rec.Cols)
 		}
-		if isV2 && rec.Count != len(rec.Data) {
-			return fmt.Errorf("nn: checkpoint param %q declares %d values but carries %d",
-				rec.Name, rec.Count, len(rec.Data))
+		if (isV3 || isV2) && rec.Count != rec.Rows*rec.Cols {
+			return fmt.Errorf("nn: checkpoint param %q declares %d values but shape is %dx%d",
+				rec.Name, rec.Count, rec.Rows, rec.Cols)
 		}
 	}
 	for i, rec := range file.Params {
-		params[i].Value.CopyFrom(tensor.FromSlice(rec.Rows, rec.Cols, rec.Data))
+		dst := params[i].Value
+		if rec.Dtype == DtypeF32 {
+			d := dst.Data()
+			for k, v := range rec.Data32 {
+				d[k] = float64(v)
+			}
+			continue
+		}
+		dst.CopyFrom(tensor.FromSlice(rec.Rows, rec.Cols, rec.Data))
 	}
 	return nil
 }
 
-// validateHeader checks the v2 header against the model's parameters —
-// the loud, early failure for mismatched configurations.
-func validateHeader(hdr checkpointHeader, params []*autograd.Param) error {
+// validateHeader checks the v2/v3 header against the model's
+// parameters — the loud, early failure for mismatched configurations.
+func validateHeader(hdr checkpointHeader, params []*autograd.Param, isV3 bool) error {
 	if hdr.NumParams != len(params) {
 		return fmt.Errorf("nn: checkpoint header declares %d params, model has %d", hdr.NumParams, len(params))
 	}
 	if len(hdr.Names) != hdr.NumParams || len(hdr.Rows) != hdr.NumParams ||
 		len(hdr.Cols) != hdr.NumParams || len(hdr.Counts) != hdr.NumParams {
 		return fmt.Errorf("nn: checkpoint header is internally inconsistent")
+	}
+	if isV3 && len(hdr.Dtypes) != hdr.NumParams {
+		return fmt.Errorf("nn: checkpoint header has %d dtype tags for %d params", len(hdr.Dtypes), hdr.NumParams)
+	}
+	if !isV3 && len(hdr.Dtypes) != 0 {
+		return fmt.Errorf("nn: v2 checkpoint header carries dtype tags")
 	}
 	for i, p := range params {
 		if hdr.Names[i] != p.Name {
@@ -177,19 +266,28 @@ func validateHeader(hdr checkpointHeader, params []*autograd.Param) error {
 			return fmt.Errorf("nn: checkpoint header param %q count %d disagrees with shape %dx%d",
 				hdr.Names[i], hdr.Counts[i], hdr.Rows[i], hdr.Cols[i])
 		}
+		if isV3 && hdr.Dtypes[i] != DtypeF64 && hdr.Dtypes[i] != DtypeF32 {
+			return fmt.Errorf("nn: checkpoint header param %q has unknown dtype %q", hdr.Names[i], hdr.Dtypes[i])
+		}
 	}
 	return nil
 }
 
 // SaveParamsFile writes a gzip-compressed checkpoint to path.
 func SaveParamsFile(path string, params []*autograd.Param) error {
+	return SaveParamsFileDtype(path, params, DtypeF64)
+}
+
+// SaveParamsFileDtype is SaveParamsFile with an explicit payload dtype
+// (see SaveParamsDtype).
+func SaveParamsFileDtype(path string, params []*autograd.Param, dtype string) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return fmt.Errorf("nn: create checkpoint: %w", err)
 	}
 	defer f.Close()
 	zw := gzip.NewWriter(f)
-	if err := SaveParams(zw, params); err != nil {
+	if err := SaveParamsDtype(zw, params, dtype); err != nil {
 		return err
 	}
 	if err := zw.Close(); err != nil {

@@ -2,6 +2,10 @@ package nn
 
 import (
 	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/autograd"
@@ -35,28 +39,66 @@ func paramsEqual(params []*autograd.Param, snap []*tensor.Dense) bool {
 	return true
 }
 
+// fuzzSeeds builds the seed corpus shared by FuzzLoadParams and the
+// corpus regenerator: valid v3 checkpoints at both dtypes, the
+// historical v2 format, truncations (including mid-dtype-tag), a
+// bit-flipped header, dtype-region bit flips, and plain garbage. More
+// cases live in testdata/fuzz/FuzzLoadParams.
+func fuzzSeeds(fatal func(error)) [][]byte {
+	var valid bytes.Buffer
+	if err := SaveParams(&valid, fuzzModel()); err != nil {
+		fatal(err)
+	}
+	var valid32 bytes.Buffer
+	if err := SaveParamsDtype(&valid32, fuzzModel(), DtypeF32); err != nil {
+		fatal(err)
+	}
+	var validV2 bytes.Buffer
+	if err := v2SaveParams(&validV2, fuzzModel()); err != nil {
+		fatal(err)
+	}
+	seeds := [][]byte{
+		valid.Bytes(),
+		valid.Bytes()[:len(valid.Bytes())/2],
+		valid.Bytes()[:8],
+		valid32.Bytes(),
+		validV2.Bytes(),
+		// Truncate the f32 file mid-payload so dtype says f32 but the
+		// Data32 array is cut short.
+		valid32.Bytes()[:len(valid32.Bytes())*3/4],
+		[]byte("not a checkpoint at all"),
+		{},
+	}
+	flipped := append([]byte(nil), valid.Bytes()...)
+	if len(flipped) > 20 {
+		flipped[20] ^= 0xFF
+	}
+	seeds = append(seeds, flipped)
+	// Flip bytes where the gob-encoded dtype tags live ("f64"/"f32"
+	// strings) to forge garbage dtypes and f32↔f64 cross-wiring.
+	for _, src := range [][]byte{valid.Bytes(), valid32.Bytes()} {
+		mut := append([]byte(nil), src...)
+		if i := bytes.Index(mut, []byte("f64")); i >= 0 {
+			copy(mut[i:], "f32") // tag says f32, payload stays f64
+			seeds = append(seeds, mut)
+		}
+		mut2 := append([]byte(nil), src...)
+		if i := bytes.Index(mut2, []byte("f32")); i >= 0 {
+			copy(mut2[i:], "fXX") // garbage dtype bytes
+			seeds = append(seeds, mut2)
+		}
+	}
+	return seeds
+}
+
 // FuzzLoadParams hammers the checkpoint loader with corrupt input. The
 // contract under attack: LoadParams must never panic, and on ANY error
 // the model's weights must be byte-for-byte untouched (validate all
 // before copying any — no partial writes).
 func FuzzLoadParams(f *testing.F) {
-	// Seeds: a valid v2 checkpoint, a truncated one, a magic-only stub,
-	// a bit-flipped header, and plain garbage. More cases live in
-	// testdata/fuzz/FuzzLoadParams.
-	var valid bytes.Buffer
-	if err := SaveParams(&valid, fuzzModel()); err != nil {
-		f.Fatal(err)
+	for _, seed := range fuzzSeeds(func(err error) { f.Fatal(err) }) {
+		f.Add(seed)
 	}
-	f.Add(valid.Bytes())
-	f.Add(valid.Bytes()[:len(valid.Bytes())/2])
-	f.Add(valid.Bytes()[:8])
-	flipped := append([]byte(nil), valid.Bytes()...)
-	if len(flipped) > 20 {
-		flipped[20] ^= 0xFF
-	}
-	f.Add(flipped)
-	f.Add([]byte("not a checkpoint at all"))
-	f.Add([]byte{})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		params := fuzzModel()
@@ -66,6 +108,51 @@ func FuzzLoadParams(f *testing.F) {
 			t.Fatalf("LoadParams returned %v but modified the model — partial write on corrupt input", err)
 		}
 	})
+}
+
+// TestRegenerateFuzzCorpus rewrites the checked-in seed corpus when
+// REGEN_FUZZ_CORPUS=1 (e.g. after a checkpoint-format change) and
+// otherwise verifies every checked-in seed still satisfies the
+// no-partial-write contract under direct replay.
+func TestRegenerateFuzzCorpus(t *testing.T) {
+	dir := filepath.Join("testdata", "fuzz", "FuzzLoadParams")
+	if os.Getenv("REGEN_FUZZ_CORPUS") == "1" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		// v3-seed-* names never collide with fuzzer-found seed-* entries,
+		// so regeneration cannot clobber crash-regression cases.
+		for i, seed := range fuzzSeeds(func(err error) { t.Fatal(err) }) {
+			body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", seed)
+			if err := os.WriteFile(filepath.Join(dir, fmt.Sprintf("v3-seed-%d", i)), []byte(body), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Skipf("no checked-in corpus: %v", err)
+	}
+	for _, e := range entries {
+		raw, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines := strings.SplitN(string(raw), "\n", 2)
+		if len(lines) != 2 || lines[0] != "go test fuzz v1" {
+			t.Fatalf("%s: not a fuzz corpus file", e.Name())
+		}
+		var data []byte
+		if _, err := fmt.Sscanf(strings.TrimSpace(lines[1]), "[]byte(%q)", &data); err != nil {
+			t.Fatalf("%s: cannot parse corpus entry: %v", e.Name(), err)
+		}
+		params := fuzzModel()
+		snap := snapshotParams(params)
+		if err := LoadParams(bytes.NewReader(data), params); err != nil && !paramsEqual(params, snap) {
+			t.Fatalf("%s: partial write on corrupt input", e.Name())
+		}
+	}
 }
 
 // FuzzLoadParamsMismatchedModel loads fuzzed bytes into a DIFFERENT

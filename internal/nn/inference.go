@@ -1,0 +1,137 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/autograd"
+	"repro/internal/fp"
+	"repro/internal/kernels"
+	"repro/internal/tensor"
+	"repro/internal/workspace"
+)
+
+// MLPInference is a precision-generic, tape-free forward pass over an
+// MLP's trained weights. Construction converts the float64 training
+// parameters to T once; Forward then runs entirely in T with no
+// autograd bookkeeping — the serving path of the paper's pipeline,
+// where float32 halves the bytes every GEMM and bias kernel moves.
+//
+// For T = float64 the forward pass performs exactly the arithmetic of
+// MLP.Forward on a tape, in the same kernel order, so its output is
+// bitwise identical to the training-path forward (asserted by the
+// parity tests). An MLPInference is immutable after construction and
+// safe for concurrent use.
+type MLPInference[T fp.Float] struct {
+	cfg   MLPConfig
+	w, b  []*tensor.Matrix[T] // per linear layer (hidden... , output)
+	gain  []*tensor.Matrix[T] // per LayerNorm, when cfg.LayerNorm
+	shift []*tensor.Matrix[T]
+}
+
+// NewMLPInference snapshots m's weights converted to T. The conversion
+// (float64→float32 rounds to nearest even) happens here, once — not
+// per event.
+func NewMLPInference[T fp.Float](m *MLP) *MLPInference[T] {
+	mi := &MLPInference[T]{cfg: m.cfg}
+	for _, l := range m.layers {
+		mi.w = append(mi.w, convertParam[T](l.W))
+		mi.b = append(mi.b, convertParam[T](l.B))
+	}
+	for _, n := range m.norms {
+		mi.gain = append(mi.gain, convertParam[T](n.Gain))
+		mi.shift = append(mi.shift, convertParam[T](n.Bias))
+	}
+	return mi
+}
+
+func convertParam[T fp.Float](p *autograd.Param) *tensor.Matrix[T] {
+	return tensor.ConvertFrom[T](nil, p.Value)
+}
+
+// Config returns the configuration of the underlying MLP.
+func (mi *MLPInference[T]) Config() MLPConfig { return mi.cfg }
+
+// Forward runs the MLP on x under the given intra-op worker budget,
+// borrowing every activation from the arena (heap fallback when nil).
+// The caller owns the arena lifecycle: the returned matrix is valid
+// until the arena resets past it.
+func (mi *MLPInference[T]) Forward(kc kernels.Context, a *workspace.Arena, x *tensor.Matrix[T]) *tensor.Matrix[T] {
+	h := x
+	last := len(mi.w) - 1
+	for i := 0; i < last; i++ {
+		z := tensor.NewFromOf[T](a, h.Rows(), mi.w[i].Cols())
+		tensor.MatMulIntoCtx(kc, z, h, mi.w[i])
+		if mi.cfg.Activation == ReLU {
+			tensor.AddBiasReLUIntoCtx(kc, z, z, mi.b[i])
+		} else {
+			tensor.AddBiasIntoCtx(kc, z, z, mi.b[i])
+			applyActivation(mi.cfg.Activation, z)
+		}
+		if mi.cfg.LayerNorm {
+			layerNormInto(z, mi.gain[i], mi.shift[i], 1e-5)
+		}
+		h = z
+	}
+	out := tensor.NewFromOf[T](a, h.Rows(), mi.w[last].Cols())
+	tensor.MatMulIntoCtx(kc, out, h, mi.w[last])
+	tensor.AddBiasIntoCtx(kc, out, out, mi.b[last])
+	return out
+}
+
+// applyActivation applies the nonlinearity in place. ReLU is handled by
+// the fused bias kernel and never reaches here.
+func applyActivation[T fp.Float](act Activation, m *tensor.Matrix[T]) {
+	switch act {
+	case Tanh:
+		tensor.ApplyInto(m, m, func(v T) T { return T(math.Tanh(float64(v))) })
+	case Sigmoid:
+		tensor.ApplyInto(m, m, func(v T) T { return T(sigmoidStable(float64(v))) })
+	case None:
+	default:
+		panic("nn: unsupported inference activation")
+	}
+}
+
+// sigmoidStable is the numerically stable logistic function (the same
+// form the autograd tape and the stage packages use).
+func sigmoidStable(x float64) float64 {
+	if x >= 0 {
+		return 1 / (1 + math.Exp(-x))
+	}
+	e := math.Exp(x)
+	return e / (1 + e)
+}
+
+// SigmoidScore converts one logit to a float64 score — the boundary
+// where the f32 inference path returns to the float64 metric/threshold
+// domain.
+func SigmoidScore[T fp.Float](logit T) float64 { return sigmoidStable(float64(logit)) }
+
+// layerNormInto normalizes each row of m in place and applies the
+// gain/shift pair — exactly the forward arithmetic of the tape's
+// LayerNorm op (mean and variance accumulate in T, the reciprocal
+// square root is taken in float64), so the float64 instantiation is
+// bitwise identical to training-path inference.
+func layerNormInto[T fp.Float](m, gain, shift *tensor.Matrix[T], eps float64) {
+	rows, cols := m.Rows(), m.Cols()
+	cf := T(cols)
+	gd, bd := gain.Data(), shift.Data()
+	for i := 0; i < rows; i++ {
+		row := m.Row(i)
+		var mean T
+		for _, x := range row {
+			mean += x
+		}
+		mean /= cf
+		var variance T
+		for _, x := range row {
+			d := x - mean
+			variance += d * d
+		}
+		variance /= cf
+		is := T(1) / T(math.Sqrt(float64(variance)+eps))
+		for j, x := range row {
+			row[j] = (x-mean)*is*gd[j] + bd[j]
+		}
+	}
+}

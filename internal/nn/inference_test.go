@@ -1,0 +1,102 @@
+package nn
+
+import (
+	"testing"
+
+	"repro/internal/autograd"
+	"repro/internal/kernels"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+	"repro/internal/workspace"
+)
+
+// inferenceConfigs spans the MLP shapes the pipeline instantiates:
+// fused ReLU hidden layers, LayerNorm, and each alternate activation.
+var inferenceConfigs = []MLPConfig{
+	{In: 5, Hidden: []int{8, 8}, Out: 3, Activation: ReLU},
+	{In: 5, Hidden: []int{8}, Out: 1, Activation: ReLU, LayerNorm: true},
+	{In: 4, Hidden: []int{6}, Out: 2, Activation: Tanh, LayerNorm: true},
+	{In: 4, Hidden: []int{6}, Out: 2, Activation: Sigmoid},
+	{In: 3, Hidden: []int{4}, Out: 2, Activation: None},
+}
+
+// TestMLPInferenceF64MatchesTapeForward is the load-bearing refactor
+// guarantee: the tape-free float64 inference forward is bitwise
+// identical to MLP.Forward on an autograd tape — same kernels, same
+// order, no tape bookkeeping.
+func TestMLPInferenceF64MatchesTapeForward(t *testing.T) {
+	for ci, cfg := range inferenceConfigs {
+		m := NewMLP(rng.New(uint64(40+ci)), "m", cfg)
+		x := tensor.RandN(rng.New(uint64(90+ci)), 17, cfg.In, 1)
+
+		tape := autograd.NewTape()
+		want := m.Forward(tape, tape.Constant(x)).Value
+
+		inf := NewMLPInference[float64](m)
+		arena := workspace.NewArena()
+		defer arena.Reset()
+		got := inf.Forward(kernels.Context{}, arena, x)
+		if want.MaxAbsDiff(got) != 0 {
+			t.Fatalf("config %d: inference forward differs from tape forward by %v",
+				ci, want.MaxAbsDiff(got))
+		}
+		// And at an explicit worker budget.
+		got2 := inf.Forward(kernels.Context{Workers: 3}, arena, x)
+		if want.MaxAbsDiff(got2) != 0 {
+			t.Fatalf("config %d: inference forward differs at 3 workers", ci)
+		}
+	}
+}
+
+// TestMLPInferenceF32WithinTolerance bounds the rounding drift of the
+// float32 forward against float64 on small unit-scale networks.
+func TestMLPInferenceF32WithinTolerance(t *testing.T) {
+	for ci, cfg := range inferenceConfigs {
+		m := NewMLP(rng.New(uint64(140+ci)), "m", cfg)
+		x64 := tensor.RandN(rng.New(uint64(190+ci)), 17, cfg.In, 1)
+
+		inf64 := NewMLPInference[float64](m)
+		want := inf64.Forward(kernels.Context{}, nil, x64)
+
+		inf32 := NewMLPInference[float32](m)
+		x32 := tensor.ConvertFrom[float32](nil, x64)
+		got := tensor.ConvertFrom[float64](nil, inf32.Forward(kernels.Context{}, nil, x32))
+		if d := want.MaxAbsDiff(got); d > 1e-4 {
+			t.Fatalf("config %d: f32 forward drifts %v from f64", ci, d)
+		}
+	}
+}
+
+// TestMLPInferenceImmutableUnderForward guards the concurrency
+// contract: Forward must not touch the converted weights.
+func TestMLPInferenceImmutableUnderForward(t *testing.T) {
+	cfg := MLPConfig{In: 4, Hidden: []int{6}, Out: 2, Activation: ReLU, LayerNorm: true}
+	m := NewMLP(rng.New(7), "m", cfg)
+	inf := NewMLPInference[float32](m)
+	before := make([]*tensor.Dense32, len(inf.w))
+	for i, w := range inf.w {
+		before[i] = w.Clone()
+	}
+	x := tensor.ConvertFrom[float32](nil, tensor.RandN(rng.New(8), 9, cfg.In, 1))
+	inf.Forward(kernels.Context{}, nil, x)
+	for i, w := range inf.w {
+		if w.MaxAbsDiff(before[i]) != 0 {
+			t.Fatalf("weight %d mutated by Forward", i)
+		}
+	}
+}
+
+// TestMLPInferenceConversionRoundsOnce pins the conversion semantics:
+// each f32 weight is the one-step rounding of the trained f64 weight.
+func TestMLPInferenceConversionRoundsOnce(t *testing.T) {
+	m := NewMLP(rng.New(17), "m", MLPConfig{In: 3, Hidden: []int{5}, Out: 2, Activation: ReLU})
+	inf := NewMLPInference[float32](m)
+	params := m.Params()
+	// Layer weights come first in Params order (W, b per layer).
+	if got, want := inf.w[0].At(1, 2), float32(params[0].Value.At(1, 2)); got != want {
+		t.Fatalf("converted weight %v, want %v", got, want)
+	}
+	if got, want := inf.b[0].At(0, 1), float32(params[1].Value.At(0, 1)); got != want {
+		t.Fatalf("converted bias %v, want %v", got, want)
+	}
+}

@@ -3,51 +3,69 @@
 // SpGEMM and SpMM products, row/column selection matrices, per-row
 // nonzero sampling, and vertical stacking of selection matrices across
 // minibatches.
+//
+// Storage and kernels are generic over the value element type
+// (CSROf[T] for T in fp.Float); CSR and CSR32 alias the float64 and
+// float32 instantiations. The float64 surface — what the samplers and
+// the training stack use — is unchanged from the pre-generic package.
 package sparse
 
 import (
 	"fmt"
 	"sort"
 
+	"repro/internal/fp"
 	"repro/internal/parallel"
 	"repro/internal/workspace"
 )
 
-// CSR is a compressed-sparse-row matrix. RowPtr has length rows+1;
-// ColIdx/Vals have length Nnz(). Within each row, column indices are
-// strictly increasing.
-type CSR struct {
+// CSROf is a compressed-sparse-row matrix with values of type T.
+// RowPtr has length rows+1; ColIdx/Vals have length Nnz(). Within each
+// row, column indices are strictly increasing.
+type CSROf[T fp.Float] struct {
 	RowsN, ColsN int
 	RowPtr       []int
 	ColIdx       []int
-	Vals         []float64
+	Vals         []T
 }
 
-// NewCSR returns an empty rows×cols CSR matrix.
-func NewCSR(rows, cols int) *CSR {
-	return &CSR{RowsN: rows, ColsN: cols, RowPtr: make([]int, rows+1)}
+// CSR is the float64 CSR matrix — the sampler/training type and the
+// element type of every historical API in this package.
+type CSR = CSROf[float64]
+
+// CSR32 is the float32 CSR matrix used by the reduced-precision
+// inference path.
+type CSR32 = CSROf[float32]
+
+// NewCSR returns an empty rows×cols float64 CSR matrix.
+func NewCSR(rows, cols int) *CSR { return NewCSROf[float64](rows, cols) }
+
+// NewCSROf returns an empty rows×cols CSR matrix of the given element
+// type.
+func NewCSROf[T fp.Float](rows, cols int) *CSROf[T] {
+	return &CSROf[T]{RowsN: rows, ColsN: cols, RowPtr: make([]int, rows+1)}
 }
 
 // Rows returns the row count.
-func (m *CSR) Rows() int { return m.RowsN }
+func (m *CSROf[T]) Rows() int { return m.RowsN }
 
 // Cols returns the column count.
-func (m *CSR) Cols() int { return m.ColsN }
+func (m *CSROf[T]) Cols() int { return m.ColsN }
 
 // Nnz returns the number of stored nonzeros.
-func (m *CSR) Nnz() int { return len(m.ColIdx) }
+func (m *CSROf[T]) Nnz() int { return len(m.ColIdx) }
 
 // RowNnz returns the number of nonzeros in row i.
-func (m *CSR) RowNnz(i int) int { return m.RowPtr[i+1] - m.RowPtr[i] }
+func (m *CSROf[T]) RowNnz(i int) int { return m.RowPtr[i+1] - m.RowPtr[i] }
 
 // Row returns the column indices and values of row i (views, not copies).
-func (m *CSR) Row(i int) (cols []int, vals []float64) {
+func (m *CSROf[T]) Row(i int) (cols []int, vals []T) {
 	lo, hi := m.RowPtr[i], m.RowPtr[i+1]
 	return m.ColIdx[lo:hi], m.Vals[lo:hi]
 }
 
 // At returns element (i, j) using binary search within the row.
-func (m *CSR) At(i, j int) float64 {
+func (m *CSROf[T]) At(i, j int) T {
 	cols, vals := m.Row(i)
 	k := sort.SearchInts(cols, j)
 	if k < len(cols) && cols[k] == j {
@@ -57,24 +75,24 @@ func (m *CSR) At(i, j int) float64 {
 }
 
 // Clone returns a deep copy.
-func (m *CSR) Clone() *CSR {
-	return &CSR{
+func (m *CSROf[T]) Clone() *CSROf[T] {
+	return &CSROf[T]{
 		RowsN:  m.RowsN,
 		ColsN:  m.ColsN,
 		RowPtr: append([]int(nil), m.RowPtr...),
 		ColIdx: append([]int(nil), m.ColIdx...),
-		Vals:   append([]float64(nil), m.Vals...),
+		Vals:   append([]T(nil), m.Vals...),
 	}
 }
 
 // Transpose returns mᵀ in CSR form.
-func (m *CSR) Transpose() *CSR {
-	out := &CSR{
+func (m *CSROf[T]) Transpose() *CSROf[T] {
+	out := &CSROf[T]{
 		RowsN:  m.ColsN,
 		ColsN:  m.RowsN,
 		RowPtr: make([]int, m.ColsN+1),
 		ColIdx: make([]int, m.Nnz()),
-		Vals:   make([]float64, m.Nnz()),
+		Vals:   make([]T, m.Nnz()),
 	}
 	// Count entries per output row (input column).
 	for _, c := range m.ColIdx {
@@ -99,9 +117,9 @@ func (m *CSR) Transpose() *CSR {
 // VStack stacks matrices vertically; all must share the column count.
 // This is how per-minibatch Q (and F) matrices are combined for bulk
 // sampling (equation 1 of the paper).
-func VStack(ms ...*CSR) *CSR {
+func VStack[T fp.Float](ms ...*CSROf[T]) *CSROf[T] {
 	if len(ms) == 0 {
-		return NewCSR(0, 0)
+		return NewCSROf[T](0, 0)
 	}
 	cols := ms[0].ColsN
 	rows, nnz := 0, 0
@@ -112,12 +130,12 @@ func VStack(ms ...*CSR) *CSR {
 		rows += m.RowsN
 		nnz += m.Nnz()
 	}
-	out := &CSR{
+	out := &CSROf[T]{
 		RowsN:  rows,
 		ColsN:  cols,
 		RowPtr: make([]int, 0, rows+1),
 		ColIdx: make([]int, 0, nnz),
-		Vals:   make([]float64, 0, nnz),
+		Vals:   make([]T, 0, nnz),
 	}
 	out.RowPtr = append(out.RowPtr, 0)
 	offset := 0
@@ -144,12 +162,12 @@ func VStack(ms ...*CSR) *CSR {
 // pre-size it from an arena) and grown through the workspace pools
 // otherwise; a one-row cursor scratch is borrowed from the pools for
 // the counting sort. Returns out.
-func IncidenceInto(out *CSR, rows int, idx []int) *CSR {
+func IncidenceInto[T fp.Float](out *CSROf[T], rows int, idx []int) *CSROf[T] {
 	m := len(idx)
 	out.RowsN, out.ColsN = rows, m
 	out.RowPtr = workspace.GrowInt(out.RowPtr, rows+1)
 	out.ColIdx = workspace.GrowInt(out.ColIdx, m)
-	out.Vals = workspace.GrowF64(out.Vals, m)
+	out.Vals = workspace.GrowFloat(out.Vals, m)
 	for i := range out.RowPtr {
 		out.RowPtr[i] = 0
 	}
@@ -175,19 +193,19 @@ func IncidenceInto(out *CSR, rows int, idx []int) *CSR {
 // BlockDiag assembles matrices along the diagonal: the result has
 // sum(rows)×sum(cols) shape with each input occupying its own block.
 // ShaDow's sampled adjacency "with b disjoint components" is exactly this.
-func BlockDiag(ms ...*CSR) *CSR {
+func BlockDiag[T fp.Float](ms ...*CSROf[T]) *CSROf[T] {
 	rows, cols, nnz := 0, 0, 0
 	for _, m := range ms {
 		rows += m.RowsN
 		cols += m.ColsN
 		nnz += m.Nnz()
 	}
-	out := &CSR{
+	out := &CSROf[T]{
 		RowsN:  rows,
 		ColsN:  cols,
 		RowPtr: make([]int, 0, rows+1),
 		ColIdx: make([]int, 0, nnz),
-		Vals:   make([]float64, 0, nnz),
+		Vals:   make([]T, 0, nnz),
 	}
 	out.RowPtr = append(out.RowPtr, 0)
 	colOff, nnzOff := 0, 0
@@ -209,16 +227,16 @@ func BlockDiag(ms ...*CSR) *CSR {
 // m empty. Only call it on matrices whose storage the caller exclusively
 // owns (e.g. scratch CSRs filled by SpGEMMInto/GatherRowsInto); rows
 // returned by Row alias that storage and must no longer be in use.
-func (m *CSR) Release() {
+func (m *CSROf[T]) Release() {
 	workspace.PutInt(m.RowPtr)
 	workspace.PutInt(m.ColIdx)
-	workspace.PutF64(m.Vals)
+	workspace.PutFloat(m.Vals)
 	m.RowPtr, m.ColIdx, m.Vals = nil, nil, nil
 	m.RowsN, m.ColsN = 0, 0
 }
 
 // Equal reports exact structural and numeric equality.
-func (m *CSR) Equal(o *CSR) bool {
+func (m *CSROf[T]) Equal(o *CSROf[T]) bool {
 	if m.RowsN != o.RowsN || m.ColsN != o.ColsN || m.Nnz() != o.Nnz() {
 		return false
 	}
@@ -236,7 +254,7 @@ func (m *CSR) Equal(o *CSR) bool {
 }
 
 // checkValid panics if the CSR invariants are violated (used in tests).
-func (m *CSR) checkValid() {
+func (m *CSROf[T]) checkValid() {
 	if len(m.RowPtr) != m.RowsN+1 {
 		panic("sparse: RowPtr length")
 	}
@@ -265,20 +283,37 @@ func (m *CSR) checkValid() {
 const parallelRowGrain = 64
 
 // assembleRows builds a CSR from per-row (cols, vals) slices.
-func assembleRows(rows, cols int, rowCols [][]int, rowVals [][]float64) *CSR {
-	out := &CSR{RowsN: rows, ColsN: cols, RowPtr: make([]int, rows+1)}
+func assembleRows[T fp.Float](rows, cols int, rowCols [][]int, rowVals [][]T) *CSROf[T] {
+	out := &CSROf[T]{RowsN: rows, ColsN: cols, RowPtr: make([]int, rows+1)}
 	nnz := 0
 	for i, rc := range rowCols {
 		nnz += len(rc)
 		out.RowPtr[i+1] = nnz
 	}
 	out.ColIdx = make([]int, nnz)
-	out.Vals = make([]float64, nnz)
+	out.Vals = make([]T, nnz)
 	parallel.For(rows, parallelRowGrain, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			copy(out.ColIdx[out.RowPtr[i]:out.RowPtr[i+1]], rowCols[i])
 			copy(out.Vals[out.RowPtr[i]:out.RowPtr[i+1]], rowVals[i])
 		}
 	})
+	return out
+}
+
+// ConvertCSR returns src with values converted to element type D
+// (float64→float32 rounds; float32→float64 is exact). The structural
+// arrays are copied, so the result is independent of src.
+func ConvertCSR[D, S fp.Float](src *CSROf[S]) *CSROf[D] {
+	out := &CSROf[D]{
+		RowsN:  src.RowsN,
+		ColsN:  src.ColsN,
+		RowPtr: append([]int(nil), src.RowPtr...),
+		ColIdx: append([]int(nil), src.ColIdx...),
+		Vals:   make([]D, len(src.Vals)),
+	}
+	for i, v := range src.Vals {
+		out.Vals[i] = D(v)
+	}
 	return out
 }

@@ -1,0 +1,114 @@
+package sparse
+
+import (
+	"testing"
+
+	"repro/internal/kernels"
+	"repro/internal/tensor"
+)
+
+// Float32 sparse-kernel coverage: worker-count determinism, f64 parity
+// within float32 rounding tolerance, and zero-allocation on warm pools.
+
+// fixture32 converts the shared f64 fixtures (same RNG streams) to f32.
+func fixture32(n, nnzPerRow int, seed uint64) *CSR32 {
+	return ConvertCSR[float32](benchCSR(n, nnzPerRow, seed))
+}
+
+func dense32Of(d *tensor.Dense, _ uint64) *tensor.Dense32 {
+	return tensor.ConvertFrom[float32](nil, d)
+}
+
+func bits32Equal(t *testing.T, name string, want, got *tensor.Dense32) {
+	t.Helper()
+	if want.Rows() != got.Rows() || want.Cols() != got.Cols() {
+		t.Fatalf("%s: shape mismatch", name)
+	}
+	w, g := want.Data(), got.Data()
+	for i := range w {
+		if w[i] != g[i] {
+			t.Fatalf("%s: element %d differs: %v vs %v", name, i, w[i], g[i])
+		}
+	}
+}
+
+func TestSpGEMM32WorkerCountParity(t *testing.T) {
+	a := fixture32(300, 6, 1)
+	b := fixture32(300, 6, 2)
+	ref := SpGEMMIntoCtx(kernels.Context{Workers: 1}, new(CSR32), a, b)
+	for _, w := range []int{2, 4, 7} {
+		got := SpGEMMIntoCtx(kernels.Context{Workers: w}, new(CSR32), a, b)
+		if !ref.Equal(got) {
+			t.Fatalf("f32 SpGEMM differs at %d workers", w)
+		}
+	}
+}
+
+func TestSpMM32WorkerCountParity(t *testing.T) {
+	a := fixture32(300, 6, 1)
+	x := dense32Of(benchDense(300, 16, 3), 3)
+	res := dense32Of(benchDense(300, 16, 4), 4)
+	ref := tensor.NewOf[float32](300, 16)
+	SpMMIntoCtx(kernels.Context{Workers: 1}, ref, a, x)
+	refAdd := tensor.NewOf[float32](300, 16)
+	SpMMAddIntoCtx(kernels.Context{Workers: 1}, refAdd, a, x, res)
+	for _, w := range []int{2, 4, 7} {
+		got := tensor.NewOf[float32](300, 16)
+		SpMMIntoCtx(kernels.Context{Workers: w}, got, a, x)
+		bits32Equal(t, "SpMM f32", ref, got)
+		gotAdd := tensor.NewOf[float32](300, 16)
+		SpMMAddIntoCtx(kernels.Context{Workers: w}, gotAdd, a, x, res)
+		bits32Equal(t, "SpMMAdd f32", refAdd, gotAdd)
+	}
+}
+
+// TestSpMM32MatchesF64WithinTolerance bounds f32 accumulation drift
+// against the f64 kernel on f32-representable inputs.
+func TestSpMM32MatchesF64WithinTolerance(t *testing.T) {
+	a64 := benchCSR(300, 6, 1)
+	x64 := benchDense(300, 16, 3)
+	a32 := ConvertCSR[float32](a64)
+	x32 := tensor.ConvertFrom[float32](nil, x64)
+	// Round the f64 operands so both precisions start from the same values.
+	a64 = ConvertCSR[float64](a32)
+	tensor.Convert(x64, x32)
+
+	want := SpMM(a64, x64)
+	got := tensor.ConvertFrom[float64](nil, SpMM(a32, x32))
+	if d := want.MaxAbsDiff(got); d > 1e-3 {
+		t.Fatalf("f32 SpMM drifts %v from f64", d)
+	}
+}
+
+func TestSparse32ZeroAllocsWarm(t *testing.T) {
+	a := fixture32(64, 4, 1)
+	b := fixture32(64, 4, 2)
+	x := dense32Of(benchDense(64, 8, 3), 3)
+	res := dense32Of(benchDense(64, 8, 4), 4)
+	out := tensor.NewOf[float32](64, 8)
+	prod := new(CSR32)
+	SpGEMMInto(prod, a, b) // warm the pooled storage
+	allocs := testing.AllocsPerRun(100, func() {
+		SpGEMMInto(prod, a, b)
+		SpMMInto(out, a, x)
+		SpMMAddInto(out, a, x, res)
+	})
+	if allocs != 0 {
+		t.Fatalf("warm f32 sparse kernels allocated %.1f per run, want 0", allocs)
+	}
+}
+
+func TestConvertCSRRoundTrip(t *testing.T) {
+	m := benchCSR(50, 5, 7)
+	down := ConvertCSR[float32](m)
+	down.checkValid()
+	up := ConvertCSR[float64](down)
+	if up.RowsN != m.RowsN || up.ColsN != m.ColsN || up.Nnz() != m.Nnz() {
+		t.Fatal("ConvertCSR changed structure")
+	}
+	for i, v := range m.Vals {
+		if up.Vals[i] != float64(float32(v)) {
+			t.Fatalf("value %d: %v round-tripped to %v", i, v, up.Vals[i])
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"slices"
 
+	"repro/internal/fp"
 	"repro/internal/kernels"
 	"repro/internal/parallel"
 	"repro/internal/tensor"
@@ -13,10 +14,28 @@ import (
 // spgemmGrain is the minimum rows per parallel chunk in SpGEMM passes.
 const spgemmGrain = 16
 
+// Parallel kernel bodies are named top-level generic functions whose
+// two instantiations are bound once at init and selected via fp.Pick —
+// materializing a generic func value inside a generic kernel would
+// allocate a dictionary-carrying closure per call and break the
+// zero-allocation contract (see the same pattern in internal/tensor).
+func pickBody[T fp.Float, C any](v64, v32 any) func(C, int, int) {
+	return fp.Pick[T, func(C, int, int)](v64, v32)
+}
+
+var (
+	spgemmSymbolicBody64 any = spgemmSymbolicBody[float64]
+	spgemmSymbolicBody32 any = spgemmSymbolicBody[float32]
+	spgemmNumericBody64  any = spgemmNumericBody[float64]
+	spgemmNumericBody32  any = spgemmNumericBody[float32]
+	spmmBody64           any = spmmBody[float64]
+	spmmBody32           any = spmmBody[float32]
+)
+
 // SpGEMM computes the sparse-sparse product a×b into a freshly allocated
 // CSR. See SpGEMMInto for the algorithm.
-func SpGEMM(a, b *CSR) *CSR {
-	return SpGEMMInto(new(CSR), a, b)
+func SpGEMM[T fp.Float](a, b *CSROf[T]) *CSROf[T] {
+	return SpGEMMInto(new(CSROf[T]), a, b)
 }
 
 // SpGEMMInto computes out = a×b with a two-pass (symbolic + numeric)
@@ -38,7 +57,7 @@ func SpGEMM(a, b *CSR) *CSR {
 // the sampler ever multiplies — never cancel.
 //
 // out must not alias a or b. Returns out.
-func SpGEMMInto(out *CSR, a, b *CSR) *CSR {
+func SpGEMMInto[T fp.Float](out *CSROf[T], a, b *CSROf[T]) *CSROf[T] {
 	return SpGEMMIntoCtx(kernels.Context{}, out, a, b)
 }
 
@@ -47,7 +66,7 @@ func SpGEMMInto(out *CSR, a, b *CSR) *CSR {
 // computed entirely by one worker (per-worker dense accumulator
 // scratch, disjoint CSR ranges placed by the serial prefix sum), so the
 // result is bitwise identical at every worker count.
-func SpGEMMIntoCtx(kc kernels.Context, out *CSR, a, b *CSR) *CSR {
+func SpGEMMIntoCtx[T fp.Float](kc kernels.Context, out *CSROf[T], a, b *CSROf[T]) *CSROf[T] {
 	if a.ColsN != b.RowsN {
 		panic(fmt.Sprintf("sparse: SpGEMM inner dims %d vs %d", a.ColsN, b.RowsN))
 	}
@@ -60,31 +79,8 @@ func SpGEMMIntoCtx(kc kernels.Context, out *CSR, a, b *CSR) *CSR {
 
 	// Pass 1 (symbolic): out.RowPtr[i+1] ← number of distinct columns in
 	// output row i.
-	parallel.ForWithN(kc.Cap(), rows, spgemmGrain, spgemmCtx{out, a, b, cols}, func(c spgemmCtx, lo, hi int) {
-		out, a, b := c.out, c.a, c.b
-		seen := workspace.GetBool(c.cols)
-		touched := workspace.GetInt(c.cols)
-		for i := lo; i < hi; i++ {
-			cnt := 0
-			aCols, _ := a.Row(i)
-			for _, ac := range aCols {
-				bCols, _ := b.Row(ac)
-				for _, bc := range bCols {
-					if !seen[bc] {
-						seen[bc] = true
-						touched[cnt] = bc
-						cnt++
-					}
-				}
-			}
-			out.RowPtr[i+1] = cnt
-			for _, c := range touched[:cnt] {
-				seen[c] = false
-			}
-		}
-		workspace.PutBool(seen)
-		workspace.PutInt(touched)
-	})
+	parallel.ForWithN(kc.Cap(), rows, spgemmGrain, spgemmCtx[T]{out, a, b, cols},
+		pickBody[T, spgemmCtx[T]](spgemmSymbolicBody64, spgemmSymbolicBody32))
 
 	// Prefix sum turns per-row counts into row offsets.
 	out.RowPtr[0] = 0
@@ -93,57 +89,90 @@ func SpGEMMIntoCtx(kc kernels.Context, out *CSR, a, b *CSR) *CSR {
 	}
 	nnz := out.RowPtr[rows]
 	out.ColIdx = workspace.GrowInt(out.ColIdx, nnz)
-	out.Vals = workspace.GrowF64(out.Vals, nnz)
+	out.Vals = workspace.GrowFloat(out.Vals, nnz)
 
 	// Pass 2 (numeric): accumulate each row in a dense scratch accumulator
 	// and write the sorted columns and values straight into the output.
-	parallel.ForWithN(kc.Cap(), rows, spgemmGrain, spgemmCtx{out, a, b, cols}, func(c spgemmCtx, lo, hi int) {
-		out, a, b := c.out, c.a, c.b
-		acc := workspace.GetF64(c.cols)
-		seen := workspace.GetBool(c.cols)
-		touched := workspace.GetInt(c.cols)
-		for i := lo; i < hi; i++ {
-			cnt := 0
-			aCols, aVals := a.Row(i)
-			for k, ac := range aCols {
-				av := aVals[k]
-				bCols, bVals := b.Row(ac)
-				for t, bc := range bCols {
-					if !seen[bc] {
-						seen[bc] = true
-						touched[cnt] = bc
-						cnt++
-					}
-					acc[bc] += av * bVals[t]
-				}
-			}
-			row := touched[:cnt]
-			slices.Sort(row)
-			base := out.RowPtr[i]
-			for k, c := range row {
-				out.ColIdx[base+k] = c
-				out.Vals[base+k] = acc[c]
-				acc[c] = 0
-				seen[c] = false
-			}
-		}
-		workspace.PutF64(acc)
-		workspace.PutBool(seen)
-		workspace.PutInt(touched)
-	})
+	parallel.ForWithN(kc.Cap(), rows, spgemmGrain, spgemmCtx[T]{out, a, b, cols},
+		pickBody[T, spgemmCtx[T]](spgemmNumericBody64, spgemmNumericBody32))
 	return out
 }
 
 // spgemmCtx carries SpGEMM operands into capture-free parallel bodies
 // (see parallel.ForWith).
-type spgemmCtx struct {
-	out, a, b *CSR
+type spgemmCtx[T fp.Float] struct {
+	out, a, b *CSROf[T]
 	cols      int
 }
 
+// spgemmSymbolicBody counts the distinct output columns of rows
+// [lo, hi) into out.RowPtr[i+1].
+func spgemmSymbolicBody[T fp.Float](c spgemmCtx[T], lo, hi int) {
+	out, a, b := c.out, c.a, c.b
+	seen := workspace.GetBool(c.cols)
+	touched := workspace.GetInt(c.cols)
+	for i := lo; i < hi; i++ {
+		cnt := 0
+		aCols, _ := a.Row(i)
+		for _, ac := range aCols {
+			bCols, _ := b.Row(ac)
+			for _, bc := range bCols {
+				if !seen[bc] {
+					seen[bc] = true
+					touched[cnt] = bc
+					cnt++
+				}
+			}
+		}
+		out.RowPtr[i+1] = cnt
+		for _, c := range touched[:cnt] {
+			seen[c] = false
+		}
+	}
+	workspace.PutBool(seen)
+	workspace.PutInt(touched)
+}
+
+// spgemmNumericBody accumulates rows [lo, hi) in a dense scratch and
+// writes sorted columns and values into their final positions.
+func spgemmNumericBody[T fp.Float](c spgemmCtx[T], lo, hi int) {
+	out, a, b := c.out, c.a, c.b
+	acc := workspace.GetFloat[T](c.cols)
+	seen := workspace.GetBool(c.cols)
+	touched := workspace.GetInt(c.cols)
+	for i := lo; i < hi; i++ {
+		cnt := 0
+		aCols, aVals := a.Row(i)
+		for k, ac := range aCols {
+			av := aVals[k]
+			bCols, bVals := b.Row(ac)
+			for t, bc := range bCols {
+				if !seen[bc] {
+					seen[bc] = true
+					touched[cnt] = bc
+					cnt++
+				}
+				acc[bc] += av * bVals[t]
+			}
+		}
+		row := touched[:cnt]
+		slices.Sort(row)
+		base := out.RowPtr[i]
+		for k, c := range row {
+			out.ColIdx[base+k] = c
+			out.Vals[base+k] = acc[c]
+			acc[c] = 0
+			seen[c] = false
+		}
+	}
+	workspace.PutFloat(acc)
+	workspace.PutBool(seen)
+	workspace.PutInt(touched)
+}
+
 // SpMM computes the sparse×dense product a×x into a new dense matrix.
-func SpMM(a *CSR, x *tensor.Dense) *tensor.Dense {
-	out := tensor.New(a.RowsN, x.Cols())
+func SpMM[T fp.Float](a *CSROf[T], x *tensor.Matrix[T]) *tensor.Matrix[T] {
+	out := tensor.NewOf[T](a.RowsN, x.Cols())
 	SpMMInto(out, a, x)
 	return out
 }
@@ -151,31 +180,32 @@ func SpMM(a *CSR, x *tensor.Dense) *tensor.Dense {
 // SpMMInto computes out = a×x. out must be preallocated with shape
 // a.RowsN × x.Cols() and must not alias x. Steady-state calls perform no
 // heap allocation.
-func SpMMInto(out *tensor.Dense, a *CSR, x *tensor.Dense) *tensor.Dense {
+func SpMMInto[T fp.Float](out *tensor.Matrix[T], a *CSROf[T], x *tensor.Matrix[T]) *tensor.Matrix[T] {
 	return SpMMIntoCtx(kernels.Context{}, out, a, x)
 }
 
 // spmmCtx carries SpMM operands into capture-free parallel bodies; res
 // is nil for the plain product and the residual operand for SpMMAdd.
-type spmmCtx struct {
-	out *tensor.Dense
-	a   *CSR
-	x   *tensor.Dense
-	res *tensor.Dense
+type spmmCtx[T fp.Float] struct {
+	out *tensor.Matrix[T]
+	a   *CSROf[T]
+	x   *tensor.Matrix[T]
+	res *tensor.Matrix[T]
 }
 
 // SpMMIntoCtx is SpMMInto under an explicit intra-op worker budget.
 // Rows partition statically and each output row accumulates serially in
 // CSR column order, so the result is bitwise identical at every worker
 // count.
-func SpMMIntoCtx(kc kernels.Context, out *tensor.Dense, a *CSR, x *tensor.Dense) *tensor.Dense {
+func SpMMIntoCtx[T fp.Float](kc kernels.Context, out *tensor.Matrix[T], a *CSROf[T], x *tensor.Matrix[T]) *tensor.Matrix[T] {
 	if a.ColsN != x.Rows() {
 		panic(fmt.Sprintf("sparse: SpMM inner dims %d vs %d", a.ColsN, x.Rows()))
 	}
 	if out.Rows() != a.RowsN || out.Cols() != x.Cols() {
 		panic("sparse: SpMMInto output shape mismatch")
 	}
-	parallel.ForWithN(kc.Cap(), a.RowsN, 32, spmmCtx{out, a, x, nil}, spmmBody)
+	parallel.ForWithN(kc.Cap(), a.RowsN, 32, spmmCtx[T]{out, a, x, nil},
+		pickBody[T, spmmCtx[T]](spmmBody64, spmmBody32))
 	return out
 }
 
@@ -185,13 +215,13 @@ func SpMMIntoCtx(kc kernels.Context, out *tensor.Dense, a *CSR, x *tensor.Dense)
 // intermediate product matrix exists. out may alias res (each row is
 // read before it is written, and rows are disjoint across workers); it
 // must not alias x. Shapes: out, res are a.RowsN × x.Cols().
-func SpMMAddInto(out *tensor.Dense, a *CSR, x, res *tensor.Dense) *tensor.Dense {
+func SpMMAddInto[T fp.Float](out *tensor.Matrix[T], a *CSROf[T], x, res *tensor.Matrix[T]) *tensor.Matrix[T] {
 	return SpMMAddIntoCtx(kernels.Context{}, out, a, x, res)
 }
 
 // SpMMAddIntoCtx is SpMMAddInto under an explicit intra-op worker
 // budget; bitwise identical at every worker count.
-func SpMMAddIntoCtx(kc kernels.Context, out *tensor.Dense, a *CSR, x, res *tensor.Dense) *tensor.Dense {
+func SpMMAddIntoCtx[T fp.Float](kc kernels.Context, out *tensor.Matrix[T], a *CSROf[T], x, res *tensor.Matrix[T]) *tensor.Matrix[T] {
 	if a.ColsN != x.Rows() {
 		panic(fmt.Sprintf("sparse: SpMMAdd inner dims %d vs %d", a.ColsN, x.Rows()))
 	}
@@ -201,13 +231,14 @@ func SpMMAddIntoCtx(kc kernels.Context, out *tensor.Dense, a *CSR, x, res *tenso
 	if res.Rows() != a.RowsN || res.Cols() != x.Cols() {
 		panic("sparse: SpMMAddInto residual shape mismatch")
 	}
-	parallel.ForWithN(kc.Cap(), a.RowsN, 32, spmmCtx{out, a, x, res}, spmmBody)
+	parallel.ForWithN(kc.Cap(), a.RowsN, 32, spmmCtx[T]{out, a, x, res},
+		pickBody[T, spmmCtx[T]](spmmBody64, spmmBody32))
 	return out
 }
 
 // spmmBody computes rows [lo, hi) of out = a×x (+ res). Kept as a named
 // function so both entry points share one capture-free body.
-func spmmBody(cx spmmCtx, lo, hi int) {
+func spmmBody[T fp.Float](cx spmmCtx[T], lo, hi int) {
 	out, a, x := cx.out, cx.a, cx.x
 	c := x.Cols()
 	for i := lo; i < hi; i++ {
@@ -231,8 +262,8 @@ func spmmBody(cx spmmCtx, lo, hi int) {
 }
 
 // ToDense materializes the matrix (for tests and small examples only).
-func (m *CSR) ToDense() *tensor.Dense {
-	out := tensor.New(m.RowsN, m.ColsN)
+func (m *CSROf[T]) ToDense() *tensor.Matrix[T] {
+	out := tensor.NewOf[T](m.RowsN, m.ColsN)
 	for i := 0; i < m.RowsN; i++ {
 		cols, vals := m.Row(i)
 		row := out.Row(i)

@@ -3,6 +3,7 @@ package tensor
 import (
 	"fmt"
 
+	"repro/internal/fp"
 	"repro/internal/kernels"
 	"repro/internal/parallel"
 )
@@ -19,42 +20,46 @@ import (
 // AddBiasReLUInto computes out = max(0, m + bias) in one pass, fusing
 // AddBiasInto + ReLU: the sum never round-trips through memory. bias is
 // a 1×cols row vector; out may alias m.
-func AddBiasReLUInto(out, m, bias *Dense) {
+func AddBiasReLUInto[T fp.Float](out, m, bias *Matrix[T]) {
 	AddBiasReLUIntoCtx(kernels.Context{}, out, m, bias)
 }
 
 // AddBiasReLUIntoCtx is AddBiasReLUInto under an explicit intra-op
 // worker budget; bitwise identical at every worker count.
-func AddBiasReLUIntoCtx(kc kernels.Context, out, m, bias *Dense) {
+func AddBiasReLUIntoCtx[T fp.Float](kc kernels.Context, out, m, bias *Matrix[T]) {
 	if bias.rows != 1 || bias.cols != m.cols {
 		panic(fmt.Sprintf("tensor: AddBiasReLU bias %dx%d vs matrix cols %d", bias.rows, bias.cols, m.cols))
 	}
 	checkSame("AddBiasReLUInto", out, m)
-	parallel.ForWithN(kc.Cap(), m.rows, 64, matCtx{out, m, bias}, func(c matCtx, lo, hi int) {
-		out, m, b := c.out, c.a, c.b
-		for i := lo; i < hi; i++ {
-			row := m.data[i*m.cols : (i+1)*m.cols]
-			oRow := out.data[i*m.cols : (i+1)*m.cols]
-			for j, v := range row {
-				s := v + b.data[j]
-				if s > 0 {
-					oRow[j] = s
-				} else {
-					oRow[j] = 0
-				}
+	parallel.ForWithN(kc.Cap(), m.rows, 64, matCtx[T]{out, m, bias},
+		pickBody[T, matCtx[T]](addBiasReLUBody64, addBiasReLUBody32))
+}
+
+// addBiasReLUBody computes rows [lo, hi) of out = max(0, m + bias).
+func addBiasReLUBody[T fp.Float](c matCtx[T], lo, hi int) {
+	out, m, b := c.out, c.a, c.b
+	for i := lo; i < hi; i++ {
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		oRow := out.data[i*m.cols : (i+1)*m.cols]
+		for j, v := range row {
+			s := v + b.data[j]
+			if s > 0 {
+				oRow[j] = s
+			} else {
+				oRow[j] = 0
 			}
 		}
-	})
+	}
 }
 
 // gcSegment is one segment of a fused gather+concat: rows of M, taken
 // directly (Idx nil) or gathered at Idx.
-type gcSegment struct {
-	m   *Dense
+type gcSegment[T fp.Float] struct {
+	m   *Matrix[T]
 	idx []int
 }
 
-func (s gcSegment) rowsOut() int {
+func (s gcSegment[T]) rowsOut() int {
 	if s.idx != nil {
 		return len(s.idx)
 	}
@@ -72,21 +77,21 @@ func (s gcSegment) rowsOut() int {
 // This covers both hot shapes in the pipeline: the Interaction GNN's
 // message input [Y' ‖ X'[src] ‖ X'[dst]] and the edge filter's
 // [X[src] ‖ X[dst] ‖ EdgeFeat].
-func GatherConcat3Into(out, a *Dense, aIdx []int, b *Dense, bIdx []int, c *Dense, cIdx []int) {
+func GatherConcat3Into[T fp.Float](out, a *Matrix[T], aIdx []int, b *Matrix[T], bIdx []int, c *Matrix[T], cIdx []int) {
 	GatherConcat3IntoCtx(kernels.Context{}, out, a, aIdx, b, bIdx, c, cIdx)
 }
 
 // gc3Ctx carries GatherConcat3IntoCtx operands into capture-free
 // parallel bodies.
-type gc3Ctx struct {
-	out     *Dense
-	a, b, c gcSegment
+type gc3Ctx[T fp.Float] struct {
+	out     *Matrix[T]
+	a, b, c gcSegment[T]
 }
 
 // GatherConcat3IntoCtx is GatherConcat3Into under an explicit intra-op
 // worker budget; bitwise identical at every worker count.
-func GatherConcat3IntoCtx(kc kernels.Context, out, a *Dense, aIdx []int, b *Dense, bIdx []int, c *Dense, cIdx []int) {
-	segA, segB, segC := gcSegment{a, aIdx}, gcSegment{b, bIdx}, gcSegment{c, cIdx}
+func GatherConcat3IntoCtx[T fp.Float](kc kernels.Context, out, a *Matrix[T], aIdx []int, b *Matrix[T], bIdx []int, c *Matrix[T], cIdx []int) {
+	segA, segB, segC := gcSegment[T]{a, aIdx}, gcSegment[T]{b, bIdx}, gcSegment[T]{c, cIdx}
 	rows := segA.rowsOut()
 	if segB.rowsOut() != rows || segC.rowsOut() != rows {
 		panic(fmt.Sprintf("tensor: GatherConcat3 row mismatch %d/%d/%d",
@@ -95,20 +100,24 @@ func GatherConcat3IntoCtx(kc kernels.Context, out, a *Dense, aIdx []int, b *Dens
 	if out.rows != rows || out.cols != a.cols+b.cols+c.cols {
 		panic("tensor: GatherConcat3Into output shape mismatch")
 	}
-	parallel.ForWithN(kc.Cap(), rows, 64, gc3Ctx{out, segA, segB, segC}, func(cx gc3Ctx, lo, hi int) {
-		out := cx.out
-		for i := lo; i < hi; i++ {
-			off := i * out.cols
-			for _, seg := range [3]gcSegment{cx.a, cx.b, cx.c} {
-				src := i
-				if seg.idx != nil {
-					src = seg.idx[i]
-				}
-				copy(out.data[off:off+seg.m.cols], seg.m.data[src*seg.m.cols:(src+1)*seg.m.cols])
-				off += seg.m.cols
+	parallel.ForWithN(kc.Cap(), rows, 64, gc3Ctx[T]{out, segA, segB, segC},
+		pickBody[T, gc3Ctx[T]](gatherConcat3Body64, gatherConcat3Body32))
+}
+
+// gatherConcat3Body writes rows [lo, hi) of the fused gather+concat.
+func gatherConcat3Body[T fp.Float](cx gc3Ctx[T], lo, hi int) {
+	out := cx.out
+	for i := lo; i < hi; i++ {
+		off := i * out.cols
+		for _, seg := range [3]gcSegment[T]{cx.a, cx.b, cx.c} {
+			src := i
+			if seg.idx != nil {
+				src = seg.idx[i]
 			}
+			copy(out.data[off:off+seg.m.cols], seg.m.data[src*seg.m.cols:(src+1)*seg.m.cols])
+			off += seg.m.cols
 		}
-	})
+	}
 }
 
 // ScatterAddRowsBand adds row i of src's column band
@@ -118,7 +127,7 @@ func GatherConcat3IntoCtx(kc kernels.Context, out, a *Dense, aIdx []int, b *Dens
 // row; execution is serial in ascending i (the same order
 // ScatterAddRows uses), so the accumulation is deterministic and needs
 // no synchronization.
-func ScatterAddRowsBand(dst, src *Dense, colOff int, idx []int) {
+func ScatterAddRowsBand[T fp.Float](dst, src *Matrix[T], colOff int, idx []int) {
 	if len(idx) != src.rows {
 		panic("tensor: ScatterAddRowsBand index length mismatch")
 	}

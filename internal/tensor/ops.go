@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/fp"
 	"repro/internal/kernels"
 	"repro/internal/parallel"
 )
@@ -18,9 +19,39 @@ const matmulGrain = 8
 // over k in the same order — so results are bitwise unchanged.
 const gemmTileJ = 512
 
+// The parallel kernel bodies below are named top-level generic
+// functions whose float64 and float32 instantiations are bound once
+// into package variables: materializing a generic func value inside a
+// generic kernel would allocate a dictionary-carrying closure per call
+// and break the zero-allocation contract (see fp.Pick). pickBody
+// selects the pre-bound instantiation with a branch and an interface
+// assertion.
+func pickBody[T fp.Float, C any](v64, v32 any) func(C, int, int) {
+	return fp.Pick[T, func(C, int, int)](v64, v32)
+}
+
+var (
+	matMulBody64        any = matMulBody[float64]
+	matMulBody32        any = matMulBody[float32]
+	matMulTBody64       any = matMulTBody[float64]
+	matMulTBody32       any = matMulTBody[float32]
+	tMatMulBody64       any = tMatMulBody[float64]
+	tMatMulBody32       any = tMatMulBody[float32]
+	addBiasBody64       any = addBiasBody[float64]
+	addBiasBody32       any = addBiasBody[float32]
+	concatColsBody64    any = concatColsBody[float64]
+	concatColsBody32    any = concatColsBody[float32]
+	gatherRowsBody64    any = gatherRowsBody[float64]
+	gatherRowsBody32    any = gatherRowsBody[float32]
+	addBiasReLUBody64   any = addBiasReLUBody[float64]
+	addBiasReLUBody32   any = addBiasReLUBody[float32]
+	gatherConcat3Body64 any = gatherConcat3Body[float64]
+	gatherConcat3Body32 any = gatherConcat3Body[float32]
+)
+
 // MatMul returns a×b. Panics on an inner-dimension mismatch.
-func MatMul(a, b *Dense) *Dense {
-	out := New(a.rows, b.cols)
+func MatMul[T fp.Float](a, b *Matrix[T]) *Matrix[T] {
+	out := NewOf[T](a.rows, b.cols)
 	MatMulInto(out, a, b)
 	return out
 }
@@ -34,73 +65,77 @@ func MatMul(a, b *Dense) *Dense {
 // tiles wide outputs by gemmTileJ columns, and unrolls the k dimension
 // 4× so each pass over the output row does four fused accumulations per
 // store.
-func MatMulInto(out, a, b *Dense) {
+func MatMulInto[T fp.Float](out, a, b *Matrix[T]) {
 	MatMulIntoCtx(kernels.Context{}, out, a, b)
 }
 
 // MatMulIntoCtx is MatMulInto under an explicit intra-op worker budget.
 // Row blocks partition statically, so the result is bitwise identical
 // at every worker count.
-func MatMulIntoCtx(kc kernels.Context, out, a, b *Dense) {
+func MatMulIntoCtx[T fp.Float](kc kernels.Context, out, a, b *Matrix[T]) {
 	if a.cols != b.rows {
 		panic(fmt.Sprintf("tensor: MatMul inner dims %d vs %d", a.cols, b.rows))
 	}
 	if out.rows != a.rows || out.cols != b.cols {
 		panic("tensor: MatMulInto output shape mismatch")
 	}
-	parallel.ForWithN(kc.Cap(), a.rows, matmulGrain, matCtx{out, a, b}, func(c matCtx, lo, hi int) {
-		out, a, b := c.out, c.a, c.b
-		n, k := b.cols, a.cols
-		for i := lo; i < hi; i++ {
-			oRow := out.data[i*n : (i+1)*n]
-			for j := range oRow {
-				oRow[j] = 0
+	parallel.ForWithN(kc.Cap(), a.rows, matmulGrain, matCtx[T]{out, a, b},
+		pickBody[T, matCtx[T]](matMulBody64, matMulBody32))
+}
+
+// matMulBody computes rows [lo, hi) of out = a×b (see MatMulIntoCtx).
+func matMulBody[T fp.Float](c matCtx[T], lo, hi int) {
+	out, a, b := c.out, c.a, c.b
+	n, k := b.cols, a.cols
+	for i := lo; i < hi; i++ {
+		oRow := out.data[i*n : (i+1)*n]
+		for j := range oRow {
+			oRow[j] = 0
+		}
+		aRow := a.data[i*k : (i+1)*k]
+		for jt := 0; jt < n; jt += gemmTileJ {
+			jHi := jt + gemmTileJ
+			if jHi > n {
+				jHi = n
 			}
-			aRow := a.data[i*k : (i+1)*k]
-			for jt := 0; jt < n; jt += gemmTileJ {
-				jHi := jt + gemmTileJ
-				if jHi > n {
-					jHi = n
+			oTile := oRow[jt:jHi]
+			p := 0
+			for ; p+4 <= k; p += 4 {
+				a0, a1, a2, a3 := aRow[p], aRow[p+1], aRow[p+2], aRow[p+3]
+				if a0 == 0 && a1 == 0 && a2 == 0 && a3 == 0 {
+					continue
 				}
-				oTile := oRow[jt:jHi]
-				p := 0
-				for ; p+4 <= k; p += 4 {
-					a0, a1, a2, a3 := aRow[p], aRow[p+1], aRow[p+2], aRow[p+3]
-					if a0 == 0 && a1 == 0 && a2 == 0 && a3 == 0 {
-						continue
-					}
-					b0 := b.data[p*n+jt : p*n+jHi]
-					b1 := b.data[(p+1)*n+jt : (p+1)*n+jHi]
-					b2 := b.data[(p+2)*n+jt : (p+2)*n+jHi]
-					b3 := b.data[(p+3)*n+jt : (p+3)*n+jHi]
-					for j, bv := range b0 {
-						oTile[j] += a0*bv + a1*b1[j] + a2*b2[j] + a3*b3[j]
-					}
+				b0 := b.data[p*n+jt : p*n+jHi]
+				b1 := b.data[(p+1)*n+jt : (p+1)*n+jHi]
+				b2 := b.data[(p+2)*n+jt : (p+2)*n+jHi]
+				b3 := b.data[(p+3)*n+jt : (p+3)*n+jHi]
+				for j, bv := range b0 {
+					oTile[j] += a0*bv + a1*b1[j] + a2*b2[j] + a3*b3[j]
 				}
-				for ; p < k; p++ {
-					av := aRow[p]
-					if av == 0 {
-						continue
-					}
-					bRow := b.data[p*n+jt : p*n+jHi]
-					for j, bv := range bRow {
-						oTile[j] += av * bv
-					}
+			}
+			for ; p < k; p++ {
+				av := aRow[p]
+				if av == 0 {
+					continue
+				}
+				bRow := b.data[p*n+jt : p*n+jHi]
+				for j, bv := range bRow {
+					oTile[j] += av * bv
 				}
 			}
 		}
-	})
+	}
 }
 
 // matCtx carries kernel operands into capture-free parallel bodies (see
 // parallel.ForWith).
-type matCtx struct {
-	out, a, b *Dense
+type matCtx[T fp.Float] struct {
+	out, a, b *Matrix[T]
 }
 
 // MatMulT returns a×bᵀ, used by backprop (dA = G×Bᵀ) without forming Bᵀ.
-func MatMulT(a, b *Dense) *Dense {
-	out := New(a.rows, b.rows)
+func MatMulT[T fp.Float](a, b *Matrix[T]) *Matrix[T] {
+	out := NewOf[T](a.rows, b.rows)
 	MatMulTInto(out, a, b)
 	return out
 }
@@ -109,61 +144,65 @@ func MatMulT(a, b *Dense) *Dense {
 // shape a.rows × b.rows and must not alias a or b. The dot-product inner
 // loop runs four independent accumulators for instruction-level
 // parallelism.
-func MatMulTInto(out, a, b *Dense) {
+func MatMulTInto[T fp.Float](out, a, b *Matrix[T]) {
 	MatMulTIntoCtx(kernels.Context{}, out, a, b)
 }
 
 // MatMulTIntoCtx is MatMulTInto under an explicit intra-op worker
 // budget; bitwise identical at every worker count.
-func MatMulTIntoCtx(kc kernels.Context, out, a, b *Dense) {
+func MatMulTIntoCtx[T fp.Float](kc kernels.Context, out, a, b *Matrix[T]) {
 	if a.cols != b.cols {
 		panic(fmt.Sprintf("tensor: MatMulT inner dims %d vs %d", a.cols, b.cols))
 	}
 	if out.rows != a.rows || out.cols != b.rows {
 		panic("tensor: MatMulTInto output shape mismatch")
 	}
-	parallel.ForWithN(kc.Cap(), a.rows, matmulGrain, matCtx{out, a, b}, func(c matCtx, lo, hi int) {
-		out, a, b := c.out, c.a, c.b
-		k := a.cols
-		for i := lo; i < hi; i++ {
-			aRow := a.data[i*k : (i+1)*k]
-			oRow := out.data[i*b.rows : (i+1)*b.rows]
-			for j := 0; j < b.rows; j++ {
-				bRow := b.data[j*k : (j+1)*k]
-				var s0, s1, s2, s3 float64
-				p := 0
-				for ; p+4 <= k; p += 4 {
-					s0 += aRow[p] * bRow[p]
-					s1 += aRow[p+1] * bRow[p+1]
-					s2 += aRow[p+2] * bRow[p+2]
-					s3 += aRow[p+3] * bRow[p+3]
-				}
-				sum := s0 + s1 + s2 + s3
-				for ; p < k; p++ {
-					sum += aRow[p] * bRow[p]
-				}
-				oRow[j] = sum
+	parallel.ForWithN(kc.Cap(), a.rows, matmulGrain, matCtx[T]{out, a, b},
+		pickBody[T, matCtx[T]](matMulTBody64, matMulTBody32))
+}
+
+// matMulTBody computes rows [lo, hi) of out = a×bᵀ (see MatMulTIntoCtx).
+func matMulTBody[T fp.Float](c matCtx[T], lo, hi int) {
+	out, a, b := c.out, c.a, c.b
+	k := a.cols
+	for i := lo; i < hi; i++ {
+		aRow := a.data[i*k : (i+1)*k]
+		oRow := out.data[i*b.rows : (i+1)*b.rows]
+		for j := 0; j < b.rows; j++ {
+			bRow := b.data[j*k : (j+1)*k]
+			var s0, s1, s2, s3 T
+			p := 0
+			for ; p+4 <= k; p += 4 {
+				s0 += aRow[p] * bRow[p]
+				s1 += aRow[p+1] * bRow[p+1]
+				s2 += aRow[p+2] * bRow[p+2]
+				s3 += aRow[p+3] * bRow[p+3]
 			}
+			sum := s0 + s1 + s2 + s3
+			for ; p < k; p++ {
+				sum += aRow[p] * bRow[p]
+			}
+			oRow[j] = sum
 		}
-	})
+	}
 }
 
 // TMatMul returns aᵀ×b, used by backprop (dB = Aᵀ×G) without forming Aᵀ.
-func TMatMul(a, b *Dense) *Dense {
-	out := New(a.cols, b.cols)
+func TMatMul[T fp.Float](a, b *Matrix[T]) *Matrix[T] {
+	out := NewOf[T](a.cols, b.cols)
 	TMatMulInto(out, a, b)
 	return out
 }
 
 // TMatMulInto computes out = aᵀ×b without forming aᵀ. out must have
 // shape a.cols × b.cols and must not alias a or b.
-func TMatMulInto(out, a, b *Dense) {
+func TMatMulInto[T fp.Float](out, a, b *Matrix[T]) {
 	TMatMulIntoCtx(kernels.Context{}, out, a, b)
 }
 
 // TMatMulIntoCtx is TMatMulInto under an explicit intra-op worker
 // budget; bitwise identical at every worker count.
-func TMatMulIntoCtx(kc kernels.Context, out, a, b *Dense) {
+func TMatMulIntoCtx[T fp.Float](kc kernels.Context, out, a, b *Matrix[T]) {
 	if a.rows != b.rows {
 		panic(fmt.Sprintf("tensor: TMatMul inner dims %d vs %d", a.rows, b.rows))
 	}
@@ -171,34 +210,38 @@ func TMatMulIntoCtx(kc kernels.Context, out, a, b *Dense) {
 		panic("tensor: TMatMulInto output shape mismatch")
 	}
 	// Parallelize over output rows (columns of a) to avoid write races.
-	parallel.ForWithN(kc.Cap(), a.cols, 1, matCtx{out, a, b}, func(c matCtx, lo, hi int) {
-		out, a, b := c.out, c.a, c.b
+	parallel.ForWithN(kc.Cap(), a.cols, 1, matCtx[T]{out, a, b},
+		pickBody[T, matCtx[T]](tMatMulBody64, tMatMulBody32))
+}
+
+// tMatMulBody computes rows [lo, hi) of out = aᵀ×b (see TMatMulIntoCtx).
+func tMatMulBody[T fp.Float](c matCtx[T], lo, hi int) {
+	out, a, b := c.out, c.a, c.b
+	for i := lo; i < hi; i++ {
+		oRow := out.data[i*b.cols : (i+1)*b.cols]
+		for j := range oRow {
+			oRow[j] = 0
+		}
+	}
+	for p := 0; p < a.rows; p++ {
+		aRow := a.data[p*a.cols : (p+1)*a.cols]
+		bRow := b.data[p*b.cols : (p+1)*b.cols]
 		for i := lo; i < hi; i++ {
+			av := aRow[i]
+			if av == 0 {
+				continue
+			}
 			oRow := out.data[i*b.cols : (i+1)*b.cols]
-			for j := range oRow {
-				oRow[j] = 0
+			for j, bv := range bRow {
+				oRow[j] += av * bv
 			}
 		}
-		for p := 0; p < a.rows; p++ {
-			aRow := a.data[p*a.cols : (p+1)*a.cols]
-			bRow := b.data[p*b.cols : (p+1)*b.cols]
-			for i := lo; i < hi; i++ {
-				av := aRow[i]
-				if av == 0 {
-					continue
-				}
-				oRow := out.data[i*b.cols : (i+1)*b.cols]
-				for j, bv := range bRow {
-					oRow[j] += av * bv
-				}
-			}
-		}
-	})
+	}
 }
 
 // Transpose returns mᵀ as a new matrix.
-func (m *Dense) Transpose() *Dense {
-	out := New(m.cols, m.rows)
+func (m *Matrix[T]) Transpose() *Matrix[T] {
+	out := NewOf[T](m.cols, m.rows)
 	for i := 0; i < m.rows; i++ {
 		row := m.data[i*m.cols : (i+1)*m.cols]
 		for j, v := range row {
@@ -209,14 +252,14 @@ func (m *Dense) Transpose() *Dense {
 }
 
 // Add returns a+b elementwise.
-func Add(a, b *Dense) *Dense {
-	out := New(a.rows, a.cols)
+func Add[T fp.Float](a, b *Matrix[T]) *Matrix[T] {
+	out := NewOf[T](a.rows, a.cols)
 	AddInto(out, a, b)
 	return out
 }
 
 // AddInto computes out = a+b elementwise. out may alias a or b.
-func AddInto(out, a, b *Dense) {
+func AddInto[T fp.Float](out, a, b *Matrix[T]) {
 	checkSame("Add", a, b)
 	checkSame("AddInto", out, a)
 	for i := range out.data {
@@ -225,7 +268,7 @@ func AddInto(out, a, b *Dense) {
 }
 
 // AddInPlace computes m += o.
-func (m *Dense) AddInPlace(o *Dense) {
+func (m *Matrix[T]) AddInPlace(o *Matrix[T]) {
 	checkSame("AddInPlace", m, o)
 	for i, v := range o.data {
 		m.data[i] += v
@@ -233,14 +276,14 @@ func (m *Dense) AddInPlace(o *Dense) {
 }
 
 // Sub returns a-b elementwise.
-func Sub(a, b *Dense) *Dense {
-	out := New(a.rows, a.cols)
+func Sub[T fp.Float](a, b *Matrix[T]) *Matrix[T] {
+	out := NewOf[T](a.rows, a.cols)
 	SubInto(out, a, b)
 	return out
 }
 
 // SubInto computes out = a-b elementwise. out may alias a or b.
-func SubInto(out, a, b *Dense) {
+func SubInto[T fp.Float](out, a, b *Matrix[T]) {
 	checkSame("Sub", a, b)
 	checkSame("SubInto", out, a)
 	for i := range out.data {
@@ -249,14 +292,14 @@ func SubInto(out, a, b *Dense) {
 }
 
 // Mul returns the elementwise (Hadamard) product a*b.
-func Mul(a, b *Dense) *Dense {
-	out := New(a.rows, a.cols)
+func Mul[T fp.Float](a, b *Matrix[T]) *Matrix[T] {
+	out := NewOf[T](a.rows, a.cols)
 	MulInto(out, a, b)
 	return out
 }
 
 // MulInto computes out = a*b elementwise. out may alias a or b.
-func MulInto(out, a, b *Dense) {
+func MulInto[T fp.Float](out, a, b *Matrix[T]) {
 	checkSame("Mul", a, b)
 	checkSame("MulInto", out, a)
 	for i := range out.data {
@@ -265,14 +308,14 @@ func MulInto(out, a, b *Dense) {
 }
 
 // Scale returns s*m.
-func Scale(s float64, m *Dense) *Dense {
-	out := New(m.rows, m.cols)
+func Scale[T fp.Float](s T, m *Matrix[T]) *Matrix[T] {
+	out := NewOf[T](m.rows, m.cols)
 	ScaleInto(out, s, m)
 	return out
 }
 
 // ScaleInto computes out = s*m elementwise. out may alias m.
-func ScaleInto(out *Dense, s float64, m *Dense) {
+func ScaleInto[T fp.Float](out *Matrix[T], s T, m *Matrix[T]) {
 	checkSame("ScaleInto", out, m)
 	for i, v := range m.data {
 		out.data[i] = s * v
@@ -280,14 +323,14 @@ func ScaleInto(out *Dense, s float64, m *Dense) {
 }
 
 // ScaleInPlace computes m *= s.
-func (m *Dense) ScaleInPlace(s float64) {
+func (m *Matrix[T]) ScaleInPlace(s T) {
 	for i := range m.data {
 		m.data[i] *= s
 	}
 }
 
 // AXPY computes m += s*o.
-func (m *Dense) AXPY(s float64, o *Dense) {
+func (m *Matrix[T]) AXPY(s T, o *Matrix[T]) {
 	checkSame("AXPY", m, o)
 	for i, v := range o.data {
 		m.data[i] += s * v
@@ -295,46 +338,50 @@ func (m *Dense) AXPY(s float64, o *Dense) {
 }
 
 // AddBias returns m with the 1×cols row vector b added to every row.
-func AddBias(m, b *Dense) *Dense {
-	out := New(m.rows, m.cols)
+func AddBias[T fp.Float](m, b *Matrix[T]) *Matrix[T] {
+	out := NewOf[T](m.rows, m.cols)
 	AddBiasInto(out, m, b)
 	return out
 }
 
 // AddBiasInto computes out = m with the 1×cols row vector b added to
 // every row. out may alias m.
-func AddBiasInto(out, m, b *Dense) {
+func AddBiasInto[T fp.Float](out, m, b *Matrix[T]) {
 	AddBiasIntoCtx(kernels.Context{}, out, m, b)
 }
 
 // AddBiasIntoCtx is AddBiasInto under an explicit intra-op worker
 // budget.
-func AddBiasIntoCtx(kc kernels.Context, out, m, b *Dense) {
+func AddBiasIntoCtx[T fp.Float](kc kernels.Context, out, m, b *Matrix[T]) {
 	if b.rows != 1 || b.cols != m.cols {
 		panic(fmt.Sprintf("tensor: AddBias bias %dx%d vs matrix cols %d", b.rows, b.cols, m.cols))
 	}
 	checkSame("AddBiasInto", out, m)
-	parallel.ForWithN(kc.Cap(), m.rows, 64, matCtx{out, m, b}, func(c matCtx, lo, hi int) {
-		out, m, b := c.out, c.a, c.b
-		for i := lo; i < hi; i++ {
-			row := m.data[i*m.cols : (i+1)*m.cols]
-			oRow := out.data[i*m.cols : (i+1)*m.cols]
-			for j, v := range row {
-				oRow[j] = v + b.data[j]
-			}
+	parallel.ForWithN(kc.Cap(), m.rows, 64, matCtx[T]{out, m, b},
+		pickBody[T, matCtx[T]](addBiasBody64, addBiasBody32))
+}
+
+// addBiasBody computes rows [lo, hi) of out = m + bias (broadcast).
+func addBiasBody[T fp.Float](c matCtx[T], lo, hi int) {
+	out, m, b := c.out, c.a, c.b
+	for i := lo; i < hi; i++ {
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		oRow := out.data[i*m.cols : (i+1)*m.cols]
+		for j, v := range row {
+			oRow[j] = v + b.data[j]
 		}
-	})
+	}
 }
 
 // ColSums returns a 1×cols matrix with the sum of each column.
-func (m *Dense) ColSums() *Dense {
-	out := New(1, m.cols)
+func (m *Matrix[T]) ColSums() *Matrix[T] {
+	out := NewOf[T](1, m.cols)
 	m.ColSumsInto(out)
 	return out
 }
 
 // ColSumsInto computes the per-column sums into the 1×cols matrix out.
-func (m *Dense) ColSumsInto(out *Dense) {
+func (m *Matrix[T]) ColSumsInto(out *Matrix[T]) {
 	if out.rows != 1 || out.cols != m.cols {
 		panic("tensor: ColSumsInto output shape mismatch")
 	}
@@ -350,20 +397,20 @@ func (m *Dense) ColSumsInto(out *Dense) {
 }
 
 // RowSums returns a rows×1 matrix with the sum of each row.
-func (m *Dense) RowSums() *Dense {
-	out := New(m.rows, 1)
+func (m *Matrix[T]) RowSums() *Matrix[T] {
+	out := NewOf[T](m.rows, 1)
 	m.RowSumsInto(out)
 	return out
 }
 
 // RowSumsInto computes the per-row sums into the rows×1 matrix out.
-func (m *Dense) RowSumsInto(out *Dense) {
+func (m *Matrix[T]) RowSumsInto(out *Matrix[T]) {
 	if out.rows != m.rows || out.cols != 1 {
 		panic("tensor: RowSumsInto output shape mismatch")
 	}
 	for i := 0; i < m.rows; i++ {
 		row := m.data[i*m.cols : (i+1)*m.cols]
-		s := 0.0
+		var s T
 		for _, v := range row {
 			s += v
 		}
@@ -371,17 +418,17 @@ func (m *Dense) RowSumsInto(out *Dense) {
 	}
 }
 
-// Sum returns the sum of all elements.
-func (m *Dense) Sum() float64 {
-	s := 0.0
+// Sum returns the sum of all elements (accumulated in T).
+func (m *Matrix[T]) Sum() float64 {
+	var s T
 	for _, v := range m.data {
 		s += v
 	}
-	return s
+	return float64(s)
 }
 
 // Mean returns the mean of all elements (0 for an empty matrix).
-func (m *Dense) Mean() float64 {
+func (m *Matrix[T]) Mean() float64 {
 	if len(m.data) == 0 {
 		return 0
 	}
@@ -389,23 +436,23 @@ func (m *Dense) Mean() float64 {
 }
 
 // Norm2 returns the Frobenius norm.
-func (m *Dense) Norm2() float64 {
-	s := 0.0
+func (m *Matrix[T]) Norm2() float64 {
+	var s T
 	for _, v := range m.data {
 		s += v * v
 	}
-	return math.Sqrt(s)
+	return math.Sqrt(float64(s))
 }
 
 // Apply returns f applied elementwise.
-func Apply(m *Dense, f func(float64) float64) *Dense {
-	out := New(m.rows, m.cols)
+func Apply[T fp.Float](m *Matrix[T], f func(T) T) *Matrix[T] {
+	out := NewOf[T](m.rows, m.cols)
 	ApplyInto(out, m, f)
 	return out
 }
 
 // ApplyInto computes out = f applied elementwise to m. out may alias m.
-func ApplyInto(out, m *Dense, f func(float64) float64) {
+func ApplyInto[T fp.Float](out, m *Matrix[T], f func(T) T) {
 	checkSame("ApplyInto", out, m)
 	for i, v := range m.data {
 		out.data[i] = f(v)
@@ -414,14 +461,14 @@ func ApplyInto(out, m *Dense, f func(float64) float64) {
 
 // ConcatCols concatenates matrices horizontally. All inputs must have the
 // same row count.
-func ConcatCols(ms ...*Dense) *Dense {
+func ConcatCols[T fp.Float](ms ...*Matrix[T]) *Matrix[T] {
 	rows, totalCols := concatColsShape(ms)
-	out := New(rows, totalCols)
+	out := NewOf[T](rows, totalCols)
 	ConcatColsInto(out, ms...)
 	return out
 }
 
-func concatColsShape(ms []*Dense) (rows, totalCols int) {
+func concatColsShape[T fp.Float](ms []*Matrix[T]) (rows, totalCols int) {
 	if len(ms) == 0 {
 		return 0, 0
 	}
@@ -437,40 +484,44 @@ func concatColsShape(ms []*Dense) (rows, totalCols int) {
 
 // ConcatColsInto concatenates matrices horizontally into out, which must
 // have the combined shape and must not alias any input.
-func ConcatColsInto(out *Dense, ms ...*Dense) {
+func ConcatColsInto[T fp.Float](out *Matrix[T], ms ...*Matrix[T]) {
 	ConcatColsIntoCtx(kernels.Context{}, out, ms...)
 }
 
 // concatCtx carries ConcatColsIntoCtx operands into capture-free
 // parallel bodies.
-type concatCtx struct {
-	out *Dense
-	ms  []*Dense
+type concatCtx[T fp.Float] struct {
+	out *Matrix[T]
+	ms  []*Matrix[T]
 }
 
 // ConcatColsIntoCtx is ConcatColsInto under an explicit intra-op worker
 // budget.
-func ConcatColsIntoCtx(kc kernels.Context, out *Dense, ms ...*Dense) {
+func ConcatColsIntoCtx[T fp.Float](kc kernels.Context, out *Matrix[T], ms ...*Matrix[T]) {
 	rows, totalCols := concatColsShape(ms)
 	if out.rows != rows || out.cols != totalCols {
 		panic("tensor: ConcatColsInto output shape mismatch")
 	}
-	parallel.ForWithN(kc.Cap(), rows, 64, concatCtx{out, ms}, func(c concatCtx, lo, hi int) {
-		out, totalCols := c.out, c.out.cols
-		for i := lo; i < hi; i++ {
-			off := i * totalCols
-			for _, m := range c.ms {
-				copy(out.data[off:off+m.cols], m.data[i*m.cols:(i+1)*m.cols])
-				off += m.cols
-			}
+	parallel.ForWithN(kc.Cap(), rows, 64, concatCtx[T]{out, ms},
+		pickBody[T, concatCtx[T]](concatColsBody64, concatColsBody32))
+}
+
+// concatColsBody copies rows [lo, hi) of the horizontal concatenation.
+func concatColsBody[T fp.Float](c concatCtx[T], lo, hi int) {
+	out, totalCols := c.out, c.out.cols
+	for i := lo; i < hi; i++ {
+		off := i * totalCols
+		for _, m := range c.ms {
+			copy(out.data[off:off+m.cols], m.data[i*m.cols:(i+1)*m.cols])
+			off += m.cols
 		}
-	})
+	}
 }
 
 // ExtractColsInto copies the colOff..colOff+dst.cols column band of src
 // into dst (the inverse of one ConcatCols segment, used by its backward
 // pass without materializing every split).
-func ExtractColsInto(dst, src *Dense, colOff int) {
+func ExtractColsInto[T fp.Float](dst, src *Matrix[T], colOff int) {
 	if dst.rows != src.rows || colOff < 0 || colOff+dst.cols > src.cols {
 		panic(fmt.Sprintf("tensor: ExtractColsInto band [%d,%d) of %d cols, rows %d vs %d",
 			colOff, colOff+dst.cols, src.cols, dst.rows, src.rows))
@@ -482,9 +533,9 @@ func ExtractColsInto(dst, src *Dense, colOff int) {
 
 // ConcatRows concatenates matrices vertically. All inputs must have the
 // same column count.
-func ConcatRows(ms ...*Dense) *Dense {
+func ConcatRows[T fp.Float](ms ...*Matrix[T]) *Matrix[T] {
 	if len(ms) == 0 {
-		return New(0, 0)
+		return NewOf[T](0, 0)
 	}
 	cols := ms[0].cols
 	totalRows := 0
@@ -494,7 +545,7 @@ func ConcatRows(ms ...*Dense) *Dense {
 		}
 		totalRows += m.rows
 	}
-	out := New(totalRows, cols)
+	out := NewOf[T](totalRows, cols)
 	off := 0
 	for _, m := range ms {
 		copy(out.data[off:off+len(m.data)], m.data)
@@ -505,7 +556,7 @@ func ConcatRows(ms ...*Dense) *Dense {
 
 // SplitCols splits m into len(widths) matrices with the given column
 // widths (which must sum to m.cols), undoing ConcatCols.
-func SplitCols(m *Dense, widths ...int) []*Dense {
+func SplitCols[T fp.Float](m *Matrix[T], widths ...int) []*Matrix[T] {
 	total := 0
 	for _, w := range widths {
 		total += w
@@ -513,9 +564,9 @@ func SplitCols(m *Dense, widths ...int) []*Dense {
 	if total != m.cols {
 		panic(fmt.Sprintf("tensor: SplitCols widths sum %d != cols %d", total, m.cols))
 	}
-	outs := make([]*Dense, len(widths))
+	outs := make([]*Matrix[T], len(widths))
 	for i, w := range widths {
-		outs[i] = New(m.rows, w)
+		outs[i] = NewOf[T](m.rows, w)
 	}
 	for r := 0; r < m.rows; r++ {
 		off := r * m.cols
@@ -528,39 +579,46 @@ func SplitCols(m *Dense, widths ...int) []*Dense {
 }
 
 // GatherRows returns the matrix whose i-th row is m's row idx[i].
-func GatherRows(m *Dense, idx []int) *Dense {
-	out := New(len(idx), m.cols)
+func GatherRows[T fp.Float](m *Matrix[T], idx []int) *Matrix[T] {
+	out := NewOf[T](len(idx), m.cols)
 	GatherRowsInto(out, m, idx)
 	return out
 }
 
 // GatherRowsInto computes out[i] = m[idx[i]]. out must have shape
 // len(idx) × m.cols and must not alias m.
-func GatherRowsInto(out, m *Dense, idx []int) {
+func GatherRowsInto[T fp.Float](out, m *Matrix[T], idx []int) {
 	GatherRowsIntoCtx(kernels.Context{}, out, m, idx)
+}
+
+// gatherCtx carries GatherRowsIntoCtx operands into capture-free
+// parallel bodies.
+type gatherCtx[T fp.Float] struct {
+	out, m *Matrix[T]
+	idx    []int
 }
 
 // GatherRowsIntoCtx is GatherRowsInto under an explicit intra-op worker
 // budget.
-func GatherRowsIntoCtx(kc kernels.Context, out, m *Dense, idx []int) {
+func GatherRowsIntoCtx[T fp.Float](kc kernels.Context, out, m *Matrix[T], idx []int) {
 	if out.rows != len(idx) || out.cols != m.cols {
 		panic("tensor: GatherRowsInto output shape mismatch")
 	}
-	type gatherCtx struct {
-		out, m *Dense
-		idx    []int
+	parallel.ForWithN(kc.Cap(), len(idx), 256, gatherCtx[T]{out, m, idx},
+		pickBody[T, gatherCtx[T]](gatherRowsBody64, gatherRowsBody32))
+}
+
+// gatherRowsBody copies rows [lo, hi): out[i] = m[idx[i]].
+func gatherRowsBody[T fp.Float](c gatherCtx[T], lo, hi int) {
+	for i := lo; i < hi; i++ {
+		copy(c.out.data[i*c.m.cols:(i+1)*c.m.cols], c.m.Row(c.idx[i]))
 	}
-	parallel.ForWithN(kc.Cap(), len(idx), 256, gatherCtx{out, m, idx}, func(c gatherCtx, lo, hi int) {
-		for i := lo; i < hi; i++ {
-			copy(c.out.data[i*c.m.cols:(i+1)*c.m.cols], c.m.Row(c.idx[i]))
-		}
-	})
 }
 
 // ScatterAddRows adds row i of src into row idx[i] of dst.
 // Rows of dst may be targeted by multiple sources; execution is serial per
 // destination row so no synchronization is required.
-func ScatterAddRows(dst, src *Dense, idx []int) {
+func ScatterAddRows[T fp.Float](dst, src *Matrix[T], idx []int) {
 	if src.cols != dst.cols {
 		panic("tensor: ScatterAddRows col mismatch")
 	}
@@ -576,7 +634,7 @@ func ScatterAddRows(dst, src *Dense, idx []int) {
 	}
 }
 
-func checkSame(op string, a, b *Dense) {
+func checkSame[T fp.Float](op string, a, b *Matrix[T]) {
 	if !a.SameShape(b) {
 		panic(fmt.Sprintf("tensor: %s shape mismatch %dx%d vs %dx%d", op, a.rows, a.cols, b.rows, b.cols))
 	}

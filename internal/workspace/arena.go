@@ -1,5 +1,7 @@
 package workspace
 
+import "repro/internal/fp"
+
 // Arena hands out pooled scratch slices and releases them in groups: a
 // trainer keeps one arena per rank, takes a checkpoint before each step,
 // and resets to it afterwards, returning every slice the step's forward,
@@ -11,13 +13,14 @@ package workspace
 // its own. The backing pools are shared and goroutine-safe.
 type Arena struct {
 	f64s  [][]float64
+	f32s  [][]float32
 	ints  [][]int
 	bools [][]bool
 }
 
 // Mark is a checkpoint in an arena's allocation history.
 type Mark struct {
-	f64s, ints, bools int
+	f64s, f32s, ints, bools int
 }
 
 // NewArena returns an empty arena.
@@ -28,6 +31,24 @@ func (a *Arena) F64(n int) []float64 {
 	s := GetF64(n)
 	a.f64s = append(a.f64s, s)
 	return s
+}
+
+// F32 returns a zeroed []float32 of length n owned by the arena.
+func (a *Arena) F32(n int) []float32 {
+	s := GetF32(n)
+	a.f32s = append(a.f32s, s)
+	return s
+}
+
+// Float returns a zeroed []T of length n owned by the arena — the
+// precision-generic entry used by tensor.NewFromOf and the generic
+// inference forwards.
+func Float[T fp.Float](a *Arena, n int) []T {
+	var z T
+	if _, ok := any(z).(float32); ok {
+		return any(a.F32(n)).([]T)
+	}
+	return any(a.F64(n)).([]T)
 }
 
 // Int returns a zeroed []int of length n owned by the arena.
@@ -47,7 +68,7 @@ func (a *Arena) Bool(n int) []bool {
 // Checkpoint records the current allocation state. A later ResetTo
 // releases only what was allocated after this point.
 func (a *Arena) Checkpoint() Mark {
-	return Mark{f64s: len(a.f64s), ints: len(a.ints), bools: len(a.bools)}
+	return Mark{f64s: len(a.f64s), f32s: len(a.f32s), ints: len(a.ints), bools: len(a.bools)}
 }
 
 // ResetTo releases every slice allocated after the mark back to the
@@ -58,6 +79,11 @@ func (a *Arena) ResetTo(m Mark) {
 		a.f64s[i] = nil
 	}
 	a.f64s = a.f64s[:m.f64s]
+	for i := m.f32s; i < len(a.f32s); i++ {
+		PutF32(a.f32s[i])
+		a.f32s[i] = nil
+	}
+	a.f32s = a.f32s[:m.f32s]
 	for i := m.ints; i < len(a.ints); i++ {
 		PutInt(a.ints[i])
 		a.ints[i] = nil
@@ -74,4 +100,4 @@ func (a *Arena) ResetTo(m Mark) {
 func (a *Arena) Reset() { a.ResetTo(Mark{}) }
 
 // Live reports how many slices the arena currently holds.
-func (a *Arena) Live() int { return len(a.f64s) + len(a.ints) + len(a.bools) }
+func (a *Arena) Live() int { return len(a.f64s) + len(a.f32s) + len(a.ints) + len(a.bools) }

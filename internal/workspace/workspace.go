@@ -23,6 +23,8 @@ import (
 	"math/bits"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/fp"
 )
 
 // minBucketLen is the smallest pooled slice length; requests below it are
@@ -156,9 +158,31 @@ func (p *typedPools[T]) put(s []T) {
 
 var (
 	f64Pools  = &typedPools[float64]{elemBytes: 8}
+	f32Pools  = &typedPools[float32]{elemBytes: 4}
 	intPools  = &typedPools[int]{elemBytes: 8}
 	boolPools = &typedPools[bool]{elemBytes: 1}
 )
+
+// floatPool returns the shared bucketed pool set for the float element
+// type T. The type switch is the single precision-dispatch point of the
+// package: every float-typed Get/Put/Grow entry — f32 and f64 alike —
+// resolves through it, so the size-bucket logic exists exactly once in
+// typedPools regardless of how many dtypes the pools serve.
+func floatPool[T fp.Float]() *typedPools[T] {
+	var z T
+	if _, ok := any(z).(float32); ok {
+		return any(f32Pools).(*typedPools[T])
+	}
+	return any(f64Pools).(*typedPools[T])
+}
+
+// GetFloat returns a zeroed []T of length n from the pools — the
+// precision-generic entry the generic kernels allocate through.
+func GetFloat[T fp.Float](n int) []T { return floatPool[T]().get(n) }
+
+// PutFloat returns a slice obtained from GetFloat to the pools. The
+// caller must not retain any reference to it afterwards.
+func PutFloat[T fp.Float](s []T) { floatPool[T]().put(s) }
 
 // GetF64 returns a zeroed []float64 of length n from the pools.
 func GetF64(n int) []float64 { return f64Pools.get(n) }
@@ -166,6 +190,12 @@ func GetF64(n int) []float64 { return f64Pools.get(n) }
 // PutF64 returns a slice obtained from GetF64 to the pools. The caller
 // must not retain any reference to it afterwards.
 func PutF64(s []float64) { f64Pools.put(s) }
+
+// GetF32 returns a zeroed []float32 of length n from the pools.
+func GetF32(n int) []float32 { return f32Pools.get(n) }
+
+// PutF32 returns a slice obtained from GetF32 to the pools.
+func PutF32(s []float32) { f32Pools.put(s) }
 
 // GetInt returns a zeroed []int of length n from the pools.
 func GetInt(n int) []int { return intPools.get(n) }
@@ -179,45 +209,38 @@ func GetBool(n int) []bool { return boolPools.get(n) }
 // PutBool returns a slice obtained from GetBool to the pools.
 func PutBool(s []bool) { boolPools.put(s) }
 
-// GrowF64 returns a slice of length n reusing s's storage when cap(s)
-// suffices; otherwise s goes back to the pools and a fresh pooled slice
-// is drawn. A nil s allocates plain heap storage instead: growth paths
-// reached through value-returning wrappers (whose results escape to
-// callers that never Release) must not drain the pools — only storage a
-// caller actually recycles graduates to pooled backing on its first
-// regrow. Contents are unspecified either way — this is scratch growth
-// for buffers the caller fully overwrites, not append.
-func GrowF64(s []float64, n int) []float64 {
+// grow returns a slice of length n reusing s's storage when cap(s)
+// suffices; otherwise s goes back to its bucket and a fresh pooled
+// slice is drawn. A nil s allocates plain heap storage instead: growth
+// paths reached through value-returning wrappers (whose results escape
+// to callers that never Release) must not drain the pools — only
+// storage a caller actually recycles graduates to pooled backing on its
+// first regrow. Contents are unspecified either way — this is scratch
+// growth for buffers the caller fully overwrites, not append. One
+// implementation serves every element type; the exported Grow* entries
+// below only bind the pool.
+func grow[T any](p *typedPools[T], s []T, n int) []T {
 	if s == nil {
-		return make([]float64, n)
+		return make([]T, n)
 	}
 	if cap(s) >= n {
 		return s[:n]
 	}
-	PutF64(s)
-	return GetF64(n)
+	p.put(s)
+	return p.get(n)
 }
 
-// GrowInt is GrowF64 for []int.
-func GrowInt(s []int, n int) []int {
-	if s == nil {
-		return make([]int, n)
-	}
-	if cap(s) >= n {
-		return s[:n]
-	}
-	PutInt(s)
-	return GetInt(n)
-}
+// GrowFloat is the precision-generic grow for float slices.
+func GrowFloat[T fp.Float](s []T, n int) []T { return grow(floatPool[T](), s, n) }
 
-// GrowBool is GrowF64 for []bool.
-func GrowBool(s []bool, n int) []bool {
-	if s == nil {
-		return make([]bool, n)
-	}
-	if cap(s) >= n {
-		return s[:n]
-	}
-	PutBool(s)
-	return GetBool(n)
-}
+// GrowF64 grows a []float64 through the pools (see grow).
+func GrowF64(s []float64, n int) []float64 { return grow(f64Pools, s, n) }
+
+// GrowF32 grows a []float32 through the pools (see grow).
+func GrowF32(s []float32, n int) []float32 { return grow(f32Pools, s, n) }
+
+// GrowInt grows a []int through the pools (see grow).
+func GrowInt(s []int, n int) []int { return grow(intPools, s, n) }
+
+// GrowBool grows a []bool through the pools (see grow).
+func GrowBool(s []bool, n int) []bool { return grow(boolPools, s, n) }

@@ -1,0 +1,76 @@
+package workspace
+
+import "testing"
+
+func TestF32PoolRecycles(t *testing.T) {
+	s := GetF32(100)
+	if len(s) != 100 {
+		t.Fatalf("len %d", len(s))
+	}
+	for i := range s {
+		s[i] = float32(i)
+	}
+	PutF32(s)
+	s2 := GetF32(90) // same bucket (128), must come back zeroed
+	for i, v := range s2 {
+		if v != 0 {
+			t.Fatalf("recycled f32 slice not zeroed at %d", i)
+		}
+	}
+	PutF32(s2)
+}
+
+// TestFloatPoolsAreDistinct pins the dispatch: the generic entry must
+// route f32 and f64 requests to different buckets — recycling an f64
+// slice must never hand its storage to an f32 caller.
+func TestFloatPoolsAreDistinct(t *testing.T) {
+	if got := len(GetFloat[float32](64)); got != 64 {
+		t.Fatalf("GetFloat[float32] len %d", got)
+	}
+	f64s := GetFloat[float64](64)
+	PutFloat(f64s)
+	f32s := GetFloat[float32](64)
+	PutFloat(f32s)
+	// Grow through the generic entry.
+	g := GrowFloat[float32](nil, 10)
+	if len(g) != 10 {
+		t.Fatalf("GrowFloat len %d", len(g))
+	}
+	g = GrowFloat(g, 8)
+	if len(g) != 8 {
+		t.Fatalf("GrowFloat shrink len %d", len(g))
+	}
+	g2 := GrowFloat(g, 4096)
+	if len(g2) != 4096 {
+		t.Fatalf("GrowFloat grow len %d", len(g2))
+	}
+	PutFloat(g2)
+}
+
+func TestArenaF32CheckpointReset(t *testing.T) {
+	a := NewArena()
+	a.F64(10)
+	mark := a.Checkpoint()
+	a.F32(20)
+	a.F32(30)
+	if got := a.Live(); got != 3 {
+		t.Fatalf("live %d, want 3", got)
+	}
+	a.ResetTo(mark)
+	if got := a.Live(); got != 1 {
+		t.Fatalf("live after reset %d, want 1", got)
+	}
+	// The generic accessor routes to the right list.
+	s := Float[float32](a, 40)
+	if len(s) != 40 {
+		t.Fatalf("Float[float32] len %d", len(s))
+	}
+	d := Float[float64](a, 50)
+	if len(d) != 50 {
+		t.Fatalf("Float[float64] len %d", len(d))
+	}
+	a.Reset()
+	if a.Live() != 0 {
+		t.Fatal("arena not empty after Reset")
+	}
+}

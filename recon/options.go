@@ -34,6 +34,7 @@ type settings struct {
 	truthRatio   float64
 	skipFilter   bool
 	seed         uint64
+	precision    Precision
 
 	// Stage implementations (replace the defaults wholesale).
 	embedder   Embedder

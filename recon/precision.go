@@ -1,0 +1,75 @@
+package recon
+
+import (
+	"repro/internal/embed"
+	"repro/internal/filter"
+	"repro/internal/ignn"
+)
+
+// Precision selects the element type the built-in inference stages run
+// in. Training always runs in float64; WithPrecision(Float32) converts
+// the trained stage weights to float32 once (at construction, and again
+// after Fit or LoadCheckpoint refresh them) and then executes all five
+// stages' per-event kernels in float32 — roughly half the memory
+// traffic of the bandwidth-bound GEMM/SpMM/gather kernels that dominate
+// serving. Scores, thresholds, and track metrics stay float64; the
+// precision boundary sits at the per-event feature conversion on the
+// way in and the per-edge logit on the way out.
+type Precision int
+
+const (
+	// Float64 is full precision — the default, bitwise identical to the
+	// training-path forward.
+	Float64 Precision = iota
+	// Float32 is the reduced-precision serving path.
+	Float32
+)
+
+// String returns the conventional dtype tag ("f64"/"f32").
+func (p Precision) String() string {
+	if p == Float32 {
+		return "f32"
+	}
+	return "f64"
+}
+
+// ParsePrecision parses "f32"/"float32" and "f64"/"float64" (the
+// cmd/serve -precision flag values).
+func ParsePrecision(s string) (Precision, bool) {
+	switch s {
+	case "f32", "float32":
+		return Float32, true
+	case "f64", "float64", "":
+		return Float64, true
+	}
+	return Float64, false
+}
+
+// WithPrecision selects the inference precision of the built-in stages
+// (default Float64). Float32 applies to the default embedder, filter,
+// and GNN classifier adapters and the radius graph builder; custom
+// stage implementations run whatever precision they implement. Track
+// efficiency/purity at Float32 matches Float64 within the tolerance
+// documented in PERF.md; per-edge scores differ at float32 rounding
+// magnitude, so edges scored within that distance of the decision
+// threshold may flip.
+func WithPrecision(p Precision) Option {
+	return func(s *settings) {
+		if p != Float64 && p != Float32 {
+			s.fail("WithPrecision: unknown precision %d", int(p))
+			return
+		}
+		s.precision = p
+	}
+}
+
+// f32Models holds the float32 snapshots of the default stages' trained
+// weights. The whole struct is rebuilt (never mutated in place) by
+// Reconstructor.syncInference, so concurrent readers that loaded the
+// pointer see a consistent snapshot; per the Reconstructor's
+// concurrency contract, Fit/LoadCheckpoint must not race inference.
+type f32Models struct {
+	embed  *embed.Inference[float32]
+	filter *filter.Inference[float32]
+	gnn    *ignn.Inference[float32]
+}

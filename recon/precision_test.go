@@ -1,0 +1,228 @@
+package recon
+
+import (
+	"context"
+	"math"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/detector"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// precisionFixture builds a small trained f64 reconstructor plus an
+// untrained twin at the requested precision, weight-synced through a
+// checkpoint — the serve deployment shape (train once, load anywhere).
+func precisionFixture(t *testing.T, dir string, prec Precision, opts ...Option) (*Reconstructor, *Reconstructor, []*Event) {
+	t.Helper()
+	spec := detector.Ex3Like(0.02)
+	spec.NumEvents = 3
+	ds := detector.Generate(spec, 5)
+	train, test := ds.Events[:2], ds.Events[2:]
+
+	base := append([]Option{WithSeed(9), WithGNN(8, 2)}, opts...)
+	r64, err := New(spec, base...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r64.Fit(context.Background(), train); err != nil {
+		t.Fatal(err)
+	}
+	ckpt := filepath.Join(dir, "model.ckpt.gz")
+	if err := r64.SaveCheckpoint(ckpt); err != nil {
+		t.Fatal(err)
+	}
+
+	rp, err := New(spec, append(append([]Option{}, base...), WithPrecision(prec))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rp.LoadCheckpoint(ckpt); err != nil {
+		t.Fatal(err)
+	}
+	return r64, rp, test
+}
+
+// TestWithPrecisionF64IsDefaultPath pins that WithPrecision(Float64)
+// leaves the historical stages in place — results bitwise identical to
+// an option-free reconstructor.
+func TestWithPrecisionF64IsDefaultPath(t *testing.T) {
+	r64, rp, test := precisionFixture(t, t.TempDir(), Float64)
+	ctx := context.Background()
+	for _, ev := range test {
+		a, err := r64.Reconstruct(ctx, ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := rp.Reconstruct(ctx, ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Match.Efficiency() != b.Match.Efficiency() || a.EdgeCounts.Precision() != b.EdgeCounts.Precision() {
+			t.Fatalf("Float64 precision changed results: eff %v vs %v, purity %v vs %v",
+				a.Match.Efficiency(), b.Match.Efficiency(), a.EdgeCounts.Precision(), b.EdgeCounts.Precision())
+		}
+		if len(a.Tracks) != len(b.Tracks) {
+			t.Fatalf("Float64 precision changed track count: %d vs %d", len(a.Tracks), len(b.Tracks))
+		}
+	}
+}
+
+// TestWithPrecisionF32TrackParity is the acceptance gate for the
+// reduced-precision serving path: on the test events, float32
+// reconstruction through all five stages reproduces the float64 track
+// efficiency and purity within the documented tolerance (PERF.md:
+// ±0.02 absolute — float32 rounding can only flip edges whose scores
+// sit within ~1e-4 of the decision threshold).
+func TestWithPrecisionF32TrackParity(t *testing.T) {
+	const tol = 0.02
+	r64, r32, test := precisionFixture(t, t.TempDir(), Float32)
+	if r32.Precision() != Float32 {
+		t.Fatalf("precision %v", r32.Precision())
+	}
+	ctx := context.Background()
+	for i, ev := range test {
+		a, err := r64.Reconstruct(ctx, ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := r32.Reconstruct(ctx, ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(a.Match.Efficiency()-b.Match.Efficiency()) > tol {
+			t.Fatalf("event %d: f32 efficiency %v vs f64 %v (tol %v)",
+				i, b.Match.Efficiency(), a.Match.Efficiency(), tol)
+		}
+		if math.Abs(a.EdgeCounts.Precision()-b.EdgeCounts.Precision()) > tol {
+			t.Fatalf("event %d: f32 edge purity %v vs f64 %v (tol %v)",
+				i, b.EdgeCounts.Precision(), a.EdgeCounts.Precision(), tol)
+		}
+	}
+}
+
+// TestWithPrecisionF32TruthLevel exercises the truth-level builder
+// combined with the f32 classifier (the serve smoke-test shape).
+func TestWithPrecisionF32TruthLevel(t *testing.T) {
+	spec := detector.Ex3Like(0.02)
+	spec.NumEvents = 1
+	ds := detector.Generate(spec, 7)
+	r32, err := New(spec, WithSeed(3), WithGNN(8, 2), WithTruthLevelGraphs(1.0), WithThreshold(0), WithPrecision(Float32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r32.Reconstruct(context.Background(), ds.Events[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tracks) == 0 {
+		t.Fatal("f32 truth-level reconstruction produced no tracks")
+	}
+}
+
+// TestEngineF32MatchesSerial: the engine contract — batch results
+// bit-identical to serial — holds at reduced precision too.
+func TestEngineF32MatchesSerial(t *testing.T) {
+	_, r32, test := precisionFixture(t, t.TempDir(), Float32)
+	ctx := context.Background()
+	eng, err := NewEngine(r32, WithWorkers(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := eng.ReconstructBatch(ctx, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ev := range test {
+		serial, err := r32.Reconstruct(ctx, ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if serial.Match.Efficiency() != batch[i].Match.Efficiency() || serial.EdgeCounts != batch[i].EdgeCounts {
+			t.Fatalf("event %d: engine f32 result differs from serial", i)
+		}
+	}
+}
+
+// constEmbedder is a custom stage-1 whose output the builder must
+// consume — it maps every hit onto a line so the radius graph it
+// induces is unmistakably its own.
+type constEmbedder struct{}
+
+func (constEmbedder) Embed(ctx context.Context, a *Arena, ev *Event) (*Matrix, error) {
+	emb := tensor.NewFrom(a, ev.NumHits(), 2)
+	for i := 0; i < ev.NumHits(); i++ {
+		emb.Set(i, 0, float64(i)*0.01)
+	}
+	return emb, ctx.Err()
+}
+
+// TestWithPrecisionF32KeepsCustomEmbedder guards the stage-override
+// contract at reduced precision: a custom Embedder must feed the graph
+// builder (via the embed thunk), not be silently replaced by the
+// built-in f32 embedding.
+func TestWithPrecisionF32KeepsCustomEmbedder(t *testing.T) {
+	spec := detector.Ex3Like(0.02)
+	spec.NumEvents = 1
+	ds := detector.Generate(spec, 13)
+	build := func(opts ...Option) (src []int) {
+		t.Helper()
+		r, err := New(spec, append([]Option{WithSeed(3), WithGNN(8, 2), WithEmbedder(constEmbedder{}), WithoutEdgeFilter()}, opts...)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eg, err := r.BuildGraph(context.Background(), ds.Events[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eg.G.Src
+	}
+	f64Src := build()
+	f32Src := build(WithPrecision(Float32))
+	if len(f64Src) != len(f32Src) {
+		t.Fatalf("custom embedder graph differs across precisions: %d vs %d edges — the f32 builder ignored the custom embedding", len(f64Src), len(f32Src))
+	}
+	for i := range f64Src {
+		if f64Src[i] != f32Src[i] {
+			t.Fatal("custom embedder graph differs across precisions — the f32 builder ignored the custom embedding")
+		}
+	}
+}
+
+// TestF32CheckpointServesIdentically: an f32-dtype (v3) checkpoint
+// loaded into an f32 reconstructor scores identically to the f64
+// checkpoint of the same model served at f32 — the load demotion and
+// the sync demotion commute.
+func TestF32CheckpointServesIdentically(t *testing.T) {
+	dir := t.TempDir()
+	r64, r32, test := precisionFixture(t, dir, Float32)
+	ctx := context.Background()
+
+	ckpt32 := filepath.Join(dir, "model.f32.ckpt.gz")
+	if err := nn.SaveParamsFileDtype(ckpt32, r64.params(), nn.DtypeF32); err != nil {
+		t.Fatal(err)
+	}
+	spec := r64.Spec()
+	rFrom32, err := New(spec, WithSeed(9), WithGNN(8, 2), WithPrecision(Float32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rFrom32.LoadCheckpoint(ckpt32); err != nil {
+		t.Fatal(err)
+	}
+	for i, ev := range test {
+		a, err := r32.Reconstruct(ctx, ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := rFrom32.Reconstruct(ctx, ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Match.Efficiency() != b.Match.Efficiency() || a.Match.FakeRate() != b.Match.FakeRate() ||
+			len(a.Tracks) != len(b.Tracks) {
+			t.Fatalf("event %d: f32-checkpoint serving differs from f64-checkpoint serving at f32", i)
+		}
+	}
+}

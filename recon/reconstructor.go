@@ -5,6 +5,9 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/embed"
+	"repro/internal/filter"
+	"repro/internal/ignn"
 	"repro/internal/kernels"
 	"repro/internal/metrics"
 	"repro/internal/nn"
@@ -33,6 +36,11 @@ type Reconstructor struct {
 	// p holds the underlying staged models when the default adapters are
 	// in play; Fit routes their training through the pipeline procedure.
 	p *pipeline.Pipeline
+
+	// f32 holds the float32 weight snapshots the reduced-precision stage
+	// adapters read (nil unless WithPrecision(Float32)); syncInference
+	// rebuilds it whenever the underlying f64 weights change.
+	f32 *f32Models
 }
 
 // New builds a reconstructor with freshly initialized models for the
@@ -92,16 +100,26 @@ func applyConfig(cfg *pipeline.Config, set settings) {
 
 func assemble(spec DetectorSpec, cfg pipeline.Config, set settings, p *pipeline.Pipeline) (*Reconstructor, error) {
 	r := &Reconstructor{spec: spec, cfg: cfg, set: set, p: p}
+	f32 := set.precision == Float32
 
 	r.embedder = set.embedder
 	if r.embedder == nil {
-		r.embedder = mlpEmbedder{p.Embedder}
+		if f32 {
+			r.embedder = mlpEmbedder32{r}
+		} else {
+			r.embedder = mlpEmbedder{p.Embedder}
+		}
 	}
 	r.builder = set.builder
 	switch {
 	case r.builder != nil:
 	case set.truthLevel:
 		r.builder = truthBuilder{fakeRatio: set.truthRatio, baseSeed: set.seed}
+	case f32 && set.embedder == nil:
+		// The fully-f32 radius builder embeds internally with the built-in
+		// f32 snapshot; a custom Embedder must keep the thunk-consuming
+		// builder so its embedding is the one searched.
+		r.builder = radiusBuilder32{r: r, radius: cfg.Radius, maxDegree: cfg.MaxDegree}
 	default:
 		r.builder = radiusBuilder{radius: cfg.Radius, maxDegree: cfg.MaxDegree}
 	}
@@ -112,19 +130,46 @@ func assemble(spec DetectorSpec, cfg pipeline.Config, set settings, p *pipeline.
 		// Truth-level graphs bypass the filter, matching the pipeline's
 		// BuildTruthLevelGraph semantics.
 		r.filter = passFilter{}
+	case f32:
+		r.filter = mlpFilter32{r: r, spec: spec}
 	default:
 		r.filter = mlpFilter{f: p.Filter, spec: spec}
 	}
 	r.classifier = set.classifier
 	if r.classifier == nil {
-		r.classifier = gnnClassifier{p.GNN}
+		if f32 {
+			r.classifier = gnnClassifier32{r}
+		} else {
+			r.classifier = gnnClassifier{p.GNN}
+		}
 	}
 	r.extractor = set.extractor
 	if r.extractor == nil {
 		r.extractor = ccExtractor{minTrackHits: cfg.MinTrackHits}
 	}
+	r.syncInference()
 	return r, nil
 }
+
+// syncInference refreshes the reduced-precision weight snapshots from
+// the pipeline's float64 parameters. Called at construction and after
+// every operation that rewrites the weights (Fit, LoadCheckpoint); a
+// no-op at Float64, where inference reads the training parameters
+// directly. Must not race concurrent inference — the Reconstructor is
+// documented as safe for concurrent use only once training is done.
+func (r *Reconstructor) syncInference() {
+	if r.set.precision != Float32 {
+		return
+	}
+	r.f32 = &f32Models{
+		embed:  embed.NewInference[float32](r.p.Embedder),
+		filter: filter.NewInference[float32](r.p.Filter),
+		gnn:    ignn.NewInference[float32](r.p.GNN),
+	}
+}
+
+// Precision returns the inference precision of the built-in stages.
+func (r *Reconstructor) Precision() Precision { return r.set.precision }
 
 // Spec returns the detector spec the reconstructor was built for.
 func (r *Reconstructor) Spec() DetectorSpec { return r.spec }
@@ -234,8 +279,8 @@ func (r *Reconstructor) Fit(ctx context.Context, events []*Event) error {
 	if len(events) == 0 {
 		return errors.New("recon: Fit needs at least one training event")
 	}
-	_, embedDefault := r.embedder.(mlpEmbedder)
-	_, filterDefault := r.filter.(mlpFilter)
+	embedDefault := isDefaultEmbedder(r.embedder)
+	filterDefault := isDefaultFilter(r.filter)
 	// The truth-level builder never consumes the embedding, so training
 	// the embedder under it would be pure waste; a custom builder might
 	// call the embed thunk, so it keeps embedder training.
@@ -256,6 +301,9 @@ func (r *Reconstructor) Fit(ctx context.Context, events []*Event) error {
 	case filterDefault:
 		return errors.New("recon: the default edge filter trains on the default embedder's radius graphs; with a custom Embedder, supply an EdgeFilter that implements Fitter")
 	}
+	// The f32 adapters read weight snapshots; refresh them so the graphs
+	// built for GNN training below see the freshly trained stages 1–3.
+	r.syncInference()
 	for _, stage := range []any{r.embedder, r.builder, r.filter, r.classifier, r.extractor} {
 		if f, ok := stage.(Fitter); ok {
 			if err := f.Fit(ctx, events); err != nil {
@@ -263,7 +311,7 @@ func (r *Reconstructor) Fit(ctx context.Context, events []*Event) error {
 			}
 		}
 	}
-	if _, ok := r.classifier.(gnnClassifier); ok {
+	if isDefaultClassifier(r.classifier) {
 		graphs := make([]*EventGraph, 0, len(events))
 		for _, ev := range events {
 			eg, err := r.BuildGraph(ctx, ev)
@@ -276,7 +324,38 @@ func (r *Reconstructor) Fit(ctx context.Context, events []*Event) error {
 			return err
 		}
 	}
-	return ctx.Err()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	r.syncInference()
+	return nil
+}
+
+// isDefaultEmbedder (and friends) report whether a stage is one of the
+// built-in adapters — at either precision — whose underlying models the
+// pipeline's staged training procedure trains.
+func isDefaultEmbedder(e Embedder) bool {
+	switch e.(type) {
+	case mlpEmbedder, mlpEmbedder32:
+		return true
+	}
+	return false
+}
+
+func isDefaultFilter(f EdgeFilter) bool {
+	switch f.(type) {
+	case mlpFilter, mlpFilter32:
+		return true
+	}
+	return false
+}
+
+func isDefaultClassifier(c EdgeClassifier) bool {
+	switch c.(type) {
+	case gnnClassifier, gnnClassifier32:
+		return true
+	}
+	return false
 }
 
 // params walks the five stages in order and collects the trainable
@@ -302,7 +381,14 @@ func (r *Reconstructor) SaveCheckpoint(path string) error {
 // LoadCheckpoint restores a checkpoint written by SaveCheckpoint (or by
 // the legacy pipeline.SaveModels) into a reconstructor with the same
 // stage layout and hyperparameters. Mismatched shapes fail loudly
-// before any parameter is modified.
+// before any parameter is modified. All checkpoint versions load —
+// v3 (dtype-tagged, f64 or f32 payloads), v2, and legacy headerless
+// files — and the reduced-precision inference snapshots are refreshed
+// from the loaded weights.
 func (r *Reconstructor) LoadCheckpoint(path string) error {
-	return nn.LoadParamsFile(path, r.params())
+	if err := nn.LoadParamsFile(path, r.params()); err != nil {
+		return err
+	}
+	r.syncInference()
+	return nil
 }

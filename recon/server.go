@@ -80,6 +80,7 @@ type StatsJSON struct {
 	LatencyP90Ms    float64 `json:"latency_p90_ms"`
 	LatencyP99Ms    float64 `json:"latency_p99_ms"`
 	Workers         int     `json:"workers"`
+	Precision       string  `json:"precision"`
 }
 
 // serverStats tracks throughput counters and a ring of recent request
@@ -117,7 +118,7 @@ func (s *serverStats) record(d time.Duration, events int, failed bool) {
 	}
 }
 
-func (s *serverStats) snapshot(workers int) StatsJSON {
+func (s *serverStats) snapshot(workers int, precision string) StatsJSON {
 	s.mu.Lock()
 	n := s.next
 	if s.filled {
@@ -130,6 +131,7 @@ func (s *serverStats) snapshot(workers int) StatsJSON {
 		Events:        s.events,
 		Errors:        s.errors,
 		Workers:       workers,
+		Precision:     precision,
 	}
 	s.mu.Unlock()
 
@@ -175,7 +177,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleStatz(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, s.stats.snapshot(s.engine.Workers()))
+	writeJSON(w, http.StatusOK, s.stats.snapshot(s.engine.Workers(), s.engine.Reconstructor().Precision().String()))
 }
 
 func (s *Server) handleReconstruct(w http.ResponseWriter, r *http.Request) {
