@@ -20,12 +20,16 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -195,6 +199,65 @@ func suite(quick bool) []namedBench {
 				}
 			}
 			reportEventsPerSec(b, len(events))
+		}},
+		{"BenchmarkEngine_OverloadSaturated", func(b *testing.B) {
+			// Overload behavior (PR 6): 8 concurrent single-event submitters
+			// against a 2-worker/2-slot admission window; each of the b.N
+			// submissions either completes or fast-fails with ErrOverloaded.
+			// The row reports the reject rate and the p99 latency of admitted
+			// requests — the fast-fail contract means admitted work stays fast
+			// while excess load bounces instead of stacking queue latency.
+			r, events := engineFixture(b)
+			eng, err := recon.NewEngine(r, recon.WithWorkers(2), recon.WithQueueDepth(2))
+			if err != nil {
+				b.Fatal(err)
+			}
+			ctx := context.Background()
+			const clients = 8
+			var next, admitted, rejected atomic.Int64
+			var mu sync.Mutex
+			var latencies []time.Duration
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for c := 0; c < clients; c++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						i := int(next.Add(1)) - 1
+						if i >= b.N {
+							return
+						}
+						ev := events[i%len(events)]
+						start := time.Now()
+						_, err := eng.ReconstructBatch(ctx, []*repro.Event{ev})
+						if errors.Is(err, recon.ErrOverloaded) {
+							rejected.Add(1)
+							continue
+						}
+						if err != nil {
+							b.Error(err)
+							return
+						}
+						admitted.Add(1)
+						d := time.Since(start)
+						mu.Lock()
+						latencies = append(latencies, d)
+						mu.Unlock()
+					}
+				}()
+			}
+			wg.Wait()
+			b.StopTimer()
+			if total := admitted.Load() + rejected.Load(); total > 0 {
+				b.ReportMetric(float64(rejected.Load())/float64(total), "reject_rate")
+			}
+			if len(latencies) > 0 {
+				sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+				p99 := latencies[int(0.99*float64(len(latencies)-1))]
+				b.ReportMetric(float64(p99.Nanoseconds()), "p99_admitted_ns")
+			}
+			reportEventsPerSec(b, 1)
 		}},
 		{"BenchmarkSpGEMM", func(b *testing.B) {
 			a := benchCSR(2000, 8, 1)

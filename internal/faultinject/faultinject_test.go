@@ -1,0 +1,184 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/detector"
+	"repro/recon"
+)
+
+func testEvents(t *testing.T, n int, seed uint64) []*recon.Event {
+	t.Helper()
+	spec := detector.Ex3Like(0.02)
+	spec.NumEvents = n
+	return detector.Generate(spec, seed).Events
+}
+
+// TestDecisionDeterminism: the fault drawn for a (stage, event) pair is
+// a pure function of the config seed and the event structure —
+// identical across injector instances and call order.
+func TestDecisionDeterminism(t *testing.T) {
+	events := testEvents(t, 16, 11)
+	cfg := Config{Seed: 7, ErrorRate: 0.2, PanicRate: 0.2, DelayRate: 0.2, Delay: time.Microsecond}
+	a, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stages := []string{"embed", "build", "filter", "classify", "extract"}
+	type draw struct {
+		stage string
+		f     fault
+	}
+	var first []draw
+	for _, ev := range events {
+		for _, st := range stages {
+			first = append(first, draw{st, a.decide(st, Key(ev))})
+		}
+	}
+	// Reverse order on a fresh injector must reproduce every decision.
+	i := len(first)
+	for e := len(events) - 1; e >= 0; e-- {
+		for s := len(stages) - 1; s >= 0; s-- {
+			i--
+			if got := b.decide(stages[s], Key(events[e])); got != first[i].f {
+				t.Fatalf("stage %s event %d: decision %v != %v across order/instance", stages[s], e, got, first[i].f)
+			}
+		}
+	}
+}
+
+// TestStageIndependence: the same event draws independently per stage —
+// with all five stages at rate 1 for one fault kind, every stage fires,
+// and with disjoint seeds the victims differ between stages somewhere.
+func TestStageIndependence(t *testing.T) {
+	events := testEvents(t, 64, 3)
+	inj, err := New(Config{Seed: 1, ErrorRate: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for _, ev := range events {
+		if inj.decide("embed", Key(ev)) != inj.decide("classify", Key(ev)) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("embed and classify drew identical faults for 64 events: stage salt is not mixing")
+	}
+}
+
+// TestRatesRoughlyHonored: at rate 0.5 over 512 distinct events, the
+// fired fraction lands in a generous window (the draw is uniform per
+// event key).
+func TestRatesRoughlyHonored(t *testing.T) {
+	events := testEvents(t, 512, 5)
+	inj, err := New(Config{Seed: 2, ErrorRate: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fired := 0
+	for _, ev := range events {
+		if inj.decide("classify", Key(ev)) == faultError {
+			fired++
+		}
+	}
+	if frac := float64(fired) / float64(len(events)); frac < 0.35 || frac > 0.65 {
+		t.Fatalf("error rate 0.5 fired %.2f of 512 events", frac)
+	}
+}
+
+// TestWrapperFaultKinds: the wrappers return ErrInjected, panic, and
+// delay as decided, and count what they fired.
+func TestWrapperFaultKinds(t *testing.T) {
+	inj, err := New(Config{Seed: 1, ErrorRate: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := testEvents(t, 1, 9)[0]
+	x := inj.WrapTrackExtractor(nopExtractor{})
+	if _, err := x.ExtractTracks(context.Background(), &recon.EventGraph{Event: ev}, nil); !errors.Is(err, ErrInjected) {
+		t.Fatalf("want ErrInjected, got %v", err)
+	}
+	if inj.Stats().Errors != 1 {
+		t.Fatalf("stats = %+v, want 1 error", inj.Stats())
+	}
+
+	pinj, err := New(Config{Seed: 1, PanicRate: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("PanicRate 1 did not panic")
+			}
+		}()
+		pinj.WrapTrackExtractor(nopExtractor{}).ExtractTracks(context.Background(), &recon.EventGraph{Event: ev}, nil)
+	}()
+	if pinj.Stats().Panics != 1 {
+		t.Fatalf("stats = %+v, want 1 panic", pinj.Stats())
+	}
+
+	dinj, err := New(Config{Seed: 1, DelayRate: 1, Delay: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := dinj.WrapTrackExtractor(nopExtractor{}).ExtractTracks(context.Background(), &recon.EventGraph{Event: ev}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) < 5*time.Millisecond {
+		t.Fatal("delay fault did not sleep")
+	}
+	if dinj.Stats().Delays != 1 {
+		t.Fatalf("stats = %+v, want 1 delay", dinj.Stats())
+	}
+}
+
+// TestDelayHonorsCancellation: a latency spike aborts promptly when the
+// context dies mid-sleep.
+func TestDelayHonorsCancellation(t *testing.T) {
+	inj, err := New(Config{Seed: 1, DelayRate: 1, Delay: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := testEvents(t, 1, 9)[0]
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = inj.WrapTrackExtractor(nopExtractor{}).ExtractTracks(ctx, &recon.EventGraph{Event: ev}, nil)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded, got %v", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("cancelled delay did not abort promptly")
+	}
+}
+
+// TestConfigValidation rejects bad rates.
+func TestConfigValidation(t *testing.T) {
+	for name, cfg := range map[string]Config{
+		"negative":     {ErrorRate: -0.1},
+		"over one":     {PanicRate: 1.5},
+		"sum over one": {ErrorRate: 0.6, PanicRate: 0.6},
+		"delay no dur": {DelayRate: 0.5},
+	} {
+		if _, err := New(cfg); err == nil {
+			t.Fatalf("%s: config %+v accepted", name, cfg)
+		}
+	}
+}
+
+type nopExtractor struct{}
+
+func (nopExtractor) ExtractTracks(ctx context.Context, eg *recon.EventGraph, keep []bool) ([][]int, error) {
+	return nil, nil
+}

@@ -1,0 +1,591 @@
+package recon_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/workspace"
+	"repro/recon"
+)
+
+// The chaos suite: deterministic fault injection (internal/faultinject)
+// driven through recon.WithStageWrapper, asserting the PR 6 robustness
+// invariants under -race — panics never escape the engine, faulted
+// events fail individually while siblings complete, fault-free events
+// stay bit-identical to an uninjected run, overload fast-fails, and
+// drain is graceful.
+
+// chaosBaseline reconstructs every event serially on an uninjected
+// reconstructor — the bit-identical reference for fault-free events.
+func chaosBaseline(t *testing.T, r *recon.Reconstructor, events []*recon.Event) []*recon.Result {
+	t.Helper()
+	out := make([]*recon.Result, len(events))
+	for i, ev := range events {
+		res, err := r.Reconstruct(context.Background(), ev)
+		if err != nil {
+			t.Fatalf("baseline event %d: %v", i, err)
+		}
+		out[i] = res
+	}
+	return out
+}
+
+// TestChaosBatchFaultIsolation: with errors and panics injected into
+// random stages, the batch call survives, faulted events leave nil
+// slots with typed errors, and every completed event is bit-identical
+// to the fault-free baseline.
+func TestChaosBatchFaultIsolation(t *testing.T) {
+	ds := testDataset(t, 0.02, 16, 90)
+	clean, err := recon.New(ds.Spec, recon.WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline := chaosBaseline(t, clean, ds.Events)
+
+	inj, err := faultinject.New(faultinject.Config{Seed: 42, ErrorRate: 0.12, PanicRate: 0.08})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chaotic, err := recon.New(ds.Spec, recon.WithSeed(5), recon.WithStageWrapper(inj))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := recon.NewEngine(chaotic, recon.WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	results, err := eng.ReconstructBatch(context.Background(), ds.Events)
+	if err != nil {
+		// The batch-level error is the first per-event failure; it must be
+		// one of ours, not an escaped panic or a mangled chain.
+		if !errors.Is(err, faultinject.ErrInjected) && recon.AsStageError(err) == nil {
+			t.Fatalf("batch error is neither injected nor a StageError: %v", err)
+		}
+	}
+
+	var completed, faulted int
+	for i, res := range results {
+		if res == nil {
+			faulted++
+			continue
+		}
+		completed++
+		if !reflect.DeepEqual(res, baseline[i]) {
+			t.Fatalf("event %d completed under chaos but diverges from fault-free baseline", i)
+		}
+	}
+	if completed == 0 || faulted == 0 {
+		t.Fatalf("chaos run not exercising both paths: %d completed, %d faulted (tune seed)", completed, faulted)
+	}
+	st := inj.Stats()
+	if int(st.Errors+st.Panics) != faulted {
+		t.Fatalf("%d faults fired but %d events failed", st.Errors+st.Panics, faulted)
+	}
+	if got := eng.Stats().PanicsRecovered; got != st.Panics {
+		t.Fatalf("engine recovered %d panics, injector fired %d", got, st.Panics)
+	}
+	if eng.Stats().InFlight != 0 {
+		t.Fatalf("in-flight not released after batch: %+v", eng.Stats())
+	}
+}
+
+// TestChaosDelayOnlyBitIdentical: latency spikes alone must never
+// change results — the whole batch completes bit-identical to the
+// fault-free baseline.
+func TestChaosDelayOnlyBitIdentical(t *testing.T) {
+	ds := testDataset(t, 0.02, 8, 91)
+	clean, err := recon.New(ds.Spec, recon.WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline := chaosBaseline(t, clean, ds.Events)
+
+	inj, err := faultinject.New(faultinject.Config{Seed: 7, DelayRate: 0.5, Delay: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chaotic, err := recon.New(ds.Spec, recon.WithSeed(5), recon.WithStageWrapper(inj))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := recon.NewEngine(chaotic, recon.WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := eng.ReconstructBatch(context.Background(), ds.Events)
+	if err != nil {
+		t.Fatalf("delay-only chaos must not fail events: %v", err)
+	}
+	for i, res := range results {
+		if !reflect.DeepEqual(res, baseline[i]) {
+			t.Fatalf("event %d diverges under delay-only injection", i)
+		}
+	}
+	if inj.Stats().Delays == 0 {
+		t.Fatal("no delays fired at rate 0.5 over 8 events (tune seed)")
+	}
+}
+
+// TestChaosStreamFaultIsolation: streamed outcomes stay in submission
+// order under injected panics and errors; faulted outcomes carry typed
+// errors tagged with their event index, clean outcomes match the
+// baseline bit-for-bit.
+func TestChaosStreamFaultIsolation(t *testing.T) {
+	ds := testDataset(t, 0.02, 16, 92)
+	clean, err := recon.New(ds.Spec, recon.WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline := chaosBaseline(t, clean, ds.Events)
+
+	inj, err := faultinject.New(faultinject.Config{Seed: 13, ErrorRate: 0.12, PanicRate: 0.08})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chaotic, err := recon.New(ds.Spec, recon.WithSeed(5), recon.WithStageWrapper(inj))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := recon.NewEngine(chaotic, recon.WithWorkers(3), recon.WithQueueDepth(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	in := make(chan *recon.Event)
+	go func() {
+		defer close(in)
+		for _, ev := range ds.Events {
+			in <- ev
+		}
+	}()
+	stages := map[string]bool{"embed": true, "build": true, "filter": true, "classify": true, "extract": true}
+	var got []recon.Outcome
+	for o := range eng.ReconstructStream(context.Background(), in) {
+		got = append(got, o)
+	}
+	if len(got) != len(ds.Events) {
+		t.Fatalf("stream emitted %d outcomes for %d events", len(got), len(ds.Events))
+	}
+	var completed, faulted int
+	for i, o := range got {
+		if o.Index != i {
+			t.Fatalf("outcome %d has index %d: chaos broke stream ordering", i, o.Index)
+		}
+		if o.Err != nil {
+			faulted++
+			se := recon.AsStageError(o.Err)
+			if se == nil {
+				if !errors.Is(o.Err, faultinject.ErrInjected) {
+					t.Fatalf("outcome %d error is neither StageError nor injected: %v", i, o.Err)
+				}
+				continue
+			}
+			if !se.IsPanic() {
+				t.Fatalf("outcome %d StageError without panic payload: %v", i, se)
+			}
+			if !stages[se.Stage] {
+				t.Fatalf("outcome %d panic attributed to unknown stage %q", i, se.Stage)
+			}
+			if se.Event != i {
+				t.Fatalf("outcome %d StageError tagged event %d", i, se.Event)
+			}
+			continue
+		}
+		completed++
+		if !reflect.DeepEqual(o.Result, baseline[i]) {
+			t.Fatalf("outcome %d completed under chaos but diverges from baseline", i)
+		}
+	}
+	if completed == 0 || faulted == 0 {
+		t.Fatalf("stream chaos not exercising both paths: %d completed, %d faulted (tune seed)", completed, faulted)
+	}
+	if got, want := eng.Stats().PanicsRecovered, inj.Stats().Panics; got != want {
+		t.Fatalf("engine recovered %d panics, injector fired %d", got, want)
+	}
+}
+
+// gateExtractor blocks inside stage 5 until released, signalling entry —
+// the tool for holding the admission window open at a known point.
+type gateExtractor struct {
+	entered chan struct{} // buffered; one signal per call
+	release chan struct{} // closed to let all calls finish
+}
+
+func newGate() gateExtractor {
+	return gateExtractor{entered: make(chan struct{}, 64), release: make(chan struct{})}
+}
+
+func (g gateExtractor) ExtractTracks(ctx context.Context, eg *recon.EventGraph, keep []bool) ([][]int, error) {
+	select {
+	case g.entered <- struct{}{}:
+	default:
+	}
+	select {
+	case <-g.release:
+		return nil, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// TestEngineOverloadFastFail: with the admission window held full, a
+// second batch is rejected immediately with ErrOverloaded — no queueing,
+// no waiting — and the rejection is counted.
+func TestEngineOverloadFastFail(t *testing.T) {
+	ds := testDataset(t, 0.02, 2, 93)
+	gate := newGate()
+	r, err := recon.New(ds.Spec, recon.WithTrackExtractor(gate), recon.WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := recon.NewEngine(r, recon.WithWorkers(1), recon.WithQueueDepth(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	occupantErr := make(chan error, 1)
+	go func() {
+		_, err := eng.ReconstructBatch(context.Background(), ds.Events[:1])
+		occupantErr <- err
+	}()
+	select {
+	case <-gate.entered:
+	case <-time.After(10 * time.Second):
+		t.Fatal("occupant batch never reached the extractor")
+	}
+
+	start := time.Now()
+	_, err = eng.ReconstructBatch(context.Background(), ds.Events[1:])
+	if !errors.Is(err, recon.ErrOverloaded) {
+		t.Fatalf("saturated engine returned %v, want ErrOverloaded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("overload rejection took %v, not a fast fail", elapsed)
+	}
+	if eng.Stats().Rejected != 1 {
+		t.Fatalf("rejected counter = %d, want 1", eng.Stats().Rejected)
+	}
+
+	close(gate.release)
+	if err := <-occupantErr; err != nil {
+		t.Fatalf("occupant batch failed after release: %v", err)
+	}
+	if eng.Stats().InFlight != 0 {
+		t.Fatalf("in-flight not released: %+v", eng.Stats())
+	}
+}
+
+// TestEngineRequestTimeout: WithRequestTimeout bounds a wedged batch —
+// the call returns DeadlineExceeded promptly instead of hanging.
+func TestEngineRequestTimeout(t *testing.T) {
+	ds := testDataset(t, 0.02, 1, 94)
+	r, err := recon.New(ds.Spec,
+		recon.WithTrackExtractor(slowExtractor{delay: 10 * time.Minute}),
+		recon.WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := recon.NewEngine(r, recon.WithWorkers(1), recon.WithRequestTimeout(50*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err = eng.ReconstructBatch(context.Background(), ds.Events)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("got %v, want DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("deadline enforcement took %v", elapsed)
+	}
+}
+
+// TestEngineStreamCancelCleanup is the PR 6 extension of the PR 3
+// leak-check pattern: cancelling mid-stream emits an in-order prefix,
+// leaks no goroutines, returns every pooled arena, and reconciles the
+// admission window back to zero.
+func TestEngineStreamCancelCleanup(t *testing.T) {
+	ds := testDataset(t, 0.02, 32, 95)
+	r, err := recon.New(ds.Spec,
+		recon.WithTrackExtractor(slowExtractor{delay: 10 * time.Millisecond}),
+		recon.WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := recon.NewEngine(r, recon.WithWorkers(2), recon.WithQueueDepth(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	beforeGoroutines := runtime.NumGoroutine()
+	beforeBytes := workspace.InUseBytes()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	in := make(chan *recon.Event, len(ds.Events))
+	for _, ev := range ds.Events {
+		in <- ev
+	}
+	out := eng.ReconstructStream(ctx, in)
+
+	// Consume an in-order prefix, then cancel mid-stream.
+	for i := 0; i < 3; i++ {
+		o, ok := <-out
+		if !ok {
+			t.Fatalf("stream closed after %d outcomes", i)
+		}
+		if o.Index != i {
+			t.Fatalf("prefix outcome %d has index %d: partial emission out of order", i, o.Index)
+		}
+		if o.Err != nil {
+			t.Fatalf("prefix outcome %d: %v", i, o.Err)
+		}
+	}
+	cancel()
+	deadline := time.After(10 * time.Second)
+	for open := true; open; {
+		select {
+		case _, ok := <-out:
+			open = ok
+		case <-deadline:
+			t.Fatal("stream did not close after cancel")
+		}
+	}
+
+	// Pool goroutines gone, arenas back in the pools, window reconciled.
+	waitUntil := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if runtime.NumGoroutine() <= beforeGoroutines &&
+			workspace.InUseBytes() == beforeBytes &&
+			eng.Stats().InFlight == 0 {
+			break
+		}
+		if time.Now().After(waitUntil) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > beforeGoroutines {
+		t.Fatalf("goroutines leaked: %d before stream, %d after cancel", beforeGoroutines, g)
+	}
+	if got := workspace.InUseBytes(); got != beforeBytes {
+		t.Fatalf("pooled arenas not returned: %d bytes in use before, %d after", beforeBytes, got)
+	}
+	if inflight := eng.Stats().InFlight; inflight != 0 {
+		t.Fatalf("admission window not reconciled: %d still in flight", inflight)
+	}
+}
+
+// gatedServer builds a server whose single worker blocks in the
+// extractor until released.
+func gatedServer(t *testing.T, opts ...recon.Option) (*recon.Server, gateExtractor) {
+	t.Helper()
+	spec := testDataset(t, 0.02, 1, 1).Spec
+	gate := newGate()
+	r, err := recon.New(spec,
+		recon.WithTruthLevelGraphs(1.0),
+		recon.WithThreshold(0),
+		recon.WithTrackExtractor(gate),
+		recon.WithSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := recon.NewEngine(r, recon.WithWorkers(1), recon.WithQueueDepth(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return recon.NewServer(eng, opts...), gate
+}
+
+func syntheticReq() recon.ReconstructRequest {
+	return recon.ReconstructRequest{Synthetic: &recon.SyntheticJSON{Count: 1, Seed: 7}}
+}
+
+// TestServerOverload429: with the engine saturated, a concurrent
+// request fast-fails with 429 and a Retry-After hint; the admitted
+// request still completes once unblocked.
+func TestServerOverload429(t *testing.T) {
+	srv, gate := gatedServer(t)
+
+	first := make(chan *httptest.ResponseRecorder, 1)
+	go func() { first <- postJSON(t, srv, "/v1/reconstruct", syntheticReq()) }()
+	select {
+	case <-gate.entered:
+	case <-time.After(10 * time.Second):
+		t.Fatal("first request never reached the extractor")
+	}
+
+	w := postJSON(t, srv, "/v1/reconstruct", syntheticReq())
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("saturated server returned %d, want 429: %s", w.Code, w.Body.String())
+	}
+	if w.Header().Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After header")
+	}
+
+	close(gate.release)
+	if w := <-first; w.Code != http.StatusOK {
+		t.Fatalf("admitted request finished %d after release: %s", w.Code, w.Body.String())
+	}
+}
+
+// TestServerContentTypeAndBodyLimit: non-JSON Content-Type is a 415,
+// an oversized body a 413 — both before any reconstruction work.
+func TestServerContentTypeAndBodyLimit(t *testing.T) {
+	srv, _ := testServer(t)
+	req := httptest.NewRequest("POST", "/v1/reconstruct", strings.NewReader("hits=1"))
+	req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+	w := httptest.NewRecorder()
+	srv.ServeHTTP(w, req)
+	if w.Code != http.StatusUnsupportedMediaType {
+		t.Fatalf("non-JSON Content-Type: status %d, want 415", w.Code)
+	}
+
+	spec := testDataset(t, 0.02, 1, 1).Spec
+	r, err := recon.New(spec, recon.WithTruthLevelGraphs(1.0), recon.WithThreshold(0), recon.WithSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := recon.NewEngine(r, recon.WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := recon.NewServer(eng, recon.WithMaxBodyBytes(64))
+	big := `{"pad":"` + strings.Repeat("x", 200) + `"}`
+	req = httptest.NewRequest("POST", "/v1/reconstruct", bytes.NewReader([]byte(big)))
+	req.Header.Set("Content-Type", "application/json")
+	w = httptest.NewRecorder()
+	small.ServeHTTP(w, req)
+	if w.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: status %d, want 413", w.Code)
+	}
+}
+
+// TestServerGracefulDrain: Shutdown flips /healthz to draining, rejects
+// new reconstruct work with 503, lets the in-flight request finish, and
+// returns nil once the server is idle.
+func TestServerGracefulDrain(t *testing.T) {
+	srv, gate := gatedServer(t)
+
+	first := make(chan *httptest.ResponseRecorder, 1)
+	go func() { first <- postJSON(t, srv, "/v1/reconstruct", syntheticReq()) }()
+	select {
+	case <-gate.entered:
+	case <-time.After(10 * time.Second):
+		t.Fatal("in-flight request never reached the extractor")
+	}
+
+	shutdownErr := make(chan error, 1)
+	go func() { shutdownErr <- srv.Shutdown(context.Background()) }()
+	waitUntil := time.Now().Add(5 * time.Second)
+	for !srv.Draining() {
+		if time.Now().After(waitUntil) {
+			t.Fatal("server never flipped to draining")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	w := httptest.NewRecorder()
+	srv.ServeHTTP(w, httptest.NewRequest("GET", "/healthz", nil))
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("healthz while draining: %d, want 503", w.Code)
+	}
+	if w := postJSON(t, srv, "/v1/reconstruct", syntheticReq()); w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("new work while draining: %d, want 503", w.Code)
+	}
+
+	// The in-flight request finishes intact, then Shutdown completes.
+	close(gate.release)
+	if w := <-first; w.Code != http.StatusOK {
+		t.Fatalf("in-flight request truncated by drain: %d: %s", w.Code, w.Body.String())
+	}
+	select {
+	case err := <-shutdownErr:
+		if err != nil {
+			t.Fatalf("drain failed: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Shutdown did not return after in-flight work finished")
+	}
+}
+
+// TestServerDrainTimeout: a drain that cannot finish within its context
+// reports ctx.Err() instead of blocking forever.
+func TestServerDrainTimeout(t *testing.T) {
+	srv, gate := gatedServer(t)
+	defer close(gate.release)
+
+	first := make(chan *httptest.ResponseRecorder, 1)
+	go func() { first <- postJSON(t, srv, "/v1/reconstruct", syntheticReq()) }()
+	select {
+	case <-gate.entered:
+	case <-time.After(10 * time.Second):
+		t.Fatal("in-flight request never reached the extractor")
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := srv.Shutdown(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired drain returned %v, want DeadlineExceeded", err)
+	}
+}
+
+// TestChaosServerSurvives: a fault-injected server answers a burst of
+// requests without ever crashing — every response is a well-formed HTTP
+// status, per-event failures ride inside 200 bodies, and the panic
+// counter reaches /statz.
+func TestChaosServerSurvives(t *testing.T) {
+	spec := testDataset(t, 0.02, 1, 1).Spec
+	inj, err := faultinject.New(faultinject.Config{Seed: 3, ErrorRate: 0.2, PanicRate: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := recon.New(spec,
+		recon.WithTruthLevelGraphs(1.0),
+		recon.WithThreshold(0),
+		recon.WithSeed(2),
+		recon.WithStageWrapper(inj))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := recon.NewEngine(r, recon.WithWorkers(2), recon.WithQueueDepth(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := recon.NewServer(eng)
+
+	var wg sync.WaitGroup
+	codes := make([]int, 16)
+	for i := range codes {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w := postJSON(t, srv, "/v1/reconstruct", recon.ReconstructRequest{
+				Synthetic: &recon.SyntheticJSON{Count: 4, Seed: uint64(i)},
+			})
+			codes[i] = w.Code
+		}(i)
+	}
+	wg.Wait()
+	for i, code := range codes {
+		switch code {
+		case http.StatusOK, http.StatusTooManyRequests:
+		default:
+			t.Fatalf("request %d: unexpected status %d under chaos", i, code)
+		}
+	}
+	if inj.Stats().Panics > 0 && eng.Stats().PanicsRecovered == 0 {
+		t.Fatal("panics fired but none recovered in engine stats")
+	}
+}

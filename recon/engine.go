@@ -3,8 +3,10 @@ package recon
 import (
 	"context"
 	"errors"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/kernels"
 	"repro/internal/workspace"
@@ -33,12 +35,68 @@ type Outcome struct {
 //   - Backpressure: at most workers+queueDepth events are in flight; a
 //     stream producer blocks once the window is full.
 //   - Errors: per-event errors ride in the Outcome (stream) or leave a
-//     nil hole (batch); cancellation is the only engine-level error.
+//     nil hole (batch); cancellation and admission rejection
+//     (ErrOverloaded) are the only engine-level errors.
+//   - Admission: at most workers+queueDepth events are in flight across
+//     all entry points. A batch that would push past the window is
+//     rejected immediately with ErrOverloaded (fast fail, never an
+//     unbounded queue) — except that an idle engine always admits one
+//     request of any size, so a single large batch can still run; its
+//     internal parallelism is bounded by the worker pool regardless.
+//     Streams apply blocking backpressure to their producer instead of
+//     fast-failing, but their in-flight events count against the same
+//     window, so concurrent batches see the load.
+//   - Deadlines: WithRequestTimeout puts a per-call (batch) or per-event
+//     (stream) deadline on the work, propagated into every stage call.
+//   - Panic isolation: a stage panic is recovered into a per-event
+//     *StageError; sibling events keep completing and the worker
+//     replaces its arena rather than dying.
 type Engine struct {
 	rec           *Reconstructor
 	workers       int
 	queue         int
 	kernelWorkers int
+	timeout       time.Duration
+
+	limit    int64        // admission window: workers + queueDepth events
+	inflight atomic.Int64 // events admitted and not yet finished
+	rejected atomic.Int64 // requests fast-failed with ErrOverloaded
+	panics   atomic.Int64 // stage panics recovered into StageErrors
+}
+
+// EngineStats is a point-in-time snapshot of the engine's admission
+// window and fault counters, surfaced by /statz.
+type EngineStats struct {
+	InFlight        int64 // events admitted and not yet finished
+	Capacity        int64 // admission window size (workers + queueDepth)
+	Rejected        int64 // requests rejected with ErrOverloaded
+	PanicsRecovered int64 // stage panics recovered into per-event errors
+}
+
+// Stats returns the engine's admission and fault counters.
+func (e *Engine) Stats() EngineStats {
+	return EngineStats{
+		InFlight:        e.inflight.Load(),
+		Capacity:        e.limit,
+		Rejected:        e.rejected.Load(),
+		PanicsRecovered: e.panics.Load(),
+	}
+}
+
+// admit reserves n in-flight slots, or reports overload. An idle engine
+// (nothing in flight) admits any n so oversized batches remain
+// servable; otherwise the reservation must fit the window.
+func (e *Engine) admit(n int) bool {
+	for {
+		cur := e.inflight.Load()
+		if cur > 0 && cur+int64(n) > e.limit {
+			e.rejected.Add(1)
+			return false
+		}
+		if e.inflight.CompareAndSwap(cur, cur+int64(n)) {
+			return true
+		}
+	}
 }
 
 // NewEngine wraps a reconstructor in a concurrent execution core.
@@ -55,7 +113,51 @@ func NewEngine(rec *Reconstructor, opts ...Option) (*Engine, error) {
 	if set.kernelWorkers == 0 {
 		set.kernelWorkers = rec.set.kernelWorkers
 	}
-	return &Engine{rec: rec, workers: set.workers, queue: set.queueDepth, kernelWorkers: set.kernelWorkers}, nil
+	return &Engine{
+		rec:           rec,
+		workers:       set.workers,
+		queue:         set.queueDepth,
+		kernelWorkers: set.kernelWorkers,
+		timeout:       set.requestTimeout,
+		limit:         int64(set.workers + set.queueDepth),
+	}, nil
+}
+
+// reconstructGuarded is the engine's fault boundary around one event:
+// it tags per-event StageErrors with the submission index, counts
+// recovered panics, and — should a panic escape the stage-level guards
+// (reconstructWith recovers panics inside stage implementations, not in
+// the assembly/metrics glue) — recovers it here and hands the worker a
+// fresh arena, since the old one may have been abandoned mid-mutation.
+func (e *Engine) reconstructGuarded(ctx context.Context, arena **workspace.Arena, idx int, ev *Event) (res *Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			e.panics.Add(1)
+			err = &StageError{Stage: "engine", Event: idx, Panic: p, Stack: debug.Stack()}
+			*arena = workspace.NewArena()
+		}
+	}()
+	res, err = e.rec.reconstructWith(ctx, *arena, ev)
+	if se := AsStageError(err); se != nil {
+		if se.Event < 0 {
+			se.Event = idx
+		}
+		if se.IsPanic() {
+			e.panics.Add(1)
+		}
+	}
+	return res, err
+}
+
+// unitCtx derives the context one event runs under: the worker's
+// kernel-budget context, bounded by the per-request deadline when one
+// is configured. The returned cancel must be called once the event
+// finishes to release the timer.
+func (e *Engine) unitCtx(wctx context.Context) (context.Context, context.CancelFunc) {
+	if e.timeout <= 0 {
+		return wctx, func() {}
+	}
+	return context.WithTimeout(wctx, e.timeout)
 }
 
 // workerCtx installs one pool worker's intra-op kernel budget on ctx:
@@ -76,10 +178,28 @@ func (e *Engine) Workers() int { return e.workers }
 // event serially. On cancellation it returns promptly with the results
 // completed so far (unfinished slots are nil) and ctx.Err(). A nil
 // event leaves a nil result slot.
+//
+// The call is admission-controlled: if the batch would push the engine
+// past its workers+queueDepth in-flight window while other work is
+// running, it is rejected immediately with ErrOverloaded and no event
+// is reconstructed. With WithRequestTimeout set, the whole call runs
+// under that deadline and returns context.DeadlineExceeded (with the
+// results completed so far) when it expires. Stage panics never escape:
+// each becomes a per-event *StageError, counted in Stats, and the
+// batch's other events complete normally.
 func (e *Engine) ReconstructBatch(ctx context.Context, events []*Event) ([]*Result, error) {
 	results := make([]*Result, len(events))
 	if len(events) == 0 {
 		return results, ctx.Err()
+	}
+	if !e.admit(len(events)) {
+		return nil, ErrOverloaded
+	}
+	defer e.inflight.Add(-int64(len(events)))
+	if e.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, e.timeout)
+		defer cancel()
 	}
 	// Touching each event's lazily-built truth set up front keeps the
 	// workers read-only on shared *Event values, even when the same
@@ -101,7 +221,7 @@ func (e *Engine) ReconstructBatch(ctx context.Context, events []*Event) ([]*Resu
 		go func() {
 			defer wg.Done()
 			arena := workspace.NewArena()
-			defer arena.Reset()
+			defer func() { arena.Reset() }()
 			wctx := e.workerCtx(ctx, workers)
 			for {
 				i := int(next.Add(1)) - 1
@@ -111,7 +231,7 @@ func (e *Engine) ReconstructBatch(ctx context.Context, events []*Event) ([]*Resu
 				if events[i] == nil {
 					continue
 				}
-				res, err := e.rec.reconstructWith(wctx, arena, events[i])
+				res, err := e.reconstructGuarded(wctx, &arena, i, events[i])
 				if err != nil {
 					if ctx.Err() == nil {
 						errMu.Lock()
@@ -148,9 +268,24 @@ func (e *Engine) ReconstructStream(ctx context.Context, in <-chan *Event) <-chan
 	done := make(chan Outcome) // finished units, arbitrary order
 	window := e.workers + e.queue
 
+	// Stream events count against the engine's shared admission window
+	// (so concurrent batches fast-fail while a stream saturates it), but
+	// the stream itself applies blocking backpressure to its producer
+	// rather than rejecting. admitted/released reconcile the shared
+	// counter once the dispatcher and reorderer both exit, covering
+	// events that were admitted but never emitted on cancellation.
+	var admitted, released atomic.Int64
+	var roles sync.WaitGroup
+	roles.Add(2)
+	go func() {
+		roles.Wait()
+		e.inflight.Add(released.Load() - admitted.Load())
+	}()
+
 	// Dispatcher: admit events under the in-flight window.
 	admit := make(chan struct{}, window)
 	go func() {
+		defer roles.Done()
 		defer close(work)
 		idx := 0
 		for {
@@ -163,6 +298,8 @@ func (e *Engine) ReconstructStream(ctx context.Context, in <-chan *Event) <-chan
 				}
 				select {
 				case admit <- struct{}{}:
+					admitted.Add(1)
+					e.inflight.Add(1)
 				case <-ctx.Done():
 					return
 				}
@@ -180,14 +317,15 @@ func (e *Engine) ReconstructStream(ctx context.Context, in <-chan *Event) <-chan
 		}
 	}()
 
-	// Workers: one pinned arena each.
+	// Workers: one pinned arena each, replaced if a panic escapes the
+	// stage guards; each event runs under the per-request deadline.
 	var wg sync.WaitGroup
 	for w := 0; w < e.workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			arena := workspace.NewArena()
-			defer arena.Reset()
+			defer func() { arena.Reset() }()
 			wctx := e.workerCtx(ctx, e.workers)
 			for u := range work {
 				if ctx.Err() != nil {
@@ -196,7 +334,9 @@ func (e *Engine) ReconstructStream(ctx context.Context, in <-chan *Event) <-chan
 				if u.Event == nil {
 					u.Err = errNilEvent
 				} else {
-					u.Result, u.Err = e.rec.reconstructWith(wctx, arena, u.Event)
+					uctx, cancel := e.unitCtx(wctx)
+					u.Result, u.Err = e.reconstructGuarded(uctx, &arena, u.Index, u.Event)
+					cancel()
 				}
 				select {
 				case done <- u:
@@ -211,6 +351,7 @@ func (e *Engine) ReconstructStream(ctx context.Context, in <-chan *Event) <-chan
 	// Reorderer: emit in submission order, releasing window slots as
 	// outcomes leave, which is what bounds the reorder buffer.
 	go func() {
+		defer roles.Done()
 		defer close(out)
 		pending := make(map[int]Outcome, window)
 		nextIdx := 0
@@ -228,6 +369,8 @@ func (e *Engine) ReconstructStream(ctx context.Context, in <-chan *Event) <-chan
 					return
 				}
 				<-admit
+				released.Add(1)
+				e.inflight.Add(-1)
 				nextIdx++
 			}
 		}

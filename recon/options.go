@@ -3,6 +3,7 @@ package recon
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/ddp"
 	"repro/internal/kernels"
@@ -49,9 +50,17 @@ type settings struct {
 	gnnPosWeight float64
 
 	// Engine execution knobs.
-	workers       int
-	queueDepth    int
-	kernelWorkers int
+	workers        int
+	queueDepth     int
+	kernelWorkers  int
+	requestTimeout time.Duration
+
+	// Server robustness knobs.
+	drainTimeout time.Duration
+	maxBodyBytes int64
+
+	// Stage middleware (fault injection, tracing).
+	wrapper StageWrapper
 
 	// Distributed-training knobs (TrainDistributed).
 	ranks       int
@@ -72,6 +81,8 @@ func defaultSettings() settings {
 		gnnPosWeight: 2.0,
 		workers:      1,
 		queueDepth:   2,
+		drainTimeout: 10 * time.Second,
+		maxBodyBytes: 8 << 20,
 		ranks:        1,
 		bulkBatches:  4,
 		sync:         ddp.Coalesced,
@@ -242,6 +253,68 @@ func WithQueueDepth(n int) Option {
 		}
 		s.queueDepth = n
 	}
+}
+
+// WithRequestTimeout puts a per-request deadline on the engine's entry
+// points: each ReconstructBatch call (and each streamed event) runs
+// under a context that expires after d, propagated into every stage
+// call, so one slow or wedged event cannot hold a worker forever. The
+// deadline composes with the caller's context (whichever expires first
+// wins). 0 (the default) disables the engine-level deadline.
+func WithRequestTimeout(d time.Duration) Option {
+	return func(s *settings) {
+		if d < 0 {
+			s.fail("WithRequestTimeout: need ≥0, got %v", d)
+			return
+		}
+		s.requestTimeout = d
+	}
+}
+
+// WithDrainTimeout bounds how long Server.Serve waits for in-flight
+// requests after its context is cancelled (SIGTERM in cmd/serve) before
+// giving up on the stragglers. Default 10s.
+func WithDrainTimeout(d time.Duration) Option {
+	return func(s *settings) {
+		if d <= 0 {
+			s.fail("WithDrainTimeout: need >0, got %v", d)
+			return
+		}
+		s.drainTimeout = d
+	}
+}
+
+// WithMaxBodyBytes caps the accepted request body size on the server
+// (default 8 MiB); larger bodies are rejected with HTTP 413 before
+// decoding.
+func WithMaxBodyBytes(n int64) Option {
+	return func(s *settings) {
+		if n < 1 {
+			s.fail("WithMaxBodyBytes: need ≥1, got %d", n)
+			return
+		}
+		s.maxBodyBytes = n
+	}
+}
+
+// StageWrapper is middleware over the five assembled stages — the seam
+// the fault-injection harness (internal/faultinject) and tracing hook
+// into. Each Wrap method receives the stage the Reconstructor resolved
+// (default or option-supplied) and returns the stage to run; returning
+// the argument unchanged is a no-op.
+type StageWrapper interface {
+	WrapEmbedder(Embedder) Embedder
+	WrapGraphBuilder(GraphBuilder) GraphBuilder
+	WrapEdgeFilter(EdgeFilter) EdgeFilter
+	WrapEdgeClassifier(EdgeClassifier) EdgeClassifier
+	WrapTrackExtractor(TrackExtractor) TrackExtractor
+}
+
+// WithStageWrapper installs middleware around all five stages after
+// defaults and per-stage options resolve. Wrapped stages run under the
+// same panic isolation as any other stage implementation.
+func WithStageWrapper(w StageWrapper) Option {
+	return func(s *settings) { s.wrapper = w }
 }
 
 // WithKernelWorkers bounds the intra-op parallelism of the hot kernels

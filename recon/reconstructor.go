@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime/debug"
 
 	"repro/internal/embed"
 	"repro/internal/filter"
@@ -32,6 +33,17 @@ type Reconstructor struct {
 	filter     EdgeFilter
 	classifier EdgeClassifier
 	extractor  TrackExtractor
+
+	// run* are the stages actually invoked per event: the resolved
+	// stages above, possibly wrapped by WithStageWrapper middleware
+	// (fault injection, tracing). Structural logic — Fit, params,
+	// checkpointing, default-stage detection — always sees the
+	// unwrapped stages.
+	runEmbedder   Embedder
+	runBuilder    GraphBuilder
+	runFilter     EdgeFilter
+	runClassifier EdgeClassifier
+	runExtractor  TrackExtractor
 
 	// p holds the underlying staged models when the default adapters are
 	// in play; Fit routes their training through the pipeline procedure.
@@ -147,6 +159,15 @@ func assemble(spec DetectorSpec, cfg pipeline.Config, set settings, p *pipeline.
 	if r.extractor == nil {
 		r.extractor = ccExtractor{minTrackHits: cfg.MinTrackHits}
 	}
+	r.runEmbedder, r.runBuilder, r.runFilter = r.embedder, r.builder, r.filter
+	r.runClassifier, r.runExtractor = r.classifier, r.extractor
+	if w := set.wrapper; w != nil {
+		r.runEmbedder = w.WrapEmbedder(r.embedder)
+		r.runBuilder = w.WrapGraphBuilder(r.builder)
+		r.runFilter = w.WrapEdgeFilter(r.filter)
+		r.runClassifier = w.WrapEdgeClassifier(r.classifier)
+		r.runExtractor = w.WrapTrackExtractor(r.extractor)
+	}
 	r.syncInference()
 	return r, nil
 }
@@ -196,16 +217,48 @@ func (r *Reconstructor) buildGraphWith(ctx context.Context, a *Arena, ev *Event)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	embedThunk := func() (*Matrix, error) { return r.embedder.Embed(ctx, a, ev) }
-	src, dst, err := r.builder.BuildEdges(ctx, a, ev, embedThunk)
+	embedThunk := func() (m *Matrix, err error) {
+		err = guardStage("embed", func() error {
+			var e error
+			m, e = r.runEmbedder.Embed(ctx, a, ev)
+			return e
+		})
+		return m, err
+	}
+	var src, dst []int
+	err := guardStage("build", func() error {
+		var e error
+		src, dst, e = r.runBuilder.BuildEdges(ctx, a, ev, embedThunk)
+		return e
+	})
 	if err != nil {
 		return nil, fmt.Errorf("recon: build edges: %w", err)
 	}
-	fsrc, fdst, err := r.filter.FilterEdges(ctx, a, ev, src, dst)
+	var fsrc, fdst []int
+	err = guardStage("filter", func() error {
+		var e error
+		fsrc, fdst, e = r.runFilter.FilterEdges(ctx, a, ev, src, dst)
+		return e
+	})
 	if err != nil {
 		return nil, fmt.Errorf("recon: filter edges: %w", err)
 	}
 	return pipeline.AssembleGraph(r.spec, ev, fsrc, fdst), nil
+}
+
+// guardStage invokes one stage call, converting a panic in the stage
+// implementation into a *StageError so a poisoned event degrades one
+// result instead of killing the process. Ordinary stage errors pass
+// through untouched; a panic in the guarded embed thunk surfaces as a
+// *StageError returned through the builder, so attribution follows the
+// stage that actually panicked.
+func guardStage(stage string, fn func() error) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = &StageError{Stage: stage, Event: -1, Panic: p, Stack: debug.Stack()}
+		}
+	}()
+	return fn()
 }
 
 // Reconstruct runs all five stages on one event and scores the output
@@ -244,7 +297,12 @@ func (r *Reconstructor) reconstructOnWith(ctx context.Context, a *Arena, eg *Eve
 	res := &Result{}
 	keep := make([]bool, eg.NumEdges())
 	if eg.NumEdges() > 0 {
-		scores, err := r.classifier.ScoreEdges(ctx, a, eg)
+		var scores []float64
+		err := guardStage("classify", func() error {
+			var e error
+			scores, e = r.runClassifier.ScoreEdges(ctx, a, eg)
+			return e
+		})
 		if err != nil {
 			return nil, fmt.Errorf("recon: score edges: %w", err)
 		}
@@ -256,7 +314,12 @@ func (r *Reconstructor) reconstructOnWith(ctx context.Context, a *Arena, eg *Eve
 			res.EdgeCounts.Add(keep[k], eg.Label[k] > 0.5)
 		}
 	}
-	tracks, err := r.extractor.ExtractTracks(ctx, eg, keep)
+	var tracks [][]int
+	err := guardStage("extract", func() error {
+		var e error
+		tracks, e = r.runExtractor.ExtractTracks(ctx, eg, keep)
+		return e
+	})
 	if err != nil {
 		return nil, fmt.Errorf("recon: extract tracks: %w", err)
 	}

@@ -3,11 +3,15 @@ package recon
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
+	"mime"
 	"net/http"
 	"sort"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/detector"
@@ -68,8 +72,9 @@ type ReconstructResponse struct {
 	Elapsed float64           `json:"elapsed_ms"`
 }
 
-// StatsJSON is the GET /statz reply: throughput counters and latency
-// quantiles over the most recent requests.
+// StatsJSON is the GET /statz reply: throughput counters, latency
+// quantiles over the most recent requests, and the engine's admission
+// and fault counters.
 type StatsJSON struct {
 	UptimeSeconds   float64 `json:"uptime_s"`
 	Requests        int64   `json:"requests"`
@@ -81,6 +86,13 @@ type StatsJSON struct {
 	LatencyP99Ms    float64 `json:"latency_p99_ms"`
 	Workers         int     `json:"workers"`
 	Precision       string  `json:"precision"`
+
+	// Robustness counters (PR 6).
+	QueueCapacity   int64 `json:"queue_capacity"`    // admission window: workers + queue depth
+	QueueInFlight   int64 `json:"queue_in_flight"`   // events admitted and not yet finished
+	Rejected        int64 `json:"rejected_requests"` // 429s: admission-queue fast fails
+	PanicsRecovered int64 `json:"panics_recovered"`  // stage panics isolated into per-event errors
+	Draining        bool  `json:"draining"`          // graceful shutdown in progress
 }
 
 // serverStats tracks throughput counters and a ring of recent request
@@ -152,17 +164,45 @@ func (s *serverStats) snapshot(workers int, precision string) StatsJSON {
 }
 
 // Server is the HTTP JSON front-end over an Engine: POST /v1/reconstruct
-// runs concurrent reconstruction, GET /healthz is a liveness probe, and
-// GET /statz reports p50/p90/p99 latency and throughput counters.
+// runs concurrent reconstruction, GET /healthz is a liveness/readiness
+// probe (503 while draining), and GET /statz reports p50/p90/p99
+// latency, throughput, and the engine's admission/fault counters.
+//
+// Robustness contract (see API.md "Resilience"):
+//   - overload fast-fails with 429 + Retry-After instead of queueing;
+//   - request bodies are size-capped (413) and must be JSON (415);
+//   - a per-request deadline (WithRequestTimeout) turns a wedged batch
+//     into a 503 instead of an unbounded wait;
+//   - Shutdown drains gracefully: /healthz flips to draining, new
+//     reconstruct work is rejected with 503, in-flight requests finish.
 type Server struct {
-	engine *Engine
-	stats  *serverStats
-	mux    *http.ServeMux
+	engine       *Engine
+	stats        *serverStats
+	mux          *http.ServeMux
+	maxBody      int64
+	drainTimeout time.Duration
+
+	draining atomic.Bool
+	inflight sync.WaitGroup
 }
 
-// NewServer wraps an engine in the HTTP front-end.
-func NewServer(engine *Engine) *Server {
-	s := &Server{engine: engine, stats: newServerStats(), mux: http.NewServeMux()}
+// NewServer wraps an engine in the HTTP front-end. Relevant options:
+// WithMaxBodyBytes (default 8 MiB) and WithDrainTimeout (default 10s,
+// used by Serve when its context is cancelled).
+func NewServer(engine *Engine, opts ...Option) *Server {
+	set, err := applyOptions(opts)
+	if err != nil {
+		// Keep the error-free constructor signature: an invalid knob falls
+		// back to the safe defaults rather than serving with a bad limit.
+		set = defaultSettings()
+	}
+	s := &Server{
+		engine:       engine,
+		stats:        newServerStats(),
+		mux:          http.NewServeMux(),
+		maxBody:      set.maxBodyBytes,
+		drainTimeout: set.drainTimeout,
+	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /statz", s.handleStatz)
 	s.mux.HandleFunc("POST /v1/reconstruct", s.handleReconstruct)
@@ -172,19 +212,89 @@ func NewServer(engine *Engine) *Server {
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
+// Draining reports whether graceful shutdown has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Shutdown begins a graceful drain: /healthz flips to 503 "draining" so
+// load balancers stop routing here, new reconstruct requests are
+// rejected with 503, and the call blocks until every in-flight request
+// has finished or ctx expires (ctx.Err() is returned in that case; the
+// stragglers are then cut off by the HTTP server teardown). Safe to
+// call more than once.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	done := make(chan struct{})
+	go func() { s.inflight.Wait(); close(done) }()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
 func (s *Server) handleStatz(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, s.stats.snapshot(s.engine.Workers(), s.engine.Reconstructor().Precision().String()))
+	snap := s.stats.snapshot(s.engine.Workers(), s.engine.Reconstructor().Precision().String())
+	es := s.engine.Stats()
+	snap.QueueCapacity = es.Capacity
+	snap.QueueInFlight = es.InFlight
+	snap.Rejected = es.Rejected
+	snap.PanicsRecovered = es.PanicsRecovered
+	snap.Draining = s.draining.Load()
+	writeJSON(w, http.StatusOK, snap)
+}
+
+// acceptableContentType admits JSON bodies: an explicit application/json
+// (or any +json suffix), or no Content-Type at all — the endpoint only
+// ever parses JSON, so an absent header is unambiguous while a non-JSON
+// declaration is a client bug worth a 415 rather than a decode error.
+func acceptableContentType(r *http.Request) bool {
+	ct := r.Header.Get("Content-Type")
+	if ct == "" {
+		return true
+	}
+	mt, _, err := mime.ParseMediaType(ct)
+	if err != nil {
+		return false
+	}
+	return mt == "application/json" || strings.HasSuffix(mt, "+json")
 }
 
 func (s *Server) handleReconstruct(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
+	// Drain gate: Add before the draining check so Shutdown's Wait can
+	// never miss a request that saw draining=false.
+	s.inflight.Add(1)
+	defer s.inflight.Done()
+	if s.draining.Load() {
+		s.stats.record(time.Since(start), 0, true)
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": ErrDraining.Error()})
+		return
+	}
+	if !acceptableContentType(r) {
+		s.stats.record(time.Since(start), 0, true)
+		writeJSON(w, http.StatusUnsupportedMediaType,
+			map[string]string{"error": "Content-Type must be application/json"})
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
 	var req ReconstructRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		s.stats.record(time.Since(start), 0, true)
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				map[string]string{"error": fmt.Sprintf("request body exceeds %d bytes", tooLarge.Limit)})
+			return
+		}
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad request body: " + err.Error()})
 		return
 	}
@@ -222,9 +332,24 @@ func (s *Server) handleReconstruct(w http.ResponseWriter, r *http.Request) {
 	}
 
 	results, err := s.engine.ReconstructBatch(r.Context(), events)
+	if errors.Is(err, ErrOverloaded) {
+		// Admission queue full: fast-fail so the client backs off instead
+		// of stacking latency on an already saturated engine.
+		s.stats.record(time.Since(start), 0, true)
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, map[string]string{"error": err.Error()})
+		return
+	}
 	if err != nil && r.Context().Err() != nil {
 		// Client went away or timed out; nothing useful to write.
 		s.stats.record(time.Since(start), len(events), true)
+		return
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		// The engine's per-request deadline (WithRequestTimeout) fired
+		// while the client is still connected.
+		s.stats.record(time.Since(start), len(events), true)
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "request deadline exceeded"})
 		return
 	}
 
@@ -325,7 +450,12 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 }
 
 // Serve runs the front-end on addr until the context is cancelled, then
-// shuts down gracefully. It is the programmatic core of cmd/serve.
+// drains gracefully: /healthz flips to draining, new reconstruct work is
+// rejected, in-flight requests get up to the drain timeout
+// (WithDrainTimeout, default 10s) to finish, and only then is the HTTP
+// server torn down — so a SIGTERM under load never truncates a response
+// that had already been admitted. It is the programmatic core of
+// cmd/serve.
 func (s *Server) Serve(ctx context.Context, addr string) error {
 	srv := &http.Server{Addr: addr, Handler: s}
 	errc := make(chan error, 1)
@@ -334,8 +464,14 @@ func (s *Server) Serve(ctx context.Context, addr string) error {
 	case err := <-errc:
 		return err
 	case <-ctx.Done():
-		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		shutCtx, cancel := context.WithTimeout(context.Background(), s.drainTimeout)
 		defer cancel()
+		if drainErr := s.Shutdown(shutCtx); drainErr != nil {
+			// Drain budget exhausted with requests still in flight: hard
+			// stop — waiting longer would just stall the restart.
+			srv.Close()
+			return drainErr
+		}
 		return srv.Shutdown(shutCtx)
 	}
 }
