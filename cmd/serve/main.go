@@ -41,6 +41,33 @@ import (
 	"repro/recon"
 )
 
+// resolveQueueDepth folds the deprecated -queue alias into -queue-depth:
+// either flag alone wins, both set to the same value is tolerated, and
+// both set to different values is a hard conflict — there is exactly one
+// validated queue-depth path after this returns.
+func resolveQueueDepth(fs *flag.FlagSet, queueDepth, queue *int) error {
+	var depthSet, aliasSet bool
+	fs.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "queue-depth":
+			depthSet = true
+		case "queue":
+			aliasSet = true
+		}
+	})
+	if depthSet && aliasSet && *queueDepth != *queue {
+		return fmt.Errorf("-queue is a deprecated alias for -queue-depth; both set with conflicting values %d and %d", *queue, *queueDepth)
+	}
+	if aliasSet && !depthSet {
+		log.Printf("warning: -queue is deprecated, use -queue-depth")
+		*queueDepth = *queue
+	}
+	if *queueDepth < 0 {
+		return fmt.Errorf("-queue-depth must be ≥0, got %d", *queueDepth)
+	}
+	return nil
+}
+
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	dataset := flag.String("dataset", "ex3", "dataset family the models were built for: ex3 or ctd")
@@ -48,7 +75,7 @@ func main() {
 	checkpoint := flag.String("checkpoint", "", "checkpoint path (from trackrecon -save or SaveCheckpoint); empty = untrained models")
 	workers := flag.Int("workers", 4, "engine worker-pool size")
 	queueDepth := flag.Int("queue-depth", 8, "in-flight events admitted beyond the workers; excess requests get 429")
-	queue := flag.Int("queue", -1, "deprecated alias for -queue-depth")
+	queue := flag.Int("queue", 8, "deprecated alias for -queue-depth")
 	hidden := flag.Int("hidden", 16, "GNN hidden width (must match the checkpoint)")
 	steps := flag.Int("steps", 3, "GNN message-passing layers (must match the checkpoint)")
 	threshold := flag.Float64("threshold", 0.5, "stage-4 edge decision threshold")
@@ -65,8 +92,8 @@ func main() {
 	chaosDelay := flag.Duration("chaos-delay", 5*time.Millisecond, "size of an injected latency spike")
 	flag.Parse()
 
-	if *queue >= 0 {
-		*queueDepth = *queue
+	if err := resolveQueueDepth(flag.CommandLine, queueDepth, queue); err != nil {
+		log.Fatalf("serve: %v", err)
 	}
 
 	prec, ok := recon.ParsePrecision(*precision)

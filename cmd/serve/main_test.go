@@ -1,0 +1,56 @@
+package main
+
+import (
+	"flag"
+	"io"
+	"testing"
+)
+
+// queueFlags builds a fresh flag set with the two queue flags and parses
+// args against it.
+func queueFlags(t *testing.T, args []string) (*flag.FlagSet, *int, *int) {
+	t.Helper()
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	queueDepth := fs.Int("queue-depth", 8, "")
+	queue := fs.Int("queue", 8, "")
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	return fs, queueDepth, queue
+}
+
+func TestResolveQueueDepth(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		want    int
+		wantErr bool
+	}{
+		{name: "neither set keeps default", args: nil, want: 8},
+		{name: "canonical flag wins", args: []string{"-queue-depth", "4"}, want: 4},
+		{name: "alias alone still works", args: []string{"-queue", "3"}, want: 3},
+		{name: "both set agreeing", args: []string{"-queue", "5", "-queue-depth", "5"}, want: 5},
+		{name: "both set conflicting", args: []string{"-queue", "5", "-queue-depth", "6"}, wantErr: true},
+		{name: "negative depth rejected", args: []string{"-queue-depth", "-1"}, wantErr: true},
+		{name: "negative alias rejected", args: []string{"-queue", "-2"}, wantErr: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fs, depth, queue := queueFlags(t, tc.args)
+			err := resolveQueueDepth(fs, depth, queue)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("want error, got queue-depth %d", *depth)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if *depth != tc.want {
+				t.Fatalf("queue-depth %d, want %d", *depth, tc.want)
+			}
+		})
+	}
+}

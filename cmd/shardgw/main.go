@@ -1,0 +1,84 @@
+// Command shardgw fronts a fleet of cmd/serve engine shards with the
+// recon.ShardGateway: incoming reconstruction requests are partitioned
+// across shards by consistent hashing (stable events keep hitting the
+// same shard), unhealthy shards are evicted and traffic rerouted to the
+// least-loaded survivor, and the admission contract of a single server
+// is preserved — 429 + Retry-After when every shard is saturated, 503
+// when none is available or the gateway itself is draining.
+//
+// Because every shard runs the same deterministic engine, which shard
+// serves an event never changes a bit of the result.
+//
+// Endpoints (same surface as cmd/serve):
+//
+//	POST /v1/reconstruct  partitioned across shards, merged in order
+//	GET  /healthz         200 while ≥1 shard is healthy, 503 otherwise
+//	GET  /statz           gateway counters plus a per-shard breakdown:
+//	                      state, routed events, rejections, evictions
+//
+// Example, two local shards:
+//
+//	serve -addr :8081 -truth-graphs 1.0 &
+//	serve -addr :8082 -truth-graphs 1.0 &
+//	shardgw -addr :8080 -shards http://127.0.0.1:8081,http://127.0.0.1:8082
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/recon"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	shards := flag.String("shards", "", "comma-separated shard base URLs (e.g. http://127.0.0.1:8081,http://127.0.0.1:8082)")
+	healthInterval := flag.Duration("health-interval", time.Second, "how often to probe each shard's /healthz")
+	failThreshold := flag.Int("fail-threshold", 3, "consecutive failures (probe or proxy) that evict a shard")
+	proxyTimeout := flag.Duration("proxy-timeout", 30*time.Second, "per-sub-request deadline against a shard")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "how long SIGTERM waits for in-flight requests before a hard stop")
+	maxBody := flag.Int64("max-body", 8<<20, "request body size cap in bytes (413 beyond it)")
+	flag.Parse()
+
+	var urls []string
+	for _, u := range strings.Split(*shards, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, u)
+		}
+	}
+	if len(urls) == 0 {
+		log.Fatal("shardgw: -shards must list at least one shard URL")
+	}
+
+	gw, err := recon.NewShardGateway(urls,
+		recon.WithHealthInterval(*healthInterval),
+		recon.WithFailThreshold(*failThreshold),
+		recon.WithProxyTimeout(*proxyTimeout),
+		recon.WithDrainTimeout(*drainTimeout),
+		recon.WithMaxBodyBytes(*maxBody))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		log.Printf("draining: waiting up to %v for in-flight requests", *drainTimeout)
+	}()
+
+	log.Printf("gateway on %s over %d shards (health-interval=%v fail-threshold=%d)",
+		*addr, len(urls), *healthInterval, *failThreshold)
+	if err := gw.Serve(ctx, *addr); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	log.Printf("drain complete")
+}

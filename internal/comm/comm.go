@@ -1,9 +1,22 @@
-// Package comm simulates the NCCL collectives the paper's DDP training
-// uses. Ranks are goroutines; the ring all-reduce moves real data through
-// buffered channels (reduce-scatter followed by all-gather, NCCL's
-// algorithm), so synchronization costs are physically incurred, and an
-// α–β cost model calibrated to the paper's hardware (NVLink 3.0) tracks
-// the modeled wire time of every call.
+// Package comm implements the NCCL-style ring collectives the paper's
+// DDP training uses, over a pluggable point-to-point transport
+// (internal/transport). The ring all-reduce moves real data link by link
+// (reduce-scatter followed by all-gather, NCCL's algorithm), so
+// synchronization costs are physically incurred, and an α–β cost model
+// calibrated to the paper's hardware (NVLink 3.0) tracks the modeled
+// wire time of every call.
+//
+// Two deployment shapes share the same collective arithmetic:
+//
+//   - Group: P rank goroutines in one process, ring links as in-process
+//     transport pipes (NewGroup) or over any transport.Network, TCP
+//     included (NewGroupNetwork).
+//   - Peer: one rank's endpoint in a multi-process ring, wired by
+//     ConnectRing over real sockets.
+//
+// Because the reduction order is a function of (P, rank, buffer length)
+// only, results are bitwise identical across transports and deployment
+// shapes.
 //
 // The coalesced all-reduce optimization (§III-D of the paper) follows
 // directly from this model: reducing k parameter matrices separately pays
@@ -12,10 +25,13 @@
 package comm
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/transport"
 )
 
 // CostModel is an α–β (latency–bandwidth) communication model.
@@ -79,47 +95,166 @@ func (m CostModel) BroadcastTime(nBytes int64, p int) time.Duration {
 	return time.Duration(p-1)*m.Alpha + m.wireTime(float64(nBytes))
 }
 
-// Group is a fixed set of P ranks with a ring topology.
+// Group is a fixed set of P ranks with a ring topology. Since the
+// transport rebase it is a thin shell over P Peers: NewGroup wires the
+// ring with in-process transport.Pipe links, NewGroupNetwork wires it
+// over any transport.Network (real TCP sockets included), and every
+// collective runs the identical Peer arithmetic either way — so results
+// are bitwise independent of the transport.
 type Group struct {
 	P     int
 	model CostModel
 
-	// links[i] carries messages rank i → rank (i+1)%P.
-	links []chan []float64
-
-	calls       int64 // collective invocations (counted once per group)
-	bytesMoved  int64 // payload bytes summed over ranks and steps
-	modeledTime int64 // nanoseconds under the cost model
+	peers []*Peer
+	stats *ringStats
 }
 
-// NewGroup creates a process group of p ranks.
+// NewGroup creates a process group of p ranks over in-process pipes.
 func NewGroup(p int, model CostModel) *Group {
 	if p < 1 {
 		panic(fmt.Sprintf("comm: group size %d", p))
 	}
-	g := &Group{P: p, model: model, links: make([]chan []float64, p)}
-	for i := range g.links {
-		g.links[i] = make(chan []float64, 1)
+	g := &Group{P: p, model: model, stats: &ringStats{}}
+	g.peers = make([]*Peer, p)
+	for rank := range g.peers {
+		g.peers[rank] = &Peer{Rank: rank, P: p, model: model, stats: g.stats}
+	}
+	// links[i] carries messages rank i → rank (i+1)%P.
+	for i := 0; i < p; i++ {
+		a, b := transport.Pipe()
+		g.peers[i].next = a
+		g.peers[(i+1)%p].prev = b
 	}
 	return g
 }
 
+// NewGroupNetwork creates a process group of p ranks whose ring links
+// run over net — with a TCP network the collectives move through real
+// sockets, byte-identical to what p separate processes using
+// ConnectRing would exchange. addrs lists each rank's listen address;
+// nil requests p ephemeral addresses. The caller should Close the group
+// to release the connections.
+func NewGroupNetwork(p int, model CostModel, net transport.Network, addrs []string) (*Group, error) {
+	if p < 1 {
+		return nil, fmt.Errorf("comm: group size %d", p)
+	}
+	if addrs == nil {
+		addrs = make([]string, p)
+	}
+	if len(addrs) != p {
+		return nil, fmt.Errorf("comm: %d addrs for %d ranks", len(addrs), p)
+	}
+	g := &Group{P: p, model: model, stats: &ringStats{}}
+	if p == 1 {
+		g.peers = []*Peer{{Rank: 0, P: 1, model: model, stats: g.stats}}
+		return g, nil
+	}
+	// Bind every rank's listener first so ring dials cannot race an
+	// unbound neighbor, resolving ephemeral addresses as we go.
+	listeners := make([]transport.Listener, p)
+	for rank := 0; rank < p; rank++ {
+		ln, err := net.Listen(addrs[rank])
+		if err != nil {
+			for _, l := range listeners[:rank] {
+				l.Close()
+			}
+			return nil, fmt.Errorf("comm: ring listen %q: %w", addrs[rank], err)
+		}
+		listeners[rank] = ln
+		addrs[rank] = ln.Addr()
+	}
+	defer func() {
+		for _, ln := range listeners {
+			ln.Close()
+		}
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	next := make([]transport.Conn, p)
+	prev := make([]transport.Conn, p)
+	var mu sync.Mutex
+	var firstErr error
+	var wg sync.WaitGroup
+	for rank := 0; rank < p; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			c, err := net.Dial(ctx, addrs[(rank+1)%p])
+			if err == nil {
+				next[rank] = c
+				return
+			}
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = fmt.Errorf("comm: ring dial %q: %w", addrs[(rank+1)%p], err)
+			}
+			mu.Unlock()
+			cancel()
+		}(rank)
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			c, err := listeners[rank].Accept(ctx)
+			if err == nil {
+				prev[rank] = c
+				return
+			}
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = fmt.Errorf("comm: ring accept on %q: %w", addrs[rank], err)
+			}
+			mu.Unlock()
+			cancel()
+		}(rank)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		for _, c := range append(next, prev...) {
+			if c != nil {
+				c.Close()
+			}
+		}
+		return nil, firstErr
+	}
+	g.peers = make([]*Peer, p)
+	for rank := 0; rank < p; rank++ {
+		g.peers[rank] = &Peer{Rank: rank, P: p, next: next[rank], prev: prev[rank], model: model, stats: g.stats}
+	}
+	return g, nil
+}
+
+// Peer returns rank's endpoint — the handle a rank goroutine uses
+// directly when it wants contexts and errors instead of the legacy
+// panic-on-failure Group surface.
+func (g *Group) Peer(rank int) *Peer { return g.peers[rank] }
+
+// Close tears down the ring links. Collectives in flight fail.
+func (g *Group) Close() error {
+	var first error
+	for _, pe := range g.peers {
+		if err := pe.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
 // Calls returns how many collectives the group has executed.
-func (g *Group) Calls() int64 { return atomic.LoadInt64(&g.calls) }
+func (g *Group) Calls() int64 { return atomic.LoadInt64(&g.stats.calls) }
 
 // BytesMoved returns total payload bytes transferred across all links.
-func (g *Group) BytesMoved() int64 { return atomic.LoadInt64(&g.bytesMoved) }
+func (g *Group) BytesMoved() int64 { return atomic.LoadInt64(&g.stats.bytesMoved) }
 
 // ModeledTime returns the accumulated α–β model time across collectives.
 func (g *Group) ModeledTime() time.Duration {
-	return time.Duration(atomic.LoadInt64(&g.modeledTime))
+	return time.Duration(atomic.LoadInt64(&g.stats.modeledTime))
 }
 
 // ResetStats zeroes the accumulated statistics.
 func (g *Group) ResetStats() {
-	atomic.StoreInt64(&g.calls, 0)
-	atomic.StoreInt64(&g.bytesMoved, 0)
-	atomic.StoreInt64(&g.modeledTime, 0)
+	atomic.StoreInt64(&g.stats.calls, 0)
+	atomic.StoreInt64(&g.stats.bytesMoved, 0)
+	atomic.StoreInt64(&g.stats.modeledTime, 0)
 }
 
 // chunkBounds splits n elements into P contiguous chunks.
@@ -136,23 +271,21 @@ func chunkBounds(n, p, idx int) (lo, hi int) {
 	return lo, hi
 }
 
+// ringErr surfaces a transport failure through the legacy no-error Group
+// surface. In-process pipes cannot fail unless the group was closed;
+// network-backed groups propagate real wire errors the same way.
+func ringErr(op string, err error) {
+	if err != nil {
+		panic(fmt.Sprintf("comm: %s over transport: %v", op, err))
+	}
+}
+
 // AllReduceSum performs an in-place ring all-reduce (sum) of buf across
 // the group: a reduce-scatter followed by an all-gather, NCCL's
 // algorithm. Every rank must call it concurrently with its own buffer of
 // identical length; on return each buffer holds the elementwise sum.
 func (g *Group) AllReduceSum(rank int, buf []float64) {
-	if g.P == 1 {
-		return
-	}
-	if rank == 0 {
-		// Counted and charged as one collective: the composition of the
-		// two phases is the all-reduce, and RingAllReduceTime is exactly
-		// the sum of the phase times.
-		atomic.AddInt64(&g.calls, 1)
-		atomic.AddInt64(&g.modeledTime, int64(g.model.RingAllReduceTime(int64(len(buf)*8), g.P)))
-	}
-	g.reduceScatterSum(rank, buf, false)
-	g.allGather(rank, buf, false)
+	ringErr("all-reduce", g.peers[rank].AllReduceSum(context.Background(), buf))
 }
 
 // ReduceScatterSum performs an in-place ring reduce-scatter (sum): after
@@ -160,91 +293,22 @@ func (g *Group) AllReduceSum(rank int, buf []float64) {
 // chunk (returned as [lo, hi)); other regions hold partial sums. Every
 // rank must call it concurrently with equal-length buffers.
 func (g *Group) ReduceScatterSum(rank int, buf []float64) (lo, hi int) {
-	if g.P == 1 {
-		return 0, len(buf)
-	}
-	return g.reduceScatterSum(rank, buf, true)
-}
-
-func (g *Group) reduceScatterSum(rank int, buf []float64, charge bool) (lo, hi int) {
-	if rank == 0 && charge {
-		atomic.AddInt64(&g.calls, 1)
-		atomic.AddInt64(&g.modeledTime, int64(g.model.RingReduceScatterTime(int64(len(buf)*8), g.P)))
-	}
-	p := g.P
-	prev := (rank - 1 + p) % p
-	// After P−1 steps rank r holds the fully reduced chunk (r+1) mod P.
-	for s := 0; s < p-1; s++ {
-		sendIdx := ((rank-s)%p + p) % p
-		recvIdx := ((rank-s-1)%p + p) % p
-		clo, chi := chunkBounds(len(buf), p, sendIdx)
-		out := make([]float64, chi-clo)
-		copy(out, buf[clo:chi])
-		g.links[rank] <- out
-		in := <-g.links[prev]
-		rlo, _ := chunkBounds(len(buf), p, recvIdx)
-		for i, v := range in {
-			buf[rlo+i] += v
-		}
-		atomic.AddInt64(&g.bytesMoved, int64(len(out)*8))
-	}
-	return chunkBounds(len(buf), p, (rank+1)%p)
+	lo, hi, err := g.peers[rank].ReduceScatterSum(context.Background(), buf)
+	ringErr("reduce-scatter", err)
+	return lo, hi
 }
 
 // AllGather circulates each rank's owned chunk (the chunk ReduceScatterSum
 // leaves reduced: (rank+1) mod P) so every rank's buffer ends complete.
 // Every rank must call it concurrently with equal-length buffers.
 func (g *Group) AllGather(rank int, buf []float64) {
-	if g.P == 1 {
-		return
-	}
-	g.allGather(rank, buf, true)
-}
-
-func (g *Group) allGather(rank int, buf []float64, charge bool) {
-	if rank == 0 && charge {
-		atomic.AddInt64(&g.calls, 1)
-		atomic.AddInt64(&g.modeledTime, int64(g.model.RingAllGatherTime(int64(len(buf)*8), g.P)))
-	}
-	p := g.P
-	prev := (rank - 1 + p) % p
-	for s := 0; s < p-1; s++ {
-		sendIdx := ((rank-s+1)%p + p) % p
-		recvIdx := ((rank-s)%p + p) % p
-		lo, hi := chunkBounds(len(buf), p, sendIdx)
-		out := make([]float64, hi-lo)
-		copy(out, buf[lo:hi])
-		g.links[rank] <- out
-		in := <-g.links[prev]
-		rlo, _ := chunkBounds(len(buf), p, recvIdx)
-		copy(buf[rlo:rlo+len(in)], in)
-		atomic.AddInt64(&g.bytesMoved, int64(len(out)*8))
-	}
+	ringErr("all-gather", g.peers[rank].AllGather(context.Background(), buf))
 }
 
 // Broadcast copies root's buffer to every rank (ring pipeline). All ranks
 // call it concurrently; on return every buf equals root's.
 func (g *Group) Broadcast(rank int, buf []float64, root int) {
-	if g.P == 1 {
-		return
-	}
-	if rank == 0 {
-		atomic.AddInt64(&g.calls, 1)
-		atomic.AddInt64(&g.modeledTime, int64(g.model.BroadcastTime(int64(len(buf)*8), g.P)))
-	}
-	p := g.P
-	pos := ((rank-root)%p + p) % p // distance from root along the ring
-	prev := (rank - 1 + p) % p
-	if pos != 0 {
-		in := <-g.links[prev]
-		copy(buf, in)
-		atomic.AddInt64(&g.bytesMoved, int64(len(in)*8))
-	}
-	if pos != p-1 { // everyone but the last forwards
-		out := make([]float64, len(buf))
-		copy(out, buf)
-		g.links[rank] <- out
-	}
+	ringErr("broadcast", g.peers[rank].Broadcast(context.Background(), buf, root))
 }
 
 // Barrier blocks until every rank has reached it.

@@ -1,0 +1,276 @@
+package comm
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// ringStats aggregates a ring's collective traffic. A Group's peers
+// share one instance; a standalone Peer (one rank of a multi-process
+// ring) owns its own.
+type ringStats struct {
+	calls       int64 // collective invocations (counted once, by rank 0)
+	bytesMoved  int64 // payload bytes summed over ranks and steps
+	modeledTime int64 // nanoseconds under the cost model
+}
+
+// Peer is one rank's endpoint of a ring built over a transport: next is
+// the connection toward rank+1 mod P, prev the one from rank−1 mod P.
+// All of comm's ring collectives are implemented here, so the identical
+// arithmetic runs whether the ring is in-process pipes (Group), TCP
+// sockets between processes (ConnectRing), or any other
+// transport.Network.
+//
+// Determinism: the reduction order of every collective is a function of
+// (P, rank, len(buf)) only — never of the transport — so results are
+// bitwise identical across transports.
+type Peer struct {
+	Rank int
+	P    int
+
+	next, prev transport.Conn
+	model      CostModel
+	stats      *ringStats
+}
+
+// NewPeer wraps one rank's ring connections. next carries messages to
+// rank+1 mod P, prev delivers messages from rank−1 mod P. Either may be
+// nil when P == 1 (a singleton ring never communicates).
+func NewPeer(rank, p int, next, prev transport.Conn, model CostModel) *Peer {
+	if p < 1 || rank < 0 || rank >= p {
+		panic(fmt.Sprintf("comm: rank %d of %d", rank, p))
+	}
+	return &Peer{Rank: rank, P: p, next: next, prev: prev, model: model, stats: &ringStats{}}
+}
+
+// ConnectRing builds rank's ring endpoint over a Network: it listens on
+// addrs[rank], dials addrs[(rank+1)%p], accepts the connection from
+// rank−1, and returns the wired Peer. Every rank of the ring must call
+// it concurrently (in its own process, typically). The listener is
+// closed once the ring link is accepted.
+func ConnectRing(ctx context.Context, net transport.Network, rank int, addrs []string, model CostModel) (*Peer, error) {
+	p := len(addrs)
+	if p < 1 || rank < 0 || rank >= p {
+		return nil, fmt.Errorf("comm: ConnectRing rank %d of %d addrs", rank, p)
+	}
+	if p == 1 {
+		return NewPeer(0, 1, nil, nil, model), nil
+	}
+	ln, err := net.Listen(addrs[rank])
+	if err != nil {
+		return nil, fmt.Errorf("comm: ring listen %q: %w", addrs[rank], err)
+	}
+	defer ln.Close()
+
+	nextAddr := addrs[(rank+1)%p]
+	type dialResult struct {
+		c   transport.Conn
+		err error
+	}
+	dialed := make(chan dialResult, 1)
+	go func() {
+		// The neighbor's listener may not be up yet; retry until ctx
+		// gives up — ring formation is a one-time rendezvous.
+		for {
+			c, err := net.Dial(ctx, nextAddr)
+			if err == nil || ctx.Err() != nil {
+				dialed <- dialResult{c, err}
+				return
+			}
+			select {
+			case <-ctx.Done():
+				dialed <- dialResult{nil, ctx.Err()}
+				return
+			case <-time.After(5 * time.Millisecond):
+			}
+		}
+	}()
+
+	prev, err := ln.Accept(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("comm: ring accept on %q: %w", addrs[rank], err)
+	}
+	res := <-dialed
+	if res.err != nil {
+		prev.Close()
+		return nil, fmt.Errorf("comm: ring dial %q: %w", nextAddr, res.err)
+	}
+	return NewPeer(rank, p, res.c, prev, model), nil
+}
+
+// Close tears down the peer's ring connections.
+func (pe *Peer) Close() error {
+	var first error
+	for _, c := range []transport.Conn{pe.next, pe.prev} {
+		if c != nil {
+			if err := c.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}
+
+// Calls returns how many collectives this peer has charged.
+func (pe *Peer) Calls() int64 { return atomic.LoadInt64(&pe.stats.calls) }
+
+// BytesMoved returns total payload bytes this peer sent.
+func (pe *Peer) BytesMoved() int64 { return atomic.LoadInt64(&pe.stats.bytesMoved) }
+
+// ModeledTime returns the accumulated α–β model time.
+func (pe *Peer) ModeledTime() time.Duration {
+	return time.Duration(atomic.LoadInt64(&pe.stats.modeledTime))
+}
+
+// sendFloats ships one chunk to the next hop as little-endian float64
+// bits — the transport's length-prefix frames the message.
+func (pe *Peer) sendFloats(ctx context.Context, vals []float64) error {
+	buf := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(v))
+	}
+	if err := pe.next.Send(ctx, buf); err != nil {
+		return err
+	}
+	atomic.AddInt64(&pe.stats.bytesMoved, int64(len(buf)))
+	return nil
+}
+
+// recvFloats receives the previous hop's chunk into want values.
+func (pe *Peer) recvFloats(ctx context.Context, want int) ([]float64, error) {
+	buf, err := pe.prev.Recv(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if len(buf) != 8*want {
+		return nil, fmt.Errorf("comm: ring chunk %d bytes, want %d", len(buf), 8*want)
+	}
+	out := make([]float64, want)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[i*8:]))
+	}
+	return out, nil
+}
+
+// AllReduceSum performs an in-place ring all-reduce (sum) of buf across
+// the ring: reduce-scatter followed by all-gather, NCCL's algorithm.
+// Every rank must call it concurrently with equal-length buffers; on
+// return each holds the elementwise sum.
+func (pe *Peer) AllReduceSum(ctx context.Context, buf []float64) error {
+	if pe.P == 1 {
+		return nil
+	}
+	if pe.Rank == 0 {
+		// One charged collective: the composition of the two phases is
+		// the all-reduce, and RingAllReduceTime is exactly their sum.
+		atomic.AddInt64(&pe.stats.calls, 1)
+		atomic.AddInt64(&pe.stats.modeledTime, int64(pe.model.RingAllReduceTime(int64(len(buf)*8), pe.P)))
+	}
+	if _, _, err := pe.reduceScatterSum(ctx, buf, false); err != nil {
+		return err
+	}
+	return pe.allGather(ctx, buf, false)
+}
+
+// ReduceScatterSum performs an in-place ring reduce-scatter (sum): after
+// the call, rank r's buffer holds the fully reduced elements of its
+// owned chunk (returned as [lo, hi)); other regions hold partial sums.
+func (pe *Peer) ReduceScatterSum(ctx context.Context, buf []float64) (lo, hi int, err error) {
+	if pe.P == 1 {
+		return 0, len(buf), nil
+	}
+	return pe.reduceScatterSum(ctx, buf, true)
+}
+
+func (pe *Peer) reduceScatterSum(ctx context.Context, buf []float64, charge bool) (lo, hi int, err error) {
+	if pe.Rank == 0 && charge {
+		atomic.AddInt64(&pe.stats.calls, 1)
+		atomic.AddInt64(&pe.stats.modeledTime, int64(pe.model.RingReduceScatterTime(int64(len(buf)*8), pe.P)))
+	}
+	p, rank := pe.P, pe.Rank
+	// After P−1 steps rank r holds the fully reduced chunk (r+1) mod P.
+	for s := 0; s < p-1; s++ {
+		sendIdx := ((rank-s)%p + p) % p
+		recvIdx := ((rank-s-1)%p + p) % p
+		clo, chi := chunkBounds(len(buf), p, sendIdx)
+		if err := pe.sendFloats(ctx, buf[clo:chi]); err != nil {
+			return 0, 0, err
+		}
+		rlo, rhi := chunkBounds(len(buf), p, recvIdx)
+		in, err := pe.recvFloats(ctx, rhi-rlo)
+		if err != nil {
+			return 0, 0, err
+		}
+		for i, v := range in {
+			buf[rlo+i] += v
+		}
+	}
+	lo, hi = chunkBounds(len(buf), p, (rank+1)%p)
+	return lo, hi, nil
+}
+
+// AllGather circulates each rank's owned chunk (the chunk
+// ReduceScatterSum leaves reduced: (rank+1) mod P) so every rank's
+// buffer ends complete.
+func (pe *Peer) AllGather(ctx context.Context, buf []float64) error {
+	if pe.P == 1 {
+		return nil
+	}
+	return pe.allGather(ctx, buf, true)
+}
+
+func (pe *Peer) allGather(ctx context.Context, buf []float64, charge bool) error {
+	if pe.Rank == 0 && charge {
+		atomic.AddInt64(&pe.stats.calls, 1)
+		atomic.AddInt64(&pe.stats.modeledTime, int64(pe.model.RingAllGatherTime(int64(len(buf)*8), pe.P)))
+	}
+	p, rank := pe.P, pe.Rank
+	for s := 0; s < p-1; s++ {
+		sendIdx := ((rank-s+1)%p + p) % p
+		recvIdx := ((rank-s)%p + p) % p
+		lo, hi := chunkBounds(len(buf), p, sendIdx)
+		if err := pe.sendFloats(ctx, buf[lo:hi]); err != nil {
+			return err
+		}
+		rlo, rhi := chunkBounds(len(buf), p, recvIdx)
+		in, err := pe.recvFloats(ctx, rhi-rlo)
+		if err != nil {
+			return err
+		}
+		copy(buf[rlo:rlo+len(in)], in)
+	}
+	return nil
+}
+
+// Broadcast copies root's buffer to every rank (ring pipeline). All
+// ranks call it concurrently; on return every buf equals root's.
+func (pe *Peer) Broadcast(ctx context.Context, buf []float64, root int) error {
+	if pe.P == 1 {
+		return nil
+	}
+	if pe.Rank == 0 {
+		atomic.AddInt64(&pe.stats.calls, 1)
+		atomic.AddInt64(&pe.stats.modeledTime, int64(pe.model.BroadcastTime(int64(len(buf)*8), pe.P)))
+	}
+	p := pe.P
+	pos := ((pe.Rank-root)%p + p) % p // distance from root along the ring
+	if pos != 0 {
+		in, err := pe.recvFloats(ctx, len(buf))
+		if err != nil {
+			return err
+		}
+		copy(buf, in)
+	}
+	if pos != p-1 { // everyone but the last forwards
+		if err := pe.sendFloats(ctx, buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}

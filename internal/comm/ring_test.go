@@ -1,0 +1,138 @@
+package comm
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// TestConnectRing wires a ring the way separate processes would — every
+// rank calls ConnectRing concurrently against shared addresses — and
+// runs a real all-reduce over it.
+func TestConnectRing(t *testing.T) {
+	nets := map[string]transport.Network{
+		"loopback": transport.NewLoopback(),
+		"tcp":      &transport.TCP{},
+	}
+	for name, net := range nets {
+		t.Run(name, func(t *testing.T) {
+			const p = 3
+			addrs := make([]string, p)
+			for i := range addrs {
+				if name == "tcp" {
+					addrs[i] = "127.0.0.1:0"
+				} else {
+					addrs[i] = fmt.Sprintf("ring-%d", i)
+				}
+			}
+			if name == "tcp" {
+				// Real sockets need concrete ports known before anyone
+				// dials; reserve them by listening and closing.
+				for i := range addrs {
+					ln, err := net.Listen(addrs[i])
+					if err != nil {
+						t.Fatal(err)
+					}
+					addrs[i] = ln.Addr()
+					ln.Close()
+				}
+			}
+
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			peers := make([]*Peer, p)
+			var wg sync.WaitGroup
+			errs := make([]error, p)
+			wg.Add(p)
+			for r := 0; r < p; r++ {
+				go func(r int) {
+					defer wg.Done()
+					peers[r], errs[r] = ConnectRing(ctx, net, r, addrs, NVLink3())
+				}(r)
+			}
+			wg.Wait()
+			for r, err := range errs {
+				if err != nil {
+					t.Fatalf("rank %d: %v", r, err)
+				}
+			}
+			defer func() {
+				for _, pe := range peers {
+					pe.Close()
+				}
+			}()
+
+			bufs := make([][]float64, p)
+			for r := range bufs {
+				bufs[r] = []float64{float64(r + 1), float64(10 * (r + 1))}
+			}
+			runRanks(p, func(rank int) {
+				if err := peers[rank].AllReduceSum(ctx, bufs[rank]); err != nil {
+					t.Errorf("rank %d all-reduce: %v", rank, err)
+				}
+			})
+			for r := range bufs {
+				if bufs[r][0] != 6 || bufs[r][1] != 60 {
+					t.Fatalf("rank %d: got %v, want [6 60]", r, bufs[r])
+				}
+			}
+			// Collectives charge group-level stats on rank 0 only; real
+			// bytes are counted send-side on every rank.
+			if peers[0].Calls() != 1 {
+				t.Fatalf("rank 0: %d calls, want 1", peers[0].Calls())
+			}
+			if peers[0].ModeledTime() <= 0 {
+				t.Fatal("rank 0: no modeled time charged")
+			}
+			for r, pe := range peers {
+				if pe.BytesMoved() == 0 {
+					t.Fatalf("rank %d: no bytes charged", r)
+				}
+			}
+		})
+	}
+}
+
+func TestConnectRingSingleton(t *testing.T) {
+	pe, err := ConnectRing(context.Background(), transport.NewLoopback(), 0, []string{"solo"}, CostModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pe.Close()
+	buf := []float64{3, 4}
+	if err := pe.AllReduceSum(context.Background(), buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 3 || buf[1] != 4 {
+		t.Fatalf("singleton all-reduce changed the buffer: %v", buf)
+	}
+}
+
+func TestConnectRingBadRank(t *testing.T) {
+	if _, err := ConnectRing(context.Background(), transport.NewLoopback(), 2, []string{"a", "b"}, CostModel{}); err == nil {
+		t.Fatal("rank out of range accepted")
+	}
+	if _, err := ConnectRing(context.Background(), transport.NewLoopback(), 0, nil, CostModel{}); err == nil {
+		t.Fatal("empty address list accepted")
+	}
+}
+
+// TestGroupPeerHandle exercises the ctx-and-error Peer surface obtained
+// from an in-process group.
+func TestGroupPeerHandle(t *testing.T) {
+	g := NewGroup(2, CostModel{})
+	defer g.Close()
+	bufs := [][]float64{{1}, {2}}
+	runRanks(2, func(rank int) {
+		if err := g.Peer(rank).AllReduceSum(context.Background(), bufs[rank]); err != nil {
+			t.Errorf("rank %d: %v", rank, err)
+		}
+	})
+	if bufs[0][0] != 3 || bufs[1][0] != 3 {
+		t.Fatalf("got %v, want sums of 3", bufs)
+	}
+}

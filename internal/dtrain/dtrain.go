@@ -49,6 +49,7 @@ package dtrain
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -64,6 +65,7 @@ import (
 	"repro/internal/rng"
 	"repro/internal/sampling"
 	"repro/internal/tensor"
+	"repro/internal/transport"
 	"repro/internal/workspace"
 )
 
@@ -101,6 +103,16 @@ type Config struct {
 	// performance knob — the loss trajectory is bitwise identical at
 	// every value.
 	KernelWorkers int
+
+	// Network, when non-nil, carries the ring links of every transport
+	// group over a pluggable transport (transport.TCP routes them through
+	// real sockets; transport.Loopback through in-process pipes with a
+	// registry). nil keeps the direct in-process pipe wiring. The loss
+	// trajectory is bitwise identical either way — the reduction order is
+	// a function of (Ranks, rank, length) only, never of the transport.
+	// Callers that set Network should Close the trainer to release the
+	// connections.
+	Network transport.Network
 
 	// CostModel prices the charged collectives; the zero value defaults
 	// to comm.NVLink3 unless UseZeroCost is set.
@@ -259,10 +271,10 @@ func New(cfg Config) *Trainer {
 
 	var zero comm.CostModel
 	for range t.buckets {
-		t.bucketGroups = append(t.bucketGroups, comm.NewGroup(cfg.Ranks, zero))
+		t.bucketGroups = append(t.bucketGroups, newGroup(cfg, zero))
 	}
-	t.metaGroup = comm.NewGroup(cfg.Ranks, zero)
-	t.ctrlGroup = comm.NewGroup(cfg.Ranks, zero)
+	t.metaGroup = newGroup(cfg, zero)
+	t.ctrlGroup = newGroup(cfg, zero)
 
 	g := cfg.GradBlocks
 	levels := 1
@@ -304,7 +316,8 @@ func New(cfg Config) *Trainer {
 	// parameters so every replica provably starts from the same bits
 	// (they already do — the broadcast is the protocol, not a repair).
 	if cfg.Ranks > 1 {
-		bcast := comm.NewGroup(cfg.Ranks, zero)
+		bcast := newGroup(cfg, zero)
+		defer bcast.Close()
 		ddp.RunRanks(cfg.Ranks, func(rank int) {
 			st := t.ranks[rank]
 			buf := make([]float64, nn.ParamElements(st.params))
@@ -315,6 +328,43 @@ func New(cfg Config) *Trainer {
 		t.charge(1, int64(t.elems*8), t.model.BroadcastTime(int64(t.elems*8), cfg.Ranks))
 	}
 	return t
+}
+
+// newGroup builds one transport group: direct in-process pipes by
+// default, ring links over cfg.Network when one is configured. Ring
+// formation over a network is a one-time startup rendezvous; a failure
+// there is a configuration error, surfaced as a panic because New's
+// legacy signature has no error path.
+func newGroup(cfg Config, model comm.CostModel) *comm.Group {
+	if cfg.Network == nil {
+		return comm.NewGroup(cfg.Ranks, model)
+	}
+	g, err := comm.NewGroupNetwork(cfg.Ranks, model, cfg.Network, nil)
+	if err != nil {
+		panic(fmt.Sprintf("dtrain: ring formation over network: %v", err))
+	}
+	return g
+}
+
+// Close releases the trainer's transport groups. A trainer over
+// in-process pipes does not strictly need it; one over a real network
+// (Config.Network) holds open sockets until closed.
+func (t *Trainer) Close() error {
+	var first error
+	for _, g := range t.bucketGroups {
+		if err := g.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	for _, g := range []*comm.Group{t.metaGroup, t.ctrlGroup} {
+		if g == nil {
+			continue
+		}
+		if err := g.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 // charge records one logical collective against the cost model.

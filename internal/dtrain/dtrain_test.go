@@ -12,6 +12,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/pipeline"
 	"repro/internal/sampling"
+	"repro/internal/transport"
 )
 
 // testGraphs builds small truth-level event graphs.
@@ -49,6 +50,7 @@ func fastConfig(gnn ignn.Config) Config {
 func trajectory(t *testing.T, cfg Config, egs []*pipeline.EventGraph) []float64 {
 	t.Helper()
 	tr := New(cfg)
+	defer tr.Close()
 	var losses []float64
 	for e := 0; e < cfg.Epochs; e++ {
 		stats, err := tr.TrainEpoch(context.Background(), egs)
@@ -95,6 +97,29 @@ func TestRankCountParity(t *testing.T) {
 			got := trajectory(t, cfg, egs)
 			assertSameTrajectory(t, strategy.String()+"/P="+string(rune('0'+p)), want, got)
 		}
+	}
+}
+
+// TestNetworkTransportParity: moving the ring links off in-process
+// pipes and onto a transport.Network — including real TCP sockets, the
+// multi-process deployment shape — must not change a single bit of the
+// loss trajectory. The reduction order is a function of (Ranks, rank,
+// buffer length) only, never of the wire.
+func TestNetworkTransportParity(t *testing.T) {
+	egs, gnn := testGraphs(t, 1, 0.02)
+	base := fastConfig(gnn)
+	base.Ranks = 3
+	base.Epochs = 1
+	want := trajectory(t, base, egs) // direct in-process pipes
+
+	nets := map[string]transport.Network{
+		"loopback": transport.NewLoopback(),
+		"tcp":      &transport.TCP{},
+	}
+	for name, net := range nets {
+		cfg := base
+		cfg.Network = net
+		assertSameTrajectory(t, "network "+name, want, trajectory(t, cfg, egs))
 	}
 }
 

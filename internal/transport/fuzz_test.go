@@ -1,0 +1,103 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// FuzzFrameDecode: the wire-framing decoder must uphold its contract for
+// ANY byte stream a peer could send — truncated frames, oversized length
+// headers, zero-length payloads, garbage — without panicking, without
+// allocating beyond the cap, and in agreement between the in-memory
+// decoder (DecodeFrame) and the streaming reader (ReadFrame). Valid
+// decodes must roundtrip through AppendFrame byte-for-byte.
+func FuzzFrameDecode(f *testing.F) {
+	valid, _ := AppendFrame(nil, []byte("payload"), 0)
+	empty, _ := AppendFrame(nil, nil, 0)
+	f.Add([]byte{})                             // no header at all
+	f.Add([]byte{0, 0})                         // truncated header
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 1, 2}) // oversized length header
+	f.Add(empty)                                // zero-length payload
+	f.Add(valid)                                // one well-formed frame
+	f.Add(append(append([]byte{}, valid...), empty...)) // two frames back to back
+	f.Add(valid[:len(valid)-2])                 // truncated payload
+	f.Add([]byte{0, 0, 0, 9, 'x'})              // header promises more than follows
+
+	const cap = 1 << 16 // small cap so the fuzzer can reach both sides of it
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		payload, rest, err := DecodeFrame(data, cap)
+
+		// Streaming reader over the same bytes must agree with the
+		// in-memory decoder on both classification and content.
+		streamed, serr := ReadFrame(bytes.NewReader(data), cap)
+		switch {
+		case err == nil:
+			if serr != nil {
+				t.Fatalf("DecodeFrame ok but ReadFrame failed: %v", serr)
+			}
+			if !bytes.Equal(streamed, payload) {
+				t.Fatalf("decoders disagree: %q vs %q", streamed, payload)
+			}
+		case errors.Is(err, ErrFrameTooLarge):
+			if !errors.Is(serr, ErrFrameTooLarge) {
+				t.Fatalf("oversized header: DecodeFrame %v, ReadFrame %v", err, serr)
+			}
+		case errors.Is(err, ErrTruncatedFrame):
+			// ReadFrame reports clean EOF for an empty stream and
+			// truncation otherwise.
+			if len(data) == 0 {
+				if serr != io.EOF {
+					t.Fatalf("empty stream: ReadFrame %v, want io.EOF", serr)
+				}
+			} else if !errors.Is(serr, ErrTruncatedFrame) {
+				t.Fatalf("truncated frame: DecodeFrame %v, ReadFrame %v", err, serr)
+			}
+		default:
+			t.Fatalf("unexpected DecodeFrame error class: %v", err)
+		}
+
+		if err != nil {
+			// Failed decodes must leave the input untouched in rest.
+			if !bytes.Equal(rest, data) {
+				t.Fatal("failed decode consumed input")
+			}
+			return
+		}
+
+		// Structural postconditions of a successful decode.
+		if len(payload) > cap {
+			t.Fatalf("payload %d bytes exceeds cap %d", len(payload), cap)
+		}
+		if len(payload)+FrameHeaderBytes+len(rest) != len(data) {
+			t.Fatalf("consumed bytes don't add up: %d payload + %d rest of %d",
+				len(payload), len(rest), len(data))
+		}
+
+		// Roundtrip: re-encoding the decoded payload reproduces the
+		// consumed prefix exactly.
+		re, aerr := AppendFrame(nil, payload, cap)
+		if aerr != nil {
+			t.Fatalf("re-encode failed: %v", aerr)
+		}
+		if !bytes.Equal(re, data[:len(data)-len(rest)]) {
+			t.Fatal("re-encoded frame differs from consumed input prefix")
+		}
+
+		// Chained decoding of rest must never panic and must make
+		// progress or fail cleanly (bounds the loop by construction).
+		for len(rest) > 0 {
+			var p []byte
+			p, rest2, err := DecodeFrame(rest, cap)
+			if err != nil {
+				break
+			}
+			if len(p)+FrameHeaderBytes+len(rest2) != len(rest) {
+				t.Fatal("chained decode lost bytes")
+			}
+			rest = rest2
+		}
+	})
+}

@@ -1,0 +1,181 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// pipeDepth is the per-direction message buffer of a Pipe. Socket
+// transports absorb tens of kilobytes in kernel buffers before a writer
+// blocks; the loopback approximates that with a bounded message queue
+// deep enough that protocol-level bursts (a rank posting its chunk
+// before the neighbor reads, a client pipelining a handful of requests)
+// never rendezvous-deadlock, while still exerting backpressure on a
+// runaway sender.
+const pipeDepth = 64
+
+// Pipe returns two connected in-process Conns: what one side Sends the
+// other Recvs, in order, through a pipeDepth-message buffer per
+// direction.
+//
+// Payloads are copied on Send, matching socket transports where the
+// bytes leave the caller's buffer immediately.
+func Pipe() (Conn, Conn) {
+	ab := make(chan []byte, pipeDepth)
+	ba := make(chan []byte, pipeDepth)
+	a := &pipeConn{send: ab, recv: ba, local: make(chan struct{})}
+	b := &pipeConn{send: ba, recv: ab, local: make(chan struct{})}
+	a.remote, b.remote = b.local, a.local
+	return a, b
+}
+
+type pipeConn struct {
+	send chan []byte
+	recv chan []byte
+
+	closeOnce sync.Once
+	local     chan struct{} // closed by our Close
+	remote    chan struct{} // closed by the peer's Close
+}
+
+func (c *pipeConn) Send(ctx context.Context, payload []byte) error {
+	msg := append([]byte(nil), payload...)
+	select {
+	case <-c.local:
+		return ErrClosed
+	case <-c.remote:
+		return ErrClosed
+	default:
+	}
+	select {
+	case c.send <- msg:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-c.local:
+		return ErrClosed
+	case <-c.remote:
+		return ErrClosed
+	}
+}
+
+func (c *pipeConn) Recv(ctx context.Context) ([]byte, error) {
+	// Prefer buffered messages over a concurrent close: a peer that
+	// sends then closes must not lose the send.
+	select {
+	case msg := <-c.recv:
+		return msg, nil
+	default:
+	}
+	select {
+	case msg := <-c.recv:
+		return msg, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-c.local:
+		return nil, ErrClosed
+	case <-c.remote:
+		// Drain any message that raced with the close.
+		select {
+		case msg := <-c.recv:
+			return msg, nil
+		default:
+			return nil, ErrClosed
+		}
+	}
+}
+
+func (c *pipeConn) Close() error {
+	c.closeOnce.Do(func() { close(c.local) })
+	return nil
+}
+
+// Loopback is an in-process Network: addresses are plain strings in a
+// private namespace, connections are Pipes. It is the deterministic
+// test double for the TCP transport — same interface, same message
+// semantics, no sockets.
+type Loopback struct {
+	mu        sync.Mutex
+	listeners map[string]*loopListener
+	autoSeq   int
+}
+
+// NewLoopback creates an empty in-process network.
+func NewLoopback() *Loopback {
+	return &Loopback{listeners: make(map[string]*loopListener)}
+}
+
+type loopListener struct {
+	net  *Loopback
+	addr string
+
+	backlog   chan Conn
+	closeOnce sync.Once
+	closed    chan struct{}
+}
+
+// Listen binds addr in the loopback namespace. An empty addr (or ":0",
+// for symmetry with socket transports) is assigned a fresh ephemeral
+// name.
+func (l *Loopback) Listen(addr string) (Listener, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if addr == "" || addr == ":0" {
+		l.autoSeq++
+		addr = fmt.Sprintf("loopback-%d", l.autoSeq)
+	}
+	if _, exists := l.listeners[addr]; exists {
+		return nil, fmt.Errorf("transport: loopback address %q already bound", addr)
+	}
+	ln := &loopListener{
+		net:     l,
+		addr:    addr,
+		backlog: make(chan Conn, 16),
+		closed:  make(chan struct{}),
+	}
+	l.listeners[addr] = ln
+	return ln, nil
+}
+
+// Dial connects to a bound loopback address.
+func (l *Loopback) Dial(ctx context.Context, addr string) (Conn, error) {
+	l.mu.Lock()
+	ln, ok := l.listeners[addr]
+	l.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("transport: loopback dial %q: no listener", addr)
+	}
+	local, remote := Pipe()
+	select {
+	case ln.backlog <- remote:
+		return local, nil
+	case <-ln.closed:
+		return nil, ErrClosed
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (ln *loopListener) Accept(ctx context.Context) (Conn, error) {
+	select {
+	case c := <-ln.backlog:
+		return c, nil
+	case <-ln.closed:
+		return nil, ErrClosed
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (ln *loopListener) Addr() string { return ln.addr }
+
+func (ln *loopListener) Close() error {
+	ln.closeOnce.Do(func() {
+		close(ln.closed)
+		ln.net.mu.Lock()
+		delete(ln.net.listeners, ln.addr)
+		ln.net.mu.Unlock()
+	})
+	return nil
+}

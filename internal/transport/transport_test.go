@@ -1,0 +1,324 @@
+package transport
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+	"time"
+)
+
+// networks returns every Network implementation under its display name;
+// the behavioral tests run identically over each — that interchangeability
+// is the transport contract.
+func networks(t *testing.T) map[string]Network {
+	t.Helper()
+	return map[string]Network{
+		"loopback": NewLoopback(),
+		"tcp":      &TCP{},
+	}
+}
+
+func dialAccept(t *testing.T, net Network) (client, server Conn) {
+	t.Helper()
+	ln, err := net.Listen("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	type acceptResult struct {
+		c   Conn
+		err error
+	}
+	acc := make(chan acceptResult, 1)
+	go func() {
+		c, err := ln.Accept(ctx)
+		acc <- acceptResult{c, err}
+	}()
+	client, err = net.Dial(ctx, ln.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := <-acc
+	if res.err != nil {
+		t.Fatal(res.err)
+	}
+	t.Cleanup(func() { client.Close(); res.c.Close() })
+	return client, res.c
+}
+
+func TestRoundtripAllNetworks(t *testing.T) {
+	for name, n := range networks(t) {
+		t.Run(name, func(t *testing.T) {
+			client, server := dialAccept(t, n)
+			ctx := context.Background()
+			payloads := [][]byte{
+				[]byte("hello"),
+				{},
+				bytes.Repeat([]byte{0xAB}, 1<<16),
+				{0},
+			}
+			for i, p := range payloads {
+				if err := client.Send(ctx, p); err != nil {
+					t.Fatalf("send %d: %v", i, err)
+				}
+			}
+			for i, p := range payloads {
+				got, err := server.Recv(ctx)
+				if err != nil {
+					t.Fatalf("recv %d: %v", i, err)
+				}
+				if !bytes.Equal(got, p) {
+					t.Fatalf("message %d: got %d bytes, want %d", i, len(got), len(p))
+				}
+			}
+			// Duplex: the server can send back on the same conn.
+			if err := server.Send(ctx, []byte("pong")); err != nil {
+				t.Fatal(err)
+			}
+			got, err := client.Recv(ctx)
+			if err != nil || string(got) != "pong" {
+				t.Fatalf("reverse direction: %q, %v", got, err)
+			}
+		})
+	}
+}
+
+func TestSendCopiesPayload(t *testing.T) {
+	for name, n := range networks(t) {
+		t.Run(name, func(t *testing.T) {
+			client, server := dialAccept(t, n)
+			ctx := context.Background()
+			buf := []byte("original")
+			if err := client.Send(ctx, buf); err != nil {
+				t.Fatal(err)
+			}
+			copy(buf, "CLOBBER!") // caller reuses its buffer immediately
+			got, err := server.Recv(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(got) != "original" {
+				t.Fatalf("payload aliased the caller's buffer: %q", got)
+			}
+		})
+	}
+}
+
+func TestRecvHonorsCancellation(t *testing.T) {
+	for name, n := range networks(t) {
+		t.Run(name, func(t *testing.T) {
+			client, _ := dialAccept(t, n)
+			ctx, cancel := context.WithCancel(context.Background())
+			errc := make(chan error, 1)
+			go func() {
+				_, err := client.Recv(ctx)
+				errc <- err
+			}()
+			time.Sleep(10 * time.Millisecond)
+			cancel()
+			select {
+			case err := <-errc:
+				if !errors.Is(err, context.Canceled) {
+					t.Fatalf("got %v, want context.Canceled", err)
+				}
+			case <-time.After(5 * time.Second):
+				t.Fatal("Recv did not unblock on cancellation")
+			}
+		})
+	}
+}
+
+func TestRecvHonorsDeadline(t *testing.T) {
+	for name, n := range networks(t) {
+		t.Run(name, func(t *testing.T) {
+			client, _ := dialAccept(t, n)
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+			defer cancel()
+			if _, err := client.Recv(ctx); !errors.Is(err, context.DeadlineExceeded) {
+				t.Fatalf("got %v, want context.DeadlineExceeded", err)
+			}
+			// The conn must remain usable after a timed-out Recv.
+			if err := client.Send(context.Background(), []byte("still alive")); err != nil {
+				t.Fatalf("send after deadline: %v", err)
+			}
+		})
+	}
+}
+
+func TestRecvAfterPeerCloseDrainsThenFails(t *testing.T) {
+	for name, n := range networks(t) {
+		t.Run(name, func(t *testing.T) {
+			client, server := dialAccept(t, n)
+			ctx := context.Background()
+			if err := client.Send(ctx, []byte("last words")); err != nil {
+				t.Fatal(err)
+			}
+			client.Close()
+			got, err := server.Recv(ctx)
+			if err != nil || string(got) != "last words" {
+				t.Fatalf("pre-close message lost: %q, %v", got, err)
+			}
+			if _, err := server.Recv(ctx); err == nil {
+				t.Fatal("Recv after peer close succeeded")
+			}
+		})
+	}
+}
+
+func TestAcceptCancellation(t *testing.T) {
+	for name, n := range networks(t) {
+		t.Run(name, func(t *testing.T) {
+			ln, err := n.Listen("")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer ln.Close()
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+			defer cancel()
+			if _, err := ln.Accept(ctx); !errors.Is(err, context.DeadlineExceeded) {
+				t.Fatalf("got %v, want context.DeadlineExceeded", err)
+			}
+			// The listener survives: a real dial still connects.
+			dctx, dcancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer dcancel()
+			done := make(chan error, 1)
+			go func() {
+				c, err := ln.Accept(dctx)
+				if c != nil {
+					c.Close()
+				}
+				done <- err
+			}()
+			c, err := n.Dial(dctx, ln.Addr())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			if err := <-done; err != nil {
+				t.Fatalf("accept after cancelled accept: %v", err)
+			}
+		})
+	}
+}
+
+func TestDialUnknownAddressFails(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if _, err := NewLoopback().Dial(ctx, "nowhere"); err == nil {
+		t.Fatal("loopback dial to unbound address succeeded")
+	}
+}
+
+func TestLoopbackEphemeralAddrsDistinct(t *testing.T) {
+	n := NewLoopback()
+	a, err := n.Listen("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := n.Listen("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Addr() == b.Addr() {
+		t.Fatalf("two ephemeral binds share address %q", a.Addr())
+	}
+	if _, err := n.Listen(a.Addr()); err == nil {
+		t.Fatal("double bind succeeded")
+	}
+	a.Close()
+	if _, err := n.Listen(a.Addr()); err != nil {
+		t.Fatalf("rebind after close: %v", err)
+	}
+}
+
+func TestTCPFrameCapEnforced(t *testing.T) {
+	n := &TCP{MaxFrameBytes: 128}
+	client, server := dialAccept(t, n)
+	ctx := context.Background()
+	if err := client.Send(ctx, make([]byte, 129)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized send: got %v, want ErrFrameTooLarge", err)
+	}
+	// A hostile header beyond the cap must be rejected without the
+	// receiver allocating the declared size.
+	if err := client.Send(ctx, make([]byte, 128)); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := server.Recv(ctx); err != nil || len(got) != 128 {
+		t.Fatalf("at-cap frame: %d bytes, %v", len(got), err)
+	}
+}
+
+func TestConcurrentPingPong(t *testing.T) {
+	for name, n := range networks(t) {
+		t.Run(name, func(t *testing.T) {
+			client, server := dialAccept(t, n)
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			const rounds = 200
+			var wg sync.WaitGroup
+			wg.Add(2)
+			errs := make(chan error, 2)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < rounds; i++ {
+					if err := client.Send(ctx, []byte(fmt.Sprintf("m%d", i))); err != nil {
+						errs <- err
+						return
+					}
+					if _, err := client.Recv(ctx); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}()
+			go func() {
+				defer wg.Done()
+				for i := 0; i < rounds; i++ {
+					m, err := server.Recv(ctx)
+					if err != nil {
+						errs <- err
+						return
+					}
+					if want := fmt.Sprintf("m%d", i); string(m) != want {
+						errs <- fmt.Errorf("round %d: got %q want %q", i, m, want)
+						return
+					}
+					if err := server.Send(ctx, m); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}()
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestReadFrameEOFBetweenFrames(t *testing.T) {
+	var buf bytes.Buffer
+	b, err := AppendFrame(nil, []byte("x"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Write(b)
+	if got, err := ReadFrame(&buf, 0); err != nil || string(got) != "x" {
+		t.Fatalf("frame 1: %q, %v", got, err)
+	}
+	if _, err := ReadFrame(&buf, 0); err != io.EOF {
+		t.Fatalf("clean end: got %v, want io.EOF", err)
+	}
+	buf.Write(b[:3]) // mid-header truncation
+	if _, err := ReadFrame(&buf, 0); !errors.Is(err, ErrTruncatedFrame) {
+		t.Fatalf("mid-header end: got %v, want ErrTruncatedFrame", err)
+	}
+}

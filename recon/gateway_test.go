@@ -1,0 +1,435 @@
+package recon_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/recon"
+)
+
+// shardFleet builds n identically configured engine shards (same spec,
+// same seed — bitwise-identical models) behind real HTTP listeners, plus
+// a gateway over them.
+func shardFleet(t *testing.T, n int, opts ...recon.Option) (*recon.ShardGateway, []*httptest.Server) {
+	t.Helper()
+	spec := testDataset(t, 0.02, 1, 1).Spec
+	servers := make([]*httptest.Server, n)
+	urls := make([]string, n)
+	for i := range servers {
+		r, err := recon.New(spec,
+			recon.WithTruthLevelGraphs(1.0),
+			recon.WithThreshold(0),
+			recon.WithSeed(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A deep queue: rerouting concentrates the whole request on the
+		// survivors, which must absorb it without tripping admission.
+		eng, err := recon.NewEngine(r, recon.WithWorkers(2), recon.WithQueueDepth(16))
+		if err != nil {
+			t.Fatal(err)
+		}
+		servers[i] = httptest.NewServer(recon.NewServer(eng))
+		urls[i] = servers[i].URL
+		t.Cleanup(servers[i].Close)
+	}
+	gw, err := recon.NewShardGateway(urls, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return gw, servers
+}
+
+// resultsOf posts a request and returns the marshaled results array —
+// the bitwise unit of the parity guarantee (Elapsed legitimately
+// differs between paths and is excluded).
+func resultsOf(t *testing.T, h http.Handler, req recon.ReconstructRequest) []byte {
+	t.Helper()
+	w := postJSON(t, h, "/v1/reconstruct", req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	var resp recon.ReconstructResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := json.Marshal(resp.Results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blob
+}
+
+// TestGatewayParityWithDirect is the tentpole acceptance test: the same
+// events through 1 gateway / 2 shards produce byte-identical results to
+// a direct single-engine server — including after one shard is killed
+// and evicted mid-run, when the survivors absorb its keyspace.
+func TestGatewayParityWithDirect(t *testing.T) {
+	direct, _ := testServer(t)
+	gw, shards := shardFleet(t, 2, recon.WithFailThreshold(1), recon.WithProxyTimeout(5*time.Second))
+
+	ds := testDataset(t, 0.02, 4, 55)
+	req := recon.ReconstructRequest{}
+	for _, ev := range ds.Events {
+		req.Events = append(req.Events, *recon.EventToJSON(ev))
+	}
+	req.Synthetic = &recon.SyntheticJSON{Count: 2, Seed: 9}
+
+	want := resultsOf(t, direct, req)
+	if got := resultsOf(t, gw, req); !bytes.Equal(got, want) {
+		t.Fatal("gateway results diverge from direct engine (bitwise)")
+	}
+
+	// Kill a shard mid-run: the very next request must still answer 200
+	// with byte-identical results, rerouted to the survivor, and the dead
+	// shard must be evicted (fail threshold 1). Which shard owns which
+	// events depends on the servers' ephemeral ports, so kill one that
+	// actually received traffic — killing an idle shard would never be
+	// noticed without the health loop (not started here).
+	victim := 0
+	{
+		w := httptest.NewRecorder()
+		gw.ServeHTTP(w, httptest.NewRequest("GET", "/statz", nil))
+		var stats recon.GatewayStatsJSON
+		if err := json.Unmarshal(w.Body.Bytes(), &stats); err != nil {
+			t.Fatal(err)
+		}
+		for i, s := range stats.Shards {
+			if s.Routed > 0 {
+				victim = i
+				break
+			}
+		}
+	}
+	shards[victim].CloseClientConnections()
+	shards[victim].Close()
+	if got := resultsOf(t, gw, req); !bytes.Equal(got, want) {
+		t.Fatal("results diverged after shard kill (bitwise)")
+	}
+
+	w := httptest.NewRecorder()
+	gw.ServeHTTP(w, httptest.NewRequest("GET", "/statz", nil))
+	var stats recon.GatewayStatsJSON
+	if err := json.Unmarshal(w.Body.Bytes(), &stats); err != nil {
+		t.Fatal(err)
+	}
+	evicted := false
+	for _, s := range stats.Shards {
+		if s.State == "evicted" {
+			evicted = true
+		}
+	}
+	if !evicted {
+		t.Fatalf("no shard evicted after kill: %s", w.Body.String())
+	}
+	if stats.Rerouted == 0 {
+		t.Fatal("kill mid-run did not register a reroute")
+	}
+
+	// With the dead shard out of the ring, the survivor carries the whole
+	// keyspace — still bitwise identical.
+	if got := resultsOf(t, gw, req); !bytes.Equal(got, want) {
+		t.Fatal("post-eviction results diverge (bitwise)")
+	}
+}
+
+// TestGatewayStatzShape pins the wire shape of the gateway's /statz:
+// gateway counters plus one row per shard.
+func TestGatewayStatzShape(t *testing.T) {
+	gw, _ := shardFleet(t, 2)
+	resultsOf(t, gw, recon.ReconstructRequest{Synthetic: &recon.SyntheticJSON{Count: 1, Seed: 3}})
+
+	w := httptest.NewRecorder()
+	gw.ServeHTTP(w, httptest.NewRequest("GET", "/statz", nil))
+	if w.Code != http.StatusOK {
+		t.Fatalf("statz status %d", w.Code)
+	}
+	var raw map[string]any
+	if err := json.Unmarshal(w.Body.Bytes(), &raw); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"uptime_s", "requests", "events", "rejected_requests", "rerouted", "errors", "draining", "shards"} {
+		if _, ok := raw[key]; !ok {
+			t.Fatalf("statz missing %q: %s", key, w.Body.String())
+		}
+	}
+	shards, ok := raw["shards"].([]any)
+	if !ok || len(shards) != 2 {
+		t.Fatalf("statz shards: %v", raw["shards"])
+	}
+	row, ok := shards[0].(map[string]any)
+	if !ok {
+		t.Fatalf("shard row: %v", shards[0])
+	}
+	for _, key := range []string{"name", "url", "state", "routed_events", "rejected", "errors", "evictions", "in_flight"} {
+		if _, ok := row[key]; !ok {
+			t.Fatalf("shard row missing %q: %v", key, row)
+		}
+	}
+	var stats recon.GatewayStatsJSON
+	if err := json.Unmarshal(w.Body.Bytes(), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Requests != 1 || stats.Events != 1 {
+		t.Fatalf("counters: %+v", stats)
+	}
+	var routed int64
+	for _, s := range stats.Shards {
+		routed += s.Routed
+		if s.State != "healthy" {
+			t.Fatalf("shard %s state %q, want healthy", s.Name, s.State)
+		}
+	}
+	if routed != 1 {
+		t.Fatalf("routed events %d, want 1", routed)
+	}
+}
+
+// TestGatewayRouting pins the routing properties: the pick is a pure
+// function of the key, every shard owns a share of the keyspace, and
+// only healthy shards are ever picked.
+func TestGatewayRouting(t *testing.T) {
+	gw, _ := shardFleet(t, 3)
+	hits := make(map[int]int)
+	for key := uint64(0); key < 3000; key++ {
+		s1, ok := gw.PickShard(key * 0x9E3779B97F4A7C15)
+		if !ok {
+			t.Fatal("no shard for key")
+		}
+		s2, _ := gw.PickShard(key * 0x9E3779B97F4A7C15)
+		if s1 != s2 {
+			t.Fatalf("pick not stable for key %d: %d vs %d", key, s1, s2)
+		}
+		hits[s1]++
+	}
+	for i := 0; i < 3; i++ {
+		if hits[i] == 0 {
+			t.Fatalf("shard %d owns no keyspace: %v", i, hits)
+		}
+	}
+}
+
+// TestGatewayAdmissionContract: shard saturation surfaces as 429 +
+// Retry-After (the PR 6 contract, one level up); a fleet with no
+// reachable shard surfaces as 503; draining surfaces as 503.
+func TestGatewayAdmissionContract(t *testing.T) {
+	overloaded := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			w.WriteHeader(http.StatusOK)
+			return
+		}
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusTooManyRequests)
+		_, _ = w.Write([]byte(`{"error":"recon: engine overloaded, admission queue full"}`))
+	}))
+	defer overloaded.Close()
+
+	gw, err := recon.NewShardGateway([]string{overloaded.URL, overloaded.URL + "/"})
+	if err == nil {
+		t.Fatal("duplicate shard URLs accepted")
+	}
+	gw, err = recon.NewShardGateway([]string{overloaded.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := recon.ReconstructRequest{Synthetic: &recon.SyntheticJSON{Count: 1, Seed: 1}}
+	w := postJSON(t, gw, "/v1/reconstruct", req)
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("saturated fleet: status %d, want 429", w.Code)
+	}
+	if w.Header().Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+
+	// A fleet whose only shard is unreachable answers 503.
+	dead := httptest.NewServer(http.NotFoundHandler())
+	deadURL := dead.URL
+	dead.Close()
+	gw2, err := recon.NewShardGateway([]string{deadURL}, recon.WithProxyTimeout(time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w = postJSON(t, gw2, "/v1/reconstruct", req)
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("dead fleet: status %d, want 503", w.Code)
+	}
+
+	// Draining gateway rejects new work with 503 and keeps /healthz at 503.
+	gw3, _ := shardFleet(t, 1)
+	drainCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := gw3.Shutdown(drainCtx); err != nil {
+		t.Fatal(err)
+	}
+	w = postJSON(t, gw3, "/v1/reconstruct", req)
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("draining gateway: status %d, want 503", w.Code)
+	}
+	w = httptest.NewRecorder()
+	gw3.ServeHTTP(w, httptest.NewRequest("GET", "/healthz", nil))
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("draining healthz: status %d, want 503", w.Code)
+	}
+}
+
+// TestGatewayRequestHygiene mirrors the single-server 415/413/400
+// behavior at the gateway boundary — malformed input never reaches a
+// shard.
+func TestGatewayRequestHygiene(t *testing.T) {
+	gw, _ := shardFleet(t, 1, recon.WithMaxBodyBytes(256))
+
+	req := httptest.NewRequest("POST", "/v1/reconstruct", bytes.NewReader([]byte(`{}`)))
+	req.Header.Set("Content-Type", "text/plain")
+	w := httptest.NewRecorder()
+	gw.ServeHTTP(w, req)
+	if w.Code != http.StatusUnsupportedMediaType {
+		t.Fatalf("non-JSON content type: status %d, want 415", w.Code)
+	}
+
+	// Valid JSON so the decoder hits the byte cap, not a syntax error.
+	big := append([]byte(`{"pad":"`), bytes.Repeat([]byte("x"), 512)...)
+	big = append(big, `"}`...)
+	req = httptest.NewRequest("POST", "/v1/reconstruct", bytes.NewReader(big))
+	w = httptest.NewRecorder()
+	gw.ServeHTTP(w, req)
+	if w.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: status %d, want 413", w.Code)
+	}
+
+	w = postJSON(t, gw, "/v1/reconstruct", recon.ReconstructRequest{})
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("empty request: status %d, want 400", w.Code)
+	}
+}
+
+// TestGatewayHealthLoopEvictsAndRevives drives eviction through the
+// background prober (not the proxy path), then revives the shard.
+func TestGatewayHealthLoopEvictsAndRevives(t *testing.T) {
+	var healthy atomic.Bool
+	healthy.Store(true)
+	var backend http.Handler
+	shard := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" && !healthy.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		backend.ServeHTTP(w, r)
+	}))
+	defer shard.Close()
+	backend = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte(`{"status":"ok"}`))
+	})
+
+	gw, err := recon.NewShardGateway([]string{shard.URL},
+		recon.WithHealthInterval(5*time.Millisecond),
+		recon.WithFailThreshold(2),
+		recon.WithProxyTimeout(time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	gw.Start(ctx)
+
+	state := func() string {
+		w := httptest.NewRecorder()
+		gw.ServeHTTP(w, httptest.NewRequest("GET", "/statz", nil))
+		var stats recon.GatewayStatsJSON
+		if err := json.Unmarshal(w.Body.Bytes(), &stats); err != nil {
+			t.Fatal(err)
+		}
+		return stats.Shards[0].State
+	}
+	waitFor := func(want string) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for time.Now().Before(deadline) {
+			if state() == want {
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		t.Fatalf("shard never became %s (state %s)", want, state())
+	}
+
+	waitFor("healthy")
+	healthy.Store(false)
+	waitFor("evicted")
+	healthy.Store(true)
+	waitFor("healthy")
+}
+
+// TestGatewayServeLifecycle runs the real listener path: Serve on a
+// live port, healthz goes ok once a probe lands, and cancelling the
+// context drains and returns cleanly.
+func TestGatewayServeLifecycle(t *testing.T) {
+	gw, servers := shardFleet(t, 1, recon.WithHealthInterval(5*time.Millisecond))
+	for _, s := range servers {
+		defer s.Close()
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	served := make(chan error, 1)
+	go func() { served <- gw.Serve(ctx, addr) }()
+
+	if gw.Draining() {
+		t.Fatal("draining before shutdown began")
+	}
+	base := "http://" + addr
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			ok := resp.StatusCode == http.StatusOK
+			resp.Body.Close()
+			if ok {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("healthz never became ok (last err %v)", err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	resp, err := http.Get(base + "/statz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats recon.GatewayStatsJSON
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(stats.Shards) != 1 {
+		t.Fatalf("statz over the wire: %d shard rows, want 1", len(stats.Shards))
+	}
+
+	cancel()
+	select {
+	case err := <-served:
+		if err != nil {
+			t.Fatalf("Serve: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Serve did not return after cancel")
+	}
+	if !gw.Draining() {
+		t.Fatal("gateway should report draining after shutdown")
+	}
+}
