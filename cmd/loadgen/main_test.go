@@ -1,0 +1,179 @@
+package main
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/recon"
+)
+
+func TestPercentile(t *testing.T) {
+	if got := percentile(nil, 0.5); got != 0 {
+		t.Fatalf("empty percentile = %v", got)
+	}
+	sorted := []time.Duration{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if got := percentile(sorted, 0); got != 1 {
+		t.Fatalf("p0 = %v", got)
+	}
+	if got := percentile(sorted, 0.5); got != 5 {
+		t.Fatalf("p50 = %v", got)
+	}
+	if got := percentile(sorted, 1); got != 10 {
+		t.Fatalf("p100 = %v", got)
+	}
+}
+
+func TestWindowLabel(t *testing.T) {
+	for _, tc := range []struct {
+		d    time.Duration
+		want string
+	}{
+		{0, "BW0"},
+		{2 * time.Millisecond, "BW2ms"},
+		{2500 * time.Microsecond, "BW2p5ms"}, // dots would break benchdiff row regexes
+	} {
+		if got := windowLabel(tc.d); got != tc.want {
+			t.Fatalf("windowLabel(%v) = %q, want %q", tc.d, got, tc.want)
+		}
+	}
+}
+
+func TestParseWindows(t *testing.T) {
+	got, err := parseWindows("0, 2ms,500us")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []time.Duration{0, 2 * time.Millisecond, 500 * time.Microsecond}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("parsed %v, want %v", got, want)
+		}
+	}
+	for _, bad := range []string{"", "nope", "-2ms"} {
+		if _, err := parseWindows(bad); err == nil {
+			t.Fatalf("parseWindows(%q) accepted", bad)
+		}
+	}
+}
+
+func TestBuildAndEncodeBodies(t *testing.T) {
+	reqs := buildRequests(repro.Ex3Like(0.01), 4, 3, 2)
+	if len(reqs) != 2 || len(reqs[0].Events) != 2 {
+		t.Fatalf("grouping: %d requests, %d events in first", len(reqs), len(reqs[0].Events))
+	}
+	jsonBodies, err := encodeBodies(reqs, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	binBodies, err := encodeBodies(reqs, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range reqs {
+		if len(binBodies[i]) >= len(jsonBodies[i]) {
+			t.Fatalf("request %d: binary body (%d B) not smaller than JSON (%d B)",
+				i, len(binBodies[i]), len(jsonBodies[i]))
+		}
+	}
+}
+
+func TestToRowMetrics(t *testing.T) {
+	res := &loadResult{
+		requests:  10,
+		rejected:  2,
+		errors:    0,
+		wireBytes: 1000,
+		events:    8,
+		latencies: []time.Duration{time.Millisecond, 2 * time.Millisecond, 3 * time.Millisecond},
+		elapsed:   time.Second,
+	}
+	row := toRow("BenchmarkLoadgen_X_json", res)
+	if row.BytesPerOp != 100 || row.Iterations != 10 {
+		t.Fatalf("row = %+v", row)
+	}
+	if row.Metrics["reject_rate"] != 0.2 || row.Metrics["rps"] != 8 {
+		t.Fatalf("metrics = %+v", row.Metrics)
+	}
+	if row.NsPerOp != float64(2*time.Millisecond) {
+		t.Fatalf("ns/op = %v", row.NsPerOp)
+	}
+}
+
+// TestSelfSweepEndToEnd drives the real harness path in miniature: an
+// in-process window-0 reference and a windowed server, the bitwise
+// parity gate between them, and a short closed-loop run in each format.
+func TestSelfSweepEndToEnd(t *testing.T) {
+	spec := repro.Ex3Like(0.01)
+	reqs := buildRequests(spec, 4, 3, 1)
+	bodiesJSON, err := encodeBodies(reqs, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bodiesBin, err := encodeBodies(reqs, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := recon.New(spec,
+		recon.WithTruthLevelGraphs(1.0),
+		recon.WithThreshold(0),
+		recon.WithSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	refURL, stopRef, err := selfServer(r, 2, 16, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stopRef()
+	batchURL, stopBatch, err := selfServer(r, 2, 16, 4, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stopBatch()
+
+	client := &http.Client{}
+	if err := checkParity(client, refURL, batchURL, bodiesJSON, bodiesBin); err != nil {
+		t.Fatalf("parity: %v", err)
+	}
+
+	for _, binary := range []bool{false, true} {
+		bodies := bodiesJSON
+		if binary {
+			bodies = bodiesBin
+		}
+		res := runLoad(client, loadConfig{
+			url: batchURL, binary: binary, conns: 2, duration: 400 * time.Millisecond,
+		}, bodies)
+		if res.requests == 0 || res.errors > 0 || res.badStatus != "" {
+			t.Fatalf("binary=%v: %d requests, %d errors, status %q",
+				binary, res.requests, res.errors, res.badStatus)
+		}
+		if res.events == 0 {
+			t.Fatalf("binary=%v: no events counted from 200 responses", binary)
+		}
+	}
+
+	// Open loop: the pacer must inject roughly rate*duration requests.
+	res := runLoad(client, loadConfig{
+		url: refURL, binary: true, conns: 2, rate: 50, duration: 400 * time.Millisecond,
+	}, bodiesBin)
+	if res.requests == 0 || res.errors > 0 {
+		t.Fatalf("open loop: %d requests, %d errors", res.requests, res.errors)
+	}
+}
+
+func TestFirstLine(t *testing.T) {
+	if got := firstLine([]byte("line one\nline two")); got != "line one" {
+		t.Fatalf("firstLine = %q", got)
+	}
+	if got := firstLine([]byte(strings.Repeat("x", 300))); len(got) != 200 {
+		t.Fatalf("firstLine length = %d", len(got))
+	}
+}

@@ -5,9 +5,11 @@
 //
 // Endpoints:
 //
-//	POST /v1/reconstruct  {"events":[...]} and/or {"synthetic":{"count":1,"seed":7}}
+//	POST /v1/reconstruct  {"events":[...]} and/or {"synthetic":{"count":1,"seed":7}},
+//	                      as application/json or application/x-recon-bin (see
+//	                      API.md "Wire format & micro-batching");
 //	                      429 + Retry-After when the admission queue is full,
-//	                      415 for non-JSON Content-Type, 413 over -max-body
+//	                      415 for unknown Content-Type, 413 over -max-body
 //	GET  /healthz         liveness probe (503 while draining)
 //	GET  /statz           p50/p90/p99 latency, throughput, queue depth,
 //	                      rejected and panic-recovery counters
@@ -83,6 +85,8 @@ func main() {
 	seed := flag.Uint64("seed", 1, "model initialization seed (must match the checkpoint)")
 	precision := flag.String("precision", "f64", "inference precision for the built-in stages: f64 or f32 (f32 halves kernel memory traffic; checkpoints of any dtype load)")
 	requestTimeout := flag.Duration("request-timeout", 0, "per-request reconstruction deadline (0 = none); expired batches answer 503")
+	batchWindow := flag.Duration("batch-window", 0, "micro-batch coalescing window (0 = off): concurrent requests arriving within it merge into one engine batch")
+	maxBatchEvents := flag.Int("max-batch-events", 16, "dispatch a micro-batch early once it holds this many events")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "how long SIGTERM waits for in-flight requests before a hard stop")
 	maxBody := flag.Int64("max-body", 8<<20, "request body size cap in bytes (413 beyond it)")
 	chaosSeed := flag.Uint64("chaos-seed", 1, "fault-injection decision seed")
@@ -143,9 +147,16 @@ func main() {
 		log.Printf("loaded checkpoint %s", *checkpoint)
 	}
 
-	engOpts := []recon.Option{recon.WithWorkers(*workers), recon.WithQueueDepth(*queueDepth)}
+	engOpts := []recon.Option{
+		recon.WithWorkers(*workers),
+		recon.WithQueueDepth(*queueDepth),
+		recon.WithMaxBatchEvents(*maxBatchEvents),
+	}
 	if *requestTimeout > 0 {
 		engOpts = append(engOpts, recon.WithRequestTimeout(*requestTimeout))
+	}
+	if *batchWindow > 0 {
+		engOpts = append(engOpts, recon.WithBatchWindow(*batchWindow))
 	}
 	eng, err := recon.NewEngine(r, engOpts...)
 	if err != nil {
@@ -159,8 +170,8 @@ func main() {
 		log.Printf("draining: waiting up to %v for in-flight requests", *drainTimeout)
 	}()
 
-	log.Printf("serving %s-like reconstruction on %s (workers=%d queue-depth=%d threshold=%v precision=%s)",
-		spec.Name, *addr, *workers, *queueDepth, *threshold, prec)
+	log.Printf("serving %s-like reconstruction on %s (workers=%d queue-depth=%d threshold=%v precision=%s batch-window=%v)",
+		spec.Name, *addr, *workers, *queueDepth, *threshold, prec, *batchWindow)
 	srv := recon.NewServer(eng,
 		recon.WithDrainTimeout(*drainTimeout),
 		recon.WithMaxBodyBytes(*maxBody))

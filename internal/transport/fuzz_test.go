@@ -16,16 +16,26 @@ import (
 func FuzzFrameDecode(f *testing.F) {
 	valid, _ := AppendFrame(nil, []byte("payload"), 0)
 	empty, _ := AppendFrame(nil, nil, 0)
-	f.Add([]byte{})                             // no header at all
-	f.Add([]byte{0, 0})                         // truncated header
-	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 1, 2}) // oversized length header
-	f.Add(empty)                                // zero-length payload
-	f.Add(valid)                                // one well-formed frame
+	f.Add([]byte{})                                     // no header at all
+	f.Add([]byte{0, 0})                                 // truncated header
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 1, 2})         // oversized length header
+	f.Add(empty)                                        // zero-length payload
+	f.Add(valid)                                        // one well-formed frame
 	f.Add(append(append([]byte{}, valid...), empty...)) // two frames back to back
-	f.Add(valid[:len(valid)-2])                 // truncated payload
-	f.Add([]byte{0, 0, 0, 9, 'x'})              // header promises more than follows
+	f.Add(valid[:len(valid)-2])                         // truncated payload
+	f.Add([]byte{0, 0, 0, 9, 'x'})                      // header promises more than follows
 
 	const cap = 1 << 16 // small cap so the fuzzer can reach both sides of it
+
+	// Boundary seeds at the cap itself (PR 8 frame-cap audit): exactly
+	// cap must round-trip, one past it must classify as oversized, and a
+	// cap-sized header over a short body is truncation. The two small
+	// crafted headers are also checked into testdata/fuzz as
+	// seed-cap-plus-one and seed-at-cap-truncated.
+	atCap, _ := AppendFrame(nil, make([]byte, cap), cap)
+	f.Add(atCap)
+	f.Add([]byte{0x00, 0x01, 0x00, 0x01})      // header declares cap+1
+	f.Add([]byte{0x00, 0x01, 0x00, 0x00, 'x'}) // declares cap, body truncated
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		payload, rest, err := DecodeFrame(data, cap)

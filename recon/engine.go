@@ -62,24 +62,35 @@ type Engine struct {
 	inflight atomic.Int64 // events admitted and not yet finished
 	rejected atomic.Int64 // requests fast-failed with ErrOverloaded
 	panics   atomic.Int64 // stage panics recovered into StageErrors
+
+	// Micro-batching (see microbatch.go); coalescer is nil when disabled.
+	batchWindow      time.Duration
+	maxBatchEvents   int
+	coalescer        *coalescer
+	coalescedBatches atomic.Int64 // micro-batches dispatched
+	coalescedEvents  atomic.Int64 // events executed through the coalesced path
 }
 
 // EngineStats is a point-in-time snapshot of the engine's admission
 // window and fault counters, surfaced by /statz.
 type EngineStats struct {
-	InFlight        int64 // events admitted and not yet finished
-	Capacity        int64 // admission window size (workers + queueDepth)
-	Rejected        int64 // requests rejected with ErrOverloaded
-	PanicsRecovered int64 // stage panics recovered into per-event errors
+	InFlight         int64 // events admitted and not yet finished
+	Capacity         int64 // admission window size (workers + queueDepth)
+	Rejected         int64 // requests rejected with ErrOverloaded
+	PanicsRecovered  int64 // stage panics recovered into per-event errors
+	CoalescedBatches int64 // micro-batches dispatched by the coalescer
+	CoalescedEvents  int64 // events executed through the coalesced path
 }
 
 // Stats returns the engine's admission and fault counters.
 func (e *Engine) Stats() EngineStats {
 	return EngineStats{
-		InFlight:        e.inflight.Load(),
-		Capacity:        e.limit,
-		Rejected:        e.rejected.Load(),
-		PanicsRecovered: e.panics.Load(),
+		InFlight:         e.inflight.Load(),
+		Capacity:         e.limit,
+		Rejected:         e.rejected.Load(),
+		PanicsRecovered:  e.panics.Load(),
+		CoalescedBatches: e.coalescedBatches.Load(),
+		CoalescedEvents:  e.coalescedEvents.Load(),
 	}
 }
 
@@ -113,14 +124,20 @@ func NewEngine(rec *Reconstructor, opts ...Option) (*Engine, error) {
 	if set.kernelWorkers == 0 {
 		set.kernelWorkers = rec.set.kernelWorkers
 	}
-	return &Engine{
-		rec:           rec,
-		workers:       set.workers,
-		queue:         set.queueDepth,
-		kernelWorkers: set.kernelWorkers,
-		timeout:       set.requestTimeout,
-		limit:         int64(set.workers + set.queueDepth),
-	}, nil
+	e := &Engine{
+		rec:            rec,
+		workers:        set.workers,
+		queue:          set.queueDepth,
+		kernelWorkers:  set.kernelWorkers,
+		timeout:        set.requestTimeout,
+		limit:          int64(set.workers + set.queueDepth),
+		batchWindow:    set.batchWindow,
+		maxBatchEvents: set.maxBatchEvents,
+	}
+	if set.batchWindow > 0 {
+		e.coalescer = &coalescer{}
+	}
+	return e, nil
 }
 
 // reconstructGuarded is the engine's fault boundary around one event:

@@ -4,15 +4,18 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
-	"errors"
 	"fmt"
 	"hash/fnv"
 	"io"
+	"mime"
 	"net/http"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/transport"
+	"repro/recon/wire"
 )
 
 // ShardState is a shard's health as the gateway sees it.
@@ -424,10 +427,12 @@ type shardGroup struct {
 }
 
 // gatewayError classifies a sub-request failure into the status the
-// gateway must answer with.
+// gateway must answer with. For 429s, retryAfter carries the shard's
+// own Retry-After hint so the proxy preserves it upstream.
 type gatewayError struct {
-	status int
-	msg    string
+	status     int
+	msg        string
+	retryAfter string
 }
 
 func (e *gatewayError) Error() string { return e.msg }
@@ -441,25 +446,14 @@ func (g *ShardGateway) handleReconstruct(w http.ResponseWriter, r *http.Request)
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": ErrDraining.Error()})
 		return
 	}
-	if !acceptableContentType(r) {
+	reqp, reqBinary, status, derr := decodeReconstructRequest(w, r, g.maxBody)
+	if derr != nil {
 		g.stats.record(time.Since(start), 0, true)
-		writeJSON(w, http.StatusUnsupportedMediaType,
-			map[string]string{"error": "Content-Type must be application/json"})
+		writeJSON(w, status, map[string]string{"error": derr.Error()})
 		return
 	}
-	r.Body = http.MaxBytesReader(w, r.Body, g.maxBody)
-	var req ReconstructRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		g.stats.record(time.Since(start), 0, true)
-		var tooLarge *http.MaxBytesError
-		if errors.As(err, &tooLarge) {
-			writeJSON(w, http.StatusRequestEntityTooLarge,
-				map[string]string{"error": fmt.Sprintf("request body exceeds %d bytes", tooLarge.Limit)})
-			return
-		}
-		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad request body: " + err.Error()})
-		return
-	}
+	req := *reqp
+	respBinary := wantBinaryResponse(r, reqBinary)
 
 	synthCount := 0
 	if req.Synthetic != nil {
@@ -518,7 +512,7 @@ func (g *ShardGateway) handleReconstruct(w http.ResponseWriter, r *http.Request)
 		return
 	}
 	g.stats.record(time.Since(start), total, false)
-	writeJSON(w, http.StatusOK, ReconstructResponse{
+	writeReconstructResponse(w, respBinary, &ReconstructResponse{
 		Results: results,
 		Elapsed: float64(time.Since(start)) / float64(time.Millisecond),
 	})
@@ -529,7 +523,13 @@ func (g *ShardGateway) failRequest(w http.ResponseWriter, start time.Time, gerr 
 	switch gerr.status {
 	case http.StatusTooManyRequests:
 		g.rejected.Add(1)
-		w.Header().Set("Retry-After", "1")
+		// Preserve the shard's own backoff hint; fall back to 1s only
+		// when the upstream 429 carried none.
+		retry := gerr.retryAfter
+		if retry == "" {
+			retry = "1"
+		}
+		w.Header().Set("Retry-After", retry)
 	case http.StatusServiceUnavailable:
 		g.gwErrors.Add(1)
 	}
@@ -552,7 +552,7 @@ func (g *ShardGateway) partition(req *ReconstructRequest, synthCount int) ([]sha
 	for i := range req.Events {
 		shard, ok := g.PickShard(eventKey(&req.Events[i]))
 		if !ok {
-			return nil, &gatewayError{http.StatusServiceUnavailable, "no healthy shards"}
+			return nil, &gatewayError{status: http.StatusServiceUnavailable, msg: "no healthy shards"}
 		}
 		grp := grab(shard)
 		grp.events = append(grp.events, req.Events[i])
@@ -561,7 +561,7 @@ func (g *ShardGateway) partition(req *ReconstructRequest, synthCount int) ([]sha
 	if req.Synthetic != nil {
 		shard, ok := g.PickShard(hashKey(fmt.Sprintf("synthetic/%d/%d", req.Synthetic.Count, req.Synthetic.Seed)))
 		if !ok {
-			return nil, &gatewayError{http.StatusServiceUnavailable, "no healthy shards"}
+			return nil, &gatewayError{status: http.StatusServiceUnavailable, msg: "no healthy shards"}
 		}
 		grp := grab(shard)
 		grp.synthetic = req.Synthetic
@@ -582,10 +582,13 @@ func (g *ShardGateway) partition(req *ReconstructRequest, synthCount int) ([]sha
 // a shard that stops responding is drained out of the ring after
 // FailThreshold consecutive strikes without waiting for the next probe.
 func (g *ShardGateway) proxyGroup(ctx context.Context, grp shardGroup) (*ReconstructResponse, *gatewayError) {
+	// Sub-requests travel in the binary wire format: the shard fleet is
+	// our own, so no JSON fallback is needed inside the cluster, and hit
+	// payloads skip the float-to-decimal round trip entirely.
 	sub := ReconstructRequest{Events: grp.events, Synthetic: grp.synthetic}
-	body, err := json.Marshal(&sub)
+	body, err := wire.AppendRequest(nil, &sub)
 	if err != nil {
-		return nil, &gatewayError{http.StatusInternalServerError, "marshal sub-request: " + err.Error()}
+		return nil, &gatewayError{status: http.StatusInternalServerError, msg: "marshal sub-request: " + err.Error()}
 	}
 	want := len(grp.positions) + len(grp.synthPos)
 
@@ -604,7 +607,7 @@ func (g *ShardGateway) proxyGroup(ctx context.Context, grp shardGroup) (*Reconst
 		if gerr.status == http.StatusTooManyRequests {
 			return nil, gerr
 		}
-		return nil, &gatewayError{http.StatusServiceUnavailable, "no healthy shards"}
+		return nil, &gatewayError{status: http.StatusServiceUnavailable, msg: "no healthy shards"}
 	}
 	g.rerouted.Add(1)
 	resp, gerr2 := g.proxyOnce(ctx, alt, body, want)
@@ -629,14 +632,15 @@ func (g *ShardGateway) proxyOnce(ctx context.Context, shard int, body []byte, wa
 	}
 	req, err := http.NewRequestWithContext(pctx, http.MethodPost, s.base+"/v1/reconstruct", bytes.NewReader(body))
 	if err != nil {
-		return nil, &gatewayError{http.StatusInternalServerError, err.Error()}
+		return nil, &gatewayError{status: http.StatusInternalServerError, msg: err.Error()}
 	}
-	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Content-Type", wire.ContentTypeBinary)
+	req.Header.Set("Accept", wire.ContentTypeBinary)
 	resp, err := g.client.Do(req)
 	if err != nil {
 		s.errors.Add(1)
 		g.recordFailure(s)
-		return nil, &gatewayError{http.StatusServiceUnavailable, fmt.Sprintf("shard %s unreachable: %v", s.name, err)}
+		return nil, &gatewayError{status: http.StatusServiceUnavailable, msg: fmt.Sprintf("shard %s unreachable: %v", s.name, err)}
 	}
 	defer func() {
 		io.Copy(io.Discard, resp.Body)
@@ -644,34 +648,56 @@ func (g *ShardGateway) proxyOnce(ctx context.Context, shard int, body []byte, wa
 	}()
 	switch resp.StatusCode {
 	case http.StatusOK:
-		var sr ReconstructResponse
-		if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		sr, err := decodeShardResponse(resp)
+		if err != nil {
 			s.errors.Add(1)
 			g.recordFailure(s)
-			return nil, &gatewayError{http.StatusServiceUnavailable, fmt.Sprintf("shard %s: bad response: %v", s.name, err)}
+			return nil, &gatewayError{status: http.StatusServiceUnavailable, msg: fmt.Sprintf("shard %s: bad response: %v", s.name, err)}
 		}
 		if len(sr.Results) != want {
 			s.errors.Add(1)
 			g.recordFailure(s)
-			return nil, &gatewayError{http.StatusServiceUnavailable,
-				fmt.Sprintf("shard %s: %d results for %d events", s.name, len(sr.Results), want)}
+			return nil, &gatewayError{status: http.StatusServiceUnavailable,
+				msg: fmt.Sprintf("shard %s: %d results for %d events", s.name, len(sr.Results), want)}
 		}
 		s.routed.Add(int64(want))
 		g.recordSuccess(s)
-		return &sr, nil
+		return sr, nil
 	case http.StatusTooManyRequests:
 		// Admission rejection is load, not ill health: the shard is alive
 		// and fast-failing exactly as designed.
 		s.rejected.Add(1)
-		return nil, &gatewayError{http.StatusTooManyRequests, readErrBody(resp.Body, "shard overloaded")}
+		return nil, &gatewayError{
+			status:     http.StatusTooManyRequests,
+			msg:        readErrBody(resp.Body, "shard overloaded"),
+			retryAfter: resp.Header.Get("Retry-After"),
+		}
 	case http.StatusBadRequest:
-		return nil, &gatewayError{http.StatusBadRequest, readErrBody(resp.Body, "bad request")}
+		return nil, &gatewayError{status: http.StatusBadRequest, msg: readErrBody(resp.Body, "bad request")}
 	default:
 		s.errors.Add(1)
 		g.recordFailure(s)
-		return nil, &gatewayError{http.StatusServiceUnavailable,
-			fmt.Sprintf("shard %s answered %d", s.name, resp.StatusCode)}
+		return nil, &gatewayError{status: http.StatusServiceUnavailable,
+			msg: fmt.Sprintf("shard %s answered %d", s.name, resp.StatusCode)}
 	}
+}
+
+// decodeShardResponse decodes a shard's 200 reply by its Content-Type:
+// binary from an up-to-date shard, JSON from one that predates the wire
+// format (mixed fleets mid-rollout).
+func decodeShardResponse(resp *http.Response) (*ReconstructResponse, error) {
+	if mt, _, err := mime.ParseMediaType(resp.Header.Get("Content-Type")); err == nil && mt == wire.ContentTypeBinary {
+		body, err := io.ReadAll(io.LimitReader(resp.Body, int64(transport.DefaultMaxFrameBytes)+64))
+		if err != nil {
+			return nil, err
+		}
+		return wire.DecodeResponse(body)
+	}
+	var sr ReconstructResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		return nil, err
+	}
+	return &sr, nil
 }
 
 // readErrBody extracts the {"error": ...} detail a shard answered with.

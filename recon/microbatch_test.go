@@ -1,0 +1,280 @@
+package recon_test
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/recon"
+)
+
+// The micro-batch suite: PR 8's coalescing layer must be invisible in
+// the results — merged batches bit-identical to per-request execution
+// at any worker count — while honoring per-request deadlines and the
+// admission window. All of it runs under -race in CI.
+
+// coalesceAll fires one concurrent ReconstructCoalesced call per event
+// and collects per-call results and errors.
+func coalesceAll(eng *recon.Engine, ctxs []context.Context, events []*recon.Event) ([][]*recon.Result, []error) {
+	results := make([][]*recon.Result, len(events))
+	errs := make([]error, len(events))
+	var wg sync.WaitGroup
+	for i := range events {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = eng.ReconstructCoalesced(ctxs[i], []*recon.Event{events[i]})
+		}(i)
+	}
+	wg.Wait()
+	return results, errs
+}
+
+// TestCoalescedParity: concurrent single-event requests merged through
+// the batch window must be bit-identical to serial per-event execution,
+// across worker counts.
+func TestCoalescedParity(t *testing.T) {
+	ds := testDataset(t, 0.02, 12, 88)
+	r, err := recon.New(ds.Spec, recon.WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline := chaosBaseline(t, r, ds.Events)
+
+	for _, workers := range []int{1, 2, 4} {
+		eng, err := recon.NewEngine(r,
+			recon.WithWorkers(workers),
+			recon.WithQueueDepth(64),
+			recon.WithBatchWindow(3*time.Millisecond),
+			recon.WithMaxBatchEvents(4),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctxs := make([]context.Context, len(ds.Events))
+		for i := range ctxs {
+			ctxs[i] = context.Background()
+		}
+		results, errs := coalesceAll(eng, ctxs, ds.Events)
+		for i := range ds.Events {
+			if errs[i] != nil {
+				t.Fatalf("workers=%d event %d: %v", workers, i, errs[i])
+			}
+			if len(results[i]) != 1 || !reflect.DeepEqual(results[i][0], baseline[i]) {
+				t.Fatalf("workers=%d event %d: coalesced result diverges from serial baseline", workers, i)
+			}
+		}
+		st := eng.Stats()
+		if st.CoalescedBatches < 1 || st.CoalescedEvents != int64(len(ds.Events)) {
+			t.Fatalf("workers=%d: coalescer counters off: %+v", workers, st)
+		}
+		if st.CoalescedBatches >= int64(len(ds.Events)) {
+			t.Fatalf("workers=%d: no merging happened: %d batches for %d requests", workers, st.CoalescedBatches, st.CoalescedEvents)
+		}
+		if st.InFlight != 0 {
+			t.Fatalf("workers=%d: in-flight not released: %+v", workers, st)
+		}
+	}
+}
+
+// TestCoalescedDisabledDelegates: without WithBatchWindow the coalesced
+// entry point is ReconstructBatch, bit for bit, and no batch counters
+// move.
+func TestCoalescedDisabledDelegates(t *testing.T) {
+	ds := testDataset(t, 0.02, 4, 89)
+	r, err := recon.New(ds.Spec, recon.WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := recon.NewEngine(r, recon.WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := eng.ReconstructBatch(context.Background(), ds.Events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := eng.ReconstructCoalesced(context.Background(), ds.Events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("disabled coalescer diverges from ReconstructBatch")
+	}
+	if st := eng.Stats(); st.CoalescedBatches != 0 || st.CoalescedEvents != 0 {
+		t.Fatalf("coalescer counters moved while disabled: %+v", st)
+	}
+}
+
+// TestCoalescedDeadlineInQueue: a request whose deadline expires while
+// it waits in the batch window must fail with DeadlineExceeded (the
+// server maps that to 503) without poisoning its batchmates, and its
+// admission slots must still be released.
+func TestCoalescedDeadlineInQueue(t *testing.T) {
+	ds := testDataset(t, 0.02, 2, 90)
+	r, err := recon.New(ds.Spec, recon.WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline := chaosBaseline(t, r, ds.Events)
+
+	eng, err := recon.NewEngine(r,
+		recon.WithWorkers(2),
+		recon.WithQueueDepth(16),
+		recon.WithBatchWindow(250*time.Millisecond), // long window: the doomed unit expires queued
+		recon.WithMaxBatchEvents(100),               // never fills early
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var (
+		wg               sync.WaitGroup
+		okRes, doomedRes []*recon.Result
+		okErr, doomedErr error
+	)
+	wg.Add(1)
+	go func() { // leader: opens the batch, no deadline
+		defer wg.Done()
+		okRes, okErr = eng.ReconstructCoalesced(context.Background(), ds.Events[:1])
+	}()
+	// The leader's admission reservation is visible before it can open
+	// the batch, so once InFlight moves the doomed request is guaranteed
+	// to join as a follower.
+	for eng.Stats().InFlight == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	doomedCtx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	doomedRes, doomedErr = eng.ReconstructCoalesced(doomedCtx, ds.Events[1:])
+	wg.Wait()
+
+	if !errors.Is(doomedErr, context.DeadlineExceeded) {
+		t.Fatalf("queued-expiry error = %v, want DeadlineExceeded", doomedErr)
+	}
+	// An abandoned wait returns nil results; only if the batch had
+	// already finished may a slice come back, and then the expired
+	// event's slot must have been skipped, not half-computed.
+	for i, res := range doomedRes {
+		if res != nil {
+			t.Fatalf("expired request got a computed result in slot %d", i)
+		}
+	}
+	if okErr != nil {
+		t.Fatalf("batchmate poisoned by sibling's deadline: %v", okErr)
+	}
+	if len(okRes) != 1 || !reflect.DeepEqual(okRes[0], baseline[0]) {
+		t.Fatal("batchmate result diverges from serial baseline")
+	}
+	st := eng.Stats()
+	if st.InFlight != 0 {
+		t.Fatalf("in-flight not released after queued expiry: %+v", st)
+	}
+	if st.CoalescedBatches != 1 || st.CoalescedEvents != 2 {
+		t.Fatalf("expected one merged batch of 2 events, got %+v", st)
+	}
+}
+
+// TestCoalescedChaosPanics: stage panics injected inside a merged batch
+// must degrade only the faulted callers — clean callers in the same
+// batch stay bit-identical to the fault-free baseline — and the engine
+// reconciles its counters.
+func TestCoalescedChaosPanics(t *testing.T) {
+	ds := testDataset(t, 0.02, 12, 91)
+	clean, err := recon.New(ds.Spec, recon.WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline := chaosBaseline(t, clean, ds.Events)
+
+	inj, err := faultinject.New(faultinject.Config{Seed: 23, PanicRate: 0.15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chaotic, err := recon.New(ds.Spec, recon.WithSeed(5), recon.WithStageWrapper(inj))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := recon.NewEngine(chaotic,
+		recon.WithWorkers(4),
+		recon.WithQueueDepth(64),
+		recon.WithBatchWindow(5*time.Millisecond),
+		recon.WithMaxBatchEvents(6),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctxs := make([]context.Context, len(ds.Events))
+	for i := range ctxs {
+		ctxs[i] = context.Background()
+	}
+	results, errs := coalesceAll(eng, ctxs, ds.Events)
+
+	var completed, faulted int
+	for i := range ds.Events {
+		if errs[i] != nil {
+			faulted++
+			if se := recon.AsStageError(errs[i]); se == nil || !se.IsPanic() {
+				t.Fatalf("event %d: error is not a recovered stage panic: %v", i, errs[i])
+			}
+			continue
+		}
+		completed++
+		if !reflect.DeepEqual(results[i][0], baseline[i]) {
+			t.Fatalf("event %d completed in a chaotic merged batch but diverges from baseline", i)
+		}
+	}
+	if completed == 0 || faulted == 0 {
+		t.Fatalf("chaos run not exercising both paths: %d completed, %d faulted (tune seed)", completed, faulted)
+	}
+	st := eng.Stats()
+	if st.PanicsRecovered != inj.Stats().Panics {
+		t.Fatalf("engine recovered %d panics, injector fired %d", st.PanicsRecovered, inj.Stats().Panics)
+	}
+	if st.InFlight != 0 {
+		t.Fatalf("in-flight not released after chaotic batch: %+v", st)
+	}
+}
+
+// TestCoalescedOverload: the coalesced path respects the PR 6 admission
+// window — a submission that would overflow it fast-fails with
+// ErrOverloaded instead of queueing.
+func TestCoalescedOverload(t *testing.T) {
+	ds := testDataset(t, 0.02, 3, 92)
+	r, err := recon.New(ds.Spec, recon.WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := recon.NewEngine(r,
+		recon.WithWorkers(1),
+		recon.WithQueueDepth(0), // window of exactly one event
+		recon.WithBatchWindow(100*time.Millisecond),
+		recon.WithMaxBatchEvents(100),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, err := eng.ReconstructCoalesced(context.Background(), ds.Events[:1]); err != nil {
+			t.Errorf("first request: %v", err)
+		}
+	}()
+	// Wait until the first request holds the window, then overflow it.
+	for eng.Stats().InFlight == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := eng.ReconstructCoalesced(context.Background(), ds.Events[1:]); !errors.Is(err, recon.ErrOverloaded) {
+		t.Fatalf("overflow error = %v, want ErrOverloaded", err)
+	}
+	<-done
+	if st := eng.Stats(); st.Rejected != 1 || st.InFlight != 0 {
+		t.Fatalf("admission counters off after overload: %+v", st)
+	}
+}

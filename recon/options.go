@@ -54,6 +54,8 @@ type settings struct {
 	queueDepth     int
 	kernelWorkers  int
 	requestTimeout time.Duration
+	batchWindow    time.Duration
+	maxBatchEvents int
 
 	// Server robustness knobs.
 	drainTimeout time.Duration
@@ -80,23 +82,24 @@ type settings struct {
 
 func defaultSettings() settings {
 	return settings{
-		seed:         1,
-		gnnEpochs:    20,
-		gnnLR:        3e-3,
-		gnnPosWeight: 2.0,
-		workers:      1,
-		queueDepth:   2,
-		drainTimeout: 10 * time.Second,
-		maxBodyBytes: 8 << 20,
+		seed:           1,
+		gnnEpochs:      20,
+		gnnLR:          3e-3,
+		gnnPosWeight:   2.0,
+		workers:        1,
+		queueDepth:     2,
+		maxBatchEvents: 16,
+		drainTimeout:   10 * time.Second,
+		maxBodyBytes:   8 << 20,
 
 		healthInterval: time.Second,
 		failThreshold:  3,
 		proxyTimeout:   30 * time.Second,
-		ranks:        1,
-		bulkBatches:  4,
-		sync:         ddp.Coalesced,
-		batchSize:    64,
-		gradBlocks:   8,
+		ranks:          1,
+		bulkBatches:    4,
+		sync:           ddp.Coalesced,
+		batchSize:      64,
+		gradBlocks:     8,
 	}
 }
 
@@ -261,6 +264,40 @@ func WithQueueDepth(n int) Option {
 			return
 		}
 		s.queueDepth = n
+	}
+}
+
+// WithBatchWindow enables request micro-batching on the engine's
+// coalesced entry point (ReconstructCoalesced, which the HTTP server
+// uses): concurrently-arriving requests are merged into one engine
+// batch, amortizing per-dispatch overhead the same way bulk sampling
+// amortizes training. The first request to arrive opens a batch and
+// waits at most d for company; the batch dispatches early once it holds
+// WithMaxBatchEvents events. Because every event is an independent,
+// deterministic unit of work, coalescing never changes a result bit —
+// it only trades up to d of added latency for throughput. 0 (the
+// default) disables coalescing; ReconstructCoalesced then degenerates
+// to ReconstructBatch.
+func WithBatchWindow(d time.Duration) Option {
+	return func(s *settings) {
+		if d < 0 {
+			s.fail("WithBatchWindow: need ≥0, got %v", d)
+			return
+		}
+		s.batchWindow = d
+	}
+}
+
+// WithMaxBatchEvents caps how many events a micro-batch accumulates
+// before dispatching early, without waiting out the batch window
+// (default 16). A single oversized request still dispatches whole.
+func WithMaxBatchEvents(n int) Option {
+	return func(s *settings) {
+		if n < 1 {
+			s.fail("WithMaxBatchEvents: need ≥1, got %d", n)
+			return
+		}
+		s.maxBatchEvents = n
 	}
 }
 

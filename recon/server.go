@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"mime"
 	"net/http"
@@ -16,61 +17,26 @@ import (
 
 	"repro/internal/detector"
 	"repro/internal/tensor"
+	"repro/recon/wire"
 )
 
-// HitJSON is one detector hit on the wire. R and Phi are optional; when
-// both are zero they are derived from X and Y (sending them preserves
-// bit-exact cylindrical coordinates across the roundtrip).
-type HitJSON struct {
-	X        float64 `json:"x"`
-	Y        float64 `json:"y"`
-	Z        float64 `json:"z"`
-	R        float64 `json:"r,omitempty"`
-	Phi      float64 `json:"phi,omitempty"`
-	Layer    int     `json:"layer"`
-	Particle int     `json:"particle"` // -1 for noise / unknown
-}
-
-// EventJSON is one collision event on the wire. Truth edges are
-// optional; without them the response's quality metrics are zero.
-type EventJSON struct {
-	Hits     []HitJSON   `json:"hits"`
-	Features [][]float64 `json:"features"`
-	TruthSrc []int       `json:"truth_src,omitempty"`
-	TruthDst []int       `json:"truth_dst,omitempty"`
-}
-
-// SyntheticJSON asks the server to generate events from its configured
-// detector spec instead of shipping them over the wire — handy for
-// smoke tests and load generation.
-type SyntheticJSON struct {
-	Count int    `json:"count"`
-	Seed  uint64 `json:"seed"`
-}
-
-// ReconstructRequest is the POST /v1/reconstruct body: explicit events,
-// synthetic events, or both (synthetic are appended).
-type ReconstructRequest struct {
-	Events    []EventJSON    `json:"events,omitempty"`
-	Synthetic *SyntheticJSON `json:"synthetic,omitempty"`
-}
-
-// TrackResultJSON is one event's reconstruction on the wire.
-type TrackResultJSON struct {
-	NumTracks       int     `json:"num_tracks"`
-	Tracks          [][]int `json:"tracks"`
-	EdgePrecision   float64 `json:"edge_precision"`
-	EdgeRecall      float64 `json:"edge_recall"`
-	TrackEfficiency float64 `json:"track_efficiency"`
-	FakeRate        float64 `json:"fake_rate"`
-	Error           string  `json:"error,omitempty"`
-}
-
-// ReconstructResponse is the POST /v1/reconstruct reply.
-type ReconstructResponse struct {
-	Results []TrackResultJSON `json:"results"`
-	Elapsed float64           `json:"elapsed_ms"`
-}
+// The wire DTOs live in recon/wire (shared with cmd/loadgen and any
+// external client); these aliases keep the historical recon names
+// working unchanged.
+type (
+	// HitJSON is one detector hit on the wire.
+	HitJSON = wire.Hit
+	// EventJSON is one collision event on the wire.
+	EventJSON = wire.Event
+	// SyntheticJSON asks the server to generate events server-side.
+	SyntheticJSON = wire.Synthetic
+	// ReconstructRequest is the POST /v1/reconstruct body.
+	ReconstructRequest = wire.Request
+	// TrackResultJSON is one event's reconstruction on the wire.
+	TrackResultJSON = wire.TrackResult
+	// ReconstructResponse is the POST /v1/reconstruct reply.
+	ReconstructResponse = wire.Response
+)
 
 // StatsJSON is the GET /statz reply: throughput counters, latency
 // quantiles over the most recent requests, and the engine's admission
@@ -93,6 +59,10 @@ type StatsJSON struct {
 	Rejected        int64 `json:"rejected_requests"` // 429s: admission-queue fast fails
 	PanicsRecovered int64 `json:"panics_recovered"`  // stage panics isolated into per-event errors
 	Draining        bool  `json:"draining"`          // graceful shutdown in progress
+
+	// Micro-batching counters (PR 8); both zero when coalescing is off.
+	CoalescedBatches int64 `json:"coalesced_batches"` // micro-batches dispatched
+	CoalescedEvents  int64 `json:"coalesced_events"`  // events executed via merged batches
 }
 
 // serverStats tracks throughput counters and a ring of recent request
@@ -249,23 +219,104 @@ func (s *Server) handleStatz(w http.ResponseWriter, _ *http.Request) {
 	snap.Rejected = es.Rejected
 	snap.PanicsRecovered = es.PanicsRecovered
 	snap.Draining = s.draining.Load()
+	snap.CoalescedBatches = es.CoalescedBatches
+	snap.CoalescedEvents = es.CoalescedEvents
 	writeJSON(w, http.StatusOK, snap)
 }
 
-// acceptableContentType admits JSON bodies: an explicit application/json
-// (or any +json suffix), or no Content-Type at all — the endpoint only
-// ever parses JSON, so an absent header is unambiguous while a non-JSON
-// declaration is a client bug worth a 415 rather than a decode error.
-func acceptableContentType(r *http.Request) bool {
+// requestFormat classifies the request body encoding: JSON (an explicit
+// application/json, any +json suffix, or no Content-Type at all) or
+// binary (wire.ContentTypeBinary). Anything else is a client bug worth
+// a 415 rather than a decode error.
+func requestFormat(r *http.Request) (binary, ok bool) {
 	ct := r.Header.Get("Content-Type")
 	if ct == "" {
-		return true
+		return false, true
 	}
 	mt, _, err := mime.ParseMediaType(ct)
 	if err != nil {
-		return false
+		return false, false
 	}
-	return mt == "application/json" || strings.HasSuffix(mt, "+json")
+	switch {
+	case mt == wire.ContentTypeBinary:
+		return true, true
+	case mt == wire.ContentTypeJSON || strings.HasSuffix(mt, "+json"):
+		return false, true
+	}
+	return false, false
+}
+
+// wantBinaryResponse applies the response-side negotiation rule: the
+// client gets the binary encoding when its Accept header names
+// application/x-recon-bin, JSON when it names application/json, and
+// otherwise (absent Accept, */*) the response mirrors the request
+// encoding. Error responses are always JSON regardless.
+func wantBinaryResponse(r *http.Request, reqBinary bool) bool {
+	accept := r.Header.Get("Accept")
+	if accept == "" {
+		return reqBinary
+	}
+	for _, part := range strings.Split(accept, ",") {
+		mt, _, err := mime.ParseMediaType(strings.TrimSpace(part))
+		if err != nil {
+			continue
+		}
+		switch mt {
+		case wire.ContentTypeBinary:
+			return true
+		case wire.ContentTypeJSON:
+			return false
+		}
+	}
+	return reqBinary
+}
+
+// decodeReconstructRequest reads and decodes a /v1/reconstruct body in
+// either encoding under the size cap. On failure the returned status
+// (415/413/400) is what the caller must answer with.
+func decodeReconstructRequest(w http.ResponseWriter, r *http.Request, maxBody int64) (req *ReconstructRequest, reqBinary bool, status int, err error) {
+	reqBinary, ok := requestFormat(r)
+	if !ok {
+		return nil, false, http.StatusUnsupportedMediaType,
+			fmt.Errorf("Content-Type must be %s or %s", wire.ContentTypeJSON, wire.ContentTypeBinary)
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxBody)
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			return nil, reqBinary, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", tooLarge.Limit)
+		}
+		return nil, reqBinary, http.StatusBadRequest, fmt.Errorf("read request body: %w", err)
+	}
+	if reqBinary {
+		req, err = wire.DecodeRequest(body)
+	} else {
+		req = &ReconstructRequest{}
+		err = json.Unmarshal(body, req)
+	}
+	if err != nil {
+		return nil, reqBinary, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err)
+	}
+	return req, reqBinary, 0, nil
+}
+
+// writeReconstructResponse writes the 200 reply in the negotiated
+// encoding.
+func writeReconstructResponse(w http.ResponseWriter, binary bool, resp *ReconstructResponse) {
+	if !binary {
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	buf, err := wire.AppendResponse(nil, resp)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, map[string]string{"error": "encode response: " + err.Error()})
+		return
+	}
+	w.Header().Set("Content-Type", wire.ContentTypeBinary)
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(buf)
 }
 
 func (s *Server) handleReconstruct(w http.ResponseWriter, r *http.Request) {
@@ -279,25 +330,13 @@ func (s *Server) handleReconstruct(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": ErrDraining.Error()})
 		return
 	}
-	if !acceptableContentType(r) {
+	req, reqBinary, status, derr := decodeReconstructRequest(w, r, s.maxBody)
+	if derr != nil {
 		s.stats.record(time.Since(start), 0, true)
-		writeJSON(w, http.StatusUnsupportedMediaType,
-			map[string]string{"error": "Content-Type must be application/json"})
+		writeJSON(w, status, map[string]string{"error": derr.Error()})
 		return
 	}
-	r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
-	var req ReconstructRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		s.stats.record(time.Since(start), 0, true)
-		var tooLarge *http.MaxBytesError
-		if errors.As(err, &tooLarge) {
-			writeJSON(w, http.StatusRequestEntityTooLarge,
-				map[string]string{"error": fmt.Sprintf("request body exceeds %d bytes", tooLarge.Limit)})
-			return
-		}
-		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad request body: " + err.Error()})
-		return
-	}
+	respBinary := wantBinaryResponse(r, reqBinary)
 	spec := s.engine.Reconstructor().Spec()
 
 	events := make([]*Event, 0, len(req.Events))
@@ -331,7 +370,7 @@ func (s *Server) handleReconstruct(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	results, err := s.engine.ReconstructBatch(r.Context(), events)
+	results, err := s.engine.ReconstructCoalesced(r.Context(), events)
 	if errors.Is(err, ErrOverloaded) {
 		// Admission queue full: fast-fail so the client backs off instead
 		// of stacking latency on an already saturated engine.
@@ -382,7 +421,7 @@ func (s *Server) handleReconstruct(w http.ResponseWriter, r *http.Request) {
 	}
 	resp.Elapsed = float64(time.Since(start)) / float64(time.Millisecond)
 	s.stats.record(time.Since(start), len(events), failed)
-	writeJSON(w, http.StatusOK, resp)
+	writeReconstructResponse(w, respBinary, &resp)
 }
 
 // eventFromJSON validates and converts a wire event. Feature widths

@@ -1,0 +1,71 @@
+package recon
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestStatsSnapshotDoesNotDisturbRing is the /statz percentile
+// regression test (PR 8 satellite): snapshot must sort a copy of the
+// latency window taken under the lock — never the live ring buffer.
+// Sorting the ring in place would permute slots underneath the writer,
+// so some of the new recordings would land on top of relocated old
+// values and the window would end up with the wrong value population;
+// an unlocked sort additionally races with record. Both failure modes
+// are caught here: the test hammers snapshot concurrently with record
+// under -race, then counts the surviving values.
+func TestStatsSnapshotDoesNotDisturbRing(t *testing.T) {
+	const (
+		oldLat = 10 * time.Millisecond
+		newLat = 20 * time.Millisecond
+		writes = latencyWindow / 2
+	)
+	s := newServerStats()
+	for i := 0; i < latencyWindow; i++ {
+		s.record(oldLat, 1, false)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := s.snapshot(1, "float64")
+				if snap.LatencyP50Ms > snap.LatencyP90Ms || snap.LatencyP90Ms > snap.LatencyP99Ms {
+					t.Errorf("quantiles not monotonic: p50=%v p90=%v p99=%v",
+						snap.LatencyP50Ms, snap.LatencyP90Ms, snap.LatencyP99Ms)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < writes; i++ {
+		s.record(newLat, 1, false)
+	}
+	close(stop)
+	wg.Wait()
+
+	var olds, news int
+	s.mu.Lock()
+	for _, d := range s.latencies {
+		switch d {
+		case oldLat:
+			olds++
+		case newLat:
+			news++
+		}
+	}
+	s.mu.Unlock()
+	if news != writes || olds != latencyWindow-writes {
+		t.Fatalf("ring corrupted by snapshot: %d new / %d old latencies, want %d / %d",
+			news, olds, writes, latencyWindow-writes)
+	}
+}

@@ -1,0 +1,188 @@
+package recon_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+
+	"repro/recon"
+	"repro/recon/wire"
+)
+
+// PR 8 HTTP surface tests: binary wire negotiation on server and
+// gateway, and the Retry-After propagation regression.
+
+// postBinary posts a binary-encoded reconstruct request with the given
+// Accept header ("" to omit).
+func postBinary(t *testing.T, h http.Handler, req recon.ReconstructRequest, accept string) *httptest.ResponseRecorder {
+	t.Helper()
+	blob, err := wire.AppendRequest(nil, &req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := httptest.NewRequest("POST", "/v1/reconstruct", bytes.NewReader(blob))
+	r.Header.Set("Content-Type", wire.ContentTypeBinary)
+	if accept != "" {
+		r.Header.Set("Accept", accept)
+	}
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, r)
+	return w
+}
+
+func syntheticRequest() recon.ReconstructRequest {
+	return recon.ReconstructRequest{Synthetic: &recon.SyntheticJSON{Count: 2, Seed: 7}}
+}
+
+// TestServerBinaryNegotiation: the four content negotiation quadrants
+// against one server, with all paths producing identical results.
+func TestServerBinaryNegotiation(t *testing.T) {
+	srv, _ := testServer(t)
+	req := syntheticRequest()
+
+	// JSON in, JSON out — the pre-PR 8 behavior, untouched.
+	var jsonResp recon.ReconstructResponse
+	w := postJSON(t, srv, "/v1/reconstruct", req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("json/json status %d: %s", w.Code, w.Body.String())
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &jsonResp); err != nil {
+		t.Fatal(err)
+	}
+
+	// Binary in, binary out (Accept absent mirrors the request encoding).
+	w = postBinary(t, srv, req, "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("bin/bin status %d: %s", w.Code, w.Body.String())
+	}
+	if ct := w.Header().Get("Content-Type"); ct != wire.ContentTypeBinary {
+		t.Fatalf("bin/bin Content-Type = %q", ct)
+	}
+	binResp, err := wire.DecodeResponse(w.Body.Bytes())
+	if err != nil {
+		t.Fatalf("decode binary response: %v", err)
+	}
+	if !reflect.DeepEqual(binResp.Results, jsonResp.Results) {
+		t.Fatal("binary path results diverge from JSON path")
+	}
+
+	// Binary in, JSON out via Accept.
+	w = postBinary(t, srv, req, wire.ContentTypeJSON)
+	if w.Code != http.StatusOK {
+		t.Fatalf("bin/json status %d: %s", w.Code, w.Body.String())
+	}
+	var crossResp recon.ReconstructResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &crossResp); err != nil {
+		t.Fatalf("bin/json response is not JSON: %v", err)
+	}
+	if !reflect.DeepEqual(crossResp.Results, jsonResp.Results) {
+		t.Fatal("bin/json results diverge")
+	}
+
+	// JSON in, binary out via Accept.
+	blob, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := httptest.NewRequest("POST", "/v1/reconstruct", bytes.NewReader(blob))
+	r.Header.Set("Content-Type", "application/json")
+	r.Header.Set("Accept", wire.ContentTypeBinary)
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, r)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("json/bin status %d: %s", rec.Code, rec.Body.String())
+	}
+	if _, err := wire.DecodeResponse(rec.Body.Bytes()); err != nil {
+		t.Fatalf("json/bin response is not valid binary: %v", err)
+	}
+
+	// Unknown Content-Type still 415s.
+	r = httptest.NewRequest("POST", "/v1/reconstruct", bytes.NewReader(blob))
+	r.Header.Set("Content-Type", "text/plain")
+	rec = httptest.NewRecorder()
+	srv.ServeHTTP(rec, r)
+	if rec.Code != http.StatusUnsupportedMediaType {
+		t.Fatalf("text/plain status = %d, want 415", rec.Code)
+	}
+
+	// A corrupt binary body is a clean 400, not a 500.
+	r = httptest.NewRequest("POST", "/v1/reconstruct", bytes.NewReader([]byte{1, 2, 3}))
+	r.Header.Set("Content-Type", wire.ContentTypeBinary)
+	rec = httptest.NewRecorder()
+	srv.ServeHTTP(rec, r)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("corrupt binary status = %d, want 400", rec.Code)
+	}
+}
+
+// TestGatewayBinaryNegotiation: the gateway accepts and answers the
+// binary encoding and proxies shard traffic in it, with results
+// bit-identical to the JSON path through the same fleet.
+func TestGatewayBinaryNegotiation(t *testing.T) {
+	gw, _ := shardFleet(t, 2)
+	req := syntheticRequest()
+
+	var jsonResp recon.ReconstructResponse
+	w := postJSON(t, gw, "/v1/reconstruct", req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("json status %d: %s", w.Code, w.Body.String())
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &jsonResp); err != nil {
+		t.Fatal(err)
+	}
+
+	w = postBinary(t, gw, req, "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("binary status %d: %s", w.Code, w.Body.String())
+	}
+	if ct := w.Header().Get("Content-Type"); ct != wire.ContentTypeBinary {
+		t.Fatalf("binary Content-Type = %q", ct)
+	}
+	binResp, err := wire.DecodeResponse(w.Body.Bytes())
+	if err != nil {
+		t.Fatalf("decode binary gateway response: %v", err)
+	}
+	if !reflect.DeepEqual(binResp.Results, jsonResp.Results) {
+		t.Fatal("gateway binary results diverge from JSON results")
+	}
+}
+
+// TestGatewayRetryAfterPropagation is the PR 8 satellite regression: a
+// shard's own Retry-After hint must survive the proxy instead of being
+// overwritten with the hardcoded "1".
+func TestGatewayRetryAfterPropagation(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		upstream string // Retry-After the fake shard sends ("" = none)
+		want     string // Retry-After the gateway must answer with
+	}{
+		{"propagates upstream hint", "7", "7"},
+		{"falls back to 1s without hint", "", "1"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			shard := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				if tc.upstream != "" {
+					w.Header().Set("Retry-After", tc.upstream)
+				}
+				w.Header().Set("Content-Type", "application/json")
+				w.WriteHeader(http.StatusTooManyRequests)
+				_, _ = w.Write([]byte(`{"error":"engine overloaded"}`))
+			}))
+			t.Cleanup(shard.Close)
+			gw, err := recon.NewShardGateway([]string{shard.URL})
+			if err != nil {
+				t.Fatal(err)
+			}
+			w := postJSON(t, gw, "/v1/reconstruct", syntheticRequest())
+			if w.Code != http.StatusTooManyRequests {
+				t.Fatalf("status %d, want 429: %s", w.Code, w.Body.String())
+			}
+			if got := w.Header().Get("Retry-After"); got != tc.want {
+				t.Fatalf("Retry-After = %q, want %q", got, tc.want)
+			}
+		})
+	}
+}
