@@ -5,9 +5,10 @@ import (
 	"testing"
 )
 
-// TestPrecisionSuitePairsComplete pins the twin-row invariant the
-// benchdiff pair gate relies on: every _f64 row has an _f32 twin and
-// vice versa.
+// TestPrecisionSuitePairsComplete pins the twin-row invariants the
+// benchdiff pair gates rely on: every _f64 row has an _f32 twin and
+// vice versa, and every _i8 row has an _f32 twin (not every kernel is
+// quantized, so the i8 requirement runs one way only).
 func TestPrecisionSuitePairsComplete(t *testing.T) {
 	names := map[string]bool{}
 	for _, nb := range precisionSuite() {
@@ -23,6 +24,8 @@ func TestPrecisionSuitePairsComplete(t *testing.T) {
 			twin = strings.TrimSuffix(n, "_f64") + "_f32"
 		case strings.HasSuffix(n, "_f32"):
 			twin = strings.TrimSuffix(n, "_f32") + "_f64"
+		case strings.HasSuffix(n, "_i8"):
+			twin = strings.TrimSuffix(n, "_i8") + "_f32"
 		default:
 			t.Fatalf("%s carries no precision suffix", n)
 		}
@@ -45,7 +48,7 @@ func TestPrecisionSuiteRuns(t *testing.T) {
 		if r.N < 1 {
 			t.Fatalf("%s did not run", nb.name)
 		}
-		if strings.HasPrefix(nb.name, "BenchmarkEngine_Reconstruct_f32") {
+		if nb.name == "BenchmarkEngine_Reconstruct_f32" || nb.name == "BenchmarkEngine_Reconstruct_i8" {
 			if d, ok := r.Extra["eff_delta_vs_f64"]; !ok || d > 0.02 {
 				t.Fatalf("%s: efficiency delta %v (present=%v) exceeds tolerance", nb.name, d, ok)
 			}

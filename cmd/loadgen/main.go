@@ -461,11 +461,22 @@ func main() {
 	queueDepth := flag.Int("queue-depth", 64, "-self engine queue depth")
 	maxBatch := flag.Int("max-batch-events", 16, "-self micro-batch early-dispatch size")
 	strict := flag.Bool("strict", false, "exit 1 on any non-200/429 status, zero throughput, or parity failure")
+	precision := flag.String("precision", "f64", "inference precision: f64, f32, or i8 — builds the -self engines at that precision and suffixes non-f64 row labels (_f32/_i8) so benchdiff can pair precision twins")
 	out := flag.String("out", "", "write BENCH-schema JSON here ('' = stdout)")
 	flag.Parse()
 
 	if (*target == "") == !*self {
 		log.Fatal("loadgen: exactly one of -target or -self is required")
+	}
+	prec, ok := recon.ParsePrecision(*precision)
+	if !ok {
+		log.Fatalf("loadgen: -precision must be f64, f32, or i8, got %q", *precision)
+	}
+	// Precision tags the rows so f64/f32/i8 sweeps of the same window
+	// coexist in one BENCH file as benchdiff-pairable twins.
+	precSuffix := ""
+	if prec != recon.Float64 {
+		precSuffix = "_" + prec.String()
 	}
 	var formats []bool // binary?
 	switch *format {
@@ -502,9 +513,9 @@ func main() {
 		GOARCH:        runtime.GOARCH,
 		MaxProcs:      runtime.GOMAXPROCS(0),
 		NumCPU:        runtime.NumCPU(),
-		Protocol: fmt.Sprintf("cmd/loadgen conns=%d rate=%v duration=%v events=%d per-req=%d scale=%v seed=%d; "+
+		Protocol: fmt.Sprintf("cmd/loadgen conns=%d rate=%v duration=%v events=%d per-req=%d scale=%v seed=%d precision=%s; "+
 			"ns/op = p50 request latency, B/op = wire bytes per request; see PERF.md PR 8",
-			*conns, *rate, *duration, *events, *perReq, *scale, *seed),
+			*conns, *rate, *duration, *events, *perReq, *scale, *seed, prec),
 	}
 	failed := false
 
@@ -539,7 +550,8 @@ func main() {
 		r, err := recon.New(spec,
 			recon.WithTruthLevelGraphs(1.0),
 			recon.WithThreshold(0),
-			recon.WithSeed(2))
+			recon.WithSeed(2),
+			recon.WithPrecision(prec))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -562,11 +574,11 @@ func main() {
 					failed = true
 				}
 			}
-			runOne(url, windowLabel(w))
+			runOne(url, windowLabel(w)+precSuffix)
 			stop()
 		}
 	} else {
-		runOne(strings.TrimRight(*target, "/"), *label)
+		runOne(strings.TrimRight(*target, "/"), *label+precSuffix)
 	}
 
 	blob, err := json.MarshalIndent(&rec, "", "  ")

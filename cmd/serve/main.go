@@ -83,7 +83,7 @@ func main() {
 	threshold := flag.Float64("threshold", 0.5, "stage-4 edge decision threshold")
 	truthGraphs := flag.Float64("truth-graphs", -1, "build truth-level graphs with this fake ratio instead of the learned stages 1-3 (<0 = off)")
 	seed := flag.Uint64("seed", 1, "model initialization seed (must match the checkpoint)")
-	precision := flag.String("precision", "f64", "inference precision for the built-in stages: f64 or f32 (f32 halves kernel memory traffic; checkpoints of any dtype load)")
+	precision := flag.String("precision", "f64", "inference precision for the built-in stages: f64, f32, or i8 (f32 halves kernel memory traffic, i8 quarters it; checkpoints of any dtype load — i8 adopts a v4 checkpoint's calibration and auto-calibrates otherwise)")
 	requestTimeout := flag.Duration("request-timeout", 0, "per-request reconstruction deadline (0 = none); expired batches answer 503")
 	batchWindow := flag.Duration("batch-window", 0, "micro-batch coalescing window (0 = off): concurrent requests arriving within it merge into one engine batch")
 	maxBatchEvents := flag.Int("max-batch-events", 16, "dispatch a micro-batch early once it holds this many events")
@@ -102,7 +102,7 @@ func main() {
 
 	prec, ok := recon.ParsePrecision(*precision)
 	if !ok {
-		log.Fatalf("serve: -precision must be f64 or f32, got %q", *precision)
+		log.Fatalf("serve: -precision must be f64, f32, or i8, got %q", *precision)
 	}
 
 	var spec repro.DetectorSpec

@@ -23,6 +23,7 @@ func main() {
 	gnnEpochs := flag.Int("gnn-epochs", 20, "GNN training epochs")
 	workers := flag.Int("workers", 4, "engine workers for held-out reconstruction")
 	save := flag.String("save", "", "write the trained checkpoint here (load with cmd/serve -checkpoint)")
+	saveInt8 := flag.String("save-int8", "", "write a quantized v4 checkpoint here: int8 weights plus activation scales calibrated on the training events (serve it with cmd/serve -precision i8)")
 	seed := flag.Uint64("seed", 9, "seed")
 	flag.Parse()
 
@@ -63,6 +64,14 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("checkpoint written to %s\n\n", *save)
+	}
+	if *saveInt8 != "" {
+		// Fit retained the training events, so the export calibrates
+		// activation scales on the same distribution the model trained on.
+		if err := r.SaveCheckpointInt8(*saveInt8); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("int8 checkpoint written to %s\n\n", *saveInt8)
 	}
 
 	eng, err := recon.NewEngine(r, recon.WithWorkers(*workers))

@@ -1,0 +1,68 @@
+package embed
+
+import (
+	"repro/internal/kernels"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+	"repro/internal/workspace"
+)
+
+// Quantized is the int8 forward pass of a trained Embedder: weights
+// quantize per output column at construction, activations at the
+// static scales a Calibrator recorded. Immutable and safe for
+// concurrent use.
+type Quantized struct {
+	cfg Config
+	mlp *nn.MLPQuant
+}
+
+// NewQuantized snapshots e's trained weights at int8 under the given
+// calibrated activation scales (one per linear layer of the MLP).
+func NewQuantized(e *Embedder, scales []float32) (*Quantized, error) {
+	mlp, err := nn.NewMLPQuant(e.mlp, scales)
+	if err != nil {
+		return nil, err
+	}
+	return &Quantized{cfg: e.cfg, mlp: mlp}, nil
+}
+
+// Config returns the embedder configuration.
+func (q *Quantized) Config() Config { return q.cfg }
+
+// ActScales returns the calibrated activation scales (a copy).
+func (q *Quantized) ActScales() []float32 { return q.mlp.ActScales() }
+
+// EmbedCtx maps hit features (n × InputFeatures, float32) into the
+// embedding space through the quantized MLP. The float32 result is
+// arena-owned when arena is non-nil.
+func (q *Quantized) EmbedCtx(kc kernels.Context, arena *workspace.Arena, features *tensor.Matrix[float32]) *tensor.Matrix[float32] {
+	return q.mlp.Forward(kc, arena, features)
+}
+
+// Calibrator records the activation ranges the embedder's quantized
+// path needs: feed it the same feature matrices inference will see,
+// then Quantize (or export Scales into a v4 checkpoint).
+type Calibrator struct {
+	emb *Embedder
+	cal *nn.MLPCalibrator
+}
+
+// NewCalibrator builds a calibrator over e's current weights.
+func NewCalibrator(e *Embedder) *Calibrator {
+	return &Calibrator{emb: e, cal: nn.NewMLPCalibrator(e.mlp)}
+}
+
+// Observe runs the float32 forward on one event's features, recording
+// activation ranges, and returns the embedding so downstream stages can
+// calibrate on the same pass.
+func (c *Calibrator) Observe(kc kernels.Context, arena *workspace.Arena, features *tensor.Matrix[float32]) *tensor.Matrix[float32] {
+	return c.cal.Observe(kc, arena, features)
+}
+
+// Scales returns the calibrated per-layer activation scales.
+func (c *Calibrator) Scales() []float32 { return c.cal.Scales() }
+
+// Quantize finalizes the calibration into a Quantized embedder.
+func (c *Calibrator) Quantize() (*Quantized, error) {
+	return NewQuantized(c.emb, c.Scales())
+}

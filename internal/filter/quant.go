@@ -1,0 +1,102 @@
+package filter
+
+import (
+	"repro/internal/kernels"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+	"repro/internal/workspace"
+)
+
+// Quantized is the int8 forward pass of a trained EdgeFilter: the fused
+// gather+concat assembles the per-edge input in float32, the MLP runs
+// quantized, and scores plus the keep threshold stay float64 — the
+// precision boundary sits at the logit exactly as in the float paths.
+// Immutable and safe for concurrent use.
+type Quantized struct {
+	cfg Config
+	mlp *nn.MLPQuant
+}
+
+// NewQuantized snapshots f's trained weights at int8 under the given
+// calibrated activation scales (one per linear layer of the MLP).
+func NewQuantized(f *EdgeFilter, scales []float32) (*Quantized, error) {
+	mlp, err := nn.NewMLPQuant(f.mlp, scales)
+	if err != nil {
+		return nil, err
+	}
+	return &Quantized{cfg: f.cfg, mlp: mlp}, nil
+}
+
+// Threshold returns the keep threshold on the sigmoid score.
+func (q *Quantized) Threshold() float64 { return q.cfg.Threshold }
+
+// ActScales returns the calibrated activation scales (a copy).
+func (q *Quantized) ActScales() []float32 { return q.mlp.ActScales() }
+
+// ScoresCtx returns the sigmoid score per edge (src, dst) with all
+// activations borrowed from the arena (released before returning).
+func (q *Quantized) ScoresCtx(kc kernels.Context, arena *workspace.Arena, nodeFeat, edgeFeat *tensor.Matrix[float32], src, dst []int) []float64 {
+	if arena != nil {
+		mark := arena.Checkpoint()
+		defer arena.ResetTo(mark)
+	}
+	in := tensor.NewFromOf[float32](arena, len(src), 2*nodeFeat.Cols()+edgeFeat.Cols())
+	tensor.GatherConcat3IntoCtx(kc, in, nodeFeat, src, nodeFeat, dst, edgeFeat, nil)
+	logits := q.mlp.Forward(kc, arena, in)
+	scores := make([]float64, len(src))
+	for i := range scores {
+		scores[i] = nn.SigmoidScore(logits.At(i, 0))
+	}
+	return scores
+}
+
+// KeepCtx returns the boolean keep mask at the configured threshold.
+func (q *Quantized) KeepCtx(kc kernels.Context, arena *workspace.Arena, nodeFeat, edgeFeat *tensor.Matrix[float32], src, dst []int) []bool {
+	scores := q.ScoresCtx(kc, arena, nodeFeat, edgeFeat, src, dst)
+	keep := make([]bool, len(scores))
+	for i, s := range scores {
+		keep[i] = s >= q.cfg.Threshold
+	}
+	return keep
+}
+
+// Calibrator records the activation ranges the filter's quantized path
+// needs. Feed Observe the same (nodeFeat, edgeFeat, src, dst) tuples
+// inference will see.
+type Calibrator struct {
+	f   *EdgeFilter
+	cal *nn.MLPCalibrator
+}
+
+// NewCalibrator builds a calibrator over f's current weights.
+func NewCalibrator(f *EdgeFilter) *Calibrator {
+	return &Calibrator{f: f, cal: nn.NewMLPCalibrator(f.mlp)}
+}
+
+// Threshold returns the keep threshold of the filter being calibrated.
+func (c *Calibrator) Threshold() float64 { return c.f.cfg.Threshold }
+
+// Observe runs the float32 scoring forward on one event's graph,
+// recording activation ranges, and returns the per-edge scores.
+func (c *Calibrator) Observe(kc kernels.Context, arena *workspace.Arena, nodeFeat, edgeFeat *tensor.Matrix[float32], src, dst []int) []float64 {
+	if arena != nil {
+		mark := arena.Checkpoint()
+		defer arena.ResetTo(mark)
+	}
+	in := tensor.NewFromOf[float32](arena, len(src), 2*nodeFeat.Cols()+edgeFeat.Cols())
+	tensor.GatherConcat3IntoCtx(kc, in, nodeFeat, src, nodeFeat, dst, edgeFeat, nil)
+	logits := c.cal.Observe(kc, arena, in)
+	scores := make([]float64, len(src))
+	for i := range scores {
+		scores[i] = nn.SigmoidScore(logits.At(i, 0))
+	}
+	return scores
+}
+
+// Scales returns the calibrated per-layer activation scales.
+func (c *Calibrator) Scales() []float32 { return c.cal.Scales() }
+
+// Quantize finalizes the calibration into a Quantized filter.
+func (c *Calibrator) Quantize() (*Quantized, error) {
+	return NewQuantized(c.f, c.Scales())
+}

@@ -91,12 +91,66 @@ func fuzzSeeds(fatal func(error)) [][]byte {
 	return seeds
 }
 
+// fuzzSeedsV4 builds the quantized-checkpoint seed corpus: a valid v4
+// file (i8 payloads, column scales, activation tables), truncations,
+// a forged dtype tag, and structurally valid files carrying each class
+// of hostile v4 content — out-of-range weights, broken scale tables,
+// poisoned activation sections.
+func fuzzSeedsV4(fatal func(error)) [][]byte {
+	act := []ActScales{
+		{Name: "embed", Scales: []float32{0.5, 0.25}},
+		{Name: "filter", Scales: []float32{1, 2}},
+	}
+	var valid bytes.Buffer
+	if err := SaveParamsInt8(&valid, fuzzModel(), act); err != nil {
+		fatal(err)
+	}
+	seeds := [][]byte{
+		valid.Bytes(),
+		valid.Bytes()[:len(valid.Bytes())/2],
+		valid.Bytes()[:9], // v4 magic + one byte
+	}
+	// Forge the gob-encoded "i8" dtype tag into garbage.
+	mut := append([]byte(nil), valid.Bytes()...)
+	if i := bytes.Index(mut, []byte("i8")); i >= 0 {
+		copy(mut[i:], "iX")
+		seeds = append(seeds, mut)
+	}
+	// Structurally valid gob, hostile content: the loader must reject
+	// each whole-file, never partially copying weights.
+	hostile := []func(*checkpointHeader, *checkpointFile){
+		func(h *checkpointHeader, f *checkpointFile) { f.Params[i8RecIndex(f)].Data8[0] = -128 },
+		func(h *checkpointHeader, f *checkpointFile) {
+			i := i8RecIndex(f)
+			f.Params[i].ColScales = f.Params[i].ColScales[:1]
+		},
+		func(h *checkpointHeader, f *checkpointFile) { f.Params[i8RecIndex(f)].ColScales[0] = 0 },
+		func(h *checkpointHeader, f *checkpointFile) {
+			i := i8RecIndex(f)
+			f.Params[i].Data8 = f.Params[i].Data8[:len(f.Params[i].Data8)-1]
+		},
+		func(h *checkpointHeader, f *checkpointFile) { f.Act[0].Scales = nil },
+		func(h *checkpointHeader, f *checkpointFile) { f.Act[1].Name = f.Act[0].Name },
+	}
+	for _, mutate := range hostile {
+		buf, err := encodeV4Mutated(fuzzModel(), act, mutate)
+		if err != nil {
+			fatal(err)
+		}
+		seeds = append(seeds, buf.Bytes())
+	}
+	return seeds
+}
+
 // FuzzLoadParams hammers the checkpoint loader with corrupt input. The
 // contract under attack: LoadParams must never panic, and on ANY error
 // the model's weights must be byte-for-byte untouched (validate all
 // before copying any — no partial writes).
 func FuzzLoadParams(f *testing.F) {
 	for _, seed := range fuzzSeeds(func(err error) { f.Fatal(err) }) {
+		f.Add(seed)
+	}
+	for _, seed := range fuzzSeedsV4(func(err error) { f.Fatal(err) }) {
 		f.Add(seed)
 	}
 
@@ -120,14 +174,19 @@ func TestRegenerateFuzzCorpus(t *testing.T) {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			t.Fatal(err)
 		}
-		// v3-seed-* names never collide with fuzzer-found seed-* entries,
-		// so regeneration cannot clobber crash-regression cases.
-		for i, seed := range fuzzSeeds(func(err error) { t.Fatal(err) }) {
-			body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", seed)
-			if err := os.WriteFile(filepath.Join(dir, fmt.Sprintf("v3-seed-%d", i)), []byte(body), 0o644); err != nil {
-				t.Fatal(err)
+		// v3-seed-* / v4-seed-* names never collide with fuzzer-found
+		// seed-* entries, so regeneration cannot clobber crash-regression
+		// cases.
+		write := func(prefix string, seeds [][]byte) {
+			for i, seed := range seeds {
+				body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", seed)
+				if err := os.WriteFile(filepath.Join(dir, fmt.Sprintf("%s-%d", prefix, i)), []byte(body), 0o644); err != nil {
+					t.Fatal(err)
+				}
 			}
 		}
+		write("v3-seed", fuzzSeeds(func(err error) { t.Fatal(err) }))
+		write("v4-seed", fuzzSeedsV4(func(err error) { t.Fatal(err) }))
 		return
 	}
 	entries, err := os.ReadDir(dir)

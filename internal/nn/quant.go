@@ -1,0 +1,199 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/kernels"
+	"repro/internal/tensor"
+	"repro/internal/workspace"
+)
+
+// MLPQuant is the int8 quantized, tape-free forward pass over an MLP's
+// trained weights — the third precision tier below MLPInference's
+// float64/float32. Weights are quantized once at construction
+// (per-output-column symmetric scales); activations are quantized at
+// static per-tensor scales captured by an MLPCalibrator over
+// representative inputs. Hidden ReLU layers run fully fused — int8
+// GEMM, int32 accumulation, dequantize+bias+ReLU+requantize in one
+// epilogue — so layer-to-layer activations stay int8 end to end; the
+// output layer dequantizes to float32. All integer arithmetic is exact,
+// so the forward is bitwise identical at any kernel-worker count.
+// Immutable after construction and safe for concurrent use.
+type MLPQuant struct {
+	cfg    MLPConfig
+	w      []*tensor.QWeights
+	b      [][]float32
+	gain   []*tensor.Matrix[float32]
+	shift  []*tensor.Matrix[float32]
+	scales []float32 // static input scale of each linear layer
+}
+
+// NewMLPQuant quantizes m's weights per output column and adopts the
+// calibrated activation scales: scales[i] is the static quantization
+// scale of linear layer i's input (so scales[i+1] is also hidden layer
+// i's requantization target). len(scales) must equal the linear layer
+// count and every scale must be positive and finite.
+func NewMLPQuant(m *MLP, scales []float32) (*MLPQuant, error) {
+	if len(scales) != len(m.layers) {
+		return nil, fmt.Errorf("nn: MLPQuant got %d activation scales for %d linear layers", len(scales), len(m.layers))
+	}
+	for i, s := range scales {
+		if !(s > 0) || math.IsInf(float64(s), 0) {
+			return nil, fmt.Errorf("nn: MLPQuant activation scale %d is %v", i, s)
+		}
+	}
+	q := &MLPQuant{cfg: m.cfg, scales: append([]float32(nil), scales...)}
+	for _, l := range m.layers {
+		q.w = append(q.w, tensor.QuantizeWeights(l.W.Value))
+		bias := make([]float32, l.B.Value.Cols())
+		for j, v := range l.B.Value.Data() {
+			bias[j] = float32(v)
+		}
+		q.b = append(q.b, bias)
+	}
+	for _, n := range m.norms {
+		q.gain = append(q.gain, convertParam[float32](n.Gain))
+		q.shift = append(q.shift, convertParam[float32](n.Bias))
+	}
+	return q, nil
+}
+
+// Config returns the configuration of the underlying MLP.
+func (q *MLPQuant) Config() MLPConfig { return q.cfg }
+
+// ActScales returns the calibrated per-layer input scales (a copy) —
+// what checkpoint v4 persists so a load skips recalibration.
+func (q *MLPQuant) ActScales() []float32 { return append([]float32(nil), q.scales...) }
+
+// InScale returns the static quantization scale of the first layer's
+// input — the scale a caller must quantize at before ForwardQ.
+func (q *MLPQuant) InScale() float32 { return q.scales[0] }
+
+// Forward quantizes x at the calibrated input scale and runs the int8
+// forward pass. Activations borrow from the arena (heap fallback when
+// nil); the returned float32 matrix is valid until the arena resets
+// past it.
+func (q *MLPQuant) Forward(kc kernels.Context, a *workspace.Arena, x *tensor.Matrix[float32]) *tensor.Matrix[float32] {
+	in := tensor.NewQMatFrom(a, x.Rows(), x.Cols(), q.scales[0])
+	tensor.QuantizeInto(kc, in, x, q.scales[0])
+	return q.ForwardQ(kc, a, in)
+}
+
+// ForwardQ is Forward on an input already quantized at InScale() — the
+// entry the GNN node update uses after assembling its input directly in
+// int8 (requantizing aggregation + int8 concat, no float32
+// intermediate).
+func (q *MLPQuant) ForwardQ(kc kernels.Context, a *workspace.Arena, in *tensor.QMat) *tensor.Matrix[float32] {
+	if in.Scale != q.scales[0] {
+		panic(fmt.Sprintf("nn: MLPQuant input quantized at %v, calibrated for %v", in.Scale, q.scales[0]))
+	}
+	h := in
+	last := len(q.w) - 1
+	for i := 0; i < last; i++ {
+		if q.cfg.Activation == ReLU && !q.cfg.LayerNorm {
+			// The hot path: everything between two GEMMs happens inside one
+			// fused epilogue and the activation never exists in float32.
+			z := tensor.NewQMatFrom(a, h.Rows(), q.w[i].Cols(), q.scales[i+1])
+			tensor.QMatMulBiasReLUQuantInto(kc, z, h, q.w[i], q.b[i], q.scales[i+1])
+			h = z
+			continue
+		}
+		// LayerNorm (or a non-ReLU activation) needs the float32 value:
+		// dequantize+bias(+ReLU) fused, then the float32 tail, then
+		// requantize for the next layer.
+		zf := tensor.NewFromOf[float32](a, h.Rows(), q.w[i].Cols())
+		tensor.QMatMulBiasInto(kc, zf, h, q.w[i], q.b[i], q.cfg.Activation == ReLU)
+		if q.cfg.Activation != ReLU {
+			applyActivation(q.cfg.Activation, zf)
+		}
+		if q.cfg.LayerNorm {
+			layerNormInto(zf, q.gain[i], q.shift[i], 1e-5)
+		}
+		z := tensor.NewQMatFrom(a, zf.Rows(), zf.Cols(), q.scales[i+1])
+		tensor.QuantizeInto(kc, z, zf, q.scales[i+1])
+		h = z
+	}
+	out := tensor.NewFromOf[float32](a, h.Rows(), q.w[last].Cols())
+	tensor.QMatMulBiasInto(kc, out, h, q.w[last], q.b[last], false)
+	return out
+}
+
+// MLPCalibrator records the activation ranges an MLPQuant needs: it
+// runs the float32 inference forward over representative inputs and
+// tracks the max absolute value entering each linear layer. Observe as
+// many inputs as are representative, then Scales()/Quantize(). Not
+// goroutine-safe — calibration is a single-threaded export-time pass.
+type MLPCalibrator struct {
+	mlp    *MLP
+	inf    *MLPInference[float32]
+	maxAbs []float64
+}
+
+// NewMLPCalibrator builds a calibrator over m's current weights.
+func NewMLPCalibrator(m *MLP) *MLPCalibrator {
+	return &MLPCalibrator{
+		mlp:    m,
+		inf:    NewMLPInference[float32](m),
+		maxAbs: make([]float64, len(m.layers)),
+	}
+}
+
+// Observe runs the float32 forward on x, recording the range entering
+// every linear layer, and returns the output so calibration passes can
+// keep flowing through a multi-stage pipeline. Activations borrow from
+// the arena exactly as MLPInference.Forward does.
+func (c *MLPCalibrator) Observe(kc kernels.Context, a *workspace.Arena, x *tensor.Matrix[float32]) *tensor.Matrix[float32] {
+	mi := c.inf
+	h := x
+	last := len(mi.w) - 1
+	c.observe(0, h)
+	for i := 0; i < last; i++ {
+		z := tensor.NewFromOf[float32](a, h.Rows(), mi.w[i].Cols())
+		tensor.MatMulIntoCtx(kc, z, h, mi.w[i])
+		if mi.cfg.Activation == ReLU {
+			tensor.AddBiasReLUIntoCtx(kc, z, z, mi.b[i])
+		} else {
+			tensor.AddBiasIntoCtx(kc, z, z, mi.b[i])
+			applyActivation(mi.cfg.Activation, z)
+		}
+		if mi.cfg.LayerNorm {
+			layerNormInto(z, mi.gain[i], mi.shift[i], 1e-5)
+		}
+		h = z
+		c.observe(i+1, h)
+	}
+	out := tensor.NewFromOf[float32](a, h.Rows(), mi.w[last].Cols())
+	tensor.MatMulIntoCtx(kc, out, h, mi.w[last])
+	tensor.AddBiasIntoCtx(kc, out, out, mi.b[last])
+	return out
+}
+
+func (c *MLPCalibrator) observe(layer int, m *tensor.Matrix[float32]) {
+	worst := c.maxAbs[layer]
+	for _, v := range m.Data() {
+		if a := math.Abs(float64(v)); a > worst {
+			worst = a
+		}
+	}
+	c.maxAbs[layer] = worst
+}
+
+// Scales converts the observed ranges to symmetric scales (maxabs/127;
+// 1 for a layer that never saw a nonzero input).
+func (c *MLPCalibrator) Scales() []float32 {
+	scales := make([]float32, len(c.maxAbs))
+	for i, m := range c.maxAbs {
+		if m == 0 {
+			scales[i] = 1
+			continue
+		}
+		scales[i] = float32(m / 127)
+	}
+	return scales
+}
+
+// Quantize finalizes the calibration into an immutable MLPQuant.
+func (c *MLPCalibrator) Quantize() (*MLPQuant, error) {
+	return NewMLPQuant(c.mlp, c.Scales())
+}

@@ -161,6 +161,8 @@ var (
 	f32Pools  = &typedPools[float32]{elemBytes: 4}
 	intPools  = &typedPools[int]{elemBytes: 8}
 	boolPools = &typedPools[bool]{elemBytes: 1}
+	i8Pools   = &typedPools[int8]{elemBytes: 1}
+	i32Pools  = &typedPools[int32]{elemBytes: 4}
 )
 
 // floatPool returns the shared bucketed pool set for the float element
@@ -209,6 +211,20 @@ func GetBool(n int) []bool { return boolPools.get(n) }
 // PutBool returns a slice obtained from GetBool to the pools.
 func PutBool(s []bool) { boolPools.put(s) }
 
+// GetI8 returns a zeroed []int8 of length n from the pools — the
+// storage of the quantized inference path's activation matrices.
+func GetI8(n int) []int8 { return i8Pools.get(n) }
+
+// PutI8 returns a slice obtained from GetI8 to the pools.
+func PutI8(s []int8) { i8Pools.put(s) }
+
+// GetI32 returns a zeroed []int32 of length n from the pools — the
+// int8 kernels' accumulator scratch rows.
+func GetI32(n int) []int32 { return i32Pools.get(n) }
+
+// PutI32 returns a slice obtained from GetI32 to the pools.
+func PutI32(s []int32) { i32Pools.put(s) }
+
 // grow returns a slice of length n reusing s's storage when cap(s)
 // suffices; otherwise s goes back to its bucket and a fresh pooled
 // slice is drawn. A nil s allocates plain heap storage instead: growth
@@ -244,3 +260,9 @@ func GrowInt(s []int, n int) []int { return grow(intPools, s, n) }
 
 // GrowBool grows a []bool through the pools (see grow).
 func GrowBool(s []bool, n int) []bool { return grow(boolPools, s, n) }
+
+// GrowI8 grows a []int8 through the pools (see grow).
+func GrowI8(s []int8, n int) []int8 { return grow(i8Pools, s, n) }
+
+// GrowI32 grows a []int32 through the pools (see grow).
+func GrowI32(s []int32, n int) []int32 { return grow(i32Pools, s, n) }

@@ -23,22 +23,33 @@ const (
 	Float64 Precision = iota
 	// Float32 is the reduced-precision serving path.
 	Float32
+	// Int8 is the quantized serving path: weights quantize per output
+	// column, activations at static per-tensor scales captured by a
+	// calibration pass (automatic at construction/Fit, or restored from
+	// a v4 checkpoint), and the hot GEMM/SpMM kernels move a quarter of
+	// Float32's bytes.
+	Int8
 )
 
-// String returns the conventional dtype tag ("f64"/"f32").
+// String returns the conventional dtype tag ("f64"/"f32"/"i8").
 func (p Precision) String() string {
-	if p == Float32 {
+	switch p {
+	case Float32:
 		return "f32"
+	case Int8:
+		return "i8"
 	}
 	return "f64"
 }
 
-// ParsePrecision parses "f32"/"float32" and "f64"/"float64" (the
-// cmd/serve -precision flag values).
+// ParsePrecision parses "f32"/"float32", "f64"/"float64", and
+// "i8"/"int8" (the cmd/serve -precision flag values).
 func ParsePrecision(s string) (Precision, bool) {
 	switch s {
 	case "f32", "float32":
 		return Float32, true
+	case "i8", "int8":
+		return Int8, true
 	case "f64", "float64", "":
 		return Float64, true
 	}
@@ -46,16 +57,21 @@ func ParsePrecision(s string) (Precision, bool) {
 }
 
 // WithPrecision selects the inference precision of the built-in stages
-// (default Float64). Float32 applies to the default embedder, filter,
-// and GNN classifier adapters and the radius graph builder; custom
-// stage implementations run whatever precision they implement. Track
-// efficiency/purity at Float32 matches Float64 within the tolerance
-// documented in PERF.md; per-edge scores differ at float32 rounding
+// (default Float64). Float32 and Int8 apply to the default embedder,
+// filter, and GNN classifier adapters and the radius graph builder;
+// custom stage implementations run whatever precision they implement.
+// Track efficiency/purity at reduced precision matches Float64 within
+// the accuracy budget documented in PERF.md (and enforced by the recon
+// precision tests); per-edge scores differ at rounding/quantization
 // magnitude, so edges scored within that distance of the decision
-// threshold may flip.
+// threshold may flip. Int8 additionally needs calibrated activation
+// scales: Fit calibrates on the training events, LoadCheckpoint adopts
+// a v4 checkpoint's tables, and an untrained reconstructor calibrates
+// on a small deterministic synthetic batch so construction always
+// succeeds.
 func WithPrecision(p Precision) Option {
 	return func(s *settings) {
-		if p != Float64 && p != Float32 {
+		if p != Float64 && p != Float32 && p != Int8 {
 			s.fail("WithPrecision: unknown precision %d", int(p))
 			return
 		}
@@ -72,4 +88,14 @@ type f32Models struct {
 	embed  *embed.Inference[float32]
 	filter *filter.Inference[float32]
 	gnn    *ignn.Inference[float32]
+}
+
+// i8Models holds the int8 quantized snapshots of the default stages'
+// trained weights plus the calibrated activation scales they were built
+// from. Rebuilt whole by Reconstructor.syncInference under the same
+// concurrency contract as f32Models.
+type i8Models struct {
+	embed  *embed.Quantized
+	filter *filter.Quantized
+	gnn    *ignn.Quantized
 }

@@ -69,36 +69,169 @@ func TestWithPrecisionF64IsDefaultPath(t *testing.T) {
 	}
 }
 
-// TestWithPrecisionF32TrackParity is the acceptance gate for the
-// reduced-precision serving path: on the test events, float32
-// reconstruction through all five stages reproduces the float64 track
-// efficiency and purity within the documented tolerance (PERF.md:
-// ±0.02 absolute — float32 rounding can only flip edges whose scores
-// sit within ~1e-4 of the decision threshold).
-func TestWithPrecisionF32TrackParity(t *testing.T) {
-	const tol = 0.02
-	r64, r32, test := precisionFixture(t, t.TempDir(), Float32)
-	if r32.Precision() != Float32 {
-		t.Fatalf("precision %v", r32.Precision())
-	}
+// precisionBudget is the documented accuracy budget every reduced
+// precision must hold against float64 (PERF.md "Accuracy budget"):
+// ±0.02 absolute on test-set track efficiency and on per-event edge
+// purity. The budget lives here, in exactly one place, for the f32 and
+// i8 paths alike.
+const precisionBudget = 0.02
+
+// assertTrackParity enforces the accuracy budget: rp's reconstruction
+// must reproduce r64's per-event edge purity and test-set track
+// efficiency (matched/reconstructable aggregated across events — the
+// Table-1 methodology, which keeps single-track granularity on tiny
+// fixture events from swamping the comparison) within tol.
+func assertTrackParity(t *testing.T, r64, rp *Reconstructor, test []*Event, tol float64) {
+	t.Helper()
 	ctx := context.Background()
+	var matched64, recon64, matchedP, reconP int
 	for i, ev := range test {
 		a, err := r64.Reconstruct(ctx, ev)
 		if err != nil {
 			t.Fatal(err)
 		}
-		b, err := r32.Reconstruct(ctx, ev)
+		b, err := rp.Reconstruct(ctx, ev)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if math.Abs(a.Match.Efficiency()-b.Match.Efficiency()) > tol {
-			t.Fatalf("event %d: f32 efficiency %v vs f64 %v (tol %v)",
-				i, b.Match.Efficiency(), a.Match.Efficiency(), tol)
-		}
 		if math.Abs(a.EdgeCounts.Precision()-b.EdgeCounts.Precision()) > tol {
-			t.Fatalf("event %d: f32 edge purity %v vs f64 %v (tol %v)",
-				i, b.EdgeCounts.Precision(), a.EdgeCounts.Precision(), tol)
+			t.Fatalf("event %d: %s edge purity %v vs f64 %v (tol %v)",
+				i, rp.Precision(), b.EdgeCounts.Precision(), a.EdgeCounts.Precision(), tol)
 		}
+		matched64 += a.Match.Matched
+		recon64 += a.Match.Reconstructable
+		matchedP += b.Match.Matched
+		reconP += b.Match.Reconstructable
+	}
+	if recon64 == 0 || reconP == 0 {
+		t.Fatal("no reconstructable particles in the parity fixture")
+	}
+	eff64 := float64(matched64) / float64(recon64)
+	effP := float64(matchedP) / float64(reconP)
+	if math.Abs(eff64-effP) > tol {
+		t.Fatalf("%s test-set efficiency %v vs f64 %v (tol %v)", rp.Precision(), effP, eff64, tol)
+	}
+}
+
+// parityFixture is precisionFixture with a long enough GNN training run
+// that edge scores separate from the decision threshold — the regime
+// the accuracy budget is defined over (quantization shifts scores by
+// ~1e-2; an undertrained model parks every score at the threshold and
+// makes any precision comparison noise).
+func parityFixture(t *testing.T, dir string, prec Precision) (*Reconstructor, *Reconstructor, []*Event) {
+	t.Helper()
+	spec := detector.Ex3Like(0.02)
+	spec.NumEvents = 6
+	ds := detector.Generate(spec, 5)
+	train, test := ds.Events[:3], ds.Events[3:]
+
+	base := []Option{WithSeed(9), WithGNN(8, 2), WithGNNTraining(60, 3e-3, 2.0)}
+	r64, err := New(spec, base...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r64.Fit(context.Background(), train); err != nil {
+		t.Fatal(err)
+	}
+	ckpt := filepath.Join(dir, "model.ckpt.gz")
+	if prec == Int8 {
+		// The canonical quantized workflow: the fitted reconstructor
+		// exports a v4 checkpoint, calibrating activations on its own
+		// training events. (Loading a plain float checkpoint at Int8
+		// also works but calibrates on the synthetic fallback batch,
+		// which is a smoke-serving convenience, not the path the
+		// accuracy budget is defined over.)
+		if err := r64.SaveCheckpointInt8(ckpt); err != nil {
+			t.Fatal(err)
+		}
+	} else if err := r64.SaveCheckpoint(ckpt); err != nil {
+		t.Fatal(err)
+	}
+	rp, err := New(spec, append(append([]Option{}, base...), WithPrecision(prec))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rp.LoadCheckpoint(ckpt); err != nil {
+		t.Fatal(err)
+	}
+	return r64, rp, test
+}
+
+// TestWithPrecisionF32TrackParity is the acceptance gate for the
+// float32 serving path: float32 reconstruction through all five stages
+// holds the shared accuracy budget (float32 rounding can only flip
+// edges whose scores sit within ~1e-4 of the decision threshold).
+func TestWithPrecisionF32TrackParity(t *testing.T) {
+	r64, r32, test := parityFixture(t, t.TempDir(), Float32)
+	if r32.Precision() != Float32 {
+		t.Fatalf("precision %v", r32.Precision())
+	}
+	assertTrackParity(t, r64, r32, test, precisionBudget)
+}
+
+// TestWithPrecisionInt8TrackParity is the acceptance gate for the
+// quantized serving path: int8 reconstruction, loaded from a v4
+// checkpoint whose activation scales were calibrated on the training
+// events, holds the same budget as f32.
+func TestWithPrecisionInt8TrackParity(t *testing.T) {
+	r64, r8, test := parityFixture(t, t.TempDir(), Int8)
+	if r8.Precision() != Int8 {
+		t.Fatalf("precision %v", r8.Precision())
+	}
+	assertTrackParity(t, r64, r8, test, precisionBudget)
+}
+
+// TestInt8CheckpointServesIdentically: a v4 quantized checkpoint loads
+// into bitwise-identical int8 inference — the stored activation scales
+// are adopted verbatim, and dequantizing the int8 weights and
+// re-quantizing them at sync reproduces the exporter's quantized
+// payload exactly (per-column max |q| is 127 by construction, so the
+// re-derived scale is the stored scale).
+func TestInt8CheckpointServesIdentically(t *testing.T) {
+	dir := t.TempDir()
+	_, r8, test := parityFixture(t, dir, Int8)
+	ctx := context.Background()
+
+	ckpt8 := filepath.Join(dir, "model.i8.ckpt.gz")
+	if err := r8.SaveCheckpointInt8(ckpt8); err != nil {
+		t.Fatal(err)
+	}
+	rFrom8, err := New(r8.Spec(), WithSeed(9), WithGNN(8, 2), WithPrecision(Int8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rFrom8.LoadCheckpoint(ckpt8); err != nil {
+		t.Fatal(err)
+	}
+	for i, ev := range test {
+		a, err := r8.Reconstruct(ctx, ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := rFrom8.Reconstruct(ctx, ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Match != b.Match || a.EdgeCounts != b.EdgeCounts || len(a.Tracks) != len(b.Tracks) {
+			t.Fatalf("event %d: v4-checkpoint serving differs from the exporting reconstructor", i)
+		}
+	}
+}
+
+// TestInt8CalibrateRecalibrates: the public Calibrate entry swaps the
+// activation scales and rebuilds the snapshots without touching the
+// weights — reconstruction keeps working on the new sample.
+func TestInt8CalibrateRecalibrates(t *testing.T) {
+	_, r8, test := parityFixture(t, t.TempDir(), Int8)
+	if err := r8.Calibrate(context.Background(), test); err != nil {
+		t.Fatal(err)
+	}
+	res, err := r8.Reconstruct(context.Background(), test[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tracks) == 0 {
+		t.Fatal("post-recalibration reconstruction produced no tracks")
 	}
 }
 
@@ -118,6 +251,59 @@ func TestWithPrecisionF32TruthLevel(t *testing.T) {
 	}
 	if len(res.Tracks) == 0 {
 		t.Fatal("f32 truth-level reconstruction produced no tracks")
+	}
+}
+
+// TestInt8TruthLevel: an untrained Int8 reconstructor (truth-level
+// builder, threshold 0 — the serve smoke-test shape) constructs and
+// runs, proving the synthetic-batch calibration fallback produces
+// usable scales with no Fit and no checkpoint.
+func TestInt8TruthLevel(t *testing.T) {
+	spec := detector.Ex3Like(0.02)
+	spec.NumEvents = 1
+	ds := detector.Generate(spec, 7)
+	r8, err := New(spec, WithSeed(3), WithGNN(8, 2), WithTruthLevelGraphs(1.0), WithThreshold(0), WithPrecision(Int8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r8.Reconstruct(context.Background(), ds.Events[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tracks) == 0 {
+		t.Fatal("i8 truth-level reconstruction produced no tracks")
+	}
+}
+
+// TestEngineInt8MatchesSerial: the engine contract — batch results
+// bit-identical to serial at any worker count — holds for the int8
+// kernels (int32 accumulation is exact, so there is no reduction-order
+// freedom to lose).
+func TestEngineInt8MatchesSerial(t *testing.T) {
+	_, r8, test := parityFixture(t, t.TempDir(), Int8)
+	ctx := context.Background()
+	serial := make([]*Result, len(test))
+	for i, ev := range test {
+		res, err := r8.Reconstruct(ctx, ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial[i] = res
+	}
+	for _, workers := range []int{1, 3, 7} {
+		eng, err := NewEngine(r8, WithWorkers(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		batch, err := eng.ReconstructBatch(ctx, test)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range test {
+			if serial[i].Match != batch[i].Match || serial[i].EdgeCounts != batch[i].EdgeCounts {
+				t.Fatalf("workers=%d event %d: engine i8 result differs from serial", workers, i)
+			}
+		}
 	}
 }
 
@@ -179,13 +365,15 @@ func TestWithPrecisionF32KeepsCustomEmbedder(t *testing.T) {
 		return eg.G.Src
 	}
 	f64Src := build()
-	f32Src := build(WithPrecision(Float32))
-	if len(f64Src) != len(f32Src) {
-		t.Fatalf("custom embedder graph differs across precisions: %d vs %d edges — the f32 builder ignored the custom embedding", len(f64Src), len(f32Src))
-	}
-	for i := range f64Src {
-		if f64Src[i] != f32Src[i] {
-			t.Fatal("custom embedder graph differs across precisions — the f32 builder ignored the custom embedding")
+	for _, prec := range []Precision{Float32, Int8} {
+		src := build(WithPrecision(prec))
+		if len(f64Src) != len(src) {
+			t.Fatalf("custom embedder graph differs at %s: %d vs %d edges — the %s builder ignored the custom embedding", prec, len(f64Src), len(src), prec)
+		}
+		for i := range f64Src {
+			if f64Src[i] != src[i] {
+				t.Fatalf("custom embedder graph differs at %s — the builder ignored the custom embedding", prec)
+			}
 		}
 	}
 }

@@ -53,6 +53,15 @@ type Reconstructor struct {
 	// adapters read (nil unless WithPrecision(Float32)); syncInference
 	// rebuilds it whenever the underlying f64 weights change.
 	f32 *f32Models
+
+	// i8 holds the quantized snapshots the Int8 stage adapters read;
+	// i8scales the calibrated activation scales they were built from
+	// (nil forces recalibration at the next sync), and calEvents the
+	// representative events calibration runs over (the latest Fit's
+	// training events; a synthetic batch when empty).
+	i8        *i8Models
+	i8scales  *i8Scales
+	calEvents []*Event
 }
 
 // New builds a reconstructor with freshly initialized models for the
@@ -113,12 +122,16 @@ func applyConfig(cfg *pipeline.Config, set settings) {
 func assemble(spec DetectorSpec, cfg pipeline.Config, set settings, p *pipeline.Pipeline) (*Reconstructor, error) {
 	r := &Reconstructor{spec: spec, cfg: cfg, set: set, p: p}
 	f32 := set.precision == Float32
+	i8 := set.precision == Int8
 
 	r.embedder = set.embedder
 	if r.embedder == nil {
-		if f32 {
+		switch {
+		case i8:
+			r.embedder = mlpEmbedder8{r}
+		case f32:
 			r.embedder = mlpEmbedder32{r}
-		} else {
+		default:
 			r.embedder = mlpEmbedder{p.Embedder}
 		}
 	}
@@ -127,6 +140,10 @@ func assemble(spec DetectorSpec, cfg pipeline.Config, set settings, p *pipeline.
 	case r.builder != nil:
 	case set.truthLevel:
 		r.builder = truthBuilder{fakeRatio: set.truthRatio, baseSeed: set.seed}
+	case i8 && set.embedder == nil:
+		// Like radiusBuilder32 one tier down: the fully-quantized radius
+		// builder embeds internally with the built-in int8 snapshot.
+		r.builder = radiusBuilder8{r: r, radius: cfg.Radius, maxDegree: cfg.MaxDegree}
 	case f32 && set.embedder == nil:
 		// The fully-f32 radius builder embeds internally with the built-in
 		// f32 snapshot; a custom Embedder must keep the thunk-consuming
@@ -142,6 +159,8 @@ func assemble(spec DetectorSpec, cfg pipeline.Config, set settings, p *pipeline.
 		// Truth-level graphs bypass the filter, matching the pipeline's
 		// BuildTruthLevelGraph semantics.
 		r.filter = passFilter{}
+	case i8:
+		r.filter = mlpFilter8{r: r, spec: spec}
 	case f32:
 		r.filter = mlpFilter32{r: r, spec: spec}
 	default:
@@ -149,9 +168,12 @@ func assemble(spec DetectorSpec, cfg pipeline.Config, set settings, p *pipeline.
 	}
 	r.classifier = set.classifier
 	if r.classifier == nil {
-		if f32 {
+		switch {
+		case i8:
+			r.classifier = gnnClassifier8{r}
+		case f32:
 			r.classifier = gnnClassifier32{r}
-		} else {
+		default:
 			r.classifier = gnnClassifier{p.GNN}
 		}
 	}
@@ -168,7 +190,9 @@ func assemble(spec DetectorSpec, cfg pipeline.Config, set settings, p *pipeline.
 		r.runClassifier = w.WrapEdgeClassifier(r.classifier)
 		r.runExtractor = w.WrapTrackExtractor(r.extractor)
 	}
-	r.syncInference()
+	if err := r.syncInference(); err != nil {
+		return nil, err
+	}
 	return r, nil
 }
 
@@ -176,17 +200,42 @@ func assemble(spec DetectorSpec, cfg pipeline.Config, set settings, p *pipeline.
 // the pipeline's float64 parameters. Called at construction and after
 // every operation that rewrites the weights (Fit, LoadCheckpoint); a
 // no-op at Float64, where inference reads the training parameters
-// directly. Must not race concurrent inference — the Reconstructor is
-// documented as safe for concurrent use only once training is done.
-func (r *Reconstructor) syncInference() {
-	if r.set.precision != Float32 {
-		return
+// directly. At Int8 it additionally runs the activation-range
+// calibration pass when no valid scales are cached (fresh construction,
+// post-Fit invalidation, pre-v4 checkpoint load). Must not race
+// concurrent inference — the Reconstructor is documented as safe for
+// concurrent use only once training is done.
+func (r *Reconstructor) syncInference() error {
+	switch r.set.precision {
+	case Float32:
+		r.f32 = &f32Models{
+			embed:  embed.NewInference[float32](r.p.Embedder),
+			filter: filter.NewInference[float32](r.p.Filter),
+			gnn:    ignn.NewInference[float32](r.p.GNN),
+		}
+	case Int8:
+		if r.i8scales == nil {
+			sc, err := r.calibrate(context.Background(), r.calibrationEvents())
+			if err != nil {
+				return fmt.Errorf("recon: int8 calibration: %w", err)
+			}
+			r.i8scales = sc
+		}
+		emb, err := embed.NewQuantized(r.p.Embedder, r.i8scales.embed)
+		if err != nil {
+			return fmt.Errorf("recon: quantize embedder: %w", err)
+		}
+		filt, err := filter.NewQuantized(r.p.Filter, r.i8scales.filter)
+		if err != nil {
+			return fmt.Errorf("recon: quantize filter: %w", err)
+		}
+		gnn, err := ignn.NewQuantized(r.p.GNN, r.i8scales.gnn)
+		if err != nil {
+			return fmt.Errorf("recon: quantize gnn: %w", err)
+		}
+		r.i8 = &i8Models{embed: emb, filter: filt, gnn: gnn}
 	}
-	r.f32 = &f32Models{
-		embed:  embed.NewInference[float32](r.p.Embedder),
-		filter: filter.NewInference[float32](r.p.Filter),
-		gnn:    ignn.NewInference[float32](r.p.GNN),
-	}
+	return nil
 }
 
 // Precision returns the inference precision of the built-in stages.
@@ -342,6 +391,10 @@ func (r *Reconstructor) Fit(ctx context.Context, events []*Event) error {
 	if len(events) == 0 {
 		return errors.New("recon: Fit needs at least one training event")
 	}
+	// The training events are the representative sample int8 calibration
+	// runs over from here on; any previously calibrated scales are stale
+	// the moment the weights move.
+	r.calEvents = events
 	embedDefault := isDefaultEmbedder(r.embedder)
 	filterDefault := isDefaultFilter(r.filter)
 	// The truth-level builder never consumes the embedding, so training
@@ -364,9 +417,13 @@ func (r *Reconstructor) Fit(ctx context.Context, events []*Event) error {
 	case filterDefault:
 		return errors.New("recon: the default edge filter trains on the default embedder's radius graphs; with a custom Embedder, supply an EdgeFilter that implements Fitter")
 	}
-	// The f32 adapters read weight snapshots; refresh them so the graphs
-	// built for GNN training below see the freshly trained stages 1–3.
-	r.syncInference()
+	// The reduced-precision adapters read weight snapshots; refresh them
+	// (recalibrating at Int8) so the graphs built for GNN training below
+	// see the freshly trained stages 1–3.
+	r.i8scales = nil
+	if err := r.syncInference(); err != nil {
+		return err
+	}
 	for _, stage := range []any{r.embedder, r.builder, r.filter, r.classifier, r.extractor} {
 		if f, ok := stage.(Fitter); ok {
 			if err := f.Fit(ctx, events); err != nil {
@@ -390,8 +447,8 @@ func (r *Reconstructor) Fit(ctx context.Context, events []*Event) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	r.syncInference()
-	return nil
+	r.i8scales = nil
+	return r.syncInference()
 }
 
 // isDefaultEmbedder (and friends) report whether a stage is one of the
@@ -399,7 +456,7 @@ func (r *Reconstructor) Fit(ctx context.Context, events []*Event) error {
 // pipeline's staged training procedure trains.
 func isDefaultEmbedder(e Embedder) bool {
 	switch e.(type) {
-	case mlpEmbedder, mlpEmbedder32:
+	case mlpEmbedder, mlpEmbedder32, mlpEmbedder8:
 		return true
 	}
 	return false
@@ -407,7 +464,7 @@ func isDefaultEmbedder(e Embedder) bool {
 
 func isDefaultFilter(f EdgeFilter) bool {
 	switch f.(type) {
-	case mlpFilter, mlpFilter32:
+	case mlpFilter, mlpFilter32, mlpFilter8:
 		return true
 	}
 	return false
@@ -415,7 +472,7 @@ func isDefaultFilter(f EdgeFilter) bool {
 
 func isDefaultClassifier(c EdgeClassifier) bool {
 	switch c.(type) {
-	case gnnClassifier, gnnClassifier32:
+	case gnnClassifier, gnnClassifier32, gnnClassifier8:
 		return true
 	}
 	return false
@@ -441,17 +498,30 @@ func (r *Reconstructor) SaveCheckpoint(path string) error {
 	return nn.SaveParamsFile(path, r.params())
 }
 
-// LoadCheckpoint restores a checkpoint written by SaveCheckpoint (or by
-// the legacy pipeline.SaveModels) into a reconstructor with the same
-// stage layout and hyperparameters. Mismatched shapes fail loudly
-// before any parameter is modified. All checkpoint versions load —
+// LoadCheckpoint restores a checkpoint written by SaveCheckpoint,
+// SaveCheckpointInt8, or the legacy pipeline.SaveModels into a
+// reconstructor with the same stage layout and hyperparameters.
+// Mismatched shapes fail loudly before any parameter is modified. All
+// checkpoint versions load — v4 (int8 weights + activation scales,
+// which at WithPrecision(Int8) are adopted so no recalibration runs),
 // v3 (dtype-tagged, f64 or f32 payloads), v2, and legacy headerless
 // files — and the reduced-precision inference snapshots are refreshed
 // from the loaded weights.
 func (r *Reconstructor) LoadCheckpoint(path string) error {
-	if err := nn.LoadParamsFile(path, r.params()); err != nil {
+	act, err := nn.LoadParamsFileExt(path, r.params())
+	if err != nil {
 		return err
 	}
-	r.syncInference()
-	return nil
+	if len(act) > 0 {
+		sc, err := i8ScalesFromAct(act, r.cfg.GNN.Steps)
+		if err != nil {
+			return err
+		}
+		r.i8scales = sc
+	} else {
+		// A pre-v4 file carries no calibration; any cached scales belong
+		// to the previous weights.
+		r.i8scales = nil
+	}
+	return r.syncInference()
 }

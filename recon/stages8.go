@@ -1,0 +1,102 @@
+package recon
+
+import (
+	"context"
+
+	"repro/internal/detector"
+	"repro/internal/kernels"
+	"repro/internal/knnsearch"
+	"repro/internal/tensor"
+)
+
+// The int8 stage adapters mirror stages32.go one tier down: event and
+// edge features convert to float32 once per event from the worker's
+// arena, the trained weights were quantized once by syncInference, and
+// the stage MLP/GNN forwards run the fused int8 kernels. Scores and
+// thresholds stay float64 — the decision logic and track extractor are
+// shared with both float paths unchanged.
+
+// mlpEmbedder8 adapts the stage-1 MLP at int8. The stage interface
+// returns a float64 matrix, so the embedding widens on the way out —
+// only custom graph builders consume it; the default i8 radius builder
+// embeds internally and skips the widening.
+type mlpEmbedder8 struct{ r *Reconstructor }
+
+func (e mlpEmbedder8) Embed(ctx context.Context, a *Arena, ev *Event) (*Matrix, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	mark := a.Checkpoint()
+	kc := kernels.From(ctx)
+	emb := e.r.i8.embed.EmbedCtx(kc, a, features32(a, ev))
+	out := tensor.ConvertFrom[float64](nil, emb)
+	a.ResetTo(mark)
+	return out, nil
+}
+
+func (e mlpEmbedder8) Params() []*Param { return e.r.p.Embedder.Params() }
+
+// radiusBuilder8 is stage 2 at int8: embed with the quantized MLP and
+// answer the fixed-radius queries on the float32 embedding it emits.
+type radiusBuilder8 struct {
+	r         *Reconstructor
+	radius    float64
+	maxDegree int
+}
+
+func (b radiusBuilder8) BuildEdges(ctx context.Context, a *Arena, ev *Event, _ func() (*Matrix, error)) (src, dst []int, err error) {
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	mark := a.Checkpoint()
+	defer a.ResetTo(mark)
+	kc := kernels.From(ctx)
+	emb := b.r.i8.embed.EmbedCtx(kc, a, features32(a, ev))
+	src, dst = knnsearch.BuildRadiusGraphCtx(kc, emb, b.radius, b.maxDegree)
+	return src, dst, nil
+}
+
+// mlpFilter8 adapts the stage-3 edge-filter MLP at int8.
+type mlpFilter8 struct {
+	r    *Reconstructor
+	spec DetectorSpec
+}
+
+func (f mlpFilter8) FilterEdges(ctx context.Context, a *Arena, ev *Event, src, dst []int) (fsrc, fdst []int, err error) {
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	if len(src) == 0 {
+		return nil, nil, nil
+	}
+	mark := a.Checkpoint()
+	edgeFeat := detector.EdgeFeaturesWith(a, f.spec, ev, src, dst)
+	kc := kernels.From(ctx)
+	keep := f.r.i8.filter.KeepCtx(kc, a, features32(a, ev), tensor.ConvertFrom[float32](a, edgeFeat), src, dst)
+	a.ResetTo(mark)
+	for k := range src {
+		if keep[k] {
+			fsrc = append(fsrc, src[k])
+			fdst = append(fdst, dst[k])
+		}
+	}
+	return fsrc, fdst, nil
+}
+
+func (f mlpFilter8) Params() []*Param { return f.r.p.Filter.Params() }
+
+// gnnClassifier8 adapts the stage-4 Interaction GNN at int8.
+type gnnClassifier8 struct{ r *Reconstructor }
+
+func (c gnnClassifier8) ScoreEdges(ctx context.Context, a *Arena, eg *EventGraph) ([]float64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	mark := a.Checkpoint()
+	defer a.ResetTo(mark)
+	x := tensor.ConvertFrom[float32](a, eg.X)
+	y := tensor.ConvertFrom[float32](a, eg.Y)
+	return c.r.i8.gnn.EdgeScoresCtx(kernels.From(ctx), a, eg.G.Src, eg.G.Dst, x, y), nil
+}
+
+func (c gnnClassifier8) Params() []*Param { return c.r.p.GNN.Params() }
