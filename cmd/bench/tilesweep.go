@@ -1,0 +1,307 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/kernels"
+	"repro/internal/sparse"
+	"repro/internal/tensor"
+)
+
+// This file implements -tile-sweep: the cache-blocking autotuner. For
+// each precision it times the tiled GEMM across an MR×JB grid and the
+// blocked incidence-SpMM across a column-band grid, against the flat
+// kernels as the MR=-1/Band=-1 baseline rows. The fastest shapes become
+// the process default (kernels.SetDefaultTiling) before the main suite
+// runs, and the whole sweep — every candidate's ns/op plus the chosen
+// Tiling — lands in the record's tile_sweep section so the selection is
+// reproducible from the JSON alone. Tiles never change results (see the
+// blocked-kernel parity tests), so the sweep is purely a performance
+// search.
+
+// TileSweepEntry is one (precision, axis, shape) timing. GEMM entries
+// carry MR/JB (MR -1 = flat kernel); SpMM entries carry Band (-1 =
+// flat CSR).
+type TileSweepEntry struct {
+	Precision string  `json:"precision"` // "f64", "f32", "i8"
+	Axis      string  `json:"axis"`      // "gemm", "spmm"
+	MR        int     `json:"mr,omitempty"`
+	JB        int     `json:"jb,omitempty"`
+	Band      int     `json:"band,omitempty"`
+	NsPerOp   float64 `json:"ns_per_op"`
+}
+
+// TileSweep is the record section the autotuner emits.
+type TileSweep struct {
+	Quick   bool             `json:"quick,omitempty"`
+	Entries []TileSweepEntry `json:"entries"`
+	Chosen  kernels.Tiling   `json:"chosen"`
+}
+
+// sweepGrids returns the candidate shapes. The full grid covers every
+// implemented micro-kernel height and the plausible panel/band range for
+// the L1/L2 sizes of commodity hosts; quick keeps one row per axis
+// decision so the CI smoke finishes in seconds.
+func sweepGrids(quick bool) (gemm []kernels.TileShape, bands []int) {
+	if quick {
+		return []kernels.TileShape{
+			{MR: 1, JB: 512},
+			{MR: 4, JB: 512},
+		}, []int{256, 1024}
+	}
+	for _, mr := range []int{1, 2, 4} {
+		for _, jb := range []int{64, 128, 256, 512} {
+			gemm = append(gemm, kernels.TileShape{MR: mr, JB: jb})
+		}
+	}
+	return gemm, []int{128, 256, 512, 1024, 2048}
+}
+
+// benchNs times fn once under testing.Benchmark and returns ns/op.
+func benchNs(fn func(b *testing.B)) float64 {
+	r := testing.Benchmark(fn)
+	return float64(r.T.Nanoseconds()) / float64(r.N)
+}
+
+// sweepSizes returns the sweep fixture dimensions; quick shrinks them so
+// each candidate's 1s measurement spends its iterations on small ops.
+func sweepSizes(quick bool) (gemmRows, edges, nodes, cols int) {
+	if quick {
+		return 1024, 4096, 1000, 32
+	}
+	return 4096, 8192, 2000, 32
+}
+
+// runTileSweep measures every candidate and returns the sweep section
+// with the fastest GEMM (MR, JB) and SpMM Band per precision.
+func runTileSweep(quick bool) *TileSweep {
+	sw := &TileSweep{Quick: quick}
+	gemmGrid, bandGrid := sweepGrids(quick)
+	gemmRows, edges, nodes, cols := sweepSizes(quick)
+
+	// Fixtures are shared across candidates of one precision so every
+	// entry times identical work.
+	a64 := benchMat(gemmRows, 64, 1)
+	w64 := benchMat(64, 64, 2)
+	o64 := tensor.New(gemmRows, 64)
+	a32 := tensor.ConvertFrom[float32](nil, a64)
+	w32 := tensor.ConvertFrom[float32](nil, w64)
+	o32 := tensor.NewOf[float32](gemmRows, 64)
+	aQ := benchQMat(gemmRows, 64, 1)
+	wQ := tensor.QuantizeWeights(w64)
+	biasQ := make([]float32, 64)
+	oQ := tensor.NewQMat(gemmRows, 64, 0)
+
+	idx, _ := benchEdges(edges, nodes, 3)
+	x64 := benchMat(edges, cols, 4)
+	s64 := tensor.New(nodes, cols)
+	x32 := tensor.ConvertFrom[float32](nil, x64)
+	s32 := tensor.NewOf[float32](nodes, cols)
+	xQ := benchQMat(edges, cols, 4)
+	sQ := tensor.NewQMat(nodes, cols, 0)
+
+	gemmRunners := map[string]func(ts kernels.TileShape, b *testing.B){
+		"f64": func(ts kernels.TileShape, b *testing.B) {
+			kc := kernels.Context{Tiles: kernels.Tiling{F64: ts}}
+			for i := 0; i < b.N; i++ {
+				tensor.MatMulIntoCtx(kc, o64, a64, w64)
+			}
+		},
+		"f32": func(ts kernels.TileShape, b *testing.B) {
+			kc := kernels.Context{Tiles: kernels.Tiling{F32: ts}}
+			for i := 0; i < b.N; i++ {
+				tensor.MatMulIntoCtx(kc, o32, a32, w32)
+			}
+		},
+		"i8": func(ts kernels.TileShape, b *testing.B) {
+			kc := kernels.Context{Tiles: kernels.Tiling{I8: ts}}
+			for i := 0; i < b.N; i++ {
+				tensor.QMatMulBiasReLUQuantInto(kc, oQ, aQ, wQ, biasQ, 0.05)
+			}
+		},
+	}
+	spmmRunners := map[string]func(band int, b *testing.B){
+		"f64": func(band int, b *testing.B) {
+			if band < 0 {
+				s := sparse.IncidenceInto(sparse.NewCSR(0, 0), nodes, idx)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					sparse.SpMMIntoCtx(kernels.Context{}, s64, s, x64)
+				}
+				return
+			}
+			s := sparse.BlockedIncidenceInto(new(sparse.BlockedCSROf[float64]), nodes, idx, band)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sparse.BlockedSpMMIntoCtx(kernels.Context{}, s64, s, x64)
+			}
+		},
+		"f32": func(band int, b *testing.B) {
+			if band < 0 {
+				s := sparse.IncidenceInto(sparse.NewCSROf[float32](0, 0), nodes, idx)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					sparse.SpMMIntoCtx(kernels.Context{}, s32, s, x32)
+				}
+				return
+			}
+			s := sparse.BlockedIncidenceInto(new(sparse.BlockedCSROf[float32]), nodes, idx, band)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sparse.BlockedSpMMIntoCtx(kernels.Context{}, s32, s, x32)
+			}
+		},
+		"i8": func(band int, b *testing.B) {
+			if band < 0 {
+				s := sparse.QIncidenceInto(&sparse.QCSR{}, nodes, idx)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					sparse.QSpMMQuantInto(kernels.Context{}, sQ, s, xQ, 0.05)
+				}
+				return
+			}
+			s := sparse.QBlockedIncidenceInto(&sparse.QBlockedCSR{}, nodes, idx, band)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sparse.QBlockedSpMMQuantInto(kernels.Context{}, sQ, s, xQ, 0.05)
+			}
+		},
+	}
+
+	precisions := []string{"f64", "f32", "i8"}
+	best := map[string]kernels.TileShape{}
+	for _, p := range precisions {
+		run := gemmRunners[p]
+		bestNs, bestShape := 0.0, kernels.TileShape{MR: -1}
+		candidates := append([]kernels.TileShape{{MR: -1}}, gemmGrid...)
+		for _, ts := range candidates {
+			ts := ts
+			fmt.Fprintf(os.Stderr, "tile-sweep: %s gemm mr=%d jb=%d...\n", p, ts.MR, ts.JB)
+			ns := benchNs(func(b *testing.B) { run(ts, b) })
+			sw.Entries = append(sw.Entries, TileSweepEntry{
+				Precision: p, Axis: "gemm", MR: ts.MR, JB: ts.JB, NsPerOp: ns,
+			})
+			if bestNs == 0 || ns < bestNs {
+				bestNs, bestShape = ns, ts
+			}
+		}
+		best[p] = bestShape
+	}
+	for _, p := range precisions {
+		run := spmmRunners[p]
+		bestNs, bestBand := 0.0, -1
+		for _, band := range append([]int{-1}, bandGrid...) {
+			band := band
+			fmt.Fprintf(os.Stderr, "tile-sweep: %s spmm band=%d...\n", p, band)
+			ns := benchNs(func(b *testing.B) { run(band, b) })
+			sw.Entries = append(sw.Entries, TileSweepEntry{
+				Precision: p, Axis: "spmm", Band: band, NsPerOp: ns,
+			})
+			if bestNs == 0 || ns < bestNs {
+				bestNs, bestBand = ns, band
+			}
+		}
+		sh := best[p]
+		sh.Band = bestBand
+		best[p] = sh
+	}
+	sw.Chosen = kernels.Tiling{F64: best["f64"], F32: best["f32"], I8: best["i8"]}
+	fmt.Fprintf(os.Stderr, "tile-sweep: chosen f64=%+v f32=%+v i8=%+v\n",
+		sw.Chosen.F64, sw.Chosen.F32, sw.Chosen.I8)
+	return sw
+}
+
+// assertTileSweep is the CI smoke check: the sweep must have actually
+// explored the shape space (≥2 distinct MR values and ≥2 band widths
+// beyond the flat baselines, per precision) and each chosen shape must
+// be one of the swept candidates — i.e. a non-default tile is genuinely
+// selectable, not hardwired.
+func assertTileSweep(sw *TileSweep) error {
+	type axisKey struct{ precision, axis string }
+	mrSeen := map[axisKey]map[int]bool{}
+	bandSeen := map[axisKey]map[int]bool{}
+	for _, e := range sw.Entries {
+		k := axisKey{e.Precision, e.Axis}
+		switch e.Axis {
+		case "gemm":
+			if mrSeen[k] == nil {
+				mrSeen[k] = map[int]bool{}
+			}
+			mrSeen[k][e.MR] = true
+		case "spmm":
+			if bandSeen[k] == nil {
+				bandSeen[k] = map[int]bool{}
+			}
+			bandSeen[k][e.Band] = true
+		}
+	}
+	chosen := map[string]kernels.TileShape{
+		"f64": sw.Chosen.F64, "f32": sw.Chosen.F32, "i8": sw.Chosen.I8,
+	}
+	for p, sh := range chosen {
+		mr := mrSeen[axisKey{p, "gemm"}]
+		tiledMRs := 0
+		for v := range mr {
+			if v > 0 {
+				tiledMRs++
+			}
+		}
+		if tiledMRs < 2 {
+			return fmt.Errorf("%s gemm sweep covered %d tiled MR values, want ≥2", p, tiledMRs)
+		}
+		if !mr[sh.MR] {
+			return fmt.Errorf("%s chosen MR=%d was never swept", p, sh.MR)
+		}
+		bands := bandSeen[axisKey{p, "spmm"}]
+		tiledBands := 0
+		for v := range bands {
+			if v > 0 {
+				tiledBands++
+			}
+		}
+		if tiledBands < 2 {
+			return fmt.Errorf("%s spmm sweep covered %d band widths, want ≥2", p, tiledBands)
+		}
+		if !bands[sh.Band] {
+			return fmt.Errorf("%s chosen Band=%d was never swept", p, sh.Band)
+		}
+	}
+	return nil
+}
+
+// attachTileMetrics labels every GEMM row with the tile shape it ran at
+// (tile_mr/tile_jb) and every SpMM row with its column band
+// (tile_band), resolved from the active process default per the row's
+// precision suffix — so a record is self-describing about the layout
+// its numbers were measured under. -1 marks the flat kernel.
+func attachTileMetrics(rec *Record) {
+	tiles := kernels.DefaultTiling().Resolve()
+	for i := range rec.Benchmarks {
+		b := &rec.Benchmarks[i]
+		sh := tiles.F64
+		switch {
+		case strings.HasSuffix(b.Name, "_f32"):
+			sh = tiles.F32
+		case strings.HasSuffix(b.Name, "_i8"):
+			sh = tiles.I8
+		}
+		isGEMM := strings.Contains(b.Name, "MatMul")
+		isSpMM := strings.Contains(b.Name, "SpMM")
+		if !isGEMM && !isSpMM {
+			continue
+		}
+		if b.Metrics == nil {
+			b.Metrics = map[string]float64{}
+		}
+		if isGEMM {
+			b.Metrics["tile_mr"] = float64(sh.MR)
+			b.Metrics["tile_jb"] = float64(sh.JB)
+		}
+		if isSpMM {
+			b.Metrics["tile_band"] = float64(sh.Band)
+		}
+	}
+}

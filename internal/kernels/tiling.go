@@ -1,0 +1,141 @@
+package kernels
+
+import (
+	"sync/atomic"
+
+	"repro/internal/fp"
+)
+
+// TileShape describes the cache-blocking of one precision's hot
+// kernels. The zero value means "use the process default" (see
+// DefaultTiling); a negative field disables that blocking dimension and
+// falls back to the flat kernel. Every supported shape produces bitwise
+// identical results — tiles regroup loops without changing any per-
+// element accumulation order — so the choice is a pure performance
+// knob, swept per host by `bench -tile-sweep`.
+type TileShape struct {
+	// MR is the GEMM micro-kernel height: how many output rows
+	// accumulate simultaneously in registers against one packed
+	// 4-column panel of B. Supported values are 1, 2, and 4 (others
+	// round down); negative selects the flat (unpacked) GEMM.
+	MR int
+	// JB is the GEMM column-block width in output columns: the span of
+	// packed panels kept hot while sweeping a block of rows. Rounded up
+	// to a multiple of the 4-wide panel; negative or zero uses the
+	// default.
+	JB int
+	// Band is the blocked-CSR column-band width of the sparse
+	// aggregation kernels: the incidence matrix splits into
+	// ⌈cols/Band⌉ column bands so the rows of the dense operand
+	// touched by one band stay cache-resident. Negative selects the
+	// flat CSR path.
+	Band int
+}
+
+// GEMMOff reports whether the packed GEMM is disabled.
+func (s TileShape) GEMMOff() bool { return s.MR < 0 }
+
+// BandOff reports whether blocked-CSR aggregation is disabled.
+func (s TileShape) BandOff() bool { return s.Band < 0 }
+
+// normalize clamps s to the shapes the kernels implement: MR rounds
+// down to {1,2,4}, JB rounds up to a positive multiple of 4. Negative
+// fields pass through (they mean "off"); zero fields must already have
+// been resolved against a default.
+func (s TileShape) normalize() TileShape {
+	switch {
+	case s.MR >= 4:
+		s.MR = 4
+	case s.MR >= 2:
+		s.MR = 2
+	case s.MR >= 1:
+		s.MR = 1
+	}
+	if s.JB > 0 {
+		s.JB = (s.JB + 3) &^ 3
+	} else if s.MR > 0 {
+		s.JB = 512
+	}
+	return s
+}
+
+// Tiling bundles the per-precision tile shapes threaded through
+// Context. The zero value resolves every shape to the process default,
+// so serving picks up tuned tiles with zero flags.
+type Tiling struct {
+	F64, F32, I8 TileShape
+}
+
+// builtinTiling is the baked-in default, chosen by `bench -tile-sweep`
+// on the reference host (see PERF.md "PR 10 tiling protocol" for the
+// full sweep tables). Narrow GEMM column blocks win there — the packed
+// panels for 64 output columns fit L1 alongside the A rows — while the
+// incidence SpMM runs flat (Band < 0): incidence matrices are
+// hyper-sparse (4 nnz/row), so per-band row-pointer overhead exceeds
+// the locality gain at serving sizes. Re-run the sweep on a new host
+// class; SetDefaultTiling or recon.WithTiling override without a
+// rebuild.
+var builtinTiling = Tiling{
+	F64: TileShape{MR: 4, JB: 64, Band: -1},
+	F32: TileShape{MR: 2, JB: 64, Band: -1},
+	I8:  TileShape{MR: 4, JB: 256, Band: -1},
+}
+
+// defaultTiling holds the process-wide default, replaceable by the
+// autotuner.
+var defaultTiling atomic.Value // Tiling
+
+func init() { defaultTiling.Store(builtinTiling) }
+
+// DefaultTiling returns the process-wide default tiling: the built-in
+// shapes unless SetDefaultTiling installed a tuned set.
+func DefaultTiling() Tiling {
+	return defaultTiling.Load().(Tiling)
+}
+
+// SetDefaultTiling installs t (with zero fields resolved against the
+// built-in defaults) as the process-wide default — how `bench
+// -tile-sweep` applies its chosen tiles before the main suite runs.
+func SetDefaultTiling(t Tiling) {
+	defaultTiling.Store(t.resolveAgainst(builtinTiling))
+}
+
+// Resolve fills every zero field of t from the process default and
+// normalizes the result to implemented shapes.
+func (t Tiling) Resolve() Tiling {
+	return t.resolveAgainst(DefaultTiling())
+}
+
+func (t Tiling) resolveAgainst(d Tiling) Tiling {
+	t.F64 = t.F64.resolveAgainst(d.F64).normalize()
+	t.F32 = t.F32.resolveAgainst(d.F32).normalize()
+	t.I8 = t.I8.resolveAgainst(d.I8).normalize()
+	return t
+}
+
+func (s TileShape) resolveAgainst(d TileShape) TileShape {
+	if s.MR == 0 {
+		s.MR = d.MR
+	}
+	if s.JB == 0 {
+		s.JB = d.JB
+	}
+	if s.Band == 0 {
+		s.Band = d.Band
+	}
+	return s
+}
+
+// ShapeFor resolves the tile shape of element type T under c: the
+// explicit per-precision shape when the Context carries one, the
+// process default otherwise.
+func ShapeFor[T fp.Float](c Context) TileShape {
+	t := c.Tiles.Resolve()
+	if fp.Is32[T]() {
+		return t.F32
+	}
+	return t.F64
+}
+
+// ShapeI8 resolves the int8 tile shape under c.
+func (c Context) ShapeI8() TileShape { return c.Tiles.Resolve().I8 }

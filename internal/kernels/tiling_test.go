@@ -1,0 +1,75 @@
+package kernels
+
+import "testing"
+
+func TestZeroTilingResolvesToDefault(t *testing.T) {
+	got := (Tiling{}).Resolve()
+	for _, s := range []TileShape{got.F64, got.F32, got.I8} {
+		if s.MR <= 0 || s.JB <= 0 || s.Band == 0 {
+			t.Fatalf("zero Tiling resolved to incomplete shape %+v", got)
+		}
+	}
+}
+
+func TestNegativeFieldsDisable(t *testing.T) {
+	tl := Tiling{F64: TileShape{MR: -1, JB: -1, Band: -1}}.Resolve()
+	if !tl.F64.GEMMOff() || !tl.F64.BandOff() {
+		t.Fatalf("negative shape did not disable: %+v", tl.F64)
+	}
+	// Other precisions still resolve to defaults.
+	if tl.F32.MR <= 0 {
+		t.Fatalf("untouched precision lost its default: %+v", tl.F32)
+	}
+}
+
+func TestNormalizeClampsToImplementedShapes(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{1, 1}, {2, 2}, {3, 2}, {4, 4}, {5, 4}, {8, 4}, {100, 4},
+	} {
+		got := TileShape{MR: tc.in, JB: 512, Band: 512}.normalize()
+		if got.MR != tc.want {
+			t.Fatalf("normalize MR %d = %d, want %d", tc.in, got.MR, tc.want)
+		}
+	}
+	if got := (TileShape{MR: 4, JB: 5}).normalize(); got.JB != 8 {
+		t.Fatalf("JB 5 normalized to %d, want 8", got.JB)
+	}
+	if got := (TileShape{MR: 4, JB: -3}).normalize(); got.JB != 512 {
+		t.Fatalf("negative JB normalized to %d, want default 512", got.JB)
+	}
+}
+
+func TestSetDefaultTilingAppliesAndResolves(t *testing.T) {
+	orig := DefaultTiling()
+	defer defaultTiling.Store(orig)
+	SetDefaultTiling(Tiling{F32: TileShape{MR: 2, JB: 64, Band: 128}})
+	got := DefaultTiling()
+	if got.F32 != (TileShape{MR: 2, JB: 64, Band: 128}) {
+		t.Fatalf("SetDefaultTiling F32 = %+v", got.F32)
+	}
+	// Unset precisions fall back to the built-ins.
+	if got.F64 != builtinTiling.F64.normalize() {
+		t.Fatalf("SetDefaultTiling F64 = %+v, want builtin %+v", got.F64, builtinTiling.F64)
+	}
+	// A zero Context now resolves to the tuned set.
+	if s := ShapeFor[float32](Context{}); s != (TileShape{MR: 2, JB: 64, Band: 128}) {
+		t.Fatalf("ShapeFor[float32] = %+v", s)
+	}
+}
+
+func TestShapeForSelectsPrecision(t *testing.T) {
+	kc := Context{Tiles: Tiling{
+		F64: TileShape{MR: 1, JB: 4, Band: 1},
+		F32: TileShape{MR: 2, JB: 8, Band: 2},
+		I8:  TileShape{MR: 4, JB: 12, Band: 3},
+	}}
+	if s := ShapeFor[float64](kc); s.MR != 1 || s.Band != 1 {
+		t.Fatalf("f64 shape %+v", s)
+	}
+	if s := ShapeFor[float32](kc); s.MR != 2 || s.Band != 2 {
+		t.Fatalf("f32 shape %+v", s)
+	}
+	if s := kc.ShapeI8(); s.MR != 4 || s.Band != 3 {
+		t.Fatalf("i8 shape %+v", s)
+	}
+}

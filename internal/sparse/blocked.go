@@ -1,0 +1,272 @@
+package sparse
+
+import (
+	"fmt"
+
+	"repro/internal/fp"
+	"repro/internal/kernels"
+	"repro/internal/parallel"
+	"repro/internal/tensor"
+	"repro/internal/workspace"
+)
+
+// This file implements the column-banded ("blocked") CSR layout of the
+// aggregation kernels. The columns split into ⌈cols/Band⌉ contiguous
+// bands; each band stores its own CSR row structure over the full row
+// range, so the SpMM can process one band at a time and the rows of the
+// dense operand a band touches stay cache-resident instead of being
+// revisited at random across the whole matrix.
+//
+// Bitwise contract: bands partition the columns in ascending order and
+// each (band, row) run keeps strictly ascending columns, so walking
+// bands outer-to-inner visits every row's nonzeros in exactly flat-CSR
+// order. Each output row still accumulates serially left-to-right, and
+// rows partition statically across workers — blocked results are
+// bitwise identical to the flat kernels at any band width and worker
+// count.
+
+// BlockedCSROf is a column-banded CSR matrix. RowPtr is band-major with
+// length Bands()·(rows+1): the segment of band b spans
+// [b·(rows+1), (b+1)·(rows+1)) and holds global offsets into the shared
+// ColIdx/Vals streams (so consecutive segments overlap at the band
+// boundary value). Column indices are global.
+type BlockedCSROf[T fp.Float] struct {
+	RowsN, ColsN int
+	Band         int
+	RowPtr       []int
+	ColIdx       []int
+	Vals         []T
+}
+
+// Rows returns the row count.
+func (m *BlockedCSROf[T]) Rows() int { return m.RowsN }
+
+// Cols returns the column count.
+func (m *BlockedCSROf[T]) Cols() int { return m.ColsN }
+
+// Nnz returns the number of stored nonzeros.
+func (m *BlockedCSROf[T]) Nnz() int { return len(m.ColIdx) }
+
+// Bands returns the number of column bands (0 for an empty column
+// range).
+func (m *BlockedCSROf[T]) Bands() int {
+	if m.ColsN <= 0 {
+		return 0
+	}
+	b := m.Band
+	if b <= 0 {
+		b = m.ColsN
+	}
+	return (m.ColsN + b - 1) / b
+}
+
+// ConvertBlocked rebuilds src in column-banded form with the given band
+// width (≤0 means one band spanning every column). out's storage is
+// reused when large enough and grown through the workspace pools
+// otherwise, so steady-state calls perform no heap allocation. out must
+// not alias src. Returns out.
+func ConvertBlocked[T fp.Float](out *BlockedCSROf[T], src *CSROf[T], band int) *BlockedCSROf[T] {
+	rows := src.RowsN
+	if band <= 0 || band > src.ColsN {
+		band = src.ColsN
+	}
+	out.RowsN, out.ColsN, out.Band = rows, src.ColsN, band
+	nb := out.Bands()
+	rp := workspace.GrowInt(out.RowPtr, nb*(rows+1))
+	for i := range rp {
+		rp[i] = 0
+	}
+	for i := 0; i < rows; i++ {
+		cols, _ := src.Row(i)
+		for _, c := range cols {
+			rp[(c/band)*(rows+1)+i+1]++
+		}
+	}
+	blockedPrefix(rp, nb, rows)
+	out.RowPtr = rp
+	nnz := src.Nnz()
+	out.ColIdx = workspace.GrowInt(out.ColIdx, nnz)
+	out.Vals = workspace.GrowFloat(out.Vals, nnz)
+	cursor := blockedCursor(rp, nb, rows)
+	for i := 0; i < rows; i++ {
+		cols, vals := src.Row(i)
+		for k, c := range cols {
+			slot := (c/band)*rows + i
+			pos := cursor[slot]
+			out.ColIdx[pos] = c
+			out.Vals[pos] = vals[k]
+			cursor[slot] = pos + 1
+		}
+	}
+	workspace.PutInt(cursor)
+	return out
+}
+
+// blockedPrefix turns per-(band,row) counts (stored at base+i+1) into
+// the band-major global-offset RowPtr layout.
+func blockedPrefix(rp []int, nb, rows int) {
+	run := 0
+	for b := 0; b < nb; b++ {
+		base := b * (rows + 1)
+		rp[base] = run
+		for i := 0; i < rows; i++ {
+			rp[base+i+1] += rp[base+i]
+		}
+		run = rp[base+rows]
+	}
+}
+
+// blockedCursor returns a pooled nb×rows cursor initialized to each
+// (band, row) run's start offset.
+func blockedCursor(rp []int, nb, rows int) []int {
+	cursor := workspace.GetInt(nb * rows)
+	for b := 0; b < nb; b++ {
+		copy(cursor[b*rows:(b+1)*rows], rp[b*(rows+1):b*(rows+1)+rows])
+	}
+	return cursor
+}
+
+// ToCSR flattens m back to plain CSR (band-ascending per row = global
+// column order). out's storage grows through the workspace pools; must
+// not alias m. Returns out.
+func (m *BlockedCSROf[T]) ToCSR(out *CSROf[T]) *CSROf[T] {
+	rows := m.RowsN
+	out.RowsN, out.ColsN = rows, m.ColsN
+	out.RowPtr = workspace.GrowInt(out.RowPtr, rows+1)
+	out.ColIdx = workspace.GrowInt(out.ColIdx, m.Nnz())
+	out.Vals = workspace.GrowFloat(out.Vals, m.Nnz())
+	nb := m.Bands()
+	pos := 0
+	out.RowPtr[0] = 0
+	for i := 0; i < rows; i++ {
+		for b := 0; b < nb; b++ {
+			base := b * (rows + 1)
+			lo, hi := m.RowPtr[base+i], m.RowPtr[base+i+1]
+			copy(out.ColIdx[pos:pos+hi-lo], m.ColIdx[lo:hi])
+			copy(out.Vals[pos:pos+hi-lo], m.Vals[lo:hi])
+			pos += hi - lo
+		}
+		out.RowPtr[i+1] = pos
+	}
+	return out
+}
+
+// BlockedIncidenceInto builds the rows×len(idx) incidence matrix (see
+// IncidenceInto) directly in column-banded form with the given band
+// width: one counting sort keyed on (band, row) — the column of entry e
+// is e itself, so e ascending within each (band, row) bucket is exactly
+// ascending column order. Storage is reused/grown through the workspace
+// pools. Returns out.
+func BlockedIncidenceInto[T fp.Float](out *BlockedCSROf[T], rows int, idx []int, band int) *BlockedCSROf[T] {
+	m := len(idx)
+	if band <= 0 || band > m {
+		band = m
+	}
+	out.RowsN, out.ColsN, out.Band = rows, m, band
+	nb := out.Bands()
+	rp := workspace.GrowInt(out.RowPtr, nb*(rows+1))
+	for i := range rp {
+		rp[i] = 0
+	}
+	for e, v := range idx {
+		rp[(e/band)*(rows+1)+v+1]++
+	}
+	blockedPrefix(rp, nb, rows)
+	out.RowPtr = rp
+	out.ColIdx = workspace.GrowInt(out.ColIdx, m)
+	out.Vals = workspace.GrowFloat(out.Vals, m)
+	cursor := blockedCursor(rp, nb, rows)
+	for e, v := range idx {
+		slot := (e/band)*rows + v
+		pos := cursor[slot]
+		out.ColIdx[pos] = e
+		cursor[slot] = pos + 1
+	}
+	workspace.PutInt(cursor)
+	for i := 0; i < m; i++ {
+		out.Vals[i] = 1
+	}
+	return out
+}
+
+var (
+	blockedSpmmBody64 any = blockedSpmmBody[float64]
+	blockedSpmmBody32 any = blockedSpmmBody[float32]
+)
+
+// blockedSpmmCtx carries the blocked SpMM operands into capture-free
+// parallel bodies.
+type blockedSpmmCtx[T fp.Float] struct {
+	out *tensor.Matrix[T]
+	a   *BlockedCSROf[T]
+	x   *tensor.Matrix[T]
+}
+
+// BlockedSpMMIntoCtx computes out = a×x band by band: within each
+// statically partitioned row chunk, a sub-block of output rows zeroes
+// once, every band streams its contributions into those rows, and the
+// x rows one band touches stay cache-resident. Bitwise identical to
+// SpMMIntoCtx at any band width and worker count (see the file
+// contract); steady-state calls perform no heap allocation.
+func BlockedSpMMIntoCtx[T fp.Float](kc kernels.Context, out *tensor.Matrix[T], a *BlockedCSROf[T], x *tensor.Matrix[T]) *tensor.Matrix[T] {
+	if a.ColsN != x.Rows() {
+		panic(fmt.Sprintf("sparse: BlockedSpMM inner dims %d vs %d", a.ColsN, x.Rows()))
+	}
+	if out.Rows() != a.RowsN || out.Cols() != x.Cols() {
+		panic("sparse: BlockedSpMMInto output shape mismatch")
+	}
+	parallel.ForWithN(kc.Cap(), a.RowsN, 32, blockedSpmmCtx[T]{out, a, x},
+		pickBody[T, blockedSpmmCtx[T]](blockedSpmmBody64, blockedSpmmBody32))
+	return out
+}
+
+// spmmRowBlock returns how many output rows accumulate per band sweep:
+// enough to amortize the per-band row-pointer walk, small enough that
+// the active output block stays L1-resident. Depends only on the output
+// width, never on worker count, so it cannot affect results.
+func spmmRowBlock(cols, elemBytes int) int {
+	rowBytes := cols*elemBytes + 1
+	rb := (32 << 10) / rowBytes
+	if rb < 8 {
+		rb = 8
+	}
+	return rb
+}
+
+// blockedSpmmBody computes rows [lo, hi) of out = a×x band-by-band.
+func blockedSpmmBody[T fp.Float](cx blockedSpmmCtx[T], lo, hi int) {
+	out, a, x := cx.out, cx.a, cx.x
+	c := x.Cols()
+	nb := a.Bands()
+	rows := a.RowsN
+	rb := spmmRowBlock(c, fp.Bytes[T]())
+	for r0 := lo; r0 < hi; r0 += rb {
+		r1 := r0 + rb
+		if r1 > hi {
+			r1 = hi
+		}
+		for i := r0; i < r1; i++ {
+			oRow := out.Row(i)
+			for j := range oRow {
+				oRow[j] = 0
+			}
+		}
+		for b := 0; b < nb; b++ {
+			base := b * (rows + 1)
+			for i := r0; i < r1; i++ {
+				klo, khi := a.RowPtr[base+i], a.RowPtr[base+i+1]
+				if klo == khi {
+					continue
+				}
+				oRow := out.Row(i)
+				for kk := klo; kk < khi; kk++ {
+					v := a.Vals[kk]
+					xRow := x.Row(a.ColIdx[kk])
+					for j := 0; j < c; j++ {
+						oRow[j] += v * xRow[j]
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,215 @@
+package sparse
+
+import (
+	"testing"
+
+	"repro/internal/kernels"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// Blocked-CSR coverage: the column-banded layout must reproduce the
+// flat kernels bit for bit at every band width and worker count,
+// round-trip losslessly, and hold its zero-allocation contract on warm
+// pools. Edge shapes — empty rows, single-column bands, rows whose
+// nonzeros straddle band boundaries, bands wider than the matrix — are
+// all exercised.
+
+var blockedBands = []int{1, 3, 16, 64, 1000}
+
+// gappyCSR builds a random CSR with deliberately empty rows (every
+// third row holds no entries) so the klo==khi skip path runs.
+func gappyCSR(r *rng.Rand, rows, cols int, density float64) *CSR {
+	coo := NewCOO(rows, cols)
+	for i := 0; i < rows; i++ {
+		if i%3 == 0 {
+			continue
+		}
+		for j := 0; j < cols; j++ {
+			if r.Float64() < density {
+				coo.Add(i, j, r.NormFloat64())
+			}
+		}
+	}
+	return coo.ToCSR()
+}
+
+func TestConvertBlockedRoundTrip(t *testing.T) {
+	r := rng.New(31)
+	for _, src := range []*CSR{
+		gappyCSR(r, 23, 17, 0.3),
+		randomCSR(r, 1, 1, 1),
+		randomCSR(r, 40, 5, 0.6),
+		NewCSR(7, 11), // fully empty
+	} {
+		for _, band := range blockedBands {
+			bl := ConvertBlocked(new(BlockedCSROf[float64]), src, band)
+			back := bl.ToCSR(new(CSR))
+			if !src.Equal(back) {
+				t.Fatalf("ConvertBlocked(band=%d) round trip differs for %dx%d", band, src.RowsN, src.ColsN)
+			}
+		}
+	}
+}
+
+func TestBlockedSpMMMatchesFlatBitwise(t *testing.T) {
+	r := rng.New(32)
+	a := gappyCSR(r, 67, 53, 0.25)
+	x := tensor.RandN(r, 53, 9, 1)
+	ref := SpMMIntoCtx(kernels.Context{Workers: 1}, tensor.New(67, 9), a, x)
+	for _, band := range blockedBands {
+		bl := ConvertBlocked(new(BlockedCSROf[float64]), a, band)
+		for _, w := range parityWorkers {
+			got := BlockedSpMMIntoCtx(kernels.Context{Workers: w}, tensor.New(67, 9), bl, x)
+			denseBitsEqual(t, "BlockedSpMM", ref, got)
+		}
+	}
+}
+
+func TestBlockedSpMMMatchesFlatBitwiseF32(t *testing.T) {
+	r := rng.New(33)
+	a64 := gappyCSR(r, 45, 31, 0.3)
+	a := &CSROf[float32]{RowsN: a64.RowsN, ColsN: a64.ColsN, RowPtr: a64.RowPtr, ColIdx: a64.ColIdx}
+	for _, v := range a64.Vals {
+		a.Vals = append(a.Vals, float32(v))
+	}
+	x := tensor.ConvertFrom[float32](nil, tensor.RandN(r, 31, 7, 1))
+	ref := SpMMIntoCtx(kernels.Context{Workers: 1}, tensor.NewOf[float32](45, 7), a, x)
+	for _, band := range blockedBands {
+		bl := ConvertBlocked(new(BlockedCSROf[float32]), a, band)
+		for _, w := range parityWorkers {
+			got := BlockedSpMMIntoCtx(kernels.Context{Workers: w}, tensor.NewOf[float32](45, 7), bl, x)
+			rd, gd := ref.Data(), got.Data()
+			for i := range rd {
+				if rd[i] != gd[i] {
+					t.Fatalf("BlockedSpMM f32 band=%d workers=%d: element %d differs", band, w, i)
+				}
+			}
+		}
+	}
+}
+
+func TestBlockedIncidenceMatchesFlat(t *testing.T) {
+	r := rng.New(34)
+	idx := make([]int, 57)
+	for i := range idx {
+		idx[i] = r.Intn(19)
+	}
+	flat := IncidenceInto(NewCSR(0, 0), 19, idx)
+	for _, band := range []int{1, 4, 10, 57, 100} {
+		direct := BlockedIncidenceInto(new(BlockedCSROf[float64]), 19, idx, band)
+		viaConvert := ConvertBlocked(new(BlockedCSROf[float64]), flat, direct.Band)
+		if direct.Band != viaConvert.Band || direct.Bands() != viaConvert.Bands() {
+			t.Fatalf("band=%d: banding mismatch", band)
+		}
+		for i := range viaConvert.RowPtr {
+			if direct.RowPtr[i] != viaConvert.RowPtr[i] {
+				t.Fatalf("band=%d: RowPtr[%d] %d vs %d", band, i, direct.RowPtr[i], viaConvert.RowPtr[i])
+			}
+		}
+		for i := range viaConvert.ColIdx {
+			if direct.ColIdx[i] != viaConvert.ColIdx[i] {
+				t.Fatalf("band=%d: ColIdx[%d] %d vs %d", band, i, direct.ColIdx[i], viaConvert.ColIdx[i])
+			}
+		}
+		if !direct.ToCSR(new(CSR)).Equal(flat) {
+			t.Fatalf("band=%d: blocked incidence does not flatten to IncidenceInto", band)
+		}
+	}
+}
+
+// TestBlockedSpMMAggregationParity is the end-to-end check the serving
+// path relies on: blocked incidence × dense == flat incidence × dense,
+// bitwise, at every worker count — empty output rows included (rows no
+// edge points at stay exactly zero).
+func TestBlockedSpMMAggregationParity(t *testing.T) {
+	r := rng.New(35)
+	const edges, nodes, width = 83, 29, 6
+	idx := make([]int, edges)
+	for i := range idx {
+		idx[i] = r.Intn(nodes - 5) // rows nodes-5..nodes-1 stay empty
+	}
+	x := tensor.RandN(r, edges, width, 1)
+	flat := IncidenceInto(NewCSR(0, 0), nodes, idx)
+	ref := SpMMIntoCtx(kernels.Context{Workers: 1}, tensor.New(nodes, width), flat, x)
+	for _, band := range []int{1, 7, 32, edges} {
+		bl := BlockedIncidenceInto(new(BlockedCSROf[float64]), nodes, idx, band)
+		for _, w := range parityWorkers {
+			got := BlockedSpMMIntoCtx(kernels.Context{Workers: w}, tensor.New(nodes, width), bl, x)
+			denseBitsEqual(t, "blocked aggregation", ref, got)
+		}
+	}
+}
+
+func TestQBlockedMatchesFlatBitwise(t *testing.T) {
+	r := rng.New(36)
+	const edges, nodes, width = 64, 20, 5
+	idx := make([]int, edges)
+	for i := range idx {
+		idx[i] = r.Intn(nodes - 3)
+	}
+	x := quantDense(edges, width, 9, 0.02)
+	flat := QIncidenceInto(&QCSR{}, nodes, idx)
+	refF := QSpMMInto(kernels.Context{Workers: 1}, tensor.NewOf[float32](nodes, width), flat, x)
+	refQ := QSpMMQuantInto(kernels.Context{Workers: 1}, tensor.NewQMat(nodes, width, 0), flat, x, 0.03)
+	for _, band := range []int{1, 5, 17, edges, 500} {
+		bl := QBlockedIncidenceInto(&QBlockedCSR{}, nodes, idx, band)
+		if bl.Vals != nil || bl.Scale != 1 {
+			t.Fatal("blocked incidence form must be implicit-ones")
+		}
+		for _, w := range parityWorkers {
+			gotF := QBlockedSpMMInto(kernels.Context{Workers: w}, tensor.NewOf[float32](nodes, width), bl, x)
+			fd, gd := refF.Data(), gotF.Data()
+			for i := range fd {
+				if fd[i] != gd[i] {
+					t.Fatalf("QBlockedSpMM band=%d workers=%d: element %d differs", band, w, i)
+				}
+			}
+			gotQ := QBlockedSpMMQuantInto(kernels.Context{Workers: w}, tensor.NewQMat(nodes, width, 0), bl, x, 0.03)
+			if gotQ.Scale != refQ.Scale {
+				t.Fatal("scale mismatch")
+			}
+			qd, rd := gotQ.Data(), refQ.Data()
+			for i := range rd {
+				if rd[i] != qd[i] {
+					t.Fatalf("QBlockedSpMMQuant band=%d workers=%d: element %d differs", band, w, i)
+				}
+			}
+		}
+	}
+}
+
+// TestBlockedZeroAllocsWarm pins the pooled-storage contract: building
+// and multiplying through reused blocked structures allocates nothing
+// once pools are warm.
+func TestBlockedZeroAllocsWarm(t *testing.T) {
+	r := rng.New(37)
+	const edges, nodes, width = 48, 16, 4
+	idx := make([]int, edges)
+	for i := range idx {
+		idx[i] = r.Intn(nodes)
+	}
+	x := benchDense(edges, width, 5)
+	qx := quantDense(edges, width, 6, 0.02)
+	kc := kernels.Context{Workers: 1}
+	bl := new(BlockedCSROf[float64])
+	qbl := new(QBlockedCSR)
+	out := tensor.New(nodes, width)
+	qoutF := tensor.NewOf[float32](nodes, width)
+	qoutQ := tensor.NewQMat(nodes, width, 0)
+	flat := IncidenceInto(NewCSR(0, 0), nodes, idx)
+	conv := new(BlockedCSROf[float64])
+	warm := func() {
+		BlockedIncidenceInto(bl, nodes, idx, 16)
+		BlockedSpMMIntoCtx(kc, out, bl, x)
+		ConvertBlocked(conv, flat, 16)
+		QBlockedIncidenceInto(qbl, nodes, idx, 16)
+		QBlockedSpMMInto(kc, qoutF, qbl, qx)
+		QBlockedSpMMQuantInto(kc, qoutQ, qbl, qx, 0.03)
+	}
+	warm()
+	allocs := testing.AllocsPerRun(100, warm)
+	if allocs != 0 {
+		t.Fatalf("warm blocked kernels allocated %.1f per run, want 0", allocs)
+	}
+}

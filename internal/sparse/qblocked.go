@@ -1,0 +1,207 @@
+package sparse
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/kernels"
+	"repro/internal/parallel"
+	"repro/internal/tensor"
+	"repro/internal/workspace"
+)
+
+// This file is the int8 twin of blocked.go: the column-banded layout of
+// QCSR (see blocked.go for the layout and the band-ascending = column-
+// ascending walk order). Integer accumulation is exact, so banding is
+// bitwise-neutral here by construction; the epilogues reuse qspmmBody's
+// exact expressions.
+
+// QBlockedCSR is a column-banded int8 CSR. Layout matches BlockedCSROf
+// (band-major RowPtr with global offsets, global column indices); a nil
+// Vals means every stored entry is exactly 1 (Scale 1) — the implicit-
+// ones incidence form.
+type QBlockedCSR struct {
+	RowsN, ColsN int
+	Band         int
+	RowPtr       []int
+	ColIdx       []int
+	Vals         []int8
+	Scale        float32
+}
+
+// Rows returns the row count.
+func (m *QBlockedCSR) Rows() int { return m.RowsN }
+
+// Cols returns the column count.
+func (m *QBlockedCSR) Cols() int { return m.ColsN }
+
+// Nnz returns the number of stored nonzeros.
+func (m *QBlockedCSR) Nnz() int { return len(m.ColIdx) }
+
+// Bands returns the number of column bands.
+func (m *QBlockedCSR) Bands() int {
+	if m.ColsN <= 0 {
+		return 0
+	}
+	b := m.Band
+	if b <= 0 {
+		b = m.ColsN
+	}
+	return (m.ColsN + b - 1) / b
+}
+
+// effScale returns the dequantization factor of m's values (1 for the
+// implicit-ones incidence form).
+func (m *QBlockedCSR) effScale() float32 {
+	if m.Vals == nil {
+		return 1
+	}
+	return m.Scale
+}
+
+// QBlockedIncidenceInto is BlockedIncidenceInto in the implicit-ones
+// int8 form: the same (band, row) counting sort with no value stream at
+// all. Storage is reused/grown through the workspace pools. Returns out.
+func QBlockedIncidenceInto(out *QBlockedCSR, rows int, idx []int, band int) *QBlockedCSR {
+	m := len(idx)
+	if band <= 0 || band > m {
+		band = m
+	}
+	out.RowsN, out.ColsN, out.Band = rows, m, band
+	out.Vals, out.Scale = nil, 1
+	nb := out.Bands()
+	rp := workspace.GrowInt(out.RowPtr, nb*(rows+1))
+	for i := range rp {
+		rp[i] = 0
+	}
+	for e, v := range idx {
+		rp[(e/band)*(rows+1)+v+1]++
+	}
+	blockedPrefix(rp, nb, rows)
+	out.RowPtr = rp
+	out.ColIdx = workspace.GrowInt(out.ColIdx, m)
+	cursor := blockedCursor(rp, nb, rows)
+	for e, v := range idx {
+		slot := (e/band)*rows + v
+		pos := cursor[slot]
+		out.ColIdx[pos] = e
+		cursor[slot] = pos + 1
+	}
+	workspace.PutInt(cursor)
+	return out
+}
+
+// qblockedCtx carries the blocked quantized SpMM operands into
+// capture-free parallel bodies. Exactly one of outF and outQ is
+// non-nil.
+type qblockedCtx struct {
+	outF *tensor.Matrix[float32]
+	outQ *tensor.QMat
+	a    *QBlockedCSR
+	x    *tensor.QMat
+}
+
+// QBlockedSpMMInto is QSpMMInto over the column-banded layout: int32
+// accumulation per output element with the dequantizing epilogue,
+// banded so one band's x rows stay cache-resident. Bitwise identical to
+// QSpMMInto at any band width and worker count; zero-alloc steady
+// state.
+func QBlockedSpMMInto(kc kernels.Context, out *tensor.Matrix[float32], a *QBlockedCSR, x *tensor.QMat) *tensor.Matrix[float32] {
+	checkQBlockedSpMM(a, x, out.Rows(), out.Cols(), "QBlockedSpMMInto")
+	parallel.ForWithN(kc.Cap(), a.RowsN, 32, qblockedCtx{outF: out, a: a, x: x}, qblockedSpmmBody)
+	return out
+}
+
+// QBlockedSpMMQuantInto is QSpMMQuantInto over the column-banded
+// layout (requantizing epilogue at outScale).
+func QBlockedSpMMQuantInto(kc kernels.Context, out *tensor.QMat, a *QBlockedCSR, x *tensor.QMat, outScale float32) *tensor.QMat {
+	checkQBlockedSpMM(a, x, out.Rows(), out.Cols(), "QBlockedSpMMQuantInto")
+	if !(outScale > 0) {
+		panic(fmt.Sprintf("sparse: QBlockedSpMMQuantInto scale %v", outScale))
+	}
+	out.Scale = outScale
+	parallel.ForWithN(kc.Cap(), a.RowsN, 32, qblockedCtx{outQ: out, a: a, x: x}, qblockedSpmmBody)
+	return out
+}
+
+func checkQBlockedSpMM(a *QBlockedCSR, x *tensor.QMat, outRows, outCols int, op string) {
+	if a.ColsN != x.Rows() {
+		panic(fmt.Sprintf("sparse: %s inner dims %d vs %d", op, a.ColsN, x.Rows()))
+	}
+	if outRows != a.RowsN || outCols != x.Cols() {
+		panic(fmt.Sprintf("sparse: %s output shape mismatch", op))
+	}
+}
+
+// qblockedSpmmBody computes rows [lo, hi) of the banded quantized SpMM:
+// a sub-block of int32 accumulator rows (pooled scratch) collects every
+// band's contributions, then the fused dequantize/requantize epilogue
+// writes the block — qspmmBody's exact per-element expressions.
+func qblockedSpmmBody(cx qblockedCtx, lo, hi int) {
+	a, x := cx.a, cx.x
+	c := x.Cols()
+	nb := a.Bands()
+	rows := a.RowsN
+	rb := spmmRowBlock(c, 4)
+	acc := workspace.GetI32(rb * c)
+	dq := a.effScale() * x.Scale
+	for r0 := lo; r0 < hi; r0 += rb {
+		r1 := r0 + rb
+		if r1 > hi {
+			r1 = hi
+		}
+		block := acc[:(r1-r0)*c]
+		for j := range block {
+			block[j] = 0
+		}
+		for b := 0; b < nb; b++ {
+			base := b * (rows + 1)
+			for i := r0; i < r1; i++ {
+				klo, khi := a.RowPtr[base+i], a.RowPtr[base+i+1]
+				if klo == khi {
+					continue
+				}
+				aRow := acc[(i-r0)*c : (i-r0+1)*c]
+				if a.Vals == nil {
+					for _, col := range a.ColIdx[klo:khi] {
+						xRow := x.Row(col)
+						for j, xv := range xRow {
+							aRow[j] += int32(xv)
+						}
+					}
+				} else {
+					for k, col := range a.ColIdx[klo:khi] {
+						v := int32(a.Vals[klo+k])
+						xRow := x.Row(col)
+						for j, xv := range xRow {
+							aRow[j] += v * int32(xv)
+						}
+					}
+				}
+			}
+		}
+		for i := r0; i < r1; i++ {
+			aRow := acc[(i-r0)*c : (i-r0+1)*c]
+			if cx.outQ != nil {
+				oRow := cx.outQ.Row(i)
+				outScale := float64(cx.outQ.Scale)
+				for j, s := range aRow {
+					f := float64(float32(s) * dq)
+					r := math.Round(f / outScale)
+					if r > 127 {
+						r = 127
+					} else if r < -127 {
+						r = -127
+					}
+					oRow[j] = int8(r)
+				}
+			} else {
+				oRow := cx.outF.Row(i)
+				for j, s := range aRow {
+					oRow[j] = float32(s) * dq
+				}
+			}
+		}
+	}
+	workspace.PutI32(acc)
+}

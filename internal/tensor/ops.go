@@ -71,13 +71,20 @@ func MatMulInto[T fp.Float](out, a, b *Matrix[T]) {
 
 // MatMulIntoCtx is MatMulInto under an explicit intra-op worker budget.
 // Row blocks partition statically, so the result is bitwise identical
-// at every worker count.
+// at every worker count. When the Context's tile shape enables the
+// packed-panel layout (the default), the GEMM runs through the register
+// micro-kernels of tiled.go — bitwise identical to the flat kernel (see
+// the contract there), just faster.
 func MatMulIntoCtx[T fp.Float](kc kernels.Context, out, a, b *Matrix[T]) {
 	if a.cols != b.rows {
 		panic(fmt.Sprintf("tensor: MatMul inner dims %d vs %d", a.cols, b.rows))
 	}
 	if out.rows != a.rows || out.cols != b.cols {
 		panic("tensor: MatMulInto output shape mismatch")
+	}
+	if ts := kernels.ShapeFor[T](kc); !ts.GEMMOff() {
+		matMulTiled(kc, ts, out, a, b)
+		return
 	}
 	parallel.ForWithN(kc.Cap(), a.rows, matmulGrain, matCtx[T]{out, a, b},
 		pickBody[T, matCtx[T]](matMulBody64, matMulBody32))

@@ -222,8 +222,12 @@ type qgemmCtx struct {
 // comes from the workspace pools).
 func QMatMulBiasInto(kc kernels.Context, out *Matrix[float32], a *QMat, w *QWeights, bias []float32, relu bool) {
 	checkQGEMM(a, w, bias, out.rows, out.cols, "QMatMulBiasInto")
-	parallel.ForWithN(kc.Cap(), a.rows, qmatmulGrain,
-		qgemmCtx{outF: out, a: a, w: w, bias: bias, relu: relu}, qgemmBody)
+	c := qgemmCtx{outF: out, a: a, w: w, bias: bias, relu: relu}
+	if ts := kc.ShapeI8(); !ts.GEMMOff() {
+		qgemmTiled(kc, ts, c)
+		return
+	}
+	parallel.ForWithN(kc.Cap(), a.rows, qmatmulGrain, c, qgemmBody)
 }
 
 // QMatMulBiasReLUQuantInto is the fully-fused hidden-layer kernel:
@@ -238,8 +242,12 @@ func QMatMulBiasReLUQuantInto(kc kernels.Context, out *QMat, a *QMat, w *QWeight
 		panic(fmt.Sprintf("tensor: QMatMulBiasReLUQuantInto scale %v", outScale))
 	}
 	out.Scale = outScale
-	parallel.ForWithN(kc.Cap(), a.rows, qmatmulGrain,
-		qgemmCtx{outQ: out, a: a, w: w, bias: bias, relu: true}, qgemmBody)
+	c := qgemmCtx{outQ: out, a: a, w: w, bias: bias, relu: true}
+	if ts := kc.ShapeI8(); !ts.GEMMOff() {
+		qgemmTiled(kc, ts, c)
+		return
+	}
+	parallel.ForWithN(kc.Cap(), a.rows, qmatmulGrain, c, qgemmBody)
 }
 
 func checkQGEMM(a *QMat, w *QWeights, bias []float32, outRows, outCols int, op string) {

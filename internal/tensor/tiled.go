@@ -1,0 +1,284 @@
+package tensor
+
+import (
+	"repro/internal/fp"
+	"repro/internal/kernels"
+	"repro/internal/parallel"
+	"repro/internal/workspace"
+)
+
+// This file implements the cache-blocked GEMM layout: b packs once into
+// 4-column panels (panel-major, zero-padded to a multiple of 4 columns)
+// and an MR×4 register micro-kernel accumulates MR output rows against
+// one panel without touching the output row between k steps — the flat
+// kernel's k/4 read-modify-write passes over every output row collapse
+// into one store per element.
+//
+// Bitwise contract: for every out[i,j] the accumulation is exactly the
+// flat kernel's — ascending k in quads with the quad sum associated as
+// ((a0·b0 + a1·b1) + a2·b2) + a3·b3 added to the accumulator, then
+// single-k tail terms, with the same per-(row, k-quad) all-zero skip —
+// so the tiled path is bitwise identical to matMulBody for any tile
+// shape, any worker count, and any input (including Inf/NaN in b, which
+// the zero-skip masks identically). Padded panel columns accumulate
+// zeros into accumulators that are never stored.
+
+var (
+	matMulTiledBody64 any = matMulTiledBody[float64]
+	matMulTiledBody32 any = matMulTiledBody[float32]
+)
+
+// tileCtx carries the packed-GEMM operands into capture-free parallel
+// bodies.
+type tileCtx[T fp.Float] struct {
+	out, a *Matrix[T]
+	bp     []T // b packed into 4-column panels, zero-padded
+	mr, jb int // resolved micro-kernel height and column-block width
+}
+
+// matMulTiled computes out = a×b through the packed-panel layout under
+// the given (already resolved) tile shape. Steady-state calls perform
+// no heap allocation: the pack buffer comes from the workspace pools.
+func matMulTiled[T fp.Float](kc kernels.Context, ts kernels.TileShape, out, a, b *Matrix[T]) {
+	n, k := b.cols, a.cols
+	np := (n + 3) / 4
+	bp := workspace.GetFloat[T](np * 4 * k)
+	packPanels(bp, b)
+	parallel.ForWithN(kc.Cap(), a.rows, matmulGrain, tileCtx[T]{out, a, bp, ts.MR, ts.JB},
+		pickBody[T, tileCtx[T]](matMulTiledBody64, matMulTiledBody32))
+	workspace.PutFloat(bp)
+}
+
+// packPanels copies b into 4-column panel-major layout: panel q holds
+// columns [4q, 4q+4) contiguously as k rows of 4 elements, so the
+// micro-kernel streams it sequentially whatever b's width. The last
+// panel zero-pads columns past b.cols.
+func packPanels[T fp.Float](bp []T, b *Matrix[T]) {
+	n, k := b.cols, b.rows
+	for q := 0; q < n/4; q++ {
+		dst := bp[q*4*k : (q+1)*4*k]
+		for p := 0; p < k; p++ {
+			src := b.data[p*n+q*4 : p*n+q*4+4]
+			dst[p*4] = src[0]
+			dst[p*4+1] = src[1]
+			dst[p*4+2] = src[2]
+			dst[p*4+3] = src[3]
+		}
+	}
+	if w := n % 4; w != 0 {
+		dst := bp[(n/4)*4*k:]
+		base := n - w
+		for p := 0; p < k; p++ {
+			for j := 0; j < 4; j++ {
+				if j < w {
+					dst[p*4+j] = b.data[p*n+base+j]
+				} else {
+					dst[p*4+j] = 0
+				}
+			}
+		}
+	}
+}
+
+// matMulTiledBody computes rows [lo, hi) of the packed GEMM: column
+// blocks of jb/4 panels outermost (so a block's panels stay hot across
+// row sweeps), MR-row blocks next, one micro-kernel call per
+// (row-block, panel).
+func matMulTiledBody[T fp.Float](c tileCtx[T], lo, hi int) {
+	out, a := c.out, c.a
+	n, k := out.cols, a.cols
+	np := (n + 3) / 4
+	jbp := c.jb / 4
+	if jbp < 1 {
+		jbp = 1
+	}
+	for q0 := 0; q0 < np; q0 += jbp {
+		q1 := q0 + jbp
+		if q1 > np {
+			q1 = np
+		}
+		for i := lo; i < hi; {
+			bs := hi - i
+			switch {
+			case c.mr >= 4 && bs >= 4:
+				bs = 4
+			case c.mr >= 2 && bs >= 2:
+				bs = 2
+			default:
+				bs = 1
+			}
+			ad := a.data[i*k:]
+			for q := q0; q < q1; q++ {
+				w := n - q*4
+				if w > 4 {
+					w = 4
+				}
+				panel := c.bp[q*4*k : q*4*k+4*k]
+				off := i*n + q*4
+				switch bs {
+				case 4:
+					microGEMM4(
+						out.data[off:off+w], out.data[off+n:off+n+w],
+						out.data[off+2*n:off+2*n+w], out.data[off+3*n:off+3*n+w],
+						ad[:k], ad[k:2*k], ad[2*k:3*k], ad[3*k:4*k], panel)
+				case 2:
+					microGEMM2(out.data[off:off+w], out.data[off+n:off+n+w],
+						ad[:k], ad[k:2*k], panel)
+				default:
+					microGEMM1(out.data[off:off+w], ad[:k], panel)
+				}
+			}
+			i += bs
+		}
+	}
+}
+
+// storeCols writes the first len(o) of four accumulated columns.
+func storeCols[T fp.Float](o []T, c0, c1, c2, c3 T) {
+	switch len(o) {
+	case 4:
+		o[0], o[1], o[2], o[3] = c0, c1, c2, c3
+	case 3:
+		o[0], o[1], o[2] = c0, c1, c2
+	case 2:
+		o[0], o[1] = c0, c1
+	case 1:
+		o[0] = c0
+	}
+}
+
+// microGEMM4 accumulates a 4×4 output block in registers: rows a0..a3
+// against one packed panel, k ascending in quads with the flat kernel's
+// association and zero-skip, then stores each row once.
+func microGEMM4[T fp.Float](o0, o1, o2, o3, a0, a1, a2, a3, panel []T) {
+	k := len(a0)
+	var c00, c01, c02, c03 T
+	var c10, c11, c12, c13 T
+	var c20, c21, c22, c23 T
+	var c30, c31, c32, c33 T
+	p := 0
+	for ; p+4 <= k; p += 4 {
+		b := panel[p*4 : p*4+16]
+		if x0, x1, x2, x3 := a0[p], a0[p+1], a0[p+2], a0[p+3]; x0 != 0 || x1 != 0 || x2 != 0 || x3 != 0 {
+			c00 += x0*b[0] + x1*b[4] + x2*b[8] + x3*b[12]
+			c01 += x0*b[1] + x1*b[5] + x2*b[9] + x3*b[13]
+			c02 += x0*b[2] + x1*b[6] + x2*b[10] + x3*b[14]
+			c03 += x0*b[3] + x1*b[7] + x2*b[11] + x3*b[15]
+		}
+		if x0, x1, x2, x3 := a1[p], a1[p+1], a1[p+2], a1[p+3]; x0 != 0 || x1 != 0 || x2 != 0 || x3 != 0 {
+			c10 += x0*b[0] + x1*b[4] + x2*b[8] + x3*b[12]
+			c11 += x0*b[1] + x1*b[5] + x2*b[9] + x3*b[13]
+			c12 += x0*b[2] + x1*b[6] + x2*b[10] + x3*b[14]
+			c13 += x0*b[3] + x1*b[7] + x2*b[11] + x3*b[15]
+		}
+		if x0, x1, x2, x3 := a2[p], a2[p+1], a2[p+2], a2[p+3]; x0 != 0 || x1 != 0 || x2 != 0 || x3 != 0 {
+			c20 += x0*b[0] + x1*b[4] + x2*b[8] + x3*b[12]
+			c21 += x0*b[1] + x1*b[5] + x2*b[9] + x3*b[13]
+			c22 += x0*b[2] + x1*b[6] + x2*b[10] + x3*b[14]
+			c23 += x0*b[3] + x1*b[7] + x2*b[11] + x3*b[15]
+		}
+		if x0, x1, x2, x3 := a3[p], a3[p+1], a3[p+2], a3[p+3]; x0 != 0 || x1 != 0 || x2 != 0 || x3 != 0 {
+			c30 += x0*b[0] + x1*b[4] + x2*b[8] + x3*b[12]
+			c31 += x0*b[1] + x1*b[5] + x2*b[9] + x3*b[13]
+			c32 += x0*b[2] + x1*b[6] + x2*b[10] + x3*b[14]
+			c33 += x0*b[3] + x1*b[7] + x2*b[11] + x3*b[15]
+		}
+	}
+	for ; p < k; p++ {
+		b := panel[p*4 : p*4+4]
+		if v := a0[p]; v != 0 {
+			c00 += v * b[0]
+			c01 += v * b[1]
+			c02 += v * b[2]
+			c03 += v * b[3]
+		}
+		if v := a1[p]; v != 0 {
+			c10 += v * b[0]
+			c11 += v * b[1]
+			c12 += v * b[2]
+			c13 += v * b[3]
+		}
+		if v := a2[p]; v != 0 {
+			c20 += v * b[0]
+			c21 += v * b[1]
+			c22 += v * b[2]
+			c23 += v * b[3]
+		}
+		if v := a3[p]; v != 0 {
+			c30 += v * b[0]
+			c31 += v * b[1]
+			c32 += v * b[2]
+			c33 += v * b[3]
+		}
+	}
+	storeCols(o0, c00, c01, c02, c03)
+	storeCols(o1, c10, c11, c12, c13)
+	storeCols(o2, c20, c21, c22, c23)
+	storeCols(o3, c30, c31, c32, c33)
+}
+
+// microGEMM2 is microGEMM4 at height 2.
+func microGEMM2[T fp.Float](o0, o1, a0, a1, panel []T) {
+	k := len(a0)
+	var c00, c01, c02, c03 T
+	var c10, c11, c12, c13 T
+	p := 0
+	for ; p+4 <= k; p += 4 {
+		b := panel[p*4 : p*4+16]
+		if x0, x1, x2, x3 := a0[p], a0[p+1], a0[p+2], a0[p+3]; x0 != 0 || x1 != 0 || x2 != 0 || x3 != 0 {
+			c00 += x0*b[0] + x1*b[4] + x2*b[8] + x3*b[12]
+			c01 += x0*b[1] + x1*b[5] + x2*b[9] + x3*b[13]
+			c02 += x0*b[2] + x1*b[6] + x2*b[10] + x3*b[14]
+			c03 += x0*b[3] + x1*b[7] + x2*b[11] + x3*b[15]
+		}
+		if x0, x1, x2, x3 := a1[p], a1[p+1], a1[p+2], a1[p+3]; x0 != 0 || x1 != 0 || x2 != 0 || x3 != 0 {
+			c10 += x0*b[0] + x1*b[4] + x2*b[8] + x3*b[12]
+			c11 += x0*b[1] + x1*b[5] + x2*b[9] + x3*b[13]
+			c12 += x0*b[2] + x1*b[6] + x2*b[10] + x3*b[14]
+			c13 += x0*b[3] + x1*b[7] + x2*b[11] + x3*b[15]
+		}
+	}
+	for ; p < k; p++ {
+		b := panel[p*4 : p*4+4]
+		if v := a0[p]; v != 0 {
+			c00 += v * b[0]
+			c01 += v * b[1]
+			c02 += v * b[2]
+			c03 += v * b[3]
+		}
+		if v := a1[p]; v != 0 {
+			c10 += v * b[0]
+			c11 += v * b[1]
+			c12 += v * b[2]
+			c13 += v * b[3]
+		}
+	}
+	storeCols(o0, c00, c01, c02, c03)
+	storeCols(o1, c10, c11, c12, c13)
+}
+
+// microGEMM1 is microGEMM4 at height 1 — also the remainder-row kernel.
+func microGEMM1[T fp.Float](o0, a0, panel []T) {
+	k := len(a0)
+	var c00, c01, c02, c03 T
+	p := 0
+	for ; p+4 <= k; p += 4 {
+		b := panel[p*4 : p*4+16]
+		if x0, x1, x2, x3 := a0[p], a0[p+1], a0[p+2], a0[p+3]; x0 != 0 || x1 != 0 || x2 != 0 || x3 != 0 {
+			c00 += x0*b[0] + x1*b[4] + x2*b[8] + x3*b[12]
+			c01 += x0*b[1] + x1*b[5] + x2*b[9] + x3*b[13]
+			c02 += x0*b[2] + x1*b[6] + x2*b[10] + x3*b[14]
+			c03 += x0*b[3] + x1*b[7] + x2*b[11] + x3*b[15]
+		}
+	}
+	for ; p < k; p++ {
+		b := panel[p*4 : p*4+4]
+		if v := a0[p]; v != 0 {
+			c00 += v * b[0]
+			c01 += v * b[1]
+			c02 += v * b[2]
+			c03 += v * b[3]
+		}
+	}
+	storeCols(o0, c00, c01, c02, c03)
+}

@@ -1,0 +1,211 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/kernels"
+	"repro/internal/rng"
+)
+
+// Tiled-GEMM coverage: the packed-panel register-blocked kernels must be
+// bitwise identical to the flat kernels at every tile shape, worker
+// count, and precision — including shapes with k-quad remainders,
+// non-multiple-of-4 column counts, and fewer rows than the register
+// block — and must hold the flat kernels' zero-skip masking of Inf/NaN.
+
+// flatF64 / flatF32 / flatI8 disable the tiled path for one precision so
+// the flat kernel serves as the parity reference.
+var (
+	flatF64 = kernels.Tiling{F64: kernels.TileShape{MR: -1, Band: -1}}
+	flatF32 = kernels.Tiling{F32: kernels.TileShape{MR: -1, Band: -1}}
+	flatI8  = kernels.Tiling{I8: kernels.TileShape{MR: -1, Band: -1}}
+)
+
+// tiledShapesUnderTest sweeps every implemented micro-kernel (MR 1, 2,
+// 4) and panel widths from degenerate (one panel group) to wider than
+// any test matrix.
+var tiledShapesUnderTest = []kernels.TileShape{
+	{MR: 1, JB: 4},
+	{MR: 2, JB: 8},
+	{MR: 4, JB: 4},
+	{MR: 4, JB: 512},
+}
+
+// gemmShapesUnderTest exercises k%4 remainders (every residue), n%4
+// remainders (every residue), rows below the MR=4 block, and
+// panel-boundary-straddling widths.
+var gemmShapesUnderTest = []struct{ m, k, n int }{
+	{1, 1, 1},
+	{3, 5, 7},
+	{5, 4, 3},
+	{8, 16, 4},
+	{37, 23, 29},
+	{64, 33, 65},
+	{7, 2, 6},
+}
+
+func f64BitsEqual(t *testing.T, name string, want, got *Dense) {
+	t.Helper()
+	if !want.SameShape(got) {
+		t.Fatalf("%s: shape %dx%d vs %dx%d", name, want.Rows(), want.Cols(), got.Rows(), got.Cols())
+	}
+	wd, gd := want.Data(), got.Data()
+	for i := range wd {
+		if math.Float64bits(wd[i]) != math.Float64bits(gd[i]) {
+			t.Fatalf("%s: element %d differs: %v vs %v", name, i, wd[i], gd[i])
+		}
+	}
+}
+
+func TestTiledMatMulMatchesFlatBitwise(t *testing.T) {
+	for _, sh := range gemmShapesUnderTest {
+		r := rng.New(uint64(100 + sh.m))
+		a := RandN(r, sh.m, sh.k, 1)
+		b := RandN(r, sh.k, sh.n, 1)
+		// Sprinkle zeros so the per-quad and per-element skip paths run.
+		ad := a.Data()
+		for i := 0; i < len(ad); i += 3 {
+			ad[i] = 0
+		}
+		ref := New(sh.m, sh.n)
+		MatMulIntoCtx(kernels.Context{Workers: 1, Tiles: flatF64}, ref, a, b)
+		for _, ts := range tiledShapesUnderTest {
+			for _, w := range parityWorkers {
+				kc := kernels.Context{Workers: w, Tiles: kernels.Tiling{F64: ts}}
+				got := New(sh.m, sh.n)
+				MatMulIntoCtx(kc, got, a, b)
+				f64BitsEqual(t, "tiled MatMul", ref, got)
+			}
+		}
+	}
+}
+
+func TestTiledMatMulMatchesFlatBitwiseF32(t *testing.T) {
+	for _, sh := range gemmShapesUnderTest {
+		r := rng.New(uint64(200 + sh.m))
+		a := ConvertFrom[float32](nil, RandN(r, sh.m, sh.k, 1))
+		b := ConvertFrom[float32](nil, RandN(r, sh.k, sh.n, 1))
+		ad := a.Data()
+		for i := 0; i < len(ad); i += 3 {
+			ad[i] = 0
+		}
+		ref := NewOf[float32](sh.m, sh.n)
+		MatMulIntoCtx(kernels.Context{Workers: 1, Tiles: flatF32}, ref, a, b)
+		for _, ts := range tiledShapesUnderTest {
+			for _, w := range parityWorkers {
+				kc := kernels.Context{Workers: w, Tiles: kernels.Tiling{F32: ts}}
+				got := NewOf[float32](sh.m, sh.n)
+				MatMulIntoCtx(kc, got, a, b)
+				wd, gd := ref.Data(), got.Data()
+				for i := range wd {
+					if math.Float32bits(wd[i]) != math.Float32bits(gd[i]) {
+						t.Fatalf("tiled f32 MatMul: element %d differs: %v vs %v", i, wd[i], gd[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTiledMatMulZeroSkipMasksSpecialValues pins the skip contract: a
+// zero a-quad (or zero tail element) must skip B entirely, so Inf/NaN
+// in the skipped B rows never reach the accumulators — exactly as the
+// flat kernel behaves.
+func TestTiledMatMulZeroSkipMasksSpecialValues(t *testing.T) {
+	const m, k, n = 6, 9, 10
+	r := rng.New(7)
+	a := RandN(r, m, k, 1)
+	b := RandN(r, k, n, 1)
+	// Row 0: all zero. Row 1: first quad zero. Row 2: tail element zero.
+	for j := 0; j < k; j++ {
+		a.Set(0, j, 0)
+	}
+	for j := 0; j < 4; j++ {
+		a.Set(1, j, 0)
+	}
+	a.Set(2, 8, 0)
+	// Poison the B rows those zeros hit.
+	for j := 0; j < n; j++ {
+		b.Set(0, j, math.Inf(1))
+		b.Set(2, j, math.NaN())
+		b.Set(8, j, math.Inf(-1))
+	}
+	ref := New(m, n)
+	MatMulIntoCtx(kernels.Context{Workers: 1, Tiles: flatF64}, ref, a, b)
+	for _, ts := range tiledShapesUnderTest {
+		for _, w := range parityWorkers {
+			kc := kernels.Context{Workers: w, Tiles: kernels.Tiling{F64: ts}}
+			got := New(m, n)
+			MatMulIntoCtx(kc, got, a, b)
+			f64BitsEqual(t, "tiled MatMul special values", ref, got)
+		}
+	}
+}
+
+func TestTiledQGEMMMatchesFlatBitwise(t *testing.T) {
+	shapes := []struct{ m, k, n int }{{1, 1, 1}, {3, 5, 7}, {37, 24, 29}, {8, 16, 4}, {5, 6, 3}}
+	for si, sh := range shapes {
+		src := ConvertFrom[float32](nil, benchMat(sh.m, sh.k, uint64(300+si)))
+		a := NewQMat(sh.m, sh.k, 0)
+		QuantizeInto(kernels.Context{Workers: 1}, a, src, 0.01)
+		w := QuantizeWeights(benchMat(sh.k, sh.n, uint64(400+si)))
+		bias := make([]float32, sh.n)
+		for j := range bias {
+			bias[j] = float32(j)*0.25 - 1
+		}
+		for _, relu := range []bool{false, true} {
+			ref := NewOf[float32](sh.m, sh.n)
+			QMatMulBiasInto(kernels.Context{Workers: 1, Tiles: flatI8}, ref, a, w, bias, relu)
+			for _, ts := range tiledShapesUnderTest {
+				for _, wk := range parityWorkers {
+					kc := kernels.Context{Workers: wk, Tiles: kernels.Tiling{I8: ts}}
+					got := NewOf[float32](sh.m, sh.n)
+					QMatMulBiasInto(kc, got, a, w, bias, relu)
+					bits32Equal(t, "tiled QMatMulBias", ref, got)
+				}
+			}
+		}
+		refQ := NewQMat(sh.m, sh.n, 0)
+		QMatMulBiasReLUQuantInto(kernels.Context{Workers: 1, Tiles: flatI8}, refQ, a, w, bias, 0.02)
+		for _, ts := range tiledShapesUnderTest {
+			for _, wk := range parityWorkers {
+				kc := kernels.Context{Workers: wk, Tiles: kernels.Tiling{I8: ts}}
+				gotQ := NewQMat(sh.m, sh.n, 0)
+				QMatMulBiasReLUQuantInto(kc, gotQ, a, w, bias, 0.02)
+				qbitsEqual(t, "tiled QMatMulBiasReLUQuant", refQ, gotQ)
+			}
+		}
+	}
+}
+
+// TestTiledKernelsZeroAllocsWarm pins the pooled-workspace contract of
+// the default (tiled) GEMM paths: once the panel pools are warm, a call
+// performs no heap allocation.
+func TestTiledKernelsZeroAllocsWarm(t *testing.T) {
+	a := benchMat(37, 24, 1)
+	b := benchMat(24, 29, 2)
+	out := New(37, 29)
+	src := ConvertFrom[float32](nil, benchMat(37, 24, 3))
+	qa := NewQMat(37, 24, 0)
+	QuantizeInto(kernels.Context{Workers: 1}, qa, src, 0.01)
+	qw := QuantizeWeights(benchMat(24, 29, 4))
+	bias := make([]float32, 29)
+	qoutF := NewOf[float32](37, 29)
+	qoutQ := NewQMat(37, 29, 0)
+	kc := kernels.Context{Workers: 1}
+	if kernels.ShapeFor[float64](kc).GEMMOff() || kc.ShapeI8().GEMMOff() {
+		t.Fatal("default tiling must enable the tiled GEMM paths")
+	}
+	MatMulIntoCtx(kc, out, a, b) // warm the panel pools
+	QMatMulBiasInto(kc, qoutF, qa, qw, bias, true)
+	QMatMulBiasReLUQuantInto(kc, qoutQ, qa, qw, bias, 0.02)
+	allocs := testing.AllocsPerRun(100, func() {
+		MatMulIntoCtx(kc, out, a, b)
+		QMatMulBiasInto(kc, qoutF, qa, qw, bias, true)
+		QMatMulBiasReLUQuantInto(kc, qoutQ, qa, qw, bias, 0.02)
+	})
+	if allocs != 0 {
+		t.Fatalf("warm tiled GEMMs allocated %.1f per run, want 0", allocs)
+	}
+}

@@ -251,7 +251,9 @@ func (r *Reconstructor) Threshold() float64 { return r.cfg.GNNThreshold }
 // default stage adapters (see stages.go). Engine workers install their
 // own divided budget instead.
 func (r *Reconstructor) kernelCtx(ctx context.Context) context.Context {
-	return kernels.Into(ctx, kernels.Budget(1, r.set.kernelWorkers))
+	kc := kernels.Budget(1, r.set.kernelWorkers)
+	kc.Tiles = r.set.tiling
+	return kernels.Into(ctx, kc)
 }
 
 // BuildGraph runs stages 1–3 on an event. The returned EventGraph is
